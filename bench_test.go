@@ -1,0 +1,553 @@
+// Benchmarks regenerating every figure and table of the LoPRAM paper, one
+// benchmark family per experiment of EXPERIMENTS.md, plus the ablation
+// benchmarks called out in DESIGN.md §5. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Sub-benchmarks sweep the processor count, so `benchstat` comparisons show
+// the speedup shape directly in the ns/op column.
+package lopram_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"lopram/internal/crew"
+	"lopram/internal/dandc"
+	"lopram/internal/dp"
+	"lopram/internal/master"
+	"lopram/internal/memo"
+	"lopram/internal/palrt"
+	"lopram/internal/pram"
+	"lopram/internal/sim"
+	"lopram/internal/workload"
+)
+
+// ---- E1: Figure 1 ----
+
+func msortFig(n int) sim.Func {
+	return func(tc *sim.TC) {
+		tc.Work(1)
+		if n <= 1 {
+			return
+		}
+		tc.Do(msortFig(n/2), msortFig(n-n/2))
+	}
+}
+
+// BenchmarkFig1MergesortTree regenerates the Figure 1 schedule (n=16, p=4).
+func BenchmarkFig1MergesortTree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := sim.New(sim.Config{P: 4, Trace: true})
+		res := m.MustRun(msortFig(16))
+		if res.Threads != 31 {
+			b.Fatal("wrong tree")
+		}
+	}
+}
+
+// ---- E2: Figure 2 (frontier) ----
+
+func BenchmarkFig2Frontier(b *testing.B) {
+	for _, p := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			cm := dandc.CostModel{Rec: dandc.Mergesort(), SpawnDepth: -1}
+			for i := 0; i < b.N; i++ {
+				m := sim.New(sim.Config{P: p})
+				m.MustRun(cm.Program(256))
+			}
+		})
+	}
+}
+
+// ---- E3–E6: Theorem 1 cases and Equation 5 ----
+
+func benchTheorem(b *testing.B, rec master.IntRec, mode dandc.MergeMode, n int64) {
+	b.Helper()
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			frontier := master.FrontierDepth(p, rec.A)
+			cm := dandc.CostModel{Rec: rec, Mode: mode, SpawnDepth: frontier + 2}
+			if mode == dandc.ParMerge {
+				cm.MergeChunks = p
+			}
+			var steps int64
+			for i := 0; i < b.N; i++ {
+				m := sim.New(sim.Config{P: p})
+				steps = m.MustRun(cm.Program(n)).Steps
+			}
+			b.ReportMetric(float64(steps), "sim-steps")
+			b.ReportMetric(float64(rec.Seq(n))/float64(steps), "speedup")
+		})
+	}
+}
+
+// BenchmarkThm1Case1 regenerates the E3 table: T(n) = 4T(n/2) + n.
+func BenchmarkThm1Case1(b *testing.B) {
+	benchTheorem(b, dandc.Case1Rec(), dandc.SeqMerge, 1<<12)
+}
+
+// BenchmarkThm1Case2 regenerates the E4 table: mergesort.
+func BenchmarkThm1Case2(b *testing.B) {
+	benchTheorem(b, dandc.Mergesort(), dandc.SeqMerge, 1<<18)
+}
+
+// BenchmarkThm1Case3Seq regenerates the E5 table: no speedup.
+func BenchmarkThm1Case3Seq(b *testing.B) {
+	benchTheorem(b, dandc.Case3Rec(), dandc.SeqMerge, 1<<11)
+}
+
+// BenchmarkThm1Case3Par regenerates the E6 table: Equation 5.
+func BenchmarkThm1Case3Par(b *testing.B) {
+	benchTheorem(b, dandc.Case3Rec(), dandc.ParMerge, 1<<11)
+}
+
+// ---- E7: p = O(log n) premise ----
+
+func BenchmarkLogBoundSaturation(b *testing.B) {
+	rec := dandc.Mergesort()
+	for _, p := range []int{4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			frontier := master.FrontierDepth(p, rec.A)
+			cm := dandc.CostModel{Rec: rec, SpawnDepth: frontier + 2}
+			for i := 0; i < b.N; i++ {
+				m := sim.New(sim.Config{P: p})
+				m.MustRun(cm.Program(1 << 10))
+			}
+		})
+	}
+}
+
+// ---- E8–E10, E14: parallel DP ----
+
+func editDistSpec(n int) *dp.EditDistanceSpec {
+	r := workload.NewRNG(8)
+	a, bb := workload.RelatedStrings(r, n, 4, n/8)
+	return dp.NewEditDistance(a, bb)
+}
+
+// BenchmarkDPEditDistance regenerates E8: Algorithm 1 on the simulator.
+func BenchmarkDPEditDistance(b *testing.B) {
+	spec := editDistSpec(96)
+	g := dp.BuildGraph(spec)
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			var steps int64
+			for i := 0; i < b.N; i++ {
+				prog, _ := dp.Program(spec, g, dp.SimOptions{})
+				m := sim.New(sim.Config{P: p})
+				steps = m.MustRun(prog).Steps
+			}
+			b.ReportMetric(float64(steps), "sim-steps")
+		})
+	}
+}
+
+// BenchmarkDPEditDistanceRuntime is E8's real-hardware counterpart: the
+// counter scheduler on goroutines.
+func BenchmarkDPEditDistanceRuntime(b *testing.B) {
+	spec := editDistSpec(600)
+	g := dp.BuildGraph(spec)
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dp.RunCounter(spec, g, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDPChain regenerates E9: the 1-D chain gains nothing.
+func BenchmarkDPChain(b *testing.B) {
+	spec := dp.NewPrefixSum(make([]int64, 400))
+	g := dp.BuildGraph(spec)
+	for _, p := range []int{1, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			var steps int64
+			for i := 0; i < b.N; i++ {
+				prog, _ := dp.Program(spec, g, dp.SimOptions{})
+				m := sim.New(sim.Config{P: p})
+				steps = m.MustRun(prog).Steps
+			}
+			b.ReportMetric(float64(steps), "sim-steps")
+		})
+	}
+}
+
+// BenchmarkDPMatrixChain regenerates E10: the interval DP.
+func BenchmarkDPMatrixChain(b *testing.B) {
+	r := workload.NewRNG(10)
+	spec := dp.NewMatrixChain(workload.ChainDims(r, 32, 4, 50))
+	g := dp.BuildGraph(spec)
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			var steps int64
+			for i := 0; i < b.N; i++ {
+				prog, _ := dp.Program(spec, g, dp.SimOptions{})
+				m := sim.New(sim.Config{P: p})
+				steps = m.MustRun(prog).Steps
+			}
+			b.ReportMetric(float64(steps), "sim-steps")
+		})
+	}
+}
+
+// BenchmarkDPBuildGraph regenerates E14: parallel DAG construction.
+func BenchmarkDPBuildGraph(b *testing.B) {
+	spec := editDistSpec(256)
+	for _, p := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			rt := palrt.New(p)
+			for i := 0; i < b.N; i++ {
+				dp.BuildGraphParallel(rt, spec)
+			}
+		})
+	}
+}
+
+// ---- E11: memoization ----
+
+// BenchmarkMemoMatrixChain regenerates E11.
+func BenchmarkMemoMatrixChain(b *testing.B) {
+	r := workload.NewRNG(11)
+	spec := dp.NewMatrixChain(workload.ChainDims(r, 48, 4, 40))
+	root := spec.Cells() - 1
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rt := palrt.New(p)
+				memo.Run(rt, spec, root)
+			}
+		})
+	}
+}
+
+// ---- E12: CRCW-on-CREW ----
+
+// BenchmarkCRCWSim regenerates E12: combining-tree cost per width.
+func BenchmarkCRCWSim(b *testing.B) {
+	for _, k := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			contrib := make([]int64, k)
+			for i := range contrib {
+				contrib[i] = int64(i)
+			}
+			var steps int
+			for i := 0; i < b.N; i++ {
+				_, steps = crew.SimulateCRCW(contrib, crew.Sum)
+			}
+			b.ReportMetric(float64(steps), "crew-steps")
+		})
+	}
+}
+
+// ---- E13: real runtime wall clock ----
+
+// BenchmarkRuntimeMergesort regenerates E13: ns/op across p IS the table.
+func BenchmarkRuntimeMergesort(b *testing.B) {
+	r := workload.NewRNG(13)
+	base := workload.Ints(r, 1<<20, 1<<30)
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			rt := palrt.New(p)
+			buf := make([]int, len(base))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				copy(buf, base)
+				b.StartTimer()
+				if p == 1 {
+					dandc.MergeSortSeq(buf)
+				} else {
+					dandc.MergeSort(rt, buf)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRuntimeStrassen: Case 1 on real hardware.
+func BenchmarkRuntimeStrassen(b *testing.B) {
+	r := workload.NewRNG(14)
+	n := 256
+	ma := dandc.Mat{N: n, Data: workload.Floats(r, n*n)}
+	mb := dandc.Mat{N: n, Data: workload.Floats(r, n*n)}
+	for _, p := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			rt := palrt.New(p)
+			for i := 0; i < b.N; i++ {
+				if p == 1 {
+					dandc.StrassenSeq(ma, mb)
+				} else {
+					dandc.Strassen(rt, ma, mb)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRuntimeKaratsuba: Case 1 polynomial multiplication.
+func BenchmarkRuntimeKaratsuba(b *testing.B) {
+	r := workload.NewRNG(15)
+	pa := workload.Int64s(r, 1<<13)
+	pb := workload.Int64s(r, 1<<13)
+	for i := range pa {
+		pa[i] %= 1000
+		pb[i] %= 1000
+	}
+	for _, p := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			rt := palrt.New(p)
+			for i := 0; i < b.N; i++ {
+				if p == 1 {
+					dandc.KaratsubaSeq(pa, pb)
+				} else {
+					dandc.Karatsuba(rt, pa, pb)
+				}
+			}
+		})
+	}
+}
+
+// ---- Ablations (DESIGN.md §5) ----
+
+// BenchmarkAblationSpawnPolicy: palthreads handoff vs spawn-everything.
+func BenchmarkAblationSpawnPolicy(b *testing.B) {
+	r := workload.NewRNG(21)
+	base := workload.Ints(r, 1<<19, 1<<30)
+	buf := make([]int, len(base))
+	b.Run("handoff", func(b *testing.B) {
+		rt := palrt.New(8)
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			copy(buf, base)
+			b.StartTimer()
+			dandc.MergeSort(rt, buf)
+		}
+	})
+	b.Run("always-spawn", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			copy(buf, base)
+			b.StartTimer()
+			naiveSort(buf, make([]int, len(buf)))
+		}
+	})
+}
+
+func naiveSort(a, tmp []int) {
+	if len(a) <= 1<<11 {
+		dandc.MergeSortSeq(a)
+		return
+	}
+	mid := len(a) / 2
+	palrt.AlwaysSpawn(
+		func() { naiveSort(a[:mid], tmp[:mid]) },
+		func() { naiveSort(a[mid:], tmp[mid:]) },
+	)
+	i, j, k := 0, mid, 0
+	for i < mid && j < len(a) {
+		if a[j] < a[i] {
+			tmp[k] = a[j]
+			j++
+		} else {
+			tmp[k] = a[i]
+			i++
+		}
+		k++
+	}
+	copy(tmp[k:], a[i:mid])
+	copy(tmp[k+mid-i:], a[j:])
+	copy(a, tmp)
+}
+
+// BenchmarkAblationDPScheduler: Algorithm 1 counters vs level barriers.
+func BenchmarkAblationDPScheduler(b *testing.B) {
+	spec := editDistSpec(400)
+	g := dp.BuildGraph(spec)
+	b.Run("counters", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dp.RunCounter(spec, g, 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("level-barrier", func(b *testing.B) {
+		rt := palrt.New(8)
+		for i := 0; i < b.N; i++ {
+			if _, err := dp.RunLevels(spec, g, rt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationCounters: serialized cells vs raw atomics for the
+// dependency counters.
+func BenchmarkAblationCounters(b *testing.B) {
+	b.Run("serialized-cell", func(b *testing.B) {
+		var s crew.Serialized[int64]
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				s.Update(func(v int64) int64 { return v + 1 })
+			}
+		})
+	})
+	b.Run("atomic", func(b *testing.B) {
+		var v atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				v.Add(1)
+			}
+		})
+	})
+}
+
+// BenchmarkAblationActivationOrder: preorder vs FIFO vs LIFO global policy.
+func BenchmarkAblationActivationOrder(b *testing.B) {
+	cm := dandc.CostModel{Rec: dandc.Mergesort(), SpawnDepth: -1}
+	for _, pol := range []sim.Policy{sim.Preorder, sim.FIFO, sim.LIFO} {
+		b.Run(pol.String(), func(b *testing.B) {
+			var steps int64
+			for i := 0; i < b.N; i++ {
+				m := sim.New(sim.Config{P: 4, Policy: pol})
+				steps = m.MustRun(cm.Program(1 << 10)).Steps
+			}
+			b.ReportMetric(float64(steps), "sim-steps")
+		})
+	}
+}
+
+// ---- substrate microbenchmarks ----
+
+// BenchmarkSimSchedulerThroughput measures scheduler cost per pal-thread.
+func BenchmarkSimSchedulerThroughput(b *testing.B) {
+	cm := dandc.CostModel{Rec: dandc.FigureRec(), SpawnDepth: -1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := sim.New(sim.Config{P: 4})
+		res := m.MustRun(cm.Program(1 << 10))
+		if res.Threads != 2*(1<<10)-1 {
+			b.Fatal("wrong thread count")
+		}
+	}
+}
+
+// BenchmarkRNG measures the workload generator.
+func BenchmarkRNG(b *testing.B) {
+	r := workload.NewRNG(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+// ---- E15/E16: scan formulations and PRAM emulation ----
+
+// BenchmarkScanDandC regenerates E15's D&C side: the work-optimal two-pass
+// parallel scan on the host.
+func BenchmarkScanDandC(b *testing.B) {
+	r := workload.NewRNG(16)
+	a := workload.Int64s(r, 1<<22)
+	for i := range a {
+		a[i] %= 1000
+	}
+	for _, p := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			rt := palrt.New(p)
+			for i := 0; i < b.N; i++ {
+				if p == 1 {
+					dandc.PrefixSumsSeq(a)
+				} else {
+					dandc.PrefixSums(rt, a)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPRAMEmulation regenerates E16: Brent-emulated Hillis–Steele scan
+// step counts vs the native LoPRAM scan's.
+func BenchmarkPRAMEmulation(b *testing.B) {
+	r := workload.NewRNG(17)
+	in := workload.Int64s(r, 1<<12)
+	for i := range in {
+		in[i] %= 1000
+	}
+	prog := pram.HillisSteele{Input: in}
+	for _, p := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			var tp int64
+			for i := 0; i < b.N; i++ {
+				res := pram.Emulate(prog, p)
+				tp = res.TimeP
+			}
+			b.ReportMetric(float64(tp), "emulated-steps")
+		})
+	}
+}
+
+// ---- selection: the Case 3 wall on a real algorithm ----
+
+// BenchmarkRuntimeSelect compares sequential quickselect against the
+// parallel-partition selection across p (Equation 5 on real data).
+func BenchmarkRuntimeSelect(b *testing.B) {
+	r := workload.NewRNG(18)
+	a := workload.Ints(r, 1<<22, 1<<30)
+	k := len(a) / 2
+	for _, p := range []int{1, 4, 8, 16} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			rt := palrt.New(p)
+			for i := 0; i < b.N; i++ {
+				if p == 1 {
+					dandc.SelectSeq(a, k)
+				} else {
+					dandc.Select(rt, a, k)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRuntimeFFT: Case 2 on real hardware.
+func BenchmarkRuntimeFFT(b *testing.B) {
+	r := workload.NewRNG(19)
+	x := make([]complex128, 1<<16)
+	for i := range x {
+		x[i] = complex(r.Float64(), r.Float64())
+	}
+	for _, p := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			rt := palrt.New(p)
+			for i := 0; i < b.N; i++ {
+				if p == 1 {
+					dandc.FFTSeq(x)
+				} else {
+					dandc.FFT(rt, x)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStdThreads measures the standard-thread multitasking scheduler.
+func BenchmarkStdThreads(b *testing.B) {
+	for _, s := range []int{4, 64} {
+		b.Run(fmt.Sprintf("threads=%d", s), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := sim.New(sim.Config{P: 4})
+				m.MustRun(func(tc *sim.TC) {
+					kids := make([]sim.Func, s)
+					for k := range kids {
+						kids[k] = func(tc *sim.TC) { tc.Work(100) }
+					}
+					tc.Launch(kids...)
+				})
+			}
+		})
+	}
+}

@@ -1,0 +1,114 @@
+// Command dpdag inspects the dependency DAG of a dynamic-programming
+// problem: cells, edges, antichain decomposition, parallelism profile, and
+// the predicted speedup for a range of processor counts (§4.3–§4.6 of the
+// paper).
+//
+// Usage:
+//
+//	dpdag -problem editdist -n 32
+//	dpdag -problem matrixchain -n 16 -layers
+//	dpdag -problem {editdist|lcs|matrixchain|optbst|knapsack|fib|prefixsum|floydwarshall|cyk}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lopram/internal/dp"
+	"lopram/internal/trace"
+	"lopram/internal/workload"
+)
+
+func main() {
+	problem := flag.String("problem", "editdist", "DP problem to inspect")
+	n := flag.Int("n", 24, "instance size")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	layers := flag.Bool("layers", false, "print every antichain layer")
+	flag.Parse()
+
+	r := workload.NewRNG(*seed)
+	spec, desc := buildSpec(*problem, *n, r)
+	if spec == nil {
+		fmt.Fprintf(os.Stderr, "dpdag: unknown problem %q\n", *problem)
+		os.Exit(2)
+	}
+
+	g := dp.BuildGraph(spec)
+	pr, err := g.ParallelismProfile()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dpdag: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("problem: %s\n", desc)
+	fmt.Printf("cells: %d, dependency edges: %d, sources (base cases): %d\n",
+		g.N(), g.Edges(), len(g.Sources()))
+	fmt.Printf("longest chain (critical path / Mirsky layers): %d\n", pr.CriticalPath)
+	fmt.Printf("widest antichain: %d\n\n", pr.MaxWidth)
+
+	tb := trace.NewTable("p", "ideal rounds Σ⌈w_i/p⌉", "ideal speedup", "efficiency")
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		s := pr.IdealSpeedup(p)
+		tb.AddRow(p, pr.IdealTime(p), fmt.Sprintf("%.2f", s), fmt.Sprintf("%.2f", s/float64(p)))
+	}
+	fmt.Println(tb.String())
+
+	if *layers {
+		ac, _ := g.Antichains()
+		fmt.Println("antichain layers (level: width):")
+		for i, layer := range ac {
+			bar := strings.Repeat("#", min(len(layer), 80))
+			fmt.Printf("%4d: %5d %s\n", i, len(layer), bar)
+		}
+	}
+}
+
+func buildSpec(name string, n int, r *workload.RNG) (dp.Spec, string) {
+	switch strings.ToLower(name) {
+	case "editdist":
+		a, b := workload.RelatedStrings(r, n, 4, n/8+1)
+		return dp.NewEditDistance(a, b), fmt.Sprintf("edit distance, |a|=%d |b|=%d", len(a), len(b))
+	case "lcs":
+		a, b := workload.RelatedStrings(r, n, 3, n/8+1)
+		return dp.NewLCS(a, b), fmt.Sprintf("LCS, |a|=%d |b|=%d", len(a), len(b))
+	case "matrixchain":
+		dims := workload.ChainDims(r, n, 4, 50)
+		return dp.NewMatrixChain(dims), fmt.Sprintf("matrix chain, %d matrices", n)
+	case "optbst":
+		w := workload.BSTFrequencies(r, n, 30)
+		return dp.NewOptimalBST(w), fmt.Sprintf("optimal BST, %d keys", n)
+	case "knapsack":
+		ws, vs := workload.Weights(r, n, 10, 50)
+		return dp.NewKnapsack(ws, vs, 4*n), fmt.Sprintf("0/1 knapsack, %d items, capacity %d", n, 4*n)
+	case "fib":
+		return dp.NewFib(n), fmt.Sprintf("Fibonacci F(0..%d)", n)
+	case "prefixsum":
+		return dp.NewPrefixSum(workload.Int64s(r, n)), fmt.Sprintf("prefix sums over %d values", n)
+	case "floydwarshall":
+		adj := make([]int64, n*n)
+		for i := range adj {
+			adj[i] = dp.Inf
+			if r.Float64() < 0.3 {
+				adj[i] = int64(1 + r.Intn(9))
+			}
+		}
+		return dp.NewFloydWarshall(n, adj), fmt.Sprintf("Floyd–Warshall, %d vertices", n)
+	case "cyk":
+		var b strings.Builder
+		for b.Len() < n-1 {
+			b.WriteString("()")
+		}
+		s := b.String()
+		return dp.NewCYK(dp.BalancedParens(), s), fmt.Sprintf("CYK (Dyck grammar), |input|=%d", len(s))
+	}
+	return nil, ""
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,107 @@
+// Command figures regenerates the two figures of the paper as ASCII art:
+//
+//	figures -fig 1            # Figure 1: mergesort tree, n=16, p=4, t=6
+//	figures -fig 1 -t 8       # the same tree at another instant
+//	figures -fig 2            # Figure 2: the spawn frontier for p = a^k
+//	figures -fig 1 -gantt     # additionally print the processor Gantt chart
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lopram/internal/dandc"
+	"lopram/internal/master"
+	"lopram/internal/sim"
+	"lopram/internal/trace"
+)
+
+func main() {
+	fig := flag.Int("fig", 1, "figure number (1 or 2)")
+	at := flag.Int64("t", 6, "time step of the Figure 1 snapshot")
+	n := flag.Int("n", 16, "input size for Figure 1 (power of two)")
+	p := flag.Int("p", 4, "processor count")
+	gantt := flag.Bool("gantt", false, "also print the per-processor Gantt chart")
+	flag.Parse()
+
+	switch *fig {
+	case 1:
+		figure1(*n, *p, *at, *gantt)
+	case 2:
+		figure2(*p)
+	default:
+		fmt.Fprintln(os.Stderr, "figures: -fig must be 1 or 2")
+		os.Exit(2)
+	}
+}
+
+func msortFig(n int) sim.Func {
+	return func(tc *sim.TC) {
+		tc.Work(1)
+		if n <= 1 {
+			return
+		}
+		tc.Do(msortFig(n/2), msortFig(n-n/2))
+	}
+}
+
+func figure1(n, p int, at int64, gantt bool) {
+	height := 0
+	for v := 1; v < n; v *= 2 {
+		height++
+	}
+	m := sim.New(sim.Config{P: p, Trace: true})
+	res := m.MustRun(msortFig(n))
+	fmt.Printf("Figure 1 — mergesort execution tree, n=%d, p=%d (paper: n=16, p=4, t=6)\n\n", n, p)
+	fmt.Print(trace.RenderTree(res.Trace, height, at))
+	fmt.Println()
+	fmt.Println("complete activation numbering:")
+	fmt.Print(trace.RenderLabels(res.Trace, height))
+	if gantt {
+		fmt.Println()
+		fmt.Println("processor schedule (digits are thread ids mod 10):")
+		fmt.Print(trace.Gantt(res.Trace, res.Steps+1))
+	}
+}
+
+func figure2(p int) {
+	fmt.Printf("Figure 2 — execution tree of a divide-and-conquer algorithm with p=%d processors\n", p)
+	fmt.Println("(threads spawn per level until a^k = p calls exist; deeper calls run sequentially)")
+	fmt.Println()
+	k := master.FrontierDepth(p, 2)
+	for d := 0; d <= k; d++ {
+		nodes := 1 << d
+		fmt.Printf("level %d: %4d pal-thread(s)", d, nodes)
+		if nodes >= p {
+			fmt.Printf("   ← frontier: a^k = %d ≥ p; below this every thread runs T(n/b^%d) sequentially", nodes, k)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	// Demonstrate on the simulator: per-level activation spread.
+	m := sim.New(sim.Config{P: p, Trace: true})
+	cm := dandc.CostModel{Rec: dandc.Mergesort(), SpawnDepth: -1}
+	res := m.MustRun(cm.Program(1 << 8))
+	byDepth := map[int]map[int64]bool{}
+	maxDepth := 0
+	for _, nt := range res.Trace.Nodes() {
+		d := len(nt.Path)
+		if byDepth[d] == nil {
+			byDepth[d] = map[int64]bool{}
+		}
+		byDepth[d][nt.ActivatedAt] = true
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	fmt.Println("measured on the simulator (mergesort cost model, n=256):")
+	for d := 0; d <= maxDepth && d <= k+2; d++ {
+		kind := "lock-step (parallel frontier)"
+		if len(byDepth[d]) > 1 {
+			kind = "staggered (sequential below frontier)"
+		}
+		fmt.Printf("  depth %d: %3d distinct activation instants — %s\n", d, len(byDepth[d]), kind)
+	}
+}

@@ -1,0 +1,58 @@
+// Command lopram-bench runs the LoPRAM reproduction suite and prints each
+// experiment's regenerated table with a PASS/FAIL verdict against the
+// paper's claim. The output of a full run is the body of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	lopram-bench            # full suite, E1…E14 + ablations A1…A4
+//	lopram-bench -exp E5    # a single experiment
+//	lopram-bench -quick     # trimmed parameter sweeps
+//	lopram-bench -list      # list experiment ids and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lopram/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "run a single experiment by id (e.g. E5, A2)")
+	quick := flag.Bool("quick", false, "trim parameter sweeps for a fast pass")
+	list := flag.Bool("list", false, "list experiment ids")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All(true) {
+			fmt.Printf("%-4s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	var reports []experiments.Report
+	if *exp != "" {
+		r, ok := experiments.ByID(*exp, *quick)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "lopram-bench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		reports = []experiments.Report{r}
+	} else {
+		reports = experiments.All(*quick)
+	}
+
+	failed := 0
+	for _, r := range reports {
+		fmt.Println(r.String())
+		if !r.Pass {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "lopram-bench: %d of %d experiments FAILED\n", failed, len(reports))
+		os.Exit(1)
+	}
+	fmt.Printf("all %d experiments PASS\n", len(reports))
+}

@@ -1,0 +1,35 @@
+// Package lopram is a full reproduction of "Optimal Speedup on a Low-Degree
+// Multi-Core Parallel Architecture (LoPRAM)" by Dorrigiv, López-Ortiz and
+// Salinger (SPAA 2008 / Dagstuhl 08081 / Waterloo TR CS-2007-48).
+//
+// The LoPRAM is a PRAM restricted to p = O(log n) processors with a
+// two-tier thread model whose pal-threads (Parallel ALgorithmic threads)
+// are scheduled through an ordered activation tree. The paper's central
+// results — a parallel Master theorem giving work-optimal speedup for
+// divide-and-conquer Cases 1 and 2 (Theorem 1), the parallel-merge refinement
+// for Case 3 (Equation 5), and generic parallelizations of dynamic
+// programming (Algorithm 1) and memoization — are implemented and validated
+// here on two execution engines: a deterministic discrete-time machine
+// simulator (exact step counts) and a goroutine runtime (real speedups).
+//
+// Layout:
+//
+//   - internal/core       — public facade (model sizing, algorithm wrappers)
+//   - internal/sim        — the LoPRAM machine simulator (§3.1 scheduler)
+//   - internal/palrt      — goroutine runtime with palthreads semantics
+//   - internal/crew       — CREW memory, CRCW-on-CREW combining (§3, §4.6)
+//   - internal/master     — Master theorem + parallel predictors (Thm 1, Eq 5)
+//   - internal/dandc      — D&C framework and algorithms (§4.1)
+//   - internal/dp         — parallel dynamic programming (§4.2–§4.4)
+//   - internal/memo       — parallel memoization (§4.5)
+//   - internal/dag        — poset/antichain substrate (Mirsky, §4.3)
+//   - internal/pram       — Θ(n)-processor PRAM baseline + Brent emulation (§2)
+//   - internal/network    — interconnect realizability model (§1)
+//   - internal/experiments— the E1–E18 + A1–A4 reproduction suite
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// bench_test.go regenerate every table and figure:
+//
+//	go test -bench=. -benchmem
+package lopram

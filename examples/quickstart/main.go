@@ -1,0 +1,46 @@
+// Quickstart: sort a slice on a LoPRAM with p = Θ(log n) processors.
+//
+// This is the paper's §3.1 example — the palthreads mergesort — behind the
+// library facade. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"lopram/internal/core"
+	"lopram/internal/workload"
+)
+
+func main() {
+	const n = 1 << 20
+	r := workload.NewRNG(2024)
+	data := workload.Ints(r, n, 1<<30)
+
+	// A LoPRAM sized for n keys: p = ⌊log₂ n⌋ processors.
+	m := core.New(n)
+	fmt.Printf("LoPRAM model: n = %d keys, p = %d processors (⌊log₂ n⌋)\n", n, m.P)
+
+	m.Sort(data)
+
+	sorted := true
+	for i := 1; i < len(data); i++ {
+		if data[i-1] > data[i] {
+			sorted = false
+			break
+		}
+	}
+	fmt.Printf("sorted: %v — first/last: %d … %d\n", sorted, data[0], data[n-1])
+
+	// The same model answers DP queries through Algorithm 1 and
+	// memoization, all bounded by the same p processors.
+	d, err := m.EditDistance("low-degree parallelism", "low degree parallel")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("edit distance demo: %d\n", d)
+
+	cost := m.MatrixChain([]int{30, 35, 15, 5, 10, 20, 25})
+	fmt.Printf("matrix chain demo (CLRS instance): %d scalar multiplications\n", cost)
+}

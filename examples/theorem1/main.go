@@ -1,0 +1,91 @@
+// Theorem 1 interactively: pick a divide-and-conquer recurrence, classify it
+// under the Master theorem, predict its parallel behaviour on a LoPRAM, and
+// verify the prediction against the deterministic machine simulator — for
+// p = 2^k, by exact equality with Equation (3) / Equation (5).
+//
+//	go run ./examples/theorem1
+//	go run ./examples/theorem1 -a 2 -e 2 -pm   # Case 3 with parallel merge
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"lopram/internal/dandc"
+	"lopram/internal/master"
+	"lopram/internal/sim"
+)
+
+func main() {
+	a := flag.Int("a", 2, "subproblem count a")
+	e := flag.Float64("e", 1, "merge-cost exponent: f(n) = n^e (e in {0,1,2,3})")
+	n := flag.Int64("n", 1<<12, "input size (power of two)")
+	pm := flag.Bool("pm", false, "parallelize the merge (Equation 5)")
+	flag.Parse()
+
+	// Symbolic classification.
+	rec := master.Recurrence{
+		A: float64(*a), B: 2, C: 1, E: *e, K: 0, Cutoff: 1, Base: 1,
+	}
+	if err := rec.Validate(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("recurrence: T(n) = %d·T(n/2) + n^%.3g   (critical exponent log₂ %d = %.3f)\n",
+		*a, *e, *a, rec.CriticalExponent())
+	fmt.Printf("Master theorem: %v, sequential %s\n", rec.Classify(), rec.ThetaString())
+	fmt.Printf("Theorem 1 prediction: T_p = %s\n\n", rec.ParallelThetaString(*pm))
+
+	// Integer cost model for the simulator.
+	irec := master.IntRec{
+		A: *a, B: 2, Cutoff: 1,
+		Divide: dandc.Unit,
+		Base:   dandc.Unit,
+		Merge: func(sz int64) int64 {
+			switch {
+			case *e == 0:
+				return 1
+			case *e == 1:
+				return sz
+			case *e == 2:
+				return sz * sz
+			default:
+				return sz * sz * sz
+			}
+		},
+	}
+	mode := dandc.SeqMerge
+	if *pm {
+		mode = dandc.ParMerge
+	}
+
+	seq := irec.Seq(*n)
+	fmt.Printf("%4s %14s %14s %10s %12s\n", "p", "T_p (sim)", "T_p (exact eq)", "speedup", "exact match")
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		frontier := master.FrontierDepth(p, *a)
+		cm := dandc.CostModel{Rec: irec, Mode: mode, SpawnDepth: frontier + 2}
+		if *pm {
+			cm.MergeChunks = p
+		}
+		res := sim.New(sim.Config{P: p}).MustRun(cm.Program(*n))
+
+		exact := "-"
+		match := "n/a"
+		if p == 1 || master.IsPowerOf(p, *a) {
+			var want int64
+			if *pm {
+				want = irec.ParParMerge(*n, p)
+			} else {
+				want = irec.ParSeqMerge(*n, p)
+			}
+			exact = fmt.Sprintf("%d", want)
+			if want == res.Steps {
+				match = "yes"
+			} else {
+				match = "NO"
+			}
+		}
+		fmt.Printf("%4d %14d %14s %10.2f %12s\n",
+			p, res.Steps, exact, float64(seq)/float64(res.Steps), match)
+	}
+	fmt.Println("\n(speedup ≈ p in Cases 1/2; pinned at Θ(1) in Case 3 unless -pm restores it)")
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"lopram/internal/dandc"
+	"lopram/internal/dp"
+	"lopram/internal/memo"
+)
+
+// This file extends the facade with the rest of the algorithm catalogue.
+// Everything here routes through the same p-processor runtime as Sort and
+// EditDistance, so a Model is a single coherent LoPRAM machine.
+
+// PrefixSums returns the inclusive scan of a via the two-pass parallel scan.
+func (m *Model) PrefixSums(a []int64) []int64 {
+	return dandc.PrefixSums(m.rt, a)
+}
+
+// ReduceSum returns Σa via parallel tree reduction.
+func (m *Model) ReduceSum(a []int64) int64 {
+	return dandc.ReduceSum(m.rt, a)
+}
+
+// Select returns the k-th smallest element of a (0-based) with a parallel
+// three-way partition; a is not modified.
+func (m *Model) Select(a []int, k int) int {
+	return dandc.Select(m.rt, a, k)
+}
+
+// Median returns the lower median of a.
+func (m *Model) Median(a []int) int {
+	return dandc.Median(m.rt, a)
+}
+
+// Convolve multiplies two integer polynomials via parallel FFT.
+func (m *Model) Convolve(a, b []int64) []int64 {
+	return dandc.Convolve(m.rt, a, b)
+}
+
+// Strassen multiplies two n×n matrices with parallel Strassen.
+func (m *Model) Strassen(a, b dandc.Mat) dandc.Mat {
+	return dandc.Strassen(m.rt, a, b)
+}
+
+// PolyMul multiplies two integer polynomials with parallel Karatsuba
+// (exact for arbitrary int64 coefficient magnitudes, unlike Convolve).
+func (m *Model) PolyMul(a, b []int64) []int64 {
+	return dandc.Karatsuba(m.rt, a, b)
+}
+
+// Knapsack solves 0/1 knapsack with the parallel DP scheduler and returns
+// the best value together with one optimal item set (0-based indices).
+func (m *Model) Knapsack(weights, values []int, capacity int) (int64, []int, error) {
+	spec := dp.NewKnapsack(weights, values, capacity)
+	g := dp.BuildGraphParallel(m.rt, spec)
+	vals, err := dp.RunCounter(spec, g, m.P)
+	if err != nil {
+		return 0, nil, err
+	}
+	return spec.Best(vals), spec.Items(vals), nil
+}
+
+// LIS returns the length of the longest increasing subsequence of data and
+// one witness subsequence.
+func (m *Model) LIS(data []int) (int64, []int, error) {
+	if len(data) == 0 {
+		return 0, nil, nil
+	}
+	spec := dp.NewLIS(data)
+	g := dp.BuildGraphParallel(m.rt, spec)
+	vals, err := dp.RunCounter(spec, g, m.P)
+	if err != nil {
+		return 0, nil, err
+	}
+	return spec.Length(vals), spec.Subsequence(vals), nil
+}
+
+// Viterbi returns the cheapest decoding cost and state path of obs under
+// the model.
+func (m *Model) Viterbi(h dp.HMM, obs []int) (int64, []int, error) {
+	spec := dp.NewViterbi(h, obs)
+	g := dp.BuildGraphParallel(m.rt, spec)
+	vals, err := dp.RunCounter(spec, g, m.P)
+	if err != nil {
+		return 0, nil, err
+	}
+	return spec.Best(vals), spec.Path(vals), nil
+}
+
+// LPS returns the longest-palindromic-subsequence length of s via parallel
+// memoization (the interval DP evaluated top-down, §4.5).
+func (m *Model) LPS(s string) int64 {
+	if len(s) == 0 {
+		return 0
+	}
+	spec := dp.NewLPS(s)
+	v, _ := memo.Run(m.rt, spec, spec.Cells()-1)
+	return v
+}
+
+// MatrixChainPlan returns the optimal cost and parenthesization of the
+// chain, computed bottom-up with Algorithm 1.
+func (m *Model) MatrixChainPlan(dims []int) (int64, string, error) {
+	spec := dp.NewMatrixChain(dims)
+	g := dp.BuildGraphParallel(m.rt, spec)
+	vals, err := dp.RunCounter(spec, g, m.P)
+	if err != nil {
+		return 0, "", err
+	}
+	return spec.OptimalCost(vals), spec.Parenthesization(vals), nil
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"lopram/internal/dandc"
+	"lopram/internal/dp"
+	"lopram/internal/workload"
+)
+
+func TestModelPrefixSumsAndReduce(t *testing.T) {
+	r := workload.NewRNG(1)
+	m := New(1 << 16)
+	a := workload.Int64s(r, 1<<16)
+	var want int64
+	for i := range a {
+		a[i] %= 1000
+		want += a[i]
+	}
+	ps := m.PrefixSums(a)
+	if ps[len(ps)-1] != want {
+		t.Fatalf("final prefix %d, want %d", ps[len(ps)-1], want)
+	}
+	if got := m.ReduceSum(a); got != want {
+		t.Fatalf("reduce %d, want %d", got, want)
+	}
+}
+
+func TestModelSelectMedian(t *testing.T) {
+	r := workload.NewRNG(2)
+	m := New(1 << 15)
+	a := workload.Ints(r, 1<<15, 1<<20)
+	sorted := append([]int(nil), a...)
+	sort.Ints(sorted)
+	if got := m.Select(a, 1000); got != sorted[1000] {
+		t.Fatalf("select = %d, want %d", got, sorted[1000])
+	}
+	if got := m.Median(a); got != sorted[(len(a)-1)/2] {
+		t.Fatalf("median = %d, want %d", got, sorted[(len(a)-1)/2])
+	}
+}
+
+func TestModelConvolvePolyMul(t *testing.T) {
+	m := New(1 << 10)
+	a := []int64{1, 2, 3}
+	b := []int64{4, 5}
+	want := []int64{4, 13, 22, 15}
+	for name, got := range map[string][]int64{
+		"convolve":  m.Convolve(a, b),
+		"karatsuba": m.PolyMul(a, b),
+	} {
+		if len(got) != len(want) {
+			t.Fatalf("%s: len %d", name, len(got))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: coef %d = %d, want %d", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestModelStrassen(t *testing.T) {
+	r := workload.NewRNG(3)
+	m := New(128)
+	a := dandc.Mat{N: 96, Data: workload.Floats(r, 96*96)}
+	b := dandc.Mat{N: 96, Data: workload.Floats(r, 96*96)}
+	if !dandc.MatEqual(m.Strassen(a, b), dandc.MatMulSeq(a, b), 1e-7) {
+		t.Fatal("Strassen diverged")
+	}
+}
+
+func TestModelKnapsack(t *testing.T) {
+	m := New(1 << 10)
+	best, items, err := m.Knapsack([]int{5, 4, 6, 3}, []int{10, 40, 30, 50}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 90 {
+		t.Fatalf("best = %d, want 90", best)
+	}
+	var tv int64
+	for _, i := range items {
+		tv += int64([]int{10, 40, 30, 50}[i])
+	}
+	if tv != 90 {
+		t.Fatalf("items sum to %d", tv)
+	}
+}
+
+func TestModelLIS(t *testing.T) {
+	m := New(1 << 10)
+	length, sub, err := m.LIS([]int{10, 9, 2, 5, 3, 7, 101, 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if length != 4 || len(sub) != 4 {
+		t.Fatalf("LIS = %d (%v), want 4", length, sub)
+	}
+	_, empty, err := m.LIS(nil)
+	if err != nil || empty != nil {
+		t.Fatal("empty LIS mishandled")
+	}
+}
+
+func TestModelViterbi(t *testing.T) {
+	h := dp.HMM{
+		States: 2, Symbols: 2,
+		Trans: []int64{1, 3, 3, 1},
+		Emit:  []int64{1, 5, 5, 1},
+		Start: []int64{0, 0},
+	}
+	obs := []int{0, 0, 1, 1}
+	m := New(1 << 8)
+	cost, path, err := m.Viterbi(h, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := dp.Viterbi(h, obs); cost != want {
+		t.Fatalf("cost = %d, want %d", cost, want)
+	}
+	// Cheap decoding: stay in 0 while seeing 0, switch to 1 for the 1s.
+	want := []int{0, 0, 1, 1}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestModelLPS(t *testing.T) {
+	m := New(1 << 8)
+	if got := m.LPS("bbbab"); got != 4 {
+		t.Fatalf("LPS = %d, want 4", got)
+	}
+	if got := m.LPS(""); got != 0 {
+		t.Fatalf("empty LPS = %d", got)
+	}
+}
+
+func TestModelMatrixChainPlan(t *testing.T) {
+	m := New(8)
+	cost, plan, err := m.MatrixChainPlan([]int{30, 35, 15, 5, 10, 20, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 15125 {
+		t.Fatalf("cost = %d", cost)
+	}
+	if plan != "((A1 (A2 A3)) ((A4 A5) A6))" {
+		t.Fatalf("plan = %s", plan)
+	}
+}

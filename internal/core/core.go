@@ -1,0 +1,141 @@
+// Package core is the public facade of the LoPRAM library: it bundles the
+// machine model (a PRAM with p = O(log n) processors, §3), the two execution
+// engines (the deterministic simulator and the goroutine runtime), and
+// ready-made parallelizations of the paper's algorithm families.
+//
+// The quickest way in:
+//
+//	m := core.New(len(data))        // p = Θ(log n) processors
+//	m.Sort(data)                    // §3.1's parallel mergesort
+//
+// For the frameworks, see lopram/internal/dandc (divide and conquer,
+// Theorem 1), lopram/internal/dp (parallel dynamic programming, Algorithm 1)
+// and lopram/internal/memo (parallel memoization).
+package core
+
+import (
+	"math"
+	"math/bits"
+
+	"lopram/internal/dandc"
+	"lopram/internal/dp"
+	"lopram/internal/memo"
+	"lopram/internal/palrt"
+	"lopram/internal/sim"
+	"lopram/internal/workload"
+)
+
+// ProcsFor returns the LoPRAM processor count for input size n: ⌊log₂ n⌋,
+// at least 1. This is the model's defining premise — "the number of
+// processors p available can effectively be assumed to be O(log n)" — with
+// the constant fixed at 1 for concreteness.
+func ProcsFor(n int) int {
+	if n < 2 {
+		return 1
+	}
+	return bits.Len(uint(n)) - 1
+}
+
+// WithinModel reports whether a processor count p respects the LoPRAM
+// premise p = O(log n) for input size n, using the same constant as
+// ProcsFor. Experiment E7 probes what breaks when it is violated.
+func WithinModel(p, n int) bool { return p <= ProcsFor(n) }
+
+// SpawnSaturated reports the boundary condition from the proof of
+// Theorem 1: parallel calls with no sequential component would require
+// b^{log_a p} ≥ n, i.e. p ≥ n^{log_b a}; under p = O(log n) this cannot
+// happen. The experiments use it to locate the regime where the theorem's
+// premise fails.
+func SpawnSaturated(n float64, p int, a, b float64) bool {
+	if p <= 1 {
+		return false
+	}
+	depth := math.Log(float64(p)) / math.Log(a)
+	return math.Pow(b, depth) >= n
+}
+
+// Model is a LoPRAM instance sized for inputs of length N.
+type Model struct {
+	// N is the nominal input size the model was sized for.
+	N int
+	// P is the processor count, Θ(log N) by default.
+	P int
+
+	rt *palrt.RT
+}
+
+// New returns a model with p = ProcsFor(n) processors.
+func New(n int) *Model { return NewWithProcs(n, ProcsFor(n)) }
+
+// NewWithProcs returns a model with an explicit processor count (the
+// multiprogramming scenario of §3.2: "the number of cores made available by
+// the operating system may vary"; algorithms must run correctly for any p).
+func NewWithProcs(n, p int) *Model {
+	if p < 1 {
+		p = 1
+	}
+	return &Model{N: n, P: p, rt: palrt.New(p)}
+}
+
+// Runtime returns the goroutine execution engine.
+func (m *Model) Runtime() *palrt.RT { return m.rt }
+
+// Machine returns a fresh deterministic simulator with the model's
+// processor count.
+func (m *Model) Machine() *sim.Machine {
+	return sim.New(sim.Config{P: m.P})
+}
+
+// TracedMachine returns a simulator that records the full schedule.
+func (m *Model) TracedMachine() *sim.Machine {
+	return sim.New(sim.Config{P: m.P, Trace: true})
+}
+
+// Sort sorts a in place with the parallel mergesort of §3.1.
+func (m *Model) Sort(a []int) { dandc.MergeSort(m.rt, a) }
+
+// QuickSort sorts a in place with parallel quicksort.
+func (m *Model) QuickSort(a []int) { dandc.QuickSort(m.rt, a) }
+
+// EditDistance returns the Levenshtein distance of a and b computed by the
+// parallel DP scheduler (Algorithm 1).
+func (m *Model) EditDistance(a, b string) (int64, error) {
+	spec := dp.NewEditDistance(a, b)
+	g := dp.BuildGraphParallel(m.rt, spec)
+	vals, err := dp.RunCounter(spec, g, m.P)
+	if err != nil {
+		return 0, err
+	}
+	return spec.Distance(vals), nil
+}
+
+// LCS returns the longest-common-subsequence length of a and b via the
+// parallel DP scheduler.
+func (m *Model) LCS(a, b string) (int64, error) {
+	spec := dp.NewLCS(a, b)
+	g := dp.BuildGraphParallel(m.rt, spec)
+	vals, err := dp.RunCounter(spec, g, m.P)
+	if err != nil {
+		return 0, err
+	}
+	return spec.Length(vals), nil
+}
+
+// MatrixChain returns the optimal matrix-chain-multiplication cost via
+// parallel memoization (§4.5).
+func (m *Model) MatrixChain(dims []int) int64 {
+	spec := dp.NewMatrixChain(dims)
+	root := spec.Cells() - 1 // the full interval is the last packed cell
+	v, _ := memo.Run(m.rt, spec, root)
+	return v
+}
+
+// ClosestPair returns the squared distance of the closest pair of points.
+func (m *Model) ClosestPair(pts []workload.Point) float64 {
+	return dandc.ClosestPair(m.rt, pts)
+}
+
+// MaxSubarray returns the maximum contiguous subarray sum of a.
+func (m *Model) MaxSubarray(a []int) int {
+	return dandc.MaxSubarray(m.rt, a)
+}

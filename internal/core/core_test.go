@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+
+	"lopram/internal/dp"
+	"lopram/internal/workload"
+)
+
+func TestProcsFor(t *testing.T) {
+	cases := map[int]int{
+		0: 1, 1: 1, 2: 1, 3: 1, 4: 2, 7: 2, 8: 3,
+		1 << 10: 10, 1 << 20: 20, (1 << 20) + 5: 20,
+	}
+	for n, want := range cases {
+		if got := ProcsFor(n); got != want {
+			t.Errorf("ProcsFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestWithinModel(t *testing.T) {
+	if !WithinModel(10, 1<<10) {
+		t.Error("p=10 should fit n=2^10")
+	}
+	if WithinModel(11, 1<<10) {
+		t.Error("p=11 should violate n=2^10")
+	}
+}
+
+func TestSpawnSaturated(t *testing.T) {
+	// Theorem 1's boundary: parallelism saturates when b^{log_a p} ≥ n.
+	// For a=b=2 that is p ≥ n.
+	if SpawnSaturated(1024, 16, 2, 2) {
+		t.Error("p=16, n=1024 wrongly saturated")
+	}
+	if !SpawnSaturated(8, 16, 2, 2) {
+		t.Error("p=16, n=8 should be saturated")
+	}
+	if SpawnSaturated(100, 1, 2, 2) {
+		t.Error("p=1 can never saturate")
+	}
+}
+
+func TestModelSort(t *testing.T) {
+	r := workload.NewRNG(1)
+	a := workload.Ints(r, 10000, 1<<20)
+	m := New(len(a))
+	if m.P != 13 { // log2(10000) = 13.28…
+		t.Fatalf("P = %d, want 13", m.P)
+	}
+	m.Sort(a)
+	for i := 1; i < len(a); i++ {
+		if a[i-1] > a[i] {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestModelQuickSort(t *testing.T) {
+	r := workload.NewRNG(2)
+	a := workload.Ints(r, 5000, 100)
+	New(len(a)).QuickSort(a)
+	for i := 1; i < len(a); i++ {
+		if a[i-1] > a[i] {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestModelEditDistance(t *testing.T) {
+	m := New(1 << 12)
+	got, err := m.EditDistance("kitten", "sitting")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Fatalf("distance = %d, want 3", got)
+	}
+}
+
+func TestModelLCS(t *testing.T) {
+	m := New(1 << 12)
+	got, err := m.LCS("abcbdab", "bdcaba")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Fatalf("LCS = %d, want 4", got)
+	}
+}
+
+func TestModelMatrixChain(t *testing.T) {
+	dims := []int{30, 35, 15, 5, 10, 20, 25}
+	m := New(len(dims))
+	if got := m.MatrixChain(dims); got != 15125 {
+		t.Fatalf("cost = %d, want 15125", got)
+	}
+}
+
+func TestModelClosestPair(t *testing.T) {
+	r := workload.NewRNG(3)
+	pts := workload.Points(r, 400)
+	m := New(len(pts))
+	want := 1e18
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			dx, dy := pts[i].X-pts[j].X, pts[i].Y-pts[j].Y
+			if d := dx*dx + dy*dy; d < want {
+				want = d
+			}
+		}
+	}
+	if got := m.ClosestPair(pts); got != want {
+		t.Fatalf("closest = %v, want %v", got, want)
+	}
+}
+
+func TestModelMaxSubarray(t *testing.T) {
+	m := New(8)
+	if got := m.MaxSubarray([]int{-2, 1, -3, 4, -1, 2, 1, -5, 4}); got != 6 {
+		t.Fatalf("max subarray = %d, want 6", got)
+	}
+}
+
+func TestNewWithProcsClamp(t *testing.T) {
+	m := NewWithProcs(100, 0)
+	if m.P != 1 {
+		t.Fatalf("P = %d, want 1", m.P)
+	}
+	if m.Runtime().P() != 1 {
+		t.Fatal("runtime P mismatch")
+	}
+}
+
+func TestMachinesUseModelP(t *testing.T) {
+	m := NewWithProcs(1000, 5)
+	if m.Machine().P() != 5 || m.TracedMachine().P() != 5 {
+		t.Fatal("machine processor count mismatch")
+	}
+}
+
+// TestEditDistanceAgainstOracleSweep cross-checks the facade against the
+// plain oracle on random related strings.
+func TestEditDistanceAgainstOracleSweep(t *testing.T) {
+	r := workload.NewRNG(4)
+	m := New(1 << 10)
+	for trial := 0; trial < 5; trial++ {
+		a, b := workload.RelatedStrings(r, 30+r.Intn(30), 5, 8)
+		got, err := m.EditDistance(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := dp.EditDistance(a, b); got != want {
+			t.Fatalf("EditDistance(%q,%q) = %d, want %d", a, b, got, want)
+		}
+	}
+}

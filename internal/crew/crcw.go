@@ -1,0 +1,139 @@
+package crew
+
+// This file implements the CRCW-on-CREW simulation used by §4.5 and §4.6 of
+// the paper: when k processors must concurrently update a single shared
+// value (e.g. the dependency counter of a popular DP cell, or the "in
+// progress" marker of a memoized sub-problem), a CREW machine serializes the
+// updates through a binary combining tree in O(log p) steps per concurrent
+// batch — the "standard techniques for simulating a CRCW with a CREW PRAM"
+// the paper cites from Fich, Ragde and Wigderson.
+
+// CombineFunc merges two contributions; it must be associative so that the
+// combining tree may apply it in any bracketing.
+type CombineFunc func(a, b int64) int64
+
+// Sum is the canonical combine for fetch-and-add style counters.
+func Sum(a, b int64) int64 { return a + b }
+
+// Max combines by maximum (priority-CRCW write resolution).
+func Max(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Min combines by minimum.
+func Min(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SimulateCRCW combines the per-processor contributions into a single value
+// using a binary combining tree and returns the result together with the
+// number of CREW time steps consumed: ceil(log2(k)) rounds for k
+// contributions (0 steps for k <= 1). Each round halves the number of live
+// values; within a round every cell is written by exactly one processor and
+// read by exactly one processor, so the round is CREW-legal in one step.
+func SimulateCRCW(contrib []int64, combine CombineFunc) (result int64, steps int) {
+	k := len(contrib)
+	if k == 0 {
+		return 0, 0
+	}
+	buf := append([]int64(nil), contrib...)
+	for len(buf) > 1 {
+		half := (len(buf) + 1) / 2
+		for i := 0; i < len(buf)/2; i++ {
+			buf[i] = combine(buf[2*i], buf[2*i+1])
+		}
+		if len(buf)%2 == 1 {
+			buf[half-1] = buf[len(buf)-1]
+		}
+		buf = buf[:half]
+		steps++
+	}
+	return buf[0], steps
+}
+
+// SimulateBroadcast models the inverse fan-out: one value propagated to k
+// processors on a CREW machine. Because CREW allows concurrent reads, a
+// broadcast costs a single step for any k >= 1; the function exists so that
+// experiment code can account for it explicitly and so the asymmetry with
+// CRCW writes is visible in the tables.
+func SimulateBroadcast(k int) (steps int) {
+	if k <= 0 {
+		return 0
+	}
+	return 1
+}
+
+// CombiningTree is an audited combining tree living inside a simulator
+// Memory. It occupies 2*width-1 consecutive words starting at base (heap
+// layout, root at base). Processors deposit contributions at the leaves and
+// a log-depth sweep combines them to the root, ticking the memory clock once
+// per level so the CREW auditor sees each level as one time step.
+type CombiningTree struct {
+	mem     *Memory
+	base    int
+	width   int // number of leaf slots; power of two
+	combine CombineFunc
+}
+
+// NewCombiningTree allocates a combining tree with at least the requested
+// number of leaves (rounded up to a power of two) inside mem at base.
+// It returns the tree and the first free address after it.
+func NewCombiningTree(mem *Memory, base, leaves int, combine CombineFunc) (*CombiningTree, int) {
+	width := 1
+	for width < leaves {
+		width *= 2
+	}
+	t := &CombiningTree{mem: mem, base: base, width: width, combine: combine}
+	return t, base + 2*width - 1
+}
+
+// Words returns the number of memory words the tree occupies.
+func (t *CombiningTree) Words() int { return 2*t.width - 1 }
+
+// leafAddr returns the address of leaf i.
+func (t *CombiningTree) leafAddr(i int) int { return t.base + t.width - 1 + i }
+
+// Deposit writes processor proc's contribution into leaf slot i. Distinct
+// processors must use distinct slots; that is what makes the concurrent
+// deposit CREW-legal in one step.
+func (t *CombiningTree) Deposit(proc, i int, v int64) {
+	t.mem.Write(proc, t.leafAddr(i), v)
+}
+
+// Combine sweeps the tree bottom-up, consuming ceil(log2(width)) memory
+// epochs, and returns the combined value now stored at the root. The sweep
+// is performed on behalf of the processors proc0..proc0+width/2-1 in the
+// first level and narrower sets above, mirroring how a real CREW machine
+// would schedule it.
+func (t *CombiningTree) Combine(proc0 int) (int64, int) {
+	steps := 0
+	for level := t.width; level > 1; level /= 2 {
+		t.mem.Tick()
+		steps++
+		// Nodes at this level start at index level-1 (heap order) and
+		// there are `level` of them; pairs combine into their parents.
+		firstChild := t.base + level - 1
+		firstParent := t.base + level/2 - 1
+		for i := 0; i < level/2; i++ {
+			proc := proc0 + i
+			a := t.mem.Read(proc, firstChild+2*i)
+			b := t.mem.Read(proc, firstChild+2*i+1)
+			t.mem.Write(proc, firstParent+i, t.combine(a, b))
+		}
+	}
+	t.mem.Tick()
+	return t.mem.Read(proc0, t.base), steps
+}
+
+// Reset zeroes all slots without auditing (test/setup helper).
+func (t *CombiningTree) Reset() {
+	for i := 0; i < t.Words(); i++ {
+		t.mem.Poke(t.base+i, 0)
+	}
+}

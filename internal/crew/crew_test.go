@@ -1,0 +1,257 @@
+package crew
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestConcurrentReadsAllowed(t *testing.T) {
+	m := NewMemory(4, Record)
+	m.Poke(0, 7)
+	// Many processors read the same cell in one step: legal under CREW.
+	for proc := 0; proc < 8; proc++ {
+		if got := m.Read(proc, 0); got != 7 {
+			t.Fatalf("read = %d", got)
+		}
+	}
+	if len(m.Violations()) != 0 {
+		t.Fatalf("violations = %v", m.Violations())
+	}
+}
+
+func TestWriteWriteViolation(t *testing.T) {
+	m := NewMemory(4, Record)
+	m.Write(0, 1, 10)
+	m.Write(1, 1, 20) // same cell, same epoch, different processor
+	vs := m.Violations()
+	if len(vs) != 1 || !vs[0].WriteWrite {
+		t.Fatalf("violations = %v", vs)
+	}
+	if vs[0].Addr != 1 {
+		t.Fatalf("addr = %d", vs[0].Addr)
+	}
+}
+
+func TestReadWriteViolation(t *testing.T) {
+	m := NewMemory(4, Record)
+	m.Read(0, 2)
+	m.Write(1, 2, 5) // write racing an earlier read in the same step
+	vs := m.Violations()
+	if len(vs) != 1 || vs[0].WriteWrite {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestWriteThenReadSameStepViolation(t *testing.T) {
+	m := NewMemory(4, Record)
+	m.Write(0, 3, 1)
+	m.Read(1, 3)
+	if len(m.Violations()) != 1 {
+		t.Fatalf("violations = %v", m.Violations())
+	}
+}
+
+func TestTickSeparatesEpochs(t *testing.T) {
+	m := NewMemory(4, Record)
+	m.Write(0, 1, 10)
+	m.Tick()
+	m.Write(1, 1, 20) // next step: no conflict
+	if len(m.Violations()) != 0 {
+		t.Fatalf("violations = %v", m.Violations())
+	}
+	if m.Peek(1) != 20 {
+		t.Fatalf("value = %d", m.Peek(1))
+	}
+}
+
+func TestSameProcessorRewrite(t *testing.T) {
+	// A processor may read and rewrite its own cell within a step.
+	m := NewMemory(2, Record)
+	m.Write(0, 0, 1)
+	m.Read(0, 0)
+	m.Write(0, 0, 2)
+	if len(m.Violations()) != 0 {
+		t.Fatalf("violations = %v", m.Violations())
+	}
+}
+
+func TestAbortPolicyPanics(t *testing.T) {
+	// The paper: unserialized concurrent writes have undefined behaviour
+	// "including suspension of execution" — the Abort policy.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic under Abort policy")
+		}
+		if !strings.Contains(r.(string), "write-write") {
+			t.Fatalf("panic = %v", r)
+		}
+	}()
+	m := NewMemory(4, Abort)
+	m.Write(0, 1, 10)
+	m.Write(1, 1, 20)
+}
+
+func TestAccessCounters(t *testing.T) {
+	m := NewMemory(4, Record)
+	m.Write(0, 0, 1)
+	m.Tick()
+	m.Read(0, 0)
+	m.Read(0, 0)
+	r, w := m.Accesses()
+	if r != 2 || w != 1 {
+		t.Fatalf("accesses = %d reads, %d writes", r, w)
+	}
+}
+
+func TestSimulateCRCWSum(t *testing.T) {
+	contrib := []int64{1, 2, 3, 4, 5}
+	got, steps := SimulateCRCW(contrib, Sum)
+	if got != 15 {
+		t.Fatalf("sum = %d", got)
+	}
+	if steps != 3 { // ceil(log2 5)
+		t.Fatalf("steps = %d, want 3", steps)
+	}
+}
+
+func TestSimulateCRCWLogSteps(t *testing.T) {
+	// steps == ceil(log2 k): the §4.6 slowdown factor.
+	for k, want := range map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4, 17: 5} {
+		contrib := make([]int64, k)
+		_, steps := SimulateCRCW(contrib, Sum)
+		if steps != want {
+			t.Errorf("k=%d: steps = %d, want %d", k, steps, want)
+		}
+	}
+}
+
+func TestSimulateCRCWCombiners(t *testing.T) {
+	contrib := []int64{5, -3, 9, 2}
+	if v, _ := SimulateCRCW(contrib, Max); v != 9 {
+		t.Fatalf("max = %d", v)
+	}
+	if v, _ := SimulateCRCW(contrib, Min); v != -3 {
+		t.Fatalf("min = %d", v)
+	}
+	if v, steps := SimulateCRCW(nil, Sum); v != 0 || steps != 0 {
+		t.Fatalf("empty = %d, %d", v, steps)
+	}
+}
+
+func TestSimulateCRCWSumProperty(t *testing.T) {
+	err := quick.Check(func(vals []int64) bool {
+		// Bound magnitudes to avoid overflow noise.
+		var want int64
+		for i := range vals {
+			vals[i] %= 1 << 40
+			want += vals[i]
+		}
+		got, _ := SimulateCRCW(vals, Sum)
+		return got == want
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateBroadcast(t *testing.T) {
+	if s := SimulateBroadcast(100); s != 1 {
+		t.Fatalf("broadcast steps = %d, want 1 (CREW allows concurrent reads)", s)
+	}
+	if s := SimulateBroadcast(0); s != 0 {
+		t.Fatalf("empty broadcast steps = %d", s)
+	}
+}
+
+func TestCombiningTreeAudited(t *testing.T) {
+	m := NewMemory(64, Abort) // Abort: any CREW violation in the sweep panics
+	tree, next := NewCombiningTree(m, 0, 8, Sum)
+	if next != 15 {
+		t.Fatalf("next addr = %d, want 15", next)
+	}
+	m.Tick()
+	for proc := 0; proc < 8; proc++ {
+		tree.Deposit(proc, proc, int64(proc+1))
+	}
+	got, steps := tree.Combine(0)
+	if got != 36 {
+		t.Fatalf("combined = %d, want 36", got)
+	}
+	if steps != 3 {
+		t.Fatalf("steps = %d, want 3", steps)
+	}
+}
+
+func TestCombiningTreeRoundsUpWidth(t *testing.T) {
+	m := NewMemory(64, Record)
+	tree, _ := NewCombiningTree(m, 0, 5, Sum)
+	if tree.Words() != 15 { // rounded to 8 leaves
+		t.Fatalf("words = %d, want 15", tree.Words())
+	}
+	m.Tick()
+	for proc := 0; proc < 5; proc++ {
+		tree.Deposit(proc, proc, 2)
+	}
+	got, _ := tree.Combine(0)
+	if got != 10 {
+		t.Fatalf("combined = %d, want 10", got)
+	}
+	if len(m.Violations()) != 0 {
+		t.Fatalf("violations = %v", m.Violations())
+	}
+}
+
+func TestSerialized(t *testing.T) {
+	var s Serialized[int]
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Update(func(v int) int { return v + 1 })
+		}()
+	}
+	wg.Wait()
+	if got := s.Load(); got != 100 {
+		t.Fatalf("value = %d, want 100", got)
+	}
+	s.Store(7)
+	if got := s.Load(); got != 7 {
+		t.Fatalf("value = %d, want 7", got)
+	}
+}
+
+func TestSemaphore(t *testing.T) {
+	s := NewSemaphore(2)
+	s.Acquire()
+	if !s.TryAcquire() {
+		t.Fatal("second permit unavailable")
+	}
+	if s.TryAcquire() {
+		t.Fatal("third permit granted")
+	}
+	s.Release()
+	if !s.TryAcquire() {
+		t.Fatal("released permit unavailable")
+	}
+}
+
+func TestSemaphoreBlocksAndWakes(t *testing.T) {
+	s := NewSemaphore(1)
+	s.Acquire()
+	done := make(chan struct{})
+	go func() {
+		s.Acquire()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Acquire did not block")
+	default:
+	}
+	s.Release()
+	<-done
+}

@@ -1,0 +1,209 @@
+// Package crew models the LoPRAM memory system of §3 of the paper: a
+// Concurrent-Read Exclusive-Write shared memory in which semaphores and
+// automatic serialization on shared variables are available transparently,
+// and an unserialized concurrent write has undefined behaviour ("including
+// suspension of execution").
+//
+// The package provides three layers:
+//
+//   - Memory: an audited word-addressed store for the discrete-time
+//     simulator. Every access carries a processor id and the simulator's
+//     clock epoch; the auditor detects CREW violations (two writes, or a
+//     read and a write, to the same cell in the same step) and can be asked
+//     to either record them or abort, matching the paper's undefined-
+//     behaviour clause.
+//   - Serialized: a transparently serialized variable for the goroutine
+//     runtime — the "semaphores and automatic serialization" of §3.
+//   - CombiningTree / SimulateCRCW*: the standard CRCW-on-CREW simulation
+//     with O(log p) slowdown cited in §4.5/§4.6 (Fich–Ragde–Wigderson), used
+//     when many processors must update one counter concurrently.
+package crew
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Violation records a CREW access conflict: two processors touched the same
+// cell in the same step and at least one access was a write.
+type Violation struct {
+	Epoch      int64
+	Addr       int
+	ProcA      int // earlier accessor in program order this step
+	ProcB      int // conflicting accessor
+	WriteWrite bool
+}
+
+func (v Violation) String() string {
+	kind := "read-write"
+	if v.WriteWrite {
+		kind = "write-write"
+	}
+	return fmt.Sprintf("crew: %s conflict at addr %d, epoch %d (procs %d, %d)",
+		kind, v.Addr, v.Epoch, v.ProcA, v.ProcB)
+}
+
+// Policy selects what Memory does when it observes a CREW violation.
+type Policy int
+
+const (
+	// Record logs the violation and continues; tests inspect the log.
+	Record Policy = iota
+	// Abort panics on the first violation — the paper's "suspension of
+	// execution" semantics.
+	Abort
+)
+
+// Memory is a CREW-audited word store for the simulator. It is not itself
+// safe for concurrent use by multiple goroutines: the simulator is
+// single-threaded and interleaves processor accesses deterministically, so
+// auditing is done with plain fields. (The goroutine runtime uses Serialized
+// and the race detector instead.)
+type Memory struct {
+	vals      []int64
+	lastRead  []int64 // epoch of the most recent read of each cell, or -1
+	readProc  []int32
+	lastWrite []int64 // epoch of the most recent write, or -1
+	writeProc []int32
+
+	epoch      int64
+	policy     Policy
+	violations []Violation
+
+	reads, writes int64 // access counters for the experiment tables
+}
+
+// NewMemory returns a zeroed memory of size words operating under the given
+// violation policy.
+func NewMemory(size int, policy Policy) *Memory {
+	m := &Memory{
+		vals:      make([]int64, size),
+		lastRead:  make([]int64, size),
+		readProc:  make([]int32, size),
+		lastWrite: make([]int64, size),
+		writeProc: make([]int32, size),
+		policy:    policy,
+	}
+	for i := range m.lastRead {
+		m.lastRead[i] = -1
+		m.lastWrite[i] = -1
+	}
+	return m
+}
+
+// Size returns the number of words.
+func (m *Memory) Size() int { return len(m.vals) }
+
+// Tick advances the memory to the next time step. The simulator calls this
+// once per machine step; accesses in different epochs never conflict.
+func (m *Memory) Tick() { m.epoch++ }
+
+// Epoch returns the current step number.
+func (m *Memory) Epoch() int64 { return m.epoch }
+
+// Read returns the value at addr, auditing the access for processor proc.
+func (m *Memory) Read(proc, addr int) int64 {
+	m.reads++
+	if m.lastWrite[addr] == m.epoch && int(m.writeProc[addr]) != proc {
+		m.violate(Violation{Epoch: m.epoch, Addr: addr,
+			ProcA: int(m.writeProc[addr]), ProcB: proc})
+	}
+	m.lastRead[addr] = m.epoch
+	m.readProc[addr] = int32(proc)
+	return m.vals[addr]
+}
+
+// Write stores v at addr, auditing the access for processor proc.
+func (m *Memory) Write(proc, addr int, v int64) {
+	m.writes++
+	if m.lastWrite[addr] == m.epoch && int(m.writeProc[addr]) != proc {
+		m.violate(Violation{Epoch: m.epoch, Addr: addr,
+			ProcA: int(m.writeProc[addr]), ProcB: proc, WriteWrite: true})
+	}
+	if m.lastRead[addr] == m.epoch && int(m.readProc[addr]) != proc {
+		m.violate(Violation{Epoch: m.epoch, Addr: addr,
+			ProcA: int(m.readProc[addr]), ProcB: proc})
+	}
+	m.lastWrite[addr] = m.epoch
+	m.writeProc[addr] = int32(proc)
+	m.vals[addr] = v
+}
+
+// Peek returns the value at addr without auditing; for test assertions only.
+func (m *Memory) Peek(addr int) int64 { return m.vals[addr] }
+
+// Poke sets the value at addr without auditing; for test setup only.
+func (m *Memory) Poke(addr int, v int64) { m.vals[addr] = v }
+
+// Violations returns the violations recorded so far (Record policy).
+func (m *Memory) Violations() []Violation { return m.violations }
+
+// Accesses returns the cumulative read and write counts.
+func (m *Memory) Accesses() (reads, writes int64) { return m.reads, m.writes }
+
+func (m *Memory) violate(v Violation) {
+	if m.policy == Abort {
+		panic(v.String())
+	}
+	m.violations = append(m.violations, v)
+}
+
+// Serialized is a transparently serialized shared variable for the goroutine
+// runtime: the runtime analogue of the paper's hardware/software serialization
+// on shared variables. The zero value holds the zero value of T.
+type Serialized[T any] struct {
+	mu  sync.Mutex
+	val T
+}
+
+// Load returns the current value.
+func (s *Serialized[T]) Load() T {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.val
+}
+
+// Store replaces the value.
+func (s *Serialized[T]) Store(v T) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.val = v
+}
+
+// Update applies f to the value atomically and returns the new value.
+func (s *Serialized[T]) Update(f func(T) T) T {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.val = f(s.val)
+	return s.val
+}
+
+// Semaphore is a counting semaphore, one of the primitives §3 guarantees.
+type Semaphore struct {
+	slots chan struct{}
+}
+
+// NewSemaphore returns a semaphore with the given number of permits.
+func NewSemaphore(permits int) *Semaphore {
+	s := &Semaphore{slots: make(chan struct{}, permits)}
+	for i := 0; i < permits; i++ {
+		s.slots <- struct{}{}
+	}
+	return s
+}
+
+// Acquire takes a permit, blocking until one is available.
+func (s *Semaphore) Acquire() { <-s.slots }
+
+// TryAcquire takes a permit if one is immediately available.
+func (s *Semaphore) TryAcquire() bool {
+	select {
+	case <-s.slots:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a permit.
+func (s *Semaphore) Release() { s.slots <- struct{}{} }

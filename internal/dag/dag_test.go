@@ -1,0 +1,301 @@
+package dag
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lopram/internal/workload"
+)
+
+func TestTopoSortRespectsEdges(t *testing.T) {
+	r := workload.NewRNG(1)
+	for trial := 0; trial < 20; trial++ {
+		g := RandomDAG(r, 60, 0.1)
+		order, err := g.TopoSort()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos := make([]int, g.N())
+		for i, v := range order {
+			pos[v] = i
+		}
+		for u := 0; u < g.N(); u++ {
+			for _, v := range g.Succ(u) {
+				if pos[u] >= pos[int(v)] {
+					t.Fatalf("trial %d: edge %d→%d violated", trial, u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestTopoSortDetectsCycle(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	if _, err := g.TopoSort(); err != ErrCycle {
+		t.Fatalf("err = %v, want ErrCycle", err)
+	}
+	if _, err := g.Levels(); err != ErrCycle {
+		t.Fatalf("Levels err = %v, want ErrCycle", err)
+	}
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddEdge(1,1) did not panic")
+		}
+	}()
+	New(2).AddEdge(1, 1)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddEdge out of range did not panic")
+		}
+	}()
+	New(2).AddEdge(0, 5)
+}
+
+// TestMirskyPartition verifies the three defining properties of the
+// antichain partition on random DAGs: it partitions the vertex set, layers
+// are antichains, and the number of layers equals the longest chain
+// (Mirsky's theorem — the dual of Dilworth cited in §4.3 of the paper).
+func TestMirskyPartition(t *testing.T) {
+	r := workload.NewRNG(2)
+	for trial := 0; trial < 10; trial++ {
+		g := RandomDAG(r, 40, 0.15)
+		layers, err := g.Antichains()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make([]bool, g.N())
+		for _, layer := range layers {
+			for _, v := range layer {
+				if seen[v] {
+					t.Fatalf("vertex %d in two layers", v)
+				}
+				seen[v] = true
+			}
+		}
+		for v, ok := range seen {
+			if !ok {
+				t.Fatalf("vertex %d missing from partition", v)
+			}
+		}
+		// Antichain property: no two vertices in a layer comparable.
+		for li, layer := range layers {
+			for i := 0; i < len(layer); i++ {
+				for j := i + 1; j < len(layer); j++ {
+					if g.Comparable(layer[i], layer[j]) || g.Comparable(layer[j], layer[i]) {
+						t.Fatalf("layer %d: %d and %d comparable", li, layer[i], layer[j])
+					}
+				}
+			}
+		}
+		lc, err := g.LongestChain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lc != len(layers) {
+			t.Fatalf("longest chain %d != layer count %d (Mirsky violated)", lc, len(layers))
+		}
+	}
+}
+
+func TestLayeredGroundTruth(t *testing.T) {
+	r := workload.NewRNG(3)
+	widths := []int{3, 5, 2, 7, 1}
+	g := RandomLayered(r, widths, 3)
+	layers, err := g.Antichains()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(layers) != len(widths) {
+		t.Fatalf("layers = %d, want %d", len(layers), len(widths))
+	}
+	for i, w := range widths {
+		if len(layers[i]) != w {
+			t.Fatalf("layer %d width = %d, want %d", i, len(layers[i]), w)
+		}
+	}
+}
+
+func TestChainProfile(t *testing.T) {
+	g := Chain(10)
+	pr, err := g.ParallelismProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.CriticalPath != 10 {
+		t.Fatalf("critical path = %d, want 10", pr.CriticalPath)
+	}
+	if pr.MaxWidth != 1 {
+		t.Fatalf("max width = %d, want 1", pr.MaxWidth)
+	}
+	// §4.3: a path admits no speedup — ideal time equals work for any p.
+	for _, p := range []int{1, 2, 8} {
+		if got := pr.IdealTime(p); got != 10 {
+			t.Fatalf("IdealTime(%d) = %d, want 10", p, got)
+		}
+	}
+	if s := pr.IdealSpeedup(4); s != 1 {
+		t.Fatalf("IdealSpeedup(4) = %v, want 1", s)
+	}
+}
+
+func TestDiagonal2DAntichains(t *testing.T) {
+	g := Diagonal2D(4, 6)
+	pr, err := g.ParallelismProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Anti-diagonals: rows+cols-1 layers, max width min(rows, cols).
+	if pr.CriticalPath != 4+6-1 {
+		t.Fatalf("critical path = %d, want 9", pr.CriticalPath)
+	}
+	if pr.MaxWidth != 4 {
+		t.Fatalf("max width = %d, want 4", pr.MaxWidth)
+	}
+	if pr.Vertices != 24 {
+		t.Fatalf("vertices = %d, want 24", pr.Vertices)
+	}
+}
+
+func TestCompleteBinaryTreeChain(t *testing.T) {
+	g := CompleteBinaryTree(4)
+	lc, err := g.LongestChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc != 5 {
+		t.Fatalf("longest chain = %d, want 5", lc)
+	}
+	// Exactly one sink: the root.
+	sinks := 0
+	for v := 0; v < g.N(); v++ {
+		if len(g.Succ(v)) == 0 {
+			sinks++
+		}
+	}
+	if sinks != 1 {
+		t.Fatalf("sinks = %d, want 1", sinks)
+	}
+}
+
+func TestReverseInvolution(t *testing.T) {
+	r := workload.NewRNG(4)
+	g := RandomDAG(r, 30, 0.2)
+	rr := g.Reverse().Reverse()
+	if rr.N() != g.N() || rr.Edges() != g.Edges() {
+		t.Fatal("double reverse changed size")
+	}
+	// Same adjacency as multisets.
+	for u := 0; u < g.N(); u++ {
+		a := append([]int32(nil), g.Succ(u)...)
+		b := append([]int32(nil), rr.Succ(u)...)
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d: degree changed", u)
+		}
+		count := map[int32]int{}
+		for _, v := range a {
+			count[v]++
+		}
+		for _, v := range b {
+			count[v]--
+		}
+		for _, c := range count {
+			if c != 0 {
+				t.Fatalf("vertex %d: adjacency changed", u)
+			}
+		}
+	}
+}
+
+func TestReverseFlipsComparability(t *testing.T) {
+	r := workload.NewRNG(5)
+	g := RandomDAG(r, 20, 0.2)
+	rev := g.Reverse()
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			if u == v {
+				continue
+			}
+			if g.Comparable(u, v) != rev.Comparable(v, u) {
+				t.Fatalf("reachability not flipped for (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestSourcesMatchInDegrees(t *testing.T) {
+	r := workload.NewRNG(6)
+	err := quick.Check(func(seed uint16) bool {
+		rr := workload.NewRNG(uint64(seed))
+		g := RandomDAG(rr, 25, 0.1)
+		srcSet := map[int]bool{}
+		for _, s := range g.Sources() {
+			srcSet[s] = true
+		}
+		for v := 0; v < g.N(); v++ {
+			if (g.InDegree(v) == 0) != srcSet[v] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+}
+
+func TestIdealTimeCeiling(t *testing.T) {
+	pr := Profile{Vertices: 10, CriticalPath: 2, Widths: []int{7, 3}}
+	if got := pr.IdealTime(4); got != 2+1 {
+		t.Fatalf("IdealTime(4) = %d, want 3", got)
+	}
+	if got := pr.IdealTime(1); got != 10 {
+		t.Fatalf("IdealTime(1) = %d, want 10", got)
+	}
+}
+
+func TestInDegreesCopy(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 2)
+	d := g.InDegrees()
+	d[2] = 99
+	if g.InDegree(2) != 1 {
+		t.Fatal("InDegrees did not return a copy")
+	}
+}
+
+func TestDuplicateEdgesCounted(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1)
+	if g.InDegree(1) != 2 {
+		t.Fatalf("in-degree = %d, want 2 (duplicates counted)", g.InDegree(1))
+	}
+	if g.Edges() != 2 {
+		t.Fatalf("edges = %d, want 2", g.Edges())
+	}
+	// Still topologically sortable.
+	if _, err := g.TopoSort(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := New(0)
+	if lc, err := g.LongestChain(); err != nil || lc != 0 {
+		t.Fatalf("LongestChain = %d, %v", lc, err)
+	}
+	order, err := g.TopoSort()
+	if err != nil || len(order) != 0 {
+		t.Fatalf("TopoSort = %v, %v", order, err)
+	}
+}

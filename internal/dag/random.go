@@ -1,0 +1,108 @@
+package dag
+
+import "lopram/internal/workload"
+
+// RandomLayered returns a DAG with the given layer widths where every vertex
+// in layer i+1 depends on between 1 and maxDeps vertices of layer i. Layered
+// DAGs model DP tables with clean antichain structure and are used by the
+// property tests to validate the Mirsky partition against a known ground
+// truth.
+func RandomLayered(r *workload.RNG, widths []int, maxDeps int) *Graph {
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	g := New(total)
+	start := make([]int, len(widths)+1)
+	for i, w := range widths {
+		start[i+1] = start[i] + w
+	}
+	for i := 1; i < len(widths); i++ {
+		for v := start[i]; v < start[i+1]; v++ {
+			prevW := widths[i-1]
+			deps := 1
+			if maxDeps > 1 {
+				deps = 1 + r.Intn(maxDeps)
+			}
+			if deps > prevW {
+				deps = prevW
+			}
+			seen := make(map[int]bool, deps)
+			for len(seen) < deps {
+				u := start[i-1] + r.Intn(prevW)
+				if !seen[u] {
+					seen[u] = true
+					g.AddEdge(u, v)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// RandomDAG returns a DAG on n vertices where each ordered pair (u, v) with
+// u < v carries an edge with probability prob. Edges always point from lower
+// to higher id, guaranteeing acyclicity.
+func RandomDAG(r *workload.RNG, n int, prob float64) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < prob {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// Chain returns the path DAG 0→1→…→n-1, the degenerate one-dimensional DP of
+// §4.3 for which no speedup is possible (the whole poset is a single chain).
+func Chain(n int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v-1, v)
+	}
+	return g
+}
+
+// Diagonal2D returns the dependency DAG of a standard 2-D table DP such as
+// edit distance: cell (i,j) depends on (i-1,j), (i,j-1) and (i-1,j-1).
+// Vertices are numbered i*cols+j. Its antichains are the anti-diagonals,
+// giving longest chain rows+cols-1.
+func Diagonal2D(rows, cols int) *Graph {
+	g := New(rows * cols)
+	id := func(i, j int) int { return i*cols + j }
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if i > 0 {
+				g.AddEdge(id(i-1, j), id(i, j))
+			}
+			if j > 0 {
+				g.AddEdge(id(i, j-1), id(i, j))
+			}
+			if i > 0 && j > 0 {
+				g.AddEdge(id(i-1, j-1), id(i, j))
+			}
+		}
+	}
+	return g
+}
+
+// CompleteBinaryTree returns the in-tree of a complete binary recursion of
+// the given height: leaves feed parents, parents feed grandparents, with the
+// root as the unique sink. It models the merge phase of a divide-and-conquer
+// computation. Height 0 is a single vertex.
+func CompleteBinaryTree(height int) *Graph {
+	n := (1 << (height + 1)) - 1
+	g := New(n)
+	// Heap numbering: node k has children 2k+1, 2k+2; edges point child→parent.
+	for k := 0; k < n; k++ {
+		if 2*k+1 < n {
+			g.AddEdge(2*k+1, k)
+		}
+		if 2*k+2 < n {
+			g.AddEdge(2*k+2, k)
+		}
+	}
+	return g
+}

@@ -1,0 +1,140 @@
+package dandc
+
+import (
+	"math"
+	"sort"
+
+	"lopram/internal/palrt"
+	"lopram/internal/workload"
+)
+
+// Closest pair of points: the classical O(n log n) divide and conquer with
+// T(n) = 2T(n/2) + Θ(n) (Case 2 like mergesort). The recursion on the two
+// halves runs as a palthreads block; the strip check is the merge.
+
+// ClosestPairSeq returns the minimum squared distance between any two of the
+// given points (at least two required) using the sequential algorithm.
+func ClosestPairSeq(pts []workload.Point) float64 {
+	px := preparePoints(pts)
+	py := append([]workload.Point(nil), px...)
+	sortByY(py)
+	return cpRec(nil, px, py, 0)
+}
+
+// ClosestPair is the parallel version on rt.
+func ClosestPair(rt *palrt.RT, pts []workload.Point) float64 {
+	px := preparePoints(pts)
+	py := append([]workload.Point(nil), px...)
+	sortByY(py)
+	return cpRec(rt, px, py, cpThreshold)
+}
+
+const cpThreshold = 1 << 10
+
+// sortByY orders points by increasing y coordinate.
+func sortByY(pts []workload.Point) {
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Y < pts[j].Y })
+}
+
+func preparePoints(pts []workload.Point) []workload.Point {
+	if len(pts) < 2 {
+		panic("dandc: closest pair needs at least two points")
+	}
+	px := append([]workload.Point(nil), pts...)
+	sort.Slice(px, func(i, j int) bool {
+		if px[i].X != px[j].X {
+			return px[i].X < px[j].X
+		}
+		return px[i].Y < px[j].Y
+	})
+	return px
+}
+
+// cpRec computes the closest pair of px (sorted by x) using py (the same
+// points sorted by y). grain <= 0 or len <= grain forces sequential descent.
+func cpRec(rt *palrt.RT, px, py []workload.Point, grain int) float64 {
+	n := len(px)
+	if n <= 3 {
+		best := math.Inf(1)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if d := distSq(px[i], px[j]); d < best {
+					best = d
+				}
+			}
+		}
+		return best
+	}
+	mid := n / 2
+	midX := px[mid].X
+	left, right := px[:mid], px[mid:]
+
+	// Split py into the y-sorted subsequences of each half. Points with
+	// x == midX are routed by comparing against the exact boundary
+	// element to keep the split consistent with px's tie-breaking.
+	ly := make([]workload.Point, 0, mid)
+	ry := make([]workload.Point, 0, n-mid)
+	for _, p := range py {
+		if lessXY(p, px[mid]) {
+			ly = append(ly, p)
+		} else {
+			ry = append(ry, p)
+		}
+	}
+
+	var dl, dr float64
+	if rt != nil && n > grain {
+		rt.Do(
+			func() { dl = cpRec(rt, left, ly, grain) },
+			func() { dr = cpRec(rt, right, ry, grain) },
+		)
+	} else {
+		dl = cpRec(nil, left, ly, 0)
+		dr = cpRec(nil, right, ry, 0)
+	}
+	d := math.Min(dl, dr)
+
+	// Strip check: points within sqrt(d) of the dividing line, in y
+	// order; each needs comparing against at most 7 successors.
+	dd := math.Sqrt(d)
+	strip := make([]workload.Point, 0, 32)
+	for _, p := range py {
+		if p.X >= midX-dd && p.X <= midX+dd {
+			strip = append(strip, p)
+		}
+	}
+	for i := range strip {
+		for j := i + 1; j < len(strip) && strip[j].Y-strip[i].Y < dd; j++ {
+			if ds := distSq(strip[i], strip[j]); ds < d {
+				d = ds
+				dd = math.Sqrt(d)
+			}
+		}
+	}
+	return d
+}
+
+func lessXY(a, b workload.Point) bool {
+	if a.X != b.X {
+		return a.X < b.X
+	}
+	return a.Y < b.Y
+}
+
+func distSq(a, b workload.Point) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return dx*dx + dy*dy
+}
+
+// BruteForceClosest is the O(n²) oracle used by the tests.
+func BruteForceClosest(pts []workload.Point) float64 {
+	best := math.Inf(1)
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			if d := distSq(pts[i], pts[j]); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}

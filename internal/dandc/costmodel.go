@@ -1,0 +1,162 @@
+// Package dandc implements the divide-and-conquer side of the paper (§4.1):
+// abstract cost-model programs for the simulator that realize any Master
+// recurrence T(n) = a·T(n/b) + f(n) as a pal-thread computation (used by the
+// Theorem 1 experiments), and real parallel algorithms on the goroutine
+// runtime (mergesort, quicksort, Karatsuba, Strassen, closest pair, maximum
+// subarray) whose recursive structure is the straightforward parallelization
+// the paper advocates.
+package dandc
+
+import (
+	"lopram/internal/master"
+	"lopram/internal/sim"
+)
+
+// MergeMode selects how a cost-model node accounts its merge phase.
+type MergeMode int
+
+const (
+	// SeqMerge charges the merge as one sequential Work segment on the
+	// node's processor: the Theorem 1 setting.
+	SeqMerge MergeMode = iota
+	// ParMerge splits the merge into chunks executed as a nested
+	// palthreads block, modelling a merge that parallelizes with optimal
+	// speedup: the Equation (5) setting.
+	ParMerge
+)
+
+// CostModel turns an integer recurrence into a simulator program. The
+// program is the "straightforward parallelization" of §4.1: each recursive
+// call becomes a pal-thread; nothing in the program inspects the number of
+// processors to decide whether to spawn.
+type CostModel struct {
+	Rec master.IntRec
+	// Mode selects sequential or parallel merging.
+	Mode MergeMode
+	// SpawnDepth truncates thread creation below the given recursion
+	// depth, accounting the remaining subtree as one sequential Work
+	// segment (its exact Seq time). A negative value spawns every call,
+	// as the paper's mergesort example does. Truncation at or below the
+	// spawn frontier of Figure 2 does not change the schedule — the
+	// truncated subtrees would have run sequentially on one processor
+	// anyway — and keeps the simulation affordable for large n;
+	// TestTruncationInvariance verifies the equivalence.
+	SpawnDepth int
+	// MergeChunks is the number of chunks a ParMerge node at depth d
+	// splits into: max(1, MergeChunks/a^d), i.e. the processor share of
+	// the node's subtree when MergeChunks = p. Ignored for SeqMerge.
+	MergeChunks int
+}
+
+// Program returns the simulator program computing the recurrence at size n.
+func (c CostModel) Program(n int64) sim.Func {
+	seqMemo := make(map[int64]int64)
+	return c.node(n, 0, 1, seqMemo)
+}
+
+func (c CostModel) node(n int64, depth int, aPowDepth int64, seqMemo map[int64]int64) sim.Func {
+	return func(tc *sim.TC) {
+		r := c.Rec
+		if n <= r.Cutoff {
+			tc.Work(r.Base(n))
+			return
+		}
+		if c.SpawnDepth >= 0 && depth >= c.SpawnDepth {
+			tc.Work(seqTimeMemo(r, n, seqMemo))
+			return
+		}
+		tc.Work(r.Divide(n))
+		kids := make([]sim.Func, r.A)
+		nextPow := aPowDepth * int64(r.A)
+		for i := range kids {
+			kids[i] = c.node(r.Child(n), depth+1, nextPow, seqMemo)
+		}
+		tc.Do(kids...)
+
+		m := r.Merge(n)
+		if m <= 0 {
+			return
+		}
+		chunks := int64(1)
+		if c.Mode == ParMerge {
+			chunks = int64(c.MergeChunks) / aPowDepth
+		}
+		if chunks <= 1 {
+			tc.Work(m)
+			return
+		}
+		per := (m + chunks - 1) / chunks
+		var jobs []sim.Func
+		for rem := m; rem > 0; rem -= per {
+			w := per
+			if rem < per {
+				w = rem
+			}
+			unit := w
+			jobs = append(jobs, func(tc *sim.TC) { tc.Work(unit) })
+		}
+		tc.Do(jobs...)
+	}
+}
+
+// seqTimeMemo is IntRec.Seq sharing one memo map across the whole program
+// build, since truncated subtrees revisit the same sizes.
+func seqTimeMemo(r master.IntRec, n int64, memo map[int64]int64) int64 {
+	if n <= r.Cutoff {
+		return r.Base(n)
+	}
+	if v, ok := memo[n]; ok {
+		return v
+	}
+	v := r.Divide(n) + int64(r.A)*seqTimeMemo(r, r.Child(n), memo) + r.Merge(n)
+	memo[n] = v
+	return v
+}
+
+// Unit is the n-independent unit cost function used by several recurrences.
+func Unit(int64) int64 { return 1 }
+
+// Zero is the zero cost function.
+func Zero(int64) int64 { return 0 }
+
+// Linear returns f(n) = n.
+func Linear(n int64) int64 { return n }
+
+// Quadratic returns f(n) = n².
+func Quadratic(n int64) int64 { return n * n }
+
+// Mergesort is the canonical Case 2 recurrence T(n) = 2T(n/2) + n with unit
+// divide and base costs (the merge dominates).
+func Mergesort() master.IntRec {
+	return master.IntRec{
+		A: 2, B: 2, Cutoff: 1,
+		Divide: Unit, Merge: Linear, Base: Unit,
+	}
+}
+
+// Case1Rec is T(n) = 4T(n/2) + n: leaves dominate (critical exponent 2 > 1),
+// the shape of a classical matrix-multiplication recurrence.
+func Case1Rec() master.IntRec {
+	return master.IntRec{
+		A: 4, B: 2, Cutoff: 1,
+		Divide: Unit, Merge: Linear, Base: Unit,
+	}
+}
+
+// Case3Rec is T(n) = 2T(n/2) + n²: the root's merge dominates (critical
+// exponent 1 < 2) and the regularity condition holds (a/b² = 1/2 < 1).
+func Case3Rec() master.IntRec {
+	return master.IntRec{
+		A: 2, B: 2, Cutoff: 1,
+		Divide: Unit, Merge: Quadratic, Base: Unit,
+	}
+}
+
+// FigureRec is the cost model under which the simulator reproduces Figure 1:
+// unit divide/base cost, free merge.
+func FigureRec() master.IntRec {
+	return master.IntRec{
+		A: 2, B: 2, Cutoff: 1,
+		Divide: Unit, Merge: Zero, Base: Unit,
+	}
+}

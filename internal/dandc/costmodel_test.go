@@ -1,0 +1,217 @@
+package dandc
+
+import (
+	"testing"
+
+	"lopram/internal/master"
+	"lopram/internal/sim"
+)
+
+// runSteps executes the cost model on a p-processor machine and returns the
+// simulated wall-clock.
+func runSteps(t *testing.T, cm CostModel, n int64, p int) int64 {
+	t.Helper()
+	m := sim.New(sim.Config{P: p})
+	res, err := m.Run(cm.Program(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Steps
+}
+
+// TestSeqSimMatchesRecurrence: on one processor the simulator's wall-clock
+// equals the sequential recurrence exactly, for all three Master cases.
+func TestSeqSimMatchesRecurrence(t *testing.T) {
+	recs := map[string]master.IntRec{
+		"case1 4T(n/2)+n":  Case1Rec(),
+		"case2 2T(n/2)+n":  Mergesort(),
+		"case3 2T(n/2)+n²": Case3Rec(),
+	}
+	for name, rec := range recs {
+		for _, n := range []int64{1, 2, 8, 64, 256} {
+			cm := CostModel{Rec: rec, SpawnDepth: -1}
+			got := runSteps(t, cm, n, 1)
+			want := rec.Seq(n)
+			if got != want {
+				t.Errorf("%s n=%d: sim %d, recurrence %d", name, n, got, want)
+			}
+		}
+	}
+}
+
+// TestTheorem1ExactSeqMerge: for p = 2^k the simulated wall-clock equals the
+// Equation (3) greedy schedule exactly — the strongest form of the Theorem 1
+// reproduction (experiments E3–E5).
+func TestTheorem1ExactSeqMerge(t *testing.T) {
+	recs := map[string]master.IntRec{
+		"case1": Case1Rec(),
+		"case2": Mergesort(),
+		"case3": Case3Rec(),
+	}
+	for name, rec := range recs {
+		for _, p := range []int{1, 2, 4, 8, 16} {
+			if !master.IsPowerOf(p, rec.A) && p != 1 {
+				continue // balanced-frontier predictor needs p = a^k
+			}
+			sizes := []int64{64, 256, 1024}
+			if rec.A > 2 {
+				sizes = []int64{64, 256} // full spawn of a=4 at n=1024 is a million threads
+			}
+			for _, n := range sizes {
+				cm := CostModel{Rec: rec, SpawnDepth: -1}
+				got := runSteps(t, cm, n, p)
+				want := rec.ParSeqMerge(n, p)
+				if got != want {
+					t.Errorf("%s n=%d p=%d: sim %d, Eq(3) %d", name, n, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestTheorem1ExactParMerge: the Equation (5) variant with chunked parallel
+// merging also matches its predictor exactly (experiment E6).
+func TestTheorem1ExactParMerge(t *testing.T) {
+	rec := Case3Rec()
+	for _, p := range []int{2, 4, 8} {
+		for _, n := range []int64{64, 256, 1024} {
+			cm := CostModel{Rec: rec, Mode: ParMerge, MergeChunks: p, SpawnDepth: -1}
+			got := runSteps(t, cm, n, p)
+			want := rec.ParParMerge(n, p)
+			if got != want {
+				t.Errorf("n=%d p=%d: sim %d, Eq(5) %d", n, p, got, want)
+			}
+		}
+	}
+}
+
+// TestTruncationInvariance: truncating thread creation below the spawn
+// frontier does not change the schedule when the frontier is balanced
+// (p = a^k): the truncated subtrees run sequentially on one processor either
+// way. For ragged p the schedules differ — full spawning lets a processor
+// that finishes early steal pending threads inside a busy subtree — but only
+// within a modest constant, which the second half asserts.
+func TestTruncationInvariance(t *testing.T) {
+	recs := []master.IntRec{Case1Rec(), Mergesort(), Case3Rec()}
+	for _, rec := range recs {
+		for _, p := range []int{1, 2, 3, 4, 7, 8} {
+			frontier := master.FrontierDepth(p, rec.A)
+			balanced := p == 1 || master.IsPowerOf(p, rec.A)
+			n := int64(256)
+			a := runSteps(t, CostModel{Rec: rec, SpawnDepth: -1}, n, p)
+			for slack := 0; slack <= 2; slack++ {
+				trunc := CostModel{Rec: rec, SpawnDepth: frontier + slack}
+				b := runSteps(t, trunc, n, p)
+				if balanced && a != b {
+					t.Errorf("a=%d p=%d slack=%d: full %d != truncated %d",
+						rec.A, p, slack, a, b)
+				}
+				ratio := float64(b) / float64(a)
+				if ratio < 1/1.5 || ratio > 1.5 {
+					t.Errorf("a=%d p=%d slack=%d: truncated/full = %.2f outside [0.67, 1.5]",
+						rec.A, p, slack, ratio)
+				}
+			}
+		}
+	}
+}
+
+// TestCase3FlatSpeedup: sequential merging in Case 3 gives Θ(f(n)) wall
+// clock — growing p must not help beyond the small constant the theorem
+// allows (experiment E5's assertion).
+func TestCase3FlatSpeedup(t *testing.T) {
+	rec := Case3Rec()
+	n := int64(1 << 12)
+	f := n * n
+	seq := rec.Seq(n)
+	for _, p := range []int{2, 4, 8, 16} {
+		tp := runSteps(t, CostModel{Rec: rec, SpawnDepth: 8}, n, p)
+		if tp < f {
+			t.Errorf("p=%d: T_p = %d below f(n) = %d", p, tp, f)
+		}
+		if tp > 2*f {
+			t.Errorf("p=%d: T_p = %d above 2·f(n) = %d, not Θ(f(n))", p, tp, 2*f)
+		}
+		speedup := float64(seq) / float64(tp)
+		if speedup > 2.1 {
+			t.Errorf("p=%d: speedup %.2f too high for sequential-merge Case 3", p, speedup)
+		}
+	}
+}
+
+// TestCase12OptimalSpeedup: Cases 1 and 2 achieve speedup within a small
+// constant of p on the simulator (experiments E3, E4).
+func TestCase12OptimalSpeedup(t *testing.T) {
+	for name, rec := range map[string]master.IntRec{"case1": Case1Rec(), "case2": Mergesort()} {
+		// Case 2's speedup constant approaches 1 only as log n outgrows
+		// p (the merge sum costs ≈ 2n against T(n)/p ≈ n·log(n)/p), so
+		// the linear-merge recurrence needs a larger n to clear the
+		// 0.6·p bar; for p near log n the model premise itself is at
+		// its boundary.
+		n := int64(1 << 14)
+		if rec.A == 2 {
+			n = 1 << 20
+		}
+		seq := rec.Seq(n)
+		for _, p := range []int{2, 4, 8} {
+			frontier := master.FrontierDepth(p, rec.A)
+			tp := runSteps(t, CostModel{Rec: rec, SpawnDepth: frontier + 1}, n, p)
+			speedup := float64(seq) / float64(tp)
+			if speedup < 0.60*float64(p) {
+				t.Errorf("%s p=%d: speedup %.2f below 0.6·p", name, p, speedup)
+			}
+			if speedup > float64(p)+0.01 {
+				t.Errorf("%s p=%d: superlinear speedup %.2f", name, p, speedup)
+			}
+		}
+	}
+}
+
+// TestFigureRecThreads: the figure cost model spawns the full call tree
+// (2n-1 threads for size n), matching the paper's mergesort example.
+func TestFigureRecThreads(t *testing.T) {
+	m := sim.New(sim.Config{P: 4})
+	cm := CostModel{Rec: FigureRec(), SpawnDepth: -1}
+	res, err := m.Run(cm.Program(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threads != 31 {
+		t.Errorf("threads = %d, want 31", res.Threads)
+	}
+}
+
+// TestFrontierShape reproduces Figure 2: with p = a^k processors the
+// activation tree spawns pal-threads down to depth exactly k and every
+// deeper call runs inside its ancestor thread (experiment E2).
+func TestFrontierShape(t *testing.T) {
+	for _, p := range []int{2, 4, 8} {
+		m := sim.New(sim.Config{P: p, Trace: true})
+		cm := CostModel{Rec: Mergesort(), SpawnDepth: -1}
+		res, err := m.Run(cm.Program(1 << 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := master.FrontierDepth(p, 2)
+		// Count distinct activation instants per depth: above the
+		// frontier all nodes of a level activate at the same step;
+		// below it activations are staggered by sequential execution.
+		byDepth := map[int]map[int64]bool{}
+		for _, n := range res.Trace.Nodes() {
+			d := len(n.Path)
+			if byDepth[d] == nil {
+				byDepth[d] = map[int64]bool{}
+			}
+			byDepth[d][n.ActivatedAt] = true
+		}
+		for d := 0; d <= k; d++ {
+			if len(byDepth[d]) != 1 {
+				t.Errorf("p=%d depth %d (≤ frontier %d): %d distinct activation steps, want 1",
+					p, d, k, len(byDepth[d]))
+			}
+		}
+		if len(byDepth[k+1]) <= 1 {
+			t.Errorf("p=%d depth %d (> frontier): activations not staggered", p, k+1)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package dandc
+
+import (
+	"math"
+	"math/cmplx"
+
+	"lopram/internal/palrt"
+)
+
+// Fast Fourier transform: the canonical Case 2 recurrence
+// T(n) = 2T(n/2) + Θ(n) after mergesort. The two half-size transforms of
+// each level run as a palthreads block; the butterfly combine is the merge.
+
+// FFTSeq returns the discrete Fourier transform of x (len a power of two)
+// using sequential radix-2 Cooley–Tukey.
+func FFTSeq(x []complex128) []complex128 {
+	requirePow2(len(x))
+	out := append([]complex128(nil), x...)
+	fftRec(nil, out, 1)
+	return out
+}
+
+// FFT is the parallel version on rt.
+func FFT(rt *palrt.RT, x []complex128) []complex128 {
+	requirePow2(len(x))
+	out := append([]complex128(nil), x...)
+	fftRec(rt, out, 1)
+	return out
+}
+
+// IFFT returns the inverse transform (normalized by 1/n).
+func IFFT(rt *palrt.RT, x []complex128) []complex128 {
+	requirePow2(len(x))
+	conj := make([]complex128, len(x))
+	for i, v := range x {
+		conj[i] = cmplx.Conj(v)
+	}
+	fftRec(rt, conj, 1)
+	inv := 1 / float64(len(x))
+	for i, v := range conj {
+		conj[i] = cmplx.Conj(v) * complex(inv, 0)
+	}
+	return conj
+}
+
+const fftGrain = 1 << 9
+
+// fftRec transforms a in place. stride bookkeeping is avoided by splitting
+// into even/odd copies — clarity over constant factors, as everywhere in
+// this repository the asymptotic shape is what the experiments check.
+func fftRec(rt *palrt.RT, a []complex128, depth int) {
+	n := len(a)
+	if n == 1 {
+		return
+	}
+	even := make([]complex128, n/2)
+	odd := make([]complex128, n/2)
+	for i := 0; i < n/2; i++ {
+		even[i] = a[2*i]
+		odd[i] = a[2*i+1]
+	}
+	if rt != nil && n > fftGrain {
+		rt.Do(
+			func() { fftRec(rt, even, depth+1) },
+			func() { fftRec(rt, odd, depth+1) },
+		)
+	} else {
+		fftRec(nil, even, depth+1)
+		fftRec(nil, odd, depth+1)
+	}
+	ang := -2 * math.Pi / float64(n)
+	for k := 0; k < n/2; k++ {
+		w := cmplx.Rect(1, ang*float64(k))
+		t := w * odd[k]
+		a[k] = even[k] + t
+		a[k+n/2] = even[k] - t
+	}
+}
+
+// DFTSlow is the O(n²) direct transform: the correctness oracle.
+func DFTSlow(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			sum += x[j] * cmplx.Rect(1, ang)
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// Convolve multiplies two real-coefficient polynomials via FFT, rounding the
+// result to the nearest integers. Coefficients must stay small enough for
+// float64 exactness (|result| < 2^52).
+func Convolve(rt *palrt.RT, a, b []int64) []int64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	size := 1
+	for size < len(a)+len(b)-1 {
+		size *= 2
+	}
+	ca := make([]complex128, size)
+	cb := make([]complex128, size)
+	for i, v := range a {
+		ca[i] = complex(float64(v), 0)
+	}
+	for i, v := range b {
+		cb[i] = complex(float64(v), 0)
+	}
+	var fa, fb []complex128
+	if rt != nil {
+		rt.Do(
+			func() { fa = FFT(rt, ca) },
+			func() { fb = FFT(rt, cb) },
+		)
+	} else {
+		fa, fb = FFTSeq(ca), FFTSeq(cb)
+	}
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	prod := IFFT(rt, fa)
+	out := make([]int64, len(a)+len(b)-1)
+	for i := range out {
+		out[i] = int64(math.Round(real(prod[i])))
+	}
+	return out
+}
+
+func requirePow2(n int) {
+	if n == 0 || n&(n-1) != 0 {
+		panic("dandc: FFT length must be a power of two")
+	}
+}

@@ -1,0 +1,204 @@
+package dandc
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"lopram/internal/palrt"
+	"lopram/internal/workload"
+)
+
+func complexClose(a, b []complex128, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFFTMatchesDFT(t *testing.T) {
+	r := workload.NewRNG(1)
+	rt := palrt.New(8)
+	for _, n := range []int{1, 2, 8, 64, 512} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.Float64()*2-1, r.Float64()*2-1)
+		}
+		want := DFTSlow(x)
+		if got := FFTSeq(x); !complexClose(got, want, 1e-8*float64(n)) {
+			t.Fatalf("n=%d: sequential FFT diverged", n)
+		}
+		if got := FFT(rt, x); !complexClose(got, want, 1e-8*float64(n)) {
+			t.Fatalf("n=%d: parallel FFT diverged", n)
+		}
+	}
+}
+
+func TestFFTParallelPathExercised(t *testing.T) {
+	// Sizes above the grain force Do blocks; compare against sequential.
+	r := workload.NewRNG(2)
+	rt := palrt.New(8)
+	n := 1 << 12
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(r.Float64(), 0)
+	}
+	if !complexClose(FFT(rt, x), FFTSeq(x), 1e-7) {
+		t.Fatal("parallel path diverged")
+	}
+}
+
+func TestIFFTInverts(t *testing.T) {
+	r := workload.NewRNG(3)
+	rt := palrt.New(4)
+	for _, n := range []int{4, 256, 2048} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.Float64()*10-5, r.Float64()*10-5)
+		}
+		back := IFFT(rt, FFT(rt, x))
+		if !complexClose(back, x, 1e-8*float64(n)) {
+			t.Fatalf("n=%d: IFFT∘FFT != id", n)
+		}
+	}
+}
+
+func TestFFTPanicsOnNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on n=12")
+		}
+	}()
+	FFTSeq(make([]complex128, 12))
+}
+
+func TestConvolveMatchesSchoolbook(t *testing.T) {
+	r := workload.NewRNG(4)
+	rt := palrt.New(8)
+	for _, pair := range [][2]int{{1, 1}, {7, 3}, {100, 60}, {1000, 1000}} {
+		a := make([]int64, pair[0])
+		b := make([]int64, pair[1])
+		for i := range a {
+			a[i] = int64(r.Intn(201) - 100)
+		}
+		for i := range b {
+			b[i] = int64(r.Intn(201) - 100)
+		}
+		want := PolyMulSeq(a, b)
+		got := Convolve(rt, a, b)
+		if len(got) != len(want) {
+			t.Fatalf("sizes %v: len %d want %d", pair, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("sizes %v: coef %d = %d, want %d", pair, i, got[i], want[i])
+			}
+		}
+	}
+	if Convolve(rt, nil, []int64{1}) != nil {
+		t.Fatal("empty operand")
+	}
+}
+
+func TestPrefixSumsMatchesSeq(t *testing.T) {
+	r := workload.NewRNG(5)
+	rt := palrt.New(8)
+	for _, n := range []int{0, 1, 2, 3, 100, 4096, 100000} {
+		a := make([]int64, n)
+		for i := range a {
+			a[i] = int64(r.Intn(2001) - 1000)
+		}
+		want := PrefixSumsSeq(a)
+		got := prefixGrain(rt, a, 16) // tiny grain exercises deep recursion
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: prefix[%d] = %d, want %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPrefixSumsProperty(t *testing.T) {
+	rt := palrt.New(4)
+	err := quick.Check(func(raw []int32) bool {
+		a := make([]int64, len(raw))
+		for i, v := range raw {
+			a[i] = int64(v)
+		}
+		got := prefixGrain(rt, a, 8)
+		want := PrefixSumsSeq(a)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	r := workload.NewRNG(6)
+	rt := palrt.New(8)
+	a := make([]int64, 100000)
+	var want int64
+	for i := range a {
+		a[i] = int64(r.Intn(1000))
+		want += a[i]
+	}
+	if got := ReduceSum(rt, a); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+	if ReduceSum(rt, nil) != 0 {
+		t.Fatal("empty sum")
+	}
+}
+
+func TestReduceGrainPath(t *testing.T) {
+	rt := palrt.New(4)
+	a := []int64{1, 2, 3, 4, 5}
+	if got := reduceRec(rt, a, 1); got != 15 {
+		t.Fatalf("sum = %d", got)
+	}
+}
+
+func TestFFTKnownTransform(t *testing.T) {
+	// FFT of [1, 1, 1, 1] = [4, 0, 0, 0].
+	x := []complex128{1, 1, 1, 1}
+	got := FFTSeq(x)
+	want := []complex128{4, 0, 0, 0}
+	if !complexClose(got, want, 1e-12) {
+		t.Fatalf("got %v", got)
+	}
+	// FFT of the delta is all ones.
+	got = FFTSeq([]complex128{1, 0, 0, 0})
+	for _, v := range got {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("delta transform %v", got)
+		}
+	}
+	// Parseval: Σ|x|² = (1/n)Σ|X|².
+	r := workload.NewRNG(7)
+	xr := make([]complex128, 64)
+	var ex float64
+	for i := range xr {
+		xr[i] = complex(r.Float64(), 0)
+		ex += real(xr[i]) * real(xr[i])
+	}
+	X := FFTSeq(xr)
+	var eX float64
+	for _, v := range X {
+		eX += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(ex-eX/64) > 1e-9 {
+		t.Fatalf("Parseval violated: %v vs %v", ex, eX/64)
+	}
+}

@@ -1,0 +1,62 @@
+package dandc
+
+import "lopram/internal/palrt"
+
+// Generic divide-and-conquer framework: the programmable face of §4.1. A
+// user describes a recurrence once — how to divide, when to stop, how to
+// combine — and Run executes it with the palthreads discipline on any
+// runtime, with the same "no explicit processor test" property as the
+// hand-written algorithms: a child is offered to an idle processor and runs
+// inline otherwise.
+//
+// The Theorem 1 consequences carry over directly: if the recurrence falls in
+// Master Cases 1 or 2 the execution is work-optimal on p = O(log n)
+// processors; in Case 3 the combine dominates and should itself use
+// runtime parallelism (rt.For) to reach the Equation 5 bound.
+
+// Rec describes a divide-and-conquer recurrence over inputs In and outputs
+// Out.
+type Rec[In, Out any] struct {
+	// IsBase reports whether the input should be solved directly.
+	IsBase func(In) bool
+	// Solve handles base cases.
+	Solve func(In) Out
+	// Divide splits the input into a ≥ 1 subproblems.
+	Divide func(In) []In
+	// Combine merges the subproblem outputs (same order as Divide). It
+	// receives the original input for context (sizes, pivots, …) and a
+	// runtime handle so Case 3 combines can parallelize internally.
+	Combine func(rt *palrt.RT, in In, parts []Out) Out
+}
+
+// Run executes the recurrence on the runtime. Each level's subproblems form
+// one palthreads block.
+func Run[In, Out any](rt *palrt.RT, r Rec[In, Out], in In) Out {
+	if r.IsBase(in) {
+		return r.Solve(in)
+	}
+	subs := r.Divide(in)
+	parts := make([]Out, len(subs))
+	jobs := make([]func(), len(subs))
+	for i := range subs {
+		i := i
+		jobs[i] = func() { parts[i] = Run(rt, r, subs[i]) }
+	}
+	rt.Do(jobs...)
+	return r.Combine(rt, in, parts)
+}
+
+// RunSeq executes the recurrence sequentially (the T(n) baseline). The
+// Combine still receives rt (possibly nil-processor, single-permit) so the
+// same Rec value can be reused; pass palrt.New(1).
+func RunSeq[In, Out any](rt *palrt.RT, r Rec[In, Out], in In) Out {
+	if r.IsBase(in) {
+		return r.Solve(in)
+	}
+	subs := r.Divide(in)
+	parts := make([]Out, len(subs))
+	for i := range subs {
+		parts[i] = RunSeq(rt, r, subs[i])
+	}
+	return r.Combine(rt, in, parts)
+}

@@ -1,0 +1,121 @@
+package dandc
+
+import "lopram/internal/palrt"
+
+// Polynomial multiplication: the classical Karatsuba recurrence
+// T(n) = 3T(n/2) + Θ(n), a Case 1 instance (critical exponent log₂3 ≈ 1.585
+// beats the linear combine), so Theorem 1 promises optimal speedup from the
+// straightforward parallelization of the three half-size products.
+
+// PolyMulSeq returns the product of polynomials a and b given as coefficient
+// slices (a[i] is the coefficient of x^i). The schoolbook O(n²) algorithm;
+// the correctness oracle for the Karatsuba implementations.
+func PolyMulSeq(a, b []int64) []int64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make([]int64, len(a)+len(b)-1)
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		for j, bj := range b {
+			out[i+j] += ai * bj
+		}
+	}
+	return out
+}
+
+// karatsubaCutoff is the size below which the recursion uses schoolbook
+// multiplication.
+const karatsubaCutoff = 48
+
+// KaratsubaSeq multiplies polynomials a and b with sequential Karatsuba.
+func KaratsubaSeq(a, b []int64) []int64 {
+	return karatsuba(nil, a, b)
+}
+
+// Karatsuba multiplies polynomials a and b, running the three recursive
+// products of each level as a palthreads block.
+func Karatsuba(rt *palrt.RT, a, b []int64) []int64 {
+	return karatsuba(rt, a, b)
+}
+
+// karatsuba dispatches on rt: nil means sequential.
+func karatsuba(rt *palrt.RT, a, b []int64) []int64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(b) <= karatsubaCutoff {
+		return PolyMulSeq(a, b)
+	}
+	m := (len(a) + 1) / 2
+	a0, a1 := a[:m], a[m:]
+	b0, b1 := b, []int64(nil)
+	if len(b) > m {
+		b0, b1 = b[:m], b[m:]
+	}
+
+	var z0, z1, z2 []int64
+	s0 := polyAdd(a0, a1)
+	s1 := polyAdd(b0, b1)
+	if rt != nil {
+		rt.Do(
+			func() { z0 = karatsuba(rt, a0, b0) },
+			func() { z2 = karatsuba(rt, a1, b1) },
+			func() { z1 = karatsuba(rt, s0, s1) },
+		)
+	} else {
+		z0 = karatsuba(nil, a0, b0)
+		z2 = karatsuba(nil, a1, b1)
+		z1 = karatsuba(nil, s0, s1)
+	}
+
+	// result = z0 + (z1 - z0 - z2)·x^m + z2·x^2m
+	out := make([]int64, len(a)+len(b)-1)
+	for i, v := range z0 {
+		out[i] += v
+	}
+	for i, v := range z2 {
+		out[2*m+i] += v
+	}
+	// mid may carry trailing zero coefficients past the true degree when
+	// the split is uneven (len(a) odd); skipping zeros keeps the indexing
+	// in range without trimming.
+	mid := polySub(polySub(z1, z0), z2)
+	for i, v := range mid {
+		if v == 0 {
+			continue
+		}
+		out[m+i] += v
+	}
+	return out
+}
+
+func polyAdd(a, b []int64) []int64 {
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	out := make([]int64, len(a))
+	copy(out, a)
+	for i, v := range b {
+		out[i] += v
+	}
+	return out
+}
+
+func polySub(a, b []int64) []int64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make([]int64, n)
+	copy(out, a)
+	for i, v := range b {
+		out[i] -= v
+	}
+	return out
+}

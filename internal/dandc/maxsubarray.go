@@ -1,0 +1,85 @@
+package dandc
+
+import "lopram/internal/palrt"
+
+// Maximum subarray sum: the divide-and-conquer formulation with
+// T(n) = 2T(n/2) + Θ(n) (Case 2). It returns the maximum sum over all
+// non-empty contiguous subarrays. Kadane's linear scan is the sequential
+// oracle; the D&C version exists to exercise a Case 2 recurrence whose merge
+// (the crossing computation) is inherently a scan.
+
+// MaxSubarraySeq returns the maximum subarray sum via Kadane's algorithm.
+// It panics on an empty slice.
+func MaxSubarraySeq(a []int) int {
+	if len(a) == 0 {
+		panic("dandc: MaxSubarraySeq on empty slice")
+	}
+	best, cur := a[0], a[0]
+	for _, v := range a[1:] {
+		if cur < 0 {
+			cur = v
+		} else {
+			cur += v
+		}
+		if cur > best {
+			best = cur
+		}
+	}
+	return best
+}
+
+// msInfo carries the four quantities the D&C combine needs.
+type msInfo struct {
+	total  int // sum of the whole segment
+	prefix int // best sum of a prefix
+	suffix int // best sum of a suffix
+	best   int // best sum of any subarray
+}
+
+// MaxSubarray returns the maximum subarray sum computing the two halves as a
+// palthreads block. It panics on an empty slice.
+func MaxSubarray(rt *palrt.RT, a []int) int {
+	if len(a) == 0 {
+		panic("dandc: MaxSubarray on empty slice")
+	}
+	return msRec(rt, a, maxSubGrain).best
+}
+
+const maxSubGrain = 1 << 12
+
+func msRec(rt *palrt.RT, a []int, grain int) msInfo {
+	if len(a) <= grain || rt == nil {
+		return msSeq(a)
+	}
+	mid := len(a) / 2
+	var l, r msInfo
+	rt.Do(
+		func() { l = msRec(rt, a[:mid], grain) },
+		func() { r = msRec(rt, a[mid:], grain) },
+	)
+	return msCombine(l, r)
+}
+
+func msSeq(a []int) msInfo {
+	info := msInfo{total: a[0], prefix: a[0], suffix: a[0], best: a[0]}
+	for _, v := range a[1:] {
+		info = msCombine(info, msInfo{total: v, prefix: v, suffix: v, best: v})
+	}
+	return info
+}
+
+func msCombine(l, r msInfo) msInfo {
+	return msInfo{
+		total:  l.total + r.total,
+		prefix: maxInt(l.prefix, l.total+r.prefix),
+		suffix: maxInt(r.suffix, r.total+l.suffix),
+		best:   maxInt(maxInt(l.best, r.best), l.suffix+r.prefix),
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,81 @@
+package dandc
+
+import "lopram/internal/palrt"
+
+// QuickSortSeq sorts a in place with median-of-three quicksort, falling back
+// to insertion sort on small segments.
+func QuickSortSeq(a []int) {
+	qsortSeq(a)
+}
+
+func qsortSeq(a []int) {
+	for len(a) > 32 {
+		p := partition(a)
+		// Recurse on the smaller side to bound stack depth.
+		if p < len(a)-p-1 {
+			qsortSeq(a[:p])
+			a = a[p+1:]
+		} else {
+			qsortSeq(a[p+1:])
+			a = a[:p]
+		}
+	}
+	insertionSort(a)
+}
+
+// QuickSort sorts a in place, running the two recursive calls of each
+// partition as a palthreads block. Unlike mergesort the subproblem sizes are
+// data-dependent, which exercises the scheduler's dynamic processor handoff
+// (an unbalanced split leaves one child's processor free early for the
+// pending threads of the other).
+func QuickSort(rt *palrt.RT, a []int) {
+	quickSortGrain(rt, a, sortThreshold)
+}
+
+func quickSortGrain(rt *palrt.RT, a []int, grain int) {
+	if grain < 2 {
+		grain = 2
+	}
+	qsortPar(rt, a, grain)
+}
+
+func qsortPar(rt *palrt.RT, a []int, grain int) {
+	if len(a) <= grain {
+		qsortSeq(a)
+		return
+	}
+	p := partition(a)
+	left, right := a[:p], a[p+1:]
+	rt.Do(
+		func() { qsortPar(rt, left, grain) },
+		func() { qsortPar(rt, right, grain) },
+	)
+}
+
+// partition rearranges a around a median-of-three pivot and returns the
+// pivot's final index.
+func partition(a []int) int {
+	n := len(a)
+	m := n / 2
+	// Order a[0], a[m], a[n-1]; use the median as pivot, parked at n-1.
+	if a[m] < a[0] {
+		a[m], a[0] = a[0], a[m]
+	}
+	if a[n-1] < a[0] {
+		a[n-1], a[0] = a[0], a[n-1]
+	}
+	if a[n-1] < a[m] {
+		a[n-1], a[m] = a[m], a[n-1]
+	}
+	a[m], a[n-2] = a[n-2], a[m]
+	pivot := a[n-2]
+	i := 0
+	for j := 0; j < n-2; j++ {
+		if a[j] < pivot {
+			a[i], a[j] = a[j], a[i]
+			i++
+		}
+	}
+	a[i], a[n-2] = a[n-2], a[i]
+	return i
+}

@@ -1,0 +1,116 @@
+package dandc
+
+import "lopram/internal/palrt"
+
+// Parallel prefix sums (scan). Experiment E9 shows that prefix sums written
+// as a one-dimensional DP form a chain DAG with no speedup — §4.3's
+// degenerate case. This file is the counterpoint the paper's framework
+// implies: *reformulated* as a two-pass divide and conquer (up-sweep
+// building a tree of segment totals, down-sweep distributing offsets), the
+// same function becomes a tree computation with optimal speedup. The
+// lesson — the DAG of the chosen decomposition, not the problem, determines
+// the parallelism — is measured by E15.
+
+// PrefixSumsSeq fills out[i] = Σ a[..i] (inclusive scan) sequentially.
+func PrefixSumsSeq(a []int64) []int64 {
+	out := make([]int64, len(a))
+	var run int64
+	for i, v := range a {
+		run += v
+		out[i] = run
+	}
+	return out
+}
+
+// scanGrain is the leaf segment size of the parallel scan.
+const scanGrain = 1 << 12
+
+// PrefixSums computes the inclusive scan with the two-pass algorithm on rt.
+func PrefixSums(rt *palrt.RT, a []int64) []int64 {
+	return prefixGrain(rt, a, scanGrain)
+}
+
+func prefixGrain(rt *palrt.RT, a []int64, grain int) []int64 {
+	out := make([]int64, len(a))
+	if len(a) == 0 {
+		return out
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	root := scanUp(rt, a, out, grain)
+	scanDown(rt, out, root, 0, grain)
+	return out
+}
+
+// scanNode records the total of one recursion segment so the down-sweep
+// knows each left sibling's contribution without re-reduction.
+type scanNode struct {
+	total       int64
+	left, right *scanNode
+}
+
+// scanUp computes leaf-local inclusive scans into out and returns the
+// segment-total tree.
+func scanUp(rt *palrt.RT, a, out []int64, grain int) *scanNode {
+	if len(a) <= grain || rt == nil {
+		var run int64
+		for i, v := range a {
+			run += v
+			out[i] = run
+		}
+		return &scanNode{total: run}
+	}
+	mid := len(a) / 2
+	node := &scanNode{}
+	rt.Do(
+		func() { node.left = scanUp(rt, a[:mid], out[:mid], grain) },
+		func() { node.right = scanUp(rt, a[mid:], out[mid:], grain) },
+	)
+	node.total = node.left.total + node.right.total
+	return node
+}
+
+// scanDown adds, to every element, the sum of all elements left of its leaf
+// segment.
+func scanDown(rt *palrt.RT, out []int64, node *scanNode, offset int64, grain int) {
+	if node.left == nil { // leaf
+		if offset == 0 {
+			return
+		}
+		for i := range out {
+			out[i] += offset
+		}
+		return
+	}
+	mid := len(out) / 2
+	rt.Do(
+		func() { scanDown(rt, out[:mid], node.left, offset, grain) },
+		func() { scanDown(rt, out[mid:], node.right, offset+node.left.total, grain) },
+	)
+}
+
+// ReduceSum computes Σ a in parallel by tree reduction — the up-sweep alone.
+func ReduceSum(rt *palrt.RT, a []int64) int64 {
+	if len(a) == 0 {
+		return 0
+	}
+	return reduceRec(rt, a, scanGrain)
+}
+
+func reduceRec(rt *palrt.RT, a []int64, grain int) int64 {
+	if len(a) <= grain || rt == nil {
+		var s int64
+		for _, v := range a {
+			s += v
+		}
+		return s
+	}
+	mid := len(a) / 2
+	var l, r int64
+	rt.Do(
+		func() { l = reduceRec(rt, a[:mid], grain) },
+		func() { r = reduceRec(rt, a[mid:], grain) },
+	)
+	return l + r
+}

@@ -1,0 +1,189 @@
+package dandc
+
+import (
+	"sync/atomic"
+
+	"lopram/internal/palrt"
+)
+
+// Selection (k-th smallest) by quickselect: expected T(n) = T(n/2) + Θ(n).
+// With a = 1 there is only one recursive call, so the palthreads construction
+// offers no tree parallelism at all — selection is the real-algorithm face
+// of Theorem 1's Case 3 wall: all the time is in the partition (the "merge"),
+// and only parallelizing the partition itself (Equation 5 style, via rt.For)
+// buys any speedup.
+
+// SelectSeq returns the k-th smallest element of a (0-based) without
+// modifying a. It panics if k is out of range.
+func SelectSeq(a []int, k int) int {
+	if k < 0 || k >= len(a) {
+		panic("dandc: selection index out of range")
+	}
+	buf := append([]int(nil), a...)
+	return quickselect(buf, k)
+}
+
+func quickselect(a []int, k int) int {
+	for len(a) > 32 {
+		p := partition(a)
+		switch {
+		case k == p:
+			return a[p]
+		case k < p:
+			a = a[:p]
+		default:
+			a = a[p+1:]
+			k -= p + 1
+		}
+	}
+	insertionSort(a)
+	return a[k]
+}
+
+// Select returns the k-th smallest element using a parallel three-way
+// partition on rt: each level classifies elements against the pivot with a
+// parallel counting pass and a parallel scatter pass (both rt.For loops),
+// then recurses into the single surviving side. The recursion depth is
+// O(log n) in expectation and every level's Θ(n) work parallelizes, so
+// T_p(n) = Θ(n/p + log² n) — the Equation 5 escape from Case 3.
+func Select(rt *palrt.RT, a []int, k int) int {
+	if k < 0 || k >= len(a) {
+		panic("dandc: selection index out of range")
+	}
+	buf := append([]int(nil), a...)
+	tmp := make([]int, len(a))
+	return pselect(rt, buf, tmp, k)
+}
+
+const selectGrain = 1 << 13
+
+func pselect(rt *palrt.RT, a, tmp []int, k int) int {
+	for len(a) > selectGrain {
+		pivot := medianOfThree(a)
+
+		// Pass 1: per-chunk counts of {less, equal} classifications.
+		chunks := 4 * rt.P()
+		per := (len(a) + chunks - 1) / chunks
+		if per < 1 {
+			per = 1
+		}
+		nChunks := (len(a) + per - 1) / per
+		less := make([]int, nChunks)
+		equal := make([]int, nChunks)
+		rt.For(0, nChunks, 1, func(clo, chi int) {
+			for c := clo; c < chi; c++ {
+				lo, hi := c*per, (c+1)*per
+				if hi > len(a) {
+					hi = len(a)
+				}
+				var l, e int
+				for _, v := range a[lo:hi] {
+					if v < pivot {
+						l++
+					} else if v == pivot {
+						e++
+					}
+				}
+				less[c], equal[c] = l, e
+			}
+		})
+
+		// Exclusive prefix offsets for the three regions.
+		totalLess, totalEqual := 0, 0
+		lessOff := make([]int, nChunks)
+		equalOff := make([]int, nChunks)
+		greaterOff := make([]int, nChunks)
+		for c := 0; c < nChunks; c++ {
+			lessOff[c] = totalLess
+			totalLess += less[c]
+		}
+		for c := 0; c < nChunks; c++ {
+			equalOff[c] = totalEqual
+			totalEqual += equal[c]
+		}
+		greaterBase := totalLess + totalEqual
+		g := 0
+		for c := 0; c < nChunks; c++ {
+			lo, hi := c*per, (c+1)*per
+			if hi > len(a) {
+				hi = len(a)
+			}
+			greaterOff[c] = g
+			g += (hi - lo) - less[c] - equal[c]
+		}
+
+		// Pass 2: parallel scatter into tmp.
+		rt.For(0, nChunks, 1, func(clo, chi int) {
+			for c := clo; c < chi; c++ {
+				lo, hi := c*per, (c+1)*per
+				if hi > len(a) {
+					hi = len(a)
+				}
+				li := lessOff[c]
+				ei := totalLess + equalOff[c]
+				gi := greaterBase + greaterOff[c]
+				for _, v := range a[lo:hi] {
+					switch {
+					case v < pivot:
+						tmp[li] = v
+						li++
+					case v == pivot:
+						tmp[ei] = v
+						ei++
+					default:
+						tmp[gi] = v
+						gi++
+					}
+				}
+			}
+		})
+
+		switch {
+		case k < totalLess:
+			a, tmp = tmp[:totalLess], a[:totalLess]
+		case k < totalLess+totalEqual:
+			return pivot
+		default:
+			n := len(a)
+			a, tmp = tmp[greaterBase:n], a[greaterBase:n]
+			k -= greaterBase
+		}
+	}
+	return quickselect(append([]int(nil), a...), k)
+}
+
+func medianOfThree(a []int) int {
+	n := len(a)
+	x, y, z := a[0], a[n/2], a[n-1]
+	if x > y {
+		x, y = y, x
+	}
+	if y > z {
+		y = z
+		if x > y {
+			y = x
+		}
+	}
+	return y
+}
+
+// Median returns the lower median via parallel selection.
+func Median(rt *palrt.RT, a []int) int {
+	return Select(rt, a, (len(a)-1)/2)
+}
+
+// CountLess counts elements of a strictly below bound in parallel; a small
+// data-parallel utility used by tests and examples to cross-check Select.
+func CountLess(rt *palrt.RT, a []int, bound int) int {
+	var total atomic.Int64
+	rt.For(0, len(a), selectGrain, func(lo, hi int) {
+		c := 0
+		for _, v := range a[lo:hi] {
+			if v < bound {
+				c++
+			}
+		}
+		total.Add(int64(c))
+	})
+	return int(total.Load())
+}

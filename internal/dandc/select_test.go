@@ -1,0 +1,134 @@
+package dandc
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"lopram/internal/palrt"
+	"lopram/internal/workload"
+)
+
+func TestSelectSeqMatchesSort(t *testing.T) {
+	r := workload.NewRNG(1)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(500)
+		a := workload.Ints(r, n, 100)
+		sorted := append([]int(nil), a...)
+		sort.Ints(sorted)
+		k := r.Intn(n)
+		if got := SelectSeq(a, k); got != sorted[k] {
+			t.Fatalf("trial %d: Select(%d) = %d, want %d", trial, k, got, sorted[k])
+		}
+	}
+}
+
+func TestSelectParallelMatchesSort(t *testing.T) {
+	r := workload.NewRNG(2)
+	rt := palrt.New(8)
+	for _, n := range []int{1, 50, 10000, 1 << 16} {
+		a := workload.Ints(r, n, 1000) // heavy duplicates stress 3-way split
+		sorted := append([]int(nil), a...)
+		sort.Ints(sorted)
+		for _, k := range []int{0, n / 3, n / 2, n - 1} {
+			if got := Select(rt, a, k); got != sorted[k] {
+				t.Fatalf("n=%d k=%d: got %d, want %d", n, k, got, sorted[k])
+			}
+		}
+	}
+}
+
+func TestSelectDoesNotMutate(t *testing.T) {
+	r := workload.NewRNG(3)
+	rt := palrt.New(4)
+	a := workload.Ints(r, 1000, 50)
+	before := append([]int(nil), a...)
+	Select(rt, a, 500)
+	SelectSeq(a, 500)
+	for i := range a {
+		if a[i] != before[i] {
+			t.Fatal("input mutated")
+		}
+	}
+}
+
+func TestSelectPanicsOutOfRange(t *testing.T) {
+	for _, k := range []int{-1, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("k=%d: no panic", k)
+				}
+			}()
+			SelectSeq([]int{1, 2, 3}, k)
+		}()
+	}
+}
+
+func TestSelectProperty(t *testing.T) {
+	rt := palrt.New(4)
+	err := quick.Check(func(raw []int16, kRaw uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		a := make([]int, len(raw))
+		for i, v := range raw {
+			a[i] = int(v)
+		}
+		k := int(kRaw) % len(a)
+		got := Select(rt, a, k)
+		// Defining property: exactly k' ≤ k elements are < got and at
+		// least k+1 elements are ≤ got.
+		below, atMost := 0, 0
+		for _, v := range a {
+			if v < got {
+				below++
+			}
+			if v <= got {
+				atMost++
+			}
+		}
+		return below <= k && atMost > k
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	rt := palrt.New(4)
+	if m := Median(rt, []int{5, 1, 3}); m != 3 {
+		t.Fatalf("median = %d, want 3", m)
+	}
+	if m := Median(rt, []int{4, 2, 6, 8}); m != 4 { // lower median
+		t.Fatalf("median = %d, want 4", m)
+	}
+}
+
+func TestCountLess(t *testing.T) {
+	r := workload.NewRNG(4)
+	rt := palrt.New(6)
+	a := workload.Ints(r, 100000, 1000)
+	want := 0
+	for _, v := range a {
+		if v < 500 {
+			want++
+		}
+	}
+	if got := CountLess(rt, a, 500); got != want {
+		t.Fatalf("CountLess = %d, want %d", got, want)
+	}
+}
+
+// TestSelectConsistentWithCount ties the two utilities together on large
+// parallel runs.
+func TestSelectConsistentWithCount(t *testing.T) {
+	r := workload.NewRNG(5)
+	rt := palrt.New(8)
+	a := workload.Ints(r, 1<<17, 1<<20)
+	k := len(a) / 2
+	v := Select(rt, a, k)
+	if below := CountLess(rt, a, v); below > k {
+		t.Fatalf("%d elements below the %d-th order statistic", below, k)
+	}
+}

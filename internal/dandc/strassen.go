@@ -1,0 +1,171 @@
+package dandc
+
+import "lopram/internal/palrt"
+
+// Strassen matrix multiplication: T(n) = 7T(n/2) + Θ(n²), Case 1 with
+// critical exponent log₂7 ≈ 2.807. The seven recursive products of each
+// level run as one palthreads block.
+
+// Mat is a dense row-major square matrix.
+type Mat struct {
+	N    int
+	Data []float64
+}
+
+// NewMat returns a zero n×n matrix.
+func NewMat(n int) Mat {
+	return Mat{N: n, Data: make([]float64, n*n)}
+}
+
+// At returns the element at row i, column j.
+func (m Mat) At(i, j int) float64 { return m.Data[i*m.N+j] }
+
+// Set assigns the element at row i, column j.
+func (m Mat) Set(i, j int, v float64) { m.Data[i*m.N+j] = v }
+
+// MatMulSeq returns a·b with the schoolbook ikj algorithm; the correctness
+// oracle for Strassen.
+func MatMulSeq(a, b Mat) Mat {
+	n := a.N
+	c := NewMat(n)
+	for i := 0; i < n; i++ {
+		arow := a.Data[i*n : (i+1)*n]
+		crow := c.Data[i*n : (i+1)*n]
+		for k := 0; k < n; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Data[k*n : (k+1)*n]
+			for j := 0; j < n; j++ {
+				crow[j] += aik * brow[j]
+			}
+		}
+	}
+	return c
+}
+
+// strassenCutoff is the size at which the recursion switches to schoolbook.
+const strassenCutoff = 64
+
+// StrassenSeq multiplies a and b (n must be equal for both) sequentially.
+func StrassenSeq(a, b Mat) Mat {
+	return strassenTop(nil, a, b)
+}
+
+// Strassen multiplies a and b with the seven sub-products per level run as
+// a palthreads block on rt.
+func Strassen(rt *palrt.RT, a, b Mat) Mat {
+	return strassenTop(rt, a, b)
+}
+
+func strassenTop(rt *palrt.RT, a, b Mat) Mat {
+	if a.N != b.N {
+		panic("dandc: Strassen requires equal square matrices")
+	}
+	n := a.N
+	// Pad to the next power of two; Strassen's index arithmetic needs
+	// clean halving.
+	m := 1
+	for m < n {
+		m *= 2
+	}
+	if m == n {
+		return strassen(rt, a, b)
+	}
+	ap, bp := NewMat(m), NewMat(m)
+	for i := 0; i < n; i++ {
+		copy(ap.Data[i*m:i*m+n], a.Data[i*n:(i+1)*n])
+		copy(bp.Data[i*m:i*m+n], b.Data[i*n:(i+1)*n])
+	}
+	cp := strassen(rt, ap, bp)
+	c := NewMat(n)
+	for i := 0; i < n; i++ {
+		copy(c.Data[i*n:(i+1)*n], cp.Data[i*m:i*m+n])
+	}
+	return c
+}
+
+func strassen(rt *palrt.RT, a, b Mat) Mat {
+	n := a.N
+	if n <= strassenCutoff {
+		return MatMulSeq(a, b)
+	}
+	h := n / 2
+	a11, a12, a21, a22 := quadrants(a)
+	b11, b12, b21, b22 := quadrants(b)
+
+	var m1, m2, m3, m4, m5, m6, m7 Mat
+	prods := []func(){
+		func() { m1 = strassen(rt, matAdd(a11, a22), matAdd(b11, b22)) },
+		func() { m2 = strassen(rt, matAdd(a21, a22), b11) },
+		func() { m3 = strassen(rt, a11, matSub(b12, b22)) },
+		func() { m4 = strassen(rt, a22, matSub(b21, b11)) },
+		func() { m5 = strassen(rt, matAdd(a11, a12), b22) },
+		func() { m6 = strassen(rt, matSub(a21, a11), matAdd(b11, b12)) },
+		func() { m7 = strassen(rt, matSub(a12, a22), matAdd(b21, b22)) },
+	}
+	if rt != nil {
+		rt.Do(prods...)
+	} else {
+		for _, p := range prods {
+			p()
+		}
+	}
+
+	c := NewMat(n)
+	for i := 0; i < h; i++ {
+		for j := 0; j < h; j++ {
+			k := i*h + j
+			c.Data[i*n+j] = m1.Data[k] + m4.Data[k] - m5.Data[k] + m7.Data[k]
+			c.Data[i*n+j+h] = m3.Data[k] + m5.Data[k]
+			c.Data[(i+h)*n+j] = m2.Data[k] + m4.Data[k]
+			c.Data[(i+h)*n+j+h] = m1.Data[k] - m2.Data[k] + m3.Data[k] + m6.Data[k]
+		}
+	}
+	return c
+}
+
+// quadrants copies the four n/2 quadrants of m into fresh matrices.
+func quadrants(m Mat) (q11, q12, q21, q22 Mat) {
+	n := m.N
+	h := n / 2
+	q11, q12, q21, q22 = NewMat(h), NewMat(h), NewMat(h), NewMat(h)
+	for i := 0; i < h; i++ {
+		copy(q11.Data[i*h:(i+1)*h], m.Data[i*n:i*n+h])
+		copy(q12.Data[i*h:(i+1)*h], m.Data[i*n+h:(i+1)*n])
+		copy(q21.Data[i*h:(i+1)*h], m.Data[(i+h)*n:(i+h)*n+h])
+		copy(q22.Data[i*h:(i+1)*h], m.Data[(i+h)*n+h:(i+h+1)*n])
+	}
+	return q11, q12, q21, q22
+}
+
+func matAdd(a, b Mat) Mat {
+	c := NewMat(a.N)
+	for i, v := range a.Data {
+		c.Data[i] = v + b.Data[i]
+	}
+	return c
+}
+
+func matSub(a, b Mat) Mat {
+	c := NewMat(a.N)
+	for i, v := range a.Data {
+		c.Data[i] = v - b.Data[i]
+	}
+	return c
+}
+
+// MatEqual reports whether a and b agree within tol elementwise.
+func MatEqual(a, b Mat, tol float64) bool {
+	if a.N != b.N {
+		return false
+	}
+	for i, v := range a.Data {
+		d := v - b.Data[i]
+		if d < -tol || d > tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,93 @@
+package dp
+
+// This file holds the degenerate one-dimensional DPs of §4.3: "in certain
+// cases, such as one dimensional dynamic programming, the DAG is a path and
+// hence there is no speedup possible". Experiment E9 runs them through the
+// same framework as the 2-D problems and verifies the predicted flat
+// speedup.
+
+// PrefixSumSpec is the pure path DAG: cell i depends only on cell i-1 and
+// accumulates Data[i]. Longest chain = number of cells; every antichain is a
+// singleton.
+type PrefixSumSpec struct {
+	Data []int64
+}
+
+// NewPrefixSum returns the spec over the given values.
+func NewPrefixSum(data []int64) *PrefixSumSpec { return &PrefixSumSpec{Data: data} }
+
+// Cells returns len(Data).
+func (s *PrefixSumSpec) Cells() int { return len(s.Data) }
+
+// Deps lists the predecessor cell.
+func (s *PrefixSumSpec) Deps(v int, buf []int) []int {
+	if v > 0 {
+		buf = append(buf, v-1)
+	}
+	return buf
+}
+
+// Compute accumulates the running sum.
+func (s *PrefixSumSpec) Compute(v int, get func(int) int64) int64 {
+	if v == 0 {
+		return s.Data[0]
+	}
+	return get(v-1) + s.Data[v]
+}
+
+// Cost charges one unit per cell.
+func (s *PrefixSumSpec) Cost(int) int64 { return 1 }
+
+// FibSpec is the Fibonacci recurrence F(i) = F(i-1) + F(i-2) (mod 2^62 to
+// avoid overflow for large indices): almost a path — cell i and cell i+1 are
+// always comparable, so the longest chain still equals the cell count.
+type FibSpec struct {
+	N int
+}
+
+// NewFib returns the spec computing F(0..n).
+func NewFib(n int) *FibSpec {
+	if n < 0 {
+		panic("dp: negative Fibonacci index")
+	}
+	return &FibSpec{N: n}
+}
+
+const fibMod = int64(1) << 62
+
+// Cells returns N+1.
+func (s *FibSpec) Cells() int { return s.N + 1 }
+
+// Deps lists i-1 and i-2.
+func (s *FibSpec) Deps(v int, buf []int) []int {
+	if v >= 1 {
+		buf = append(buf, v-1)
+	}
+	if v >= 2 {
+		buf = append(buf, v-2)
+	}
+	return buf
+}
+
+// Compute evaluates the recurrence.
+func (s *FibSpec) Compute(v int, get func(int) int64) int64 {
+	if v < 2 {
+		return int64(v)
+	}
+	return (get(v-1) + get(v-2)) % fibMod
+}
+
+// Cost charges one unit per cell.
+func (s *FibSpec) Cost(int) int64 { return 1 }
+
+// Fib is the direct sequential oracle (same modulus).
+func Fib(n int) int64 {
+	if n < 2 {
+		return int64(n)
+	}
+	a, b := int64(0), int64(1)
+	for i := 2; i <= n; i++ {
+		a, b = b, (a+b)%fibMod
+	}
+	return b
+}

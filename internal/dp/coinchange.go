@@ -1,0 +1,160 @@
+package dp
+
+import "math"
+
+// CoinChangeSpec is the minimum-coins DP: cell a is the fewest coins summing
+// to amount a (or Unreachable). Like rod cutting it is a chain poset — every
+// amount depends on smaller amounts — but with fan-in bounded by the number
+// of denominations rather than growing with n, separating the "chain because
+// of one long dependency" geometry from rod cutting's "chain because of full
+// fan-in" in the antichain analyses.
+type CoinChangeSpec struct {
+	Coins  []int
+	Amount int
+}
+
+// Unreachable marks amounts no coin combination can reach.
+const Unreachable = int64(math.MaxInt64 / 2)
+
+// NewCoinChange returns the spec for the given denominations and target.
+func NewCoinChange(coins []int, amount int) *CoinChangeSpec {
+	if len(coins) == 0 || amount < 0 {
+		panic("dp: coin change needs coins and a non-negative amount")
+	}
+	for _, c := range coins {
+		if c <= 0 {
+			panic("dp: non-positive coin denomination")
+		}
+	}
+	return &CoinChangeSpec{Coins: coins, Amount: amount}
+}
+
+// Cells returns Amount+1.
+func (s *CoinChangeSpec) Cells() int { return s.Amount + 1 }
+
+// Deps lists a−c for every denomination c ≤ a.
+func (s *CoinChangeSpec) Deps(v int, buf []int) []int {
+	for _, c := range s.Coins {
+		if c <= v {
+			buf = append(buf, v-c)
+		}
+	}
+	return buf
+}
+
+// Compute evaluates 1 + min over reachable predecessors.
+func (s *CoinChangeSpec) Compute(v int, get func(int) int64) int64 {
+	if v == 0 {
+		return 0
+	}
+	best := Unreachable
+	for _, c := range s.Coins {
+		if c <= v {
+			if r := get(v - c); r+1 < best {
+				best = r + 1
+			}
+		}
+	}
+	return best
+}
+
+// Cost charges the denomination loop.
+func (s *CoinChangeSpec) Cost(int) int64 { return int64(len(s.Coins)) }
+
+// Min extracts the answer for the full amount; -1 if unreachable.
+func (s *CoinChangeSpec) Min(vals []int64) int64 {
+	v := vals[s.Amount]
+	if v >= Unreachable {
+		return -1
+	}
+	return v
+}
+
+// CoinChange is the direct sequential oracle (-1 if unreachable).
+func CoinChange(coins []int, amount int) int64 {
+	dp := make([]int64, amount+1)
+	for a := 1; a <= amount; a++ {
+		best := Unreachable
+		for _, c := range coins {
+			if c <= a && dp[a-c]+1 < best {
+				best = dp[a-c] + 1
+			}
+		}
+		dp[a] = best
+	}
+	if dp[amount] >= Unreachable {
+		return -1
+	}
+	return dp[amount]
+}
+
+// LongestCommonSubstringSpec is the contiguous-match variant of LCS: cell
+// (i,j) holds the length of the longest common suffix of A[:i] and B[:j];
+// the answer is the table maximum. Its dependency DAG is the sparsest of the
+// 2-D family — each cell reads only its diagonal predecessor — giving
+// anti-diagonal antichains with unit fan-in.
+type LongestCommonSubstringSpec struct {
+	A, B       string
+	rows, cols int
+}
+
+// NewLongestCommonSubstring returns the spec for strings a and b.
+func NewLongestCommonSubstring(a, b string) *LongestCommonSubstringSpec {
+	return &LongestCommonSubstringSpec{A: a, B: b, rows: len(a) + 1, cols: len(b) + 1}
+}
+
+// Cells returns (len(A)+1)·(len(B)+1).
+func (s *LongestCommonSubstringSpec) Cells() int { return s.rows * s.cols }
+
+// Deps lists the diagonal predecessor on a character match.
+func (s *LongestCommonSubstringSpec) Deps(v int, buf []int) []int {
+	i, j := v/s.cols, v%s.cols
+	if i > 0 && j > 0 && s.A[i-1] == s.B[j-1] {
+		buf = append(buf, v-s.cols-1)
+	}
+	return buf
+}
+
+// Compute evaluates the common-suffix recurrence.
+func (s *LongestCommonSubstringSpec) Compute(v int, get func(int) int64) int64 {
+	i, j := v/s.cols, v%s.cols
+	if i == 0 || j == 0 || s.A[i-1] != s.B[j-1] {
+		return 0
+	}
+	return get(v-s.cols-1) + 1
+}
+
+// Cost charges one unit per cell.
+func (s *LongestCommonSubstringSpec) Cost(int) int64 { return 1 }
+
+// Longest extracts the table maximum: the longest common substring length.
+func (s *LongestCommonSubstringSpec) Longest(vals []int64) int64 {
+	var best int64
+	for _, v := range vals {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// LongestCommonSubstring is the direct sequential oracle.
+func LongestCommonSubstring(a, b string) int64 {
+	prev := make([]int64, len(b)+1)
+	cur := make([]int64, len(b)+1)
+	var best int64
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+				if cur[j] > best {
+					best = cur[j]
+				}
+			} else {
+				cur[j] = 0
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return best
+}

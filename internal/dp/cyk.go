@@ -1,0 +1,138 @@
+package dp
+
+// CYKSpec is the Cocke–Younger–Kasami parser for grammars in Chomsky normal
+// form, expressed as an interval DP whose cell values are bitmasks of
+// nonterminals deriving the substring. It is the string-family member of
+// §4.2's problem catalogue (string editing and "other related problems" in
+// Apostolico et al.'s study); its dependency structure matches matrix chain
+// while the cell computation is boolean.
+type Grammar struct {
+	// NumNT is the number of nonterminals, at most 63; nonterminal 0 is
+	// the start symbol.
+	NumNT int
+	// Terminal[c] is the bitmask of nonterminals with rule A → c.
+	Terminal map[byte]uint64
+	// Binary lists rules A → B C.
+	Binary []BinaryRule
+}
+
+// BinaryRule is a CNF production A → B C.
+type BinaryRule struct{ A, B, C int }
+
+// CYKSpec parses Input under Grammar.
+type CYKSpec struct {
+	G     Grammar
+	Input string
+	ix    *intervalIndex
+}
+
+// NewCYK returns the spec for parsing input under g.
+func NewCYK(g Grammar, input string) *CYKSpec {
+	if g.NumNT < 1 || g.NumNT > 63 {
+		panic("dp: CYK supports 1..63 nonterminals")
+	}
+	if len(input) == 0 {
+		panic("dp: CYK needs non-empty input")
+	}
+	return &CYKSpec{G: g, Input: input, ix: newIntervalIndex(len(input))}
+}
+
+// Cells returns n(n+1)/2 substring cells.
+func (s *CYKSpec) Cells() int { return s.ix.cells() }
+
+// Deps lists both halves of every split of the substring.
+func (s *CYKSpec) Deps(v int, buf []int) []int {
+	i, j := s.ix.interval(v)
+	for k := i; k < j; k++ {
+		buf = append(buf, s.ix.id(i, k), s.ix.id(k+1, j))
+	}
+	return buf
+}
+
+// Compute returns the bitmask of nonterminals deriving Input[i..j].
+func (s *CYKSpec) Compute(v int, get func(int) int64) int64 {
+	i, j := s.ix.interval(v)
+	if i == j {
+		return int64(s.G.Terminal[s.Input[i]])
+	}
+	var mask uint64
+	for k := i; k < j; k++ {
+		left := uint64(get(s.ix.id(i, k)))
+		right := uint64(get(s.ix.id(k+1, j)))
+		if left == 0 || right == 0 {
+			continue
+		}
+		for _, r := range s.G.Binary {
+			if left&(1<<uint(r.B)) != 0 && right&(1<<uint(r.C)) != 0 {
+				mask |= 1 << uint(r.A)
+			}
+		}
+	}
+	return int64(mask)
+}
+
+// Cost charges one unit per split point times the rule count.
+func (s *CYKSpec) Cost(v int) int64 {
+	i, j := s.ix.interval(v)
+	if i == j {
+		return 1
+	}
+	return int64(j-i) * int64(len(s.G.Binary))
+}
+
+// Accepts reports whether the start symbol derives the whole input, given a
+// computed table.
+func (s *CYKSpec) Accepts(vals []int64) bool {
+	full := vals[s.ix.id(0, len(s.Input)-1)]
+	return uint64(full)&1 != 0
+}
+
+// CYK is the direct O(n³·|rules|) sequential oracle.
+func CYK(g Grammar, input string) bool {
+	n := len(input)
+	tab := make([][]uint64, n)
+	for i := range tab {
+		tab[i] = make([]uint64, n)
+		tab[i][i] = g.Terminal[input[i]]
+	}
+	for l := 1; l < n; l++ {
+		for i := 0; i+l < n; i++ {
+			j := i + l
+			var mask uint64
+			for k := i; k < j; k++ {
+				left, right := tab[i][k], tab[k+1][j]
+				if left == 0 || right == 0 {
+					continue
+				}
+				for _, r := range g.Binary {
+					if left&(1<<uint(r.B)) != 0 && right&(1<<uint(r.C)) != 0 {
+						mask |= 1 << uint(r.A)
+					}
+				}
+			}
+			tab[i][j] = mask
+		}
+	}
+	return tab[0][n-1]&1 != 0
+}
+
+// BalancedParens returns a CNF grammar for the Dyck language of balanced
+// '(' ')' strings (of length >= 2), used by the tests and examples.
+//
+// Nonterminals: S=0 (start), L=1 ('('), R=2 (')'), X=3 (S·R helper),
+// with rules S→LR, S→LX, S→SS, X→SR.
+func BalancedParens() Grammar {
+	return Grammar{
+		NumNT: 4,
+		Terminal: map[byte]uint64{
+			'(': 1 << 1,
+			')': 1 << 2,
+		},
+		Binary: []BinaryRule{
+			{A: 0, B: 1, C: 2}, // S → L R
+			{A: 0, B: 1, C: 3}, // S → L X
+			{A: 0, B: 0, C: 0}, // S → S S
+			{A: 3, B: 0, C: 2}, // X → S R
+		},
+	}
+}

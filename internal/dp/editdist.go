@@ -1,0 +1,171 @@
+package dp
+
+// EditDistanceSpec is the Levenshtein distance DP over the (len(A)+1) ×
+// (len(B)+1) table: the prototypical two-dimensional DP of §4.3, whose
+// dependency DAG has the anti-diagonals as antichains ("most common examples
+// of two dimensional tables ... there is row, column or diagonal order which
+// allows for a high degree of parallelism").
+type EditDistanceSpec struct {
+	A, B       string
+	rows, cols int
+}
+
+// NewEditDistance returns the spec for strings a and b.
+func NewEditDistance(a, b string) *EditDistanceSpec {
+	return &EditDistanceSpec{A: a, B: b, rows: len(a) + 1, cols: len(b) + 1}
+}
+
+// Cells returns (len(A)+1)·(len(B)+1).
+func (s *EditDistanceSpec) Cells() int { return s.rows * s.cols }
+
+// Deps lists the up, left and diagonal neighbours.
+func (s *EditDistanceSpec) Deps(v int, buf []int) []int {
+	i, j := v/s.cols, v%s.cols
+	if i > 0 {
+		buf = append(buf, v-s.cols)
+	}
+	if j > 0 {
+		buf = append(buf, v-1)
+	}
+	if i > 0 && j > 0 {
+		buf = append(buf, v-s.cols-1)
+	}
+	return buf
+}
+
+// Compute evaluates the Levenshtein recurrence at cell v.
+func (s *EditDistanceSpec) Compute(v int, get func(int) int64) int64 {
+	i, j := v/s.cols, v%s.cols
+	switch {
+	case i == 0:
+		return int64(j)
+	case j == 0:
+		return int64(i)
+	}
+	sub := get(v - s.cols - 1)
+	if s.A[i-1] != s.B[j-1] {
+		sub++
+	}
+	del := get(v-s.cols) + 1
+	ins := get(v-1) + 1
+	best := sub
+	if del < best {
+		best = del
+	}
+	if ins < best {
+		best = ins
+	}
+	return best
+}
+
+// Cost charges one unit per cell.
+func (s *EditDistanceSpec) Cost(int) int64 { return 1 }
+
+// Distance extracts the final answer from a computed table.
+func (s *EditDistanceSpec) Distance(vals []int64) int64 {
+	return vals[len(vals)-1]
+}
+
+// EditDistance is the direct two-row sequential oracle.
+func EditDistance(a, b string) int64 {
+	prev := make([]int64, len(b)+1)
+	cur := make([]int64, len(b)+1)
+	for j := range prev {
+		prev[j] = int64(j)
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = int64(i)
+		for j := 1; j <= len(b); j++ {
+			sub := prev[j-1]
+			if a[i-1] != b[j-1] {
+				sub++
+			}
+			best := sub
+			if d := prev[j] + 1; d < best {
+				best = d
+			}
+			if d := cur[j-1] + 1; d < best {
+				best = d
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// LCSSpec is the longest-common-subsequence DP: identical table shape to
+// edit distance with a max-recurrence instead of min.
+type LCSSpec struct {
+	A, B       string
+	rows, cols int
+}
+
+// NewLCS returns the spec for strings a and b.
+func NewLCS(a, b string) *LCSSpec {
+	return &LCSSpec{A: a, B: b, rows: len(a) + 1, cols: len(b) + 1}
+}
+
+// Cells returns (len(A)+1)·(len(B)+1).
+func (s *LCSSpec) Cells() int { return s.rows * s.cols }
+
+// Deps lists the up, left and diagonal neighbours.
+func (s *LCSSpec) Deps(v int, buf []int) []int {
+	i, j := v/s.cols, v%s.cols
+	if i > 0 && j > 0 {
+		buf = append(buf, v-s.cols-1)
+	}
+	if i > 0 {
+		buf = append(buf, v-s.cols)
+	}
+	if j > 0 {
+		buf = append(buf, v-1)
+	}
+	return buf
+}
+
+// Compute evaluates the LCS recurrence at cell v.
+func (s *LCSSpec) Compute(v int, get func(int) int64) int64 {
+	i, j := v/s.cols, v%s.cols
+	if i == 0 || j == 0 {
+		return 0
+	}
+	if s.A[i-1] == s.B[j-1] {
+		return get(v-s.cols-1) + 1
+	}
+	up := get(v - s.cols)
+	left := get(v - 1)
+	if up > left {
+		return up
+	}
+	return left
+}
+
+// Cost charges one unit per cell.
+func (s *LCSSpec) Cost(int) int64 { return 1 }
+
+// Length extracts the final answer from a computed table.
+func (s *LCSSpec) Length(vals []int64) int64 { return vals[len(vals)-1] }
+
+// LCS is the direct sequential oracle.
+func LCS(a, b string) int64 {
+	prev := make([]int64, len(b)+1)
+	cur := make([]int64, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			switch {
+			case a[i-1] == b[j-1]:
+				cur[j] = prev[j-1] + 1
+			case prev[j] >= cur[j-1]:
+				cur[j] = prev[j]
+			default:
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+		for j := range cur {
+			cur[j] = 0
+		}
+	}
+	return prev[len(b)]
+}

@@ -1,0 +1,110 @@
+package dp
+
+// FloydWarshallSpec is all-pairs shortest paths as an explicit 3-D DP:
+// cell (k,i,j) is the shortest i→j distance using intermediate vertices
+// < k. Layer k is a full n×n antichain (every cell of layer k depends only
+// on layer k-1), so the DAG's longest chain has exactly n+1 layers — the
+// canonical example of a d-dimensional table (d = 3) from §4.4 with m = 3.
+//
+// Inf encodes "no edge"; the spec saturates additions so Inf never
+// overflows.
+type FloydWarshallSpec struct {
+	N      int
+	Adj    []int64 // n×n row-major edge weights, Inf for absent edges
+	layers int
+}
+
+// Inf is the missing-edge marker. Values must stay below Inf/2 to avoid
+// saturation artifacts.
+const Inf = int64(1) << 60
+
+// NewFloydWarshall returns the spec for the given adjacency matrix (n×n
+// row-major; diagonal entries are forced to 0).
+func NewFloydWarshall(n int, adj []int64) *FloydWarshallSpec {
+	if len(adj) != n*n {
+		panic("dp: adjacency matrix size mismatch")
+	}
+	a := append([]int64(nil), adj...)
+	for i := 0; i < n; i++ {
+		a[i*n+i] = 0
+	}
+	return &FloydWarshallSpec{N: n, Adj: a, layers: n + 1}
+}
+
+// Cells returns (n+1)·n².
+func (s *FloydWarshallSpec) Cells() int { return s.layers * s.N * s.N }
+
+func (s *FloydWarshallSpec) decode(v int) (k, i, j int) {
+	n := s.N
+	k = v / (n * n)
+	r := v % (n * n)
+	return k, r / n, r % n
+}
+
+// Deps lists (k-1,i,j), (k-1,i,k-1) and (k-1,k-1,j) for k > 0.
+func (s *FloydWarshallSpec) Deps(v int, buf []int) []int {
+	k, i, j := s.decode(v)
+	if k == 0 {
+		return buf
+	}
+	n := s.N
+	base := (k - 1) * n * n
+	buf = append(buf, base+i*n+j)
+	if d := base + i*n + (k - 1); d != base+i*n+j {
+		buf = append(buf, d)
+	}
+	if d := base + (k-1)*n + j; d != base+i*n+j && d != base+i*n+(k-1) {
+		buf = append(buf, d)
+	}
+	return buf
+}
+
+// Compute evaluates min(d, through) with saturating addition.
+func (s *FloydWarshallSpec) Compute(v int, get func(int) int64) int64 {
+	k, i, j := s.decode(v)
+	n := s.N
+	if k == 0 {
+		return s.Adj[i*n+j]
+	}
+	base := (k - 1) * n * n
+	d := get(base + i*n + j)
+	a := get(base + i*n + (k - 1))
+	b := get(base + (k-1)*n + j)
+	if a < Inf && b < Inf && a+b < d {
+		d = a + b
+	}
+	return d
+}
+
+// Cost charges one unit per cell.
+func (s *FloydWarshallSpec) Cost(int) int64 { return 1 }
+
+// Dist extracts the final distance matrix (layer n) from a computed table.
+func (s *FloydWarshallSpec) Dist(vals []int64) []int64 {
+	n := s.N
+	out := make([]int64, n*n)
+	copy(out, vals[(s.layers-1)*n*n:])
+	return out
+}
+
+// FloydWarshall is the classic in-place O(n³) sequential oracle.
+func FloydWarshall(n int, adj []int64) []int64 {
+	d := append([]int64(nil), adj...)
+	for i := 0; i < n; i++ {
+		d[i*n+i] = 0
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			dik := d[i*n+k]
+			if dik >= Inf {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if dkj := d[k*n+j]; dkj < Inf && dik+dkj < d[i*n+j] {
+					d[i*n+j] = dik + dkj
+				}
+			}
+		}
+	}
+	return d
+}

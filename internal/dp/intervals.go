@@ -1,0 +1,47 @@
+package dp
+
+// intervalIndex packs the upper-triangular cell set {(i,j) : 0 ≤ i ≤ j < n}
+// of an interval DP (matrix chain, optimal BST) into contiguous ids ordered
+// by interval length. Length-major order makes the natural id order a
+// topological order and makes the Mirsky antichains exactly the length
+// diagonals, which the experiments assert.
+type intervalIndex struct {
+	n     int
+	start []int // start[l] = first id of intervals with j-i == l
+	iOf   []int32
+	jOf   []int32
+}
+
+func newIntervalIndex(n int) *intervalIndex {
+	ix := &intervalIndex{
+		n:     n,
+		start: make([]int, n+1),
+		iOf:   make([]int32, n*(n+1)/2),
+		jOf:   make([]int32, n*(n+1)/2),
+	}
+	id := 0
+	for l := 0; l < n; l++ {
+		ix.start[l] = id
+		for i := 0; i+l < n; i++ {
+			ix.iOf[id] = int32(i)
+			ix.jOf[id] = int32(i + l)
+			id++
+		}
+	}
+	ix.start[n] = id
+	return ix
+}
+
+// cells returns the number of packed cells, n(n+1)/2.
+func (ix *intervalIndex) cells() int { return len(ix.iOf) }
+
+// id returns the packed id of interval (i, j).
+func (ix *intervalIndex) id(i, j int) int {
+	l := j - i
+	return ix.start[l] + i
+}
+
+// interval returns (i, j) for a packed id.
+func (ix *intervalIndex) interval(id int) (i, j int) {
+	return int(ix.iOf[id]), int(ix.jOf[id])
+}

@@ -1,0 +1,78 @@
+package dp
+
+// KnapsackSpec is the 0/1 knapsack DP over the (n+1) × (W+1) table:
+// cell (i,w) is the best value achievable with the first i items and
+// capacity w. Rows are antichains (every cell of row i depends only on row
+// i-1), so the DAG parallelizes perfectly within rows — a different
+// antichain geometry from the diagonal family, which the experiments use to
+// show the framework does not care which geometry a problem exhibits.
+type KnapsackSpec struct {
+	Weights, Values []int
+	W               int
+	cols            int
+}
+
+// NewKnapsack returns the spec for the given items and capacity.
+func NewKnapsack(weights, values []int, capacity int) *KnapsackSpec {
+	if len(weights) != len(values) {
+		panic("dp: knapsack weights/values length mismatch")
+	}
+	if capacity < 0 {
+		panic("dp: negative knapsack capacity")
+	}
+	return &KnapsackSpec{
+		Weights: weights, Values: values, W: capacity, cols: capacity + 1,
+	}
+}
+
+// Cells returns (n+1)·(W+1).
+func (s *KnapsackSpec) Cells() int { return (len(s.Weights) + 1) * s.cols }
+
+// Deps lists the skip cell (i-1, w) and, if the item fits, the take cell
+// (i-1, w-weight).
+func (s *KnapsackSpec) Deps(v int, buf []int) []int {
+	i, w := v/s.cols, v%s.cols
+	if i == 0 {
+		return buf
+	}
+	buf = append(buf, v-s.cols)
+	if wt := s.Weights[i-1]; wt <= w {
+		buf = append(buf, v-s.cols-wt)
+	}
+	return buf
+}
+
+// Compute evaluates max(skip, take + value).
+func (s *KnapsackSpec) Compute(v int, get func(int) int64) int64 {
+	i, w := v/s.cols, v%s.cols
+	if i == 0 {
+		return 0
+	}
+	best := get(v - s.cols)
+	if wt := s.Weights[i-1]; wt <= w {
+		if take := get(v-s.cols-wt) + int64(s.Values[i-1]); take > best {
+			best = take
+		}
+	}
+	return best
+}
+
+// Cost charges one unit per cell.
+func (s *KnapsackSpec) Cost(int) int64 { return 1 }
+
+// Best extracts the answer from a computed table.
+func (s *KnapsackSpec) Best(vals []int64) int64 { return vals[len(vals)-1] }
+
+// Knapsack is the direct single-row sequential oracle.
+func Knapsack(weights, values []int, capacity int) int64 {
+	row := make([]int64, capacity+1)
+	for i, wt := range weights {
+		val := int64(values[i])
+		for w := capacity; w >= wt; w-- {
+			if take := row[w-wt] + val; take > row[w] {
+				row[w] = take
+			}
+		}
+	}
+	return row[capacity]
+}

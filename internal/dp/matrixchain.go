@@ -1,0 +1,94 @@
+package dp
+
+import "math"
+
+// MatrixChainSpec is the optimal matrix-chain-ordering DP — one of the three
+// problems Bradford's parallel-DP work (cited in §4.2) targets. Cell (i,j)
+// holds the minimum scalar-multiplication cost of computing the product
+// A_i···A_j; dims has length n+1 with A_k of size dims[k]×dims[k+1].
+// Antichains of the dependency DAG are the interval-length diagonals.
+type MatrixChainSpec struct {
+	Dims []int
+	ix   *intervalIndex
+}
+
+// NewMatrixChain returns the spec for the given dimension vector
+// (len(dims) >= 2).
+func NewMatrixChain(dims []int) *MatrixChainSpec {
+	if len(dims) < 2 {
+		panic("dp: matrix chain needs at least one matrix")
+	}
+	return &MatrixChainSpec{Dims: dims, ix: newIntervalIndex(len(dims) - 1)}
+}
+
+// Cells returns n(n+1)/2 packed interval cells.
+func (s *MatrixChainSpec) Cells() int { return s.ix.cells() }
+
+// Deps lists both halves of every split point.
+func (s *MatrixChainSpec) Deps(v int, buf []int) []int {
+	i, j := s.ix.interval(v)
+	for k := i; k < j; k++ {
+		buf = append(buf, s.ix.id(i, k), s.ix.id(k+1, j))
+	}
+	return buf
+}
+
+// Compute evaluates min over split points k of M[i,k] + M[k+1,j] +
+// dims[i]·dims[k+1]·dims[j+1].
+func (s *MatrixChainSpec) Compute(v int, get func(int) int64) int64 {
+	i, j := s.ix.interval(v)
+	if i == j {
+		return 0
+	}
+	best := int64(math.MaxInt64)
+	di := int64(s.Dims[i])
+	dj := int64(s.Dims[j+1])
+	for k := i; k < j; k++ {
+		c := get(s.ix.id(i, k)) + get(s.ix.id(k+1, j)) + di*int64(s.Dims[k+1])*dj
+		if c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+// Cost charges the split-loop length (at least one unit).
+func (s *MatrixChainSpec) Cost(v int) int64 {
+	i, j := s.ix.interval(v)
+	if j == i {
+		return 1
+	}
+	return int64(j - i)
+}
+
+// OptimalCost extracts the full-chain answer from a computed table.
+func (s *MatrixChainSpec) OptimalCost(vals []int64) int64 {
+	return vals[s.ix.id(0, len(s.Dims)-2)]
+}
+
+// MatrixChain is the direct O(n³) sequential oracle.
+func MatrixChain(dims []int) int64 {
+	n := len(dims) - 1
+	if n < 1 {
+		panic("dp: matrix chain needs at least one matrix")
+	}
+	m := make([][]int64, n)
+	for i := range m {
+		m[i] = make([]int64, n)
+	}
+	for l := 1; l < n; l++ {
+		for i := 0; i+l < n; i++ {
+			j := i + l
+			best := int64(math.MaxInt64)
+			for k := i; k < j; k++ {
+				c := m[i][k] + m[k+1][j] +
+					int64(dims[i])*int64(dims[k+1])*int64(dims[j+1])
+				if c < best {
+					best = c
+				}
+			}
+			m[i][j] = best
+		}
+	}
+	return m[0][n-1]
+}

@@ -1,0 +1,362 @@
+package dp
+
+import "math"
+
+// This file extends the §4.2 problem catalogue with DPs whose dependency
+// geometries differ from the diagonal/row/interval families already covered:
+//
+//   - LIS: triangular dependencies (cell i reads all j < i with a guard),
+//     a wide-fan-in DAG whose antichain structure depends on the data;
+//   - LPS (longest palindromic subsequence): an interval DP with constant
+//     fan-in, contrasting matrix chain's linear fan-in;
+//   - RodCutting: a chain with full fan-in — maximal m per cell, the
+//     worst case for §4.6's counter-update accounting;
+//   - Viterbi: a layered trellis (one antichain per observation step),
+//     the standard HMM decoding workload.
+
+// LISSpec is the O(n²) longest-increasing-subsequence DP: cell i holds the
+// length of the longest increasing subsequence ending at element i.
+type LISSpec struct {
+	Data []int
+}
+
+// NewLIS returns the spec over the given sequence.
+func NewLIS(data []int) *LISSpec { return &LISSpec{Data: data} }
+
+// Cells returns len(Data).
+func (s *LISSpec) Cells() int { return len(s.Data) }
+
+// Deps lists every earlier index with a smaller value. (Dependencies could
+// be pruned to the guard-passing subset, but the paper's construction wires
+// the recurrence as written; the scheduler tolerates over-approximation.)
+func (s *LISSpec) Deps(v int, buf []int) []int {
+	for j := 0; j < v; j++ {
+		if s.Data[j] < s.Data[v] {
+			buf = append(buf, j)
+		}
+	}
+	return buf
+}
+
+// Compute evaluates 1 + max over qualifying predecessors.
+func (s *LISSpec) Compute(v int, get func(int) int64) int64 {
+	best := int64(0)
+	for j := 0; j < v; j++ {
+		if s.Data[j] < s.Data[v] {
+			if l := get(j); l > best {
+				best = l
+			}
+		}
+	}
+	return best + 1
+}
+
+// Cost charges the predecessor scan.
+func (s *LISSpec) Cost(v int) int64 {
+	if v == 0 {
+		return 1
+	}
+	return int64(v)
+}
+
+// Length extracts the LIS length from a computed table.
+func (s *LISSpec) Length(vals []int64) int64 {
+	var best int64
+	for _, v := range vals {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// LIS is the direct O(n²) sequential oracle.
+func LIS(data []int) int64 {
+	if len(data) == 0 {
+		return 0
+	}
+	dp := make([]int64, len(data))
+	var best int64
+	for i := range data {
+		dp[i] = 1
+		for j := 0; j < i; j++ {
+			if data[j] < data[i] && dp[j]+1 > dp[i] {
+				dp[i] = dp[j] + 1
+			}
+		}
+		if dp[i] > best {
+			best = dp[i]
+		}
+	}
+	return best
+}
+
+// LPSSpec is the longest-palindromic-subsequence interval DP: cell (i,j)
+// holds the LPS length of s[i..j]; fan-in is at most three.
+type LPSSpec struct {
+	S  string
+	ix *intervalIndex
+}
+
+// NewLPS returns the spec for s (non-empty).
+func NewLPS(s string) *LPSSpec {
+	if len(s) == 0 {
+		panic("dp: LPS needs a non-empty string")
+	}
+	return &LPSSpec{S: s, ix: newIntervalIndex(len(s))}
+}
+
+// Cells returns n(n+1)/2.
+func (s *LPSSpec) Cells() int { return s.ix.cells() }
+
+// Deps lists (i+1,j), (i,j-1) and, on a character match, (i+1,j-1).
+func (s *LPSSpec) Deps(v int, buf []int) []int {
+	i, j := s.ix.interval(v)
+	if i == j {
+		return buf
+	}
+	if s.S[i] == s.S[j] {
+		if i+1 <= j-1 {
+			buf = append(buf, s.ix.id(i+1, j-1))
+		}
+		return buf
+	}
+	buf = append(buf, s.ix.id(i+1, j), s.ix.id(i, j-1))
+	return buf
+}
+
+// Compute evaluates the palindromic recurrence.
+func (s *LPSSpec) Compute(v int, get func(int) int64) int64 {
+	i, j := s.ix.interval(v)
+	if i == j {
+		return 1
+	}
+	if s.S[i] == s.S[j] {
+		if i+1 > j-1 {
+			return 2
+		}
+		return get(s.ix.id(i+1, j-1)) + 2
+	}
+	a := get(s.ix.id(i+1, j))
+	b := get(s.ix.id(i, j-1))
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Cost charges one unit per cell.
+func (s *LPSSpec) Cost(int) int64 { return 1 }
+
+// Length extracts the full-string answer from a computed table.
+func (s *LPSSpec) Length(vals []int64) int64 {
+	return vals[s.ix.id(0, len(s.S)-1)]
+}
+
+// LPS is the direct O(n²) sequential oracle.
+func LPS(str string) int64 {
+	n := len(str)
+	if n == 0 {
+		return 0
+	}
+	tab := make([][]int64, n)
+	for i := range tab {
+		tab[i] = make([]int64, n)
+		tab[i][i] = 1
+	}
+	for l := 1; l < n; l++ {
+		for i := 0; i+l < n; i++ {
+			j := i + l
+			switch {
+			case str[i] == str[j] && l == 1:
+				tab[i][j] = 2
+			case str[i] == str[j]:
+				tab[i][j] = tab[i+1][j-1] + 2
+			case tab[i+1][j] >= tab[i][j-1]:
+				tab[i][j] = tab[i+1][j]
+			default:
+				tab[i][j] = tab[i][j-1]
+			}
+		}
+	}
+	return tab[0][n-1]
+}
+
+// RodCuttingSpec is the rod-cutting DP: cell l holds the best revenue for a
+// rod of length l given Prices[k] for a piece of length k+1. Cell l depends
+// on every shorter cell — a chain poset with maximal fan-in, the stress case
+// for counter updates (§4.6): m grows with n while the parallelism stays 1.
+type RodCuttingSpec struct {
+	Prices []int
+}
+
+// NewRodCutting returns the spec for rods up to len(prices).
+func NewRodCutting(prices []int) *RodCuttingSpec {
+	if len(prices) == 0 {
+		panic("dp: rod cutting needs at least one price")
+	}
+	return &RodCuttingSpec{Prices: prices}
+}
+
+// Cells returns len(Prices)+1 (lengths 0..n).
+func (s *RodCuttingSpec) Cells() int { return len(s.Prices) + 1 }
+
+// Deps lists all shorter lengths.
+func (s *RodCuttingSpec) Deps(v int, buf []int) []int {
+	for j := 0; j < v; j++ {
+		buf = append(buf, j)
+	}
+	return buf
+}
+
+// Compute maximizes price[k] + best(l-k-1) over first-cut sizes.
+func (s *RodCuttingSpec) Compute(v int, get func(int) int64) int64 {
+	if v == 0 {
+		return 0
+	}
+	best := int64(math.MinInt64)
+	for k := 1; k <= v; k++ {
+		if r := int64(s.Prices[k-1]) + get(v-k); r > best {
+			best = r
+		}
+	}
+	return best
+}
+
+// Cost charges the cut loop.
+func (s *RodCuttingSpec) Cost(v int) int64 {
+	if v == 0 {
+		return 1
+	}
+	return int64(v)
+}
+
+// Best extracts the full-length revenue from a computed table.
+func (s *RodCuttingSpec) Best(vals []int64) int64 { return vals[len(vals)-1] }
+
+// RodCutting is the direct O(n²) sequential oracle.
+func RodCutting(prices []int) int64 {
+	n := len(prices)
+	r := make([]int64, n+1)
+	for l := 1; l <= n; l++ {
+		best := int64(math.MinInt64)
+		for k := 1; k <= l; k++ {
+			if v := int64(prices[k-1]) + r[l-k]; v > best {
+				best = v
+			}
+		}
+		r[l] = best
+	}
+	return r[n]
+}
+
+// HMM is a hidden Markov model with integer negative-log-probability
+// weights (min-sum semiring keeps the DP exact).
+type HMM struct {
+	States int
+	// Trans[i*States+j] is the cost of moving from state i to state j.
+	Trans []int64
+	// Emit[s*Symbols+o] is the cost of state s emitting symbol o.
+	Emit    []int64
+	Symbols int
+	// Start[s] is the cost of starting in state s.
+	Start []int64
+}
+
+// ViterbiSpec is min-cost HMM decoding as a layered trellis DP: cell (t,s)
+// is the cheapest cost of any state path explaining observations[0..t] and
+// ending in state s. Layer t is a full antichain of States cells.
+type ViterbiSpec struct {
+	M   HMM
+	Obs []int
+}
+
+// NewViterbi returns the spec decoding obs under m.
+func NewViterbi(m HMM, obs []int) *ViterbiSpec {
+	if len(obs) == 0 {
+		panic("dp: Viterbi needs at least one observation")
+	}
+	return &ViterbiSpec{M: m, Obs: obs}
+}
+
+// Cells returns len(Obs)·States.
+func (s *ViterbiSpec) Cells() int { return len(s.Obs) * s.M.States }
+
+// Deps lists every state of the previous layer.
+func (s *ViterbiSpec) Deps(v int, buf []int) []int {
+	t := v / s.M.States
+	if t == 0 {
+		return buf
+	}
+	base := (t - 1) * s.M.States
+	for j := 0; j < s.M.States; j++ {
+		buf = append(buf, base+j)
+	}
+	return buf
+}
+
+// Compute evaluates the min-sum trellis recurrence.
+func (s *ViterbiSpec) Compute(v int, get func(int) int64) int64 {
+	t := v / s.M.States
+	st := v % s.M.States
+	emit := s.M.Emit[st*s.M.Symbols+s.Obs[t]]
+	if t == 0 {
+		return s.M.Start[st] + emit
+	}
+	base := (t - 1) * s.M.States
+	best := int64(math.MaxInt64)
+	for j := 0; j < s.M.States; j++ {
+		if c := get(base+j) + s.M.Trans[j*s.M.States+st]; c < best {
+			best = c
+		}
+	}
+	return best + emit
+}
+
+// Cost charges the predecessor-state loop.
+func (s *ViterbiSpec) Cost(v int) int64 {
+	if v < s.M.States {
+		return 1
+	}
+	return int64(s.M.States)
+}
+
+// Best extracts the cheapest final cost from a computed table.
+func (s *ViterbiSpec) Best(vals []int64) int64 {
+	last := (len(s.Obs) - 1) * s.M.States
+	best := int64(math.MaxInt64)
+	for j := 0; j < s.M.States; j++ {
+		if vals[last+j] < best {
+			best = vals[last+j]
+		}
+	}
+	return best
+}
+
+// Viterbi is the direct sequential oracle.
+func Viterbi(m HMM, obs []int) int64 {
+	prev := make([]int64, m.States)
+	cur := make([]int64, m.States)
+	for s := 0; s < m.States; s++ {
+		prev[s] = m.Start[s] + m.Emit[s*m.Symbols+obs[0]]
+	}
+	for t := 1; t < len(obs); t++ {
+		for s := 0; s < m.States; s++ {
+			best := int64(math.MaxInt64)
+			for j := 0; j < m.States; j++ {
+				if c := prev[j] + m.Trans[j*m.States+s]; c < best {
+					best = c
+				}
+			}
+			cur[s] = best + m.Emit[s*m.Symbols+obs[t]]
+		}
+		prev, cur = cur, prev
+	}
+	best := int64(math.MaxInt64)
+	for _, v := range prev {
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,219 @@
+package dp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lopram/internal/workload"
+)
+
+// randomHMM builds a deterministic random model.
+func randomHMM(r *workload.RNG, states, symbols int) HMM {
+	m := HMM{
+		States:  states,
+		Symbols: symbols,
+		Trans:   make([]int64, states*states),
+		Emit:    make([]int64, states*symbols),
+		Start:   make([]int64, states),
+	}
+	for i := range m.Trans {
+		m.Trans[i] = int64(1 + r.Intn(20))
+	}
+	for i := range m.Emit {
+		m.Emit[i] = int64(1 + r.Intn(20))
+	}
+	for i := range m.Start {
+		m.Start[i] = int64(r.Intn(10))
+	}
+	return m
+}
+
+func TestLISKnownValues(t *testing.T) {
+	cases := []struct {
+		data []int
+		want int64
+	}{
+		{[]int{10, 9, 2, 5, 3, 7, 101, 18}, 4},
+		{[]int{1, 2, 3, 4}, 4},
+		{[]int{4, 3, 2, 1}, 1},
+		{[]int{7}, 1},
+		{nil, 0},
+	}
+	for _, c := range cases {
+		if got := LIS(c.data); got != c.want {
+			t.Errorf("LIS(%v) = %d, want %d", c.data, got, c.want)
+		}
+	}
+}
+
+func TestLISSpecMatchesOracle(t *testing.T) {
+	r := workload.NewRNG(1)
+	for trial := 0; trial < 10; trial++ {
+		data := workload.Ints(r, 30+r.Intn(40), 50)
+		spec := NewLIS(data)
+		vals, err := RunSeq(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := spec.Length(vals), LIS(data); got != want {
+			t.Fatalf("trial %d: spec %d, oracle %d", trial, got, want)
+		}
+		// And through Algorithm 1.
+		g := BuildGraph(spec)
+		pv, err := RunCounter(spec, g, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := spec.Length(pv); got != LIS(data) {
+			t.Fatalf("trial %d: parallel %d, oracle %d", trial, got, LIS(data))
+		}
+	}
+}
+
+func TestLPSKnownValues(t *testing.T) {
+	cases := map[string]int64{
+		"a":       1,
+		"aa":      2,
+		"ab":      1,
+		"bbbab":   4,
+		"cbbd":    2,
+		"agbdba":  5,
+		"racecar": 7,
+	}
+	for s, want := range cases {
+		if got := LPS(s); got != want {
+			t.Errorf("LPS(%q) = %d, want %d", s, got, want)
+		}
+		spec := NewLPS(s)
+		vals, err := RunSeq(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := spec.Length(vals); got != want {
+			t.Errorf("spec LPS(%q) = %d, want %d", s, got, want)
+		}
+	}
+}
+
+func TestLPSPalindromeProperty(t *testing.T) {
+	// For any s, LPS(s + reverse(s)) == len(s)*2 is false in general, but
+	// LPS of a palindrome is its length, and LPS is invariant under
+	// reversal. Check both on random strings.
+	r := workload.NewRNG(2)
+	err := quick.Check(func(seed uint16) bool {
+		rr := workload.NewRNG(uint64(seed))
+		s := workload.String(rr, 1+rr.Intn(40), 3)
+		rev := reverse(s)
+		pal := s + rev
+		if LPS(pal) < int64(len(s)) { // contains s+rev's mirrored halves
+			return false
+		}
+		return LPS(s) == LPS(rev)
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+}
+
+func reverse(s string) string {
+	b := []byte(s)
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+	return string(b)
+}
+
+func TestRodCuttingKnownValue(t *testing.T) {
+	// CLRS: prices 1,5,8,9,10,17,17,20 → r(8) = 22.
+	prices := []int{1, 5, 8, 9, 10, 17, 17, 20}
+	if got := RodCutting(prices); got != 22 {
+		t.Fatalf("RodCutting = %d, want 22", got)
+	}
+	spec := NewRodCutting(prices)
+	vals, err := RunSeq(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := spec.Best(vals); got != 22 {
+		t.Fatalf("spec RodCutting = %d, want 22", got)
+	}
+}
+
+func TestRodCuttingChainGeometry(t *testing.T) {
+	// Full fan-in chain: longest chain = cells, width 1, edges = n(n+1)/2.
+	spec := NewRodCutting(make([]int, 12))
+	g := BuildGraph(spec)
+	pr, err := g.ParallelismProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.CriticalPath != 13 || pr.MaxWidth != 1 {
+		t.Fatalf("profile = %+v, want chain", pr)
+	}
+	if g.Edges() != 13*12/2 {
+		t.Fatalf("edges = %d, want %d", g.Edges(), 13*12/2)
+	}
+}
+
+func TestViterbiMatchesOracle(t *testing.T) {
+	r := workload.NewRNG(3)
+	for trial := 0; trial < 10; trial++ {
+		states := 2 + r.Intn(6)
+		symbols := 2 + r.Intn(4)
+		m := randomHMM(r, states, symbols)
+		obs := workload.Ints(r, 5+r.Intn(30), symbols)
+		spec := NewViterbi(m, obs)
+		vals, err := RunSeq(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Viterbi(m, obs)
+		if got := spec.Best(vals); got != want {
+			t.Fatalf("trial %d: spec %d, oracle %d", trial, got, want)
+		}
+		g := BuildGraph(spec)
+		pv, err := RunCounter(spec, g, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := spec.Best(pv); got != want {
+			t.Fatalf("trial %d: parallel %d, oracle %d", trial, got, want)
+		}
+	}
+}
+
+func TestViterbiTrellisGeometry(t *testing.T) {
+	r := workload.NewRNG(4)
+	m := randomHMM(r, 5, 3)
+	obs := workload.Ints(r, 20, 3)
+	spec := NewViterbi(m, obs)
+	g := BuildGraph(spec)
+	pr, err := g.ParallelismProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.CriticalPath != 20 {
+		t.Fatalf("layers = %d, want 20 (one per observation)", pr.CriticalPath)
+	}
+	if pr.MaxWidth != 5 {
+		t.Fatalf("width = %d, want 5 (states)", pr.MaxWidth)
+	}
+}
+
+func TestNewProblemsRejectEmpty(t *testing.T) {
+	for name, f := range map[string]func(){
+		"LPS":        func() { NewLPS("") },
+		"RodCutting": func() { NewRodCutting(nil) },
+		"Viterbi":    func() { NewViterbi(HMM{States: 1, Symbols: 1}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic on empty input", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,127 @@
+package dp
+
+import "math"
+
+// OptimalBSTSpec is the optimal binary search tree DP — the second of
+// Bradford's problem family cited in §4.2. Cell (i,j) holds the minimum
+// expected search cost of a BST over keys i..j with integer access weights
+// w[i..j]; the cost recurrence is
+//
+//	c(i,j) = W(i,j) + min_{r∈[i,j]} ( c(i,r-1) + c(r+1,j) )
+//
+// with empty intervals costing 0. Like matrix chain, the antichains are the
+// interval-length diagonals but the split exposes one extra cell on each
+// side, exercising slightly different dependency indexing.
+type OptimalBSTSpec struct {
+	Weights []int
+	prefix  []int64 // prefix[i] = Σ weights[:i]
+	ix      *intervalIndex
+}
+
+// NewOptimalBST returns the spec for the given access weights (one per key).
+func NewOptimalBST(weights []int) *OptimalBSTSpec {
+	if len(weights) == 0 {
+		panic("dp: optimal BST needs at least one key")
+	}
+	prefix := make([]int64, len(weights)+1)
+	for i, w := range weights {
+		prefix[i+1] = prefix[i] + int64(w)
+	}
+	return &OptimalBSTSpec{
+		Weights: weights,
+		prefix:  prefix,
+		ix:      newIntervalIndex(len(weights)),
+	}
+}
+
+// Cells returns n(n+1)/2 packed interval cells.
+func (s *OptimalBSTSpec) Cells() int { return s.ix.cells() }
+
+// rangeWeight returns Σ weights[i..j].
+func (s *OptimalBSTSpec) rangeWeight(i, j int) int64 {
+	return s.prefix[j+1] - s.prefix[i]
+}
+
+// Deps lists the two flanking sub-intervals of every candidate root.
+func (s *OptimalBSTSpec) Deps(v int, buf []int) []int {
+	i, j := s.ix.interval(v)
+	for r := i; r <= j; r++ {
+		if r > i {
+			buf = append(buf, s.ix.id(i, r-1))
+		}
+		if r < j {
+			buf = append(buf, s.ix.id(r+1, j))
+		}
+	}
+	return buf
+}
+
+// Compute evaluates the root-choice minimum.
+func (s *OptimalBSTSpec) Compute(v int, get func(int) int64) int64 {
+	i, j := s.ix.interval(v)
+	if i == j {
+		return int64(s.Weights[i])
+	}
+	best := int64(math.MaxInt64)
+	for r := i; r <= j; r++ {
+		c := int64(0)
+		if r > i {
+			c += get(s.ix.id(i, r-1))
+		}
+		if r < j {
+			c += get(s.ix.id(r+1, j))
+		}
+		if c < best {
+			best = c
+		}
+	}
+	return best + s.rangeWeight(i, j)
+}
+
+// Cost charges the root-loop length.
+func (s *OptimalBSTSpec) Cost(v int) int64 {
+	i, j := s.ix.interval(v)
+	return int64(j - i + 1)
+}
+
+// OptimalCost extracts the whole-key-range answer from a computed table.
+func (s *OptimalBSTSpec) OptimalCost(vals []int64) int64 {
+	return vals[s.ix.id(0, len(s.Weights)-1)]
+}
+
+// OptimalBST is the direct O(n³) sequential oracle.
+func OptimalBST(weights []int) int64 {
+	n := len(weights)
+	if n == 0 {
+		panic("dp: optimal BST needs at least one key")
+	}
+	prefix := make([]int64, n+1)
+	for i, w := range weights {
+		prefix[i+1] = prefix[i] + int64(w)
+	}
+	c := make([][]int64, n)
+	for i := range c {
+		c[i] = make([]int64, n)
+		c[i][i] = int64(weights[i])
+	}
+	cost := func(i, j int) int64 {
+		if i > j {
+			return 0
+		}
+		return c[i][j]
+	}
+	for l := 1; l < n; l++ {
+		for i := 0; i+l < n; i++ {
+			j := i + l
+			best := int64(math.MaxInt64)
+			for r := i; r <= j; r++ {
+				v := cost(i, r-1) + cost(r+1, j)
+				if v < best {
+					best = v
+				}
+			}
+			c[i][j] = best + prefix[j+1] - prefix[i]
+		}
+	}
+	return c[0][n-1]
+}

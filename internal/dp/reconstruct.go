@@ -1,0 +1,221 @@
+package dp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Solution reconstruction (§4.2's step (iii): "recovery of the actual
+// solution from the computed cost together with other ancillary
+// information"). Each reconstructor walks a computed table backwards,
+// re-deriving the argmin/argmax choices — no extra state is stored during
+// the forward pass, so the parallel schedulers need no changes.
+
+// EditOp is one operation of an edit script.
+type EditOp struct {
+	// Kind is "match", "sub", "del" or "ins".
+	Kind string
+	// I and J are the positions in A and B the operation consumes
+	// (1-based; 0 when the string is not consumed).
+	I, J int
+}
+
+// EditScript reconstructs a minimal edit script from a computed
+// edit-distance table. The script length equals the distance plus the number
+// of matches, and applying it to A yields B (verified by the tests).
+func (s *EditDistanceSpec) EditScript(vals []int64) []EditOp {
+	i, j := s.rows-1, s.cols-1
+	var rev []EditOp
+	at := func(i, j int) int64 { return vals[i*s.cols+j] }
+	for i > 0 || j > 0 {
+		switch {
+		case i > 0 && j > 0 && s.A[i-1] == s.B[j-1] && at(i, j) == at(i-1, j-1):
+			rev = append(rev, EditOp{Kind: "match", I: i, J: j})
+			i, j = i-1, j-1
+		case i > 0 && j > 0 && at(i, j) == at(i-1, j-1)+1:
+			rev = append(rev, EditOp{Kind: "sub", I: i, J: j})
+			i, j = i-1, j-1
+		case i > 0 && at(i, j) == at(i-1, j)+1:
+			rev = append(rev, EditOp{Kind: "del", I: i})
+			i--
+		default:
+			rev = append(rev, EditOp{Kind: "ins", J: j})
+			j--
+		}
+	}
+	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+		rev[l], rev[r] = rev[r], rev[l]
+	}
+	return rev
+}
+
+// ApplyEditScript applies ops to a and returns the result; a convenience for
+// validating reconstructed scripts.
+func (s *EditDistanceSpec) ApplyEditScript(ops []EditOp) (string, error) {
+	var out strings.Builder
+	for _, op := range ops {
+		switch op.Kind {
+		case "match":
+			out.WriteByte(s.A[op.I-1])
+		case "sub", "ins":
+			out.WriteByte(s.B[op.J-1])
+		case "del":
+			// consumes A[op.I-1], emits nothing
+		default:
+			return "", fmt.Errorf("dp: unknown edit op %q", op.Kind)
+		}
+	}
+	return out.String(), nil
+}
+
+// Parenthesization reconstructs the optimal association order from a
+// computed matrix-chain table, e.g. "((A1 A2) A3)".
+func (s *MatrixChainSpec) Parenthesization(vals []int64) string {
+	var build func(i, j int) string
+	build = func(i, j int) string {
+		if i == j {
+			return fmt.Sprintf("A%d", i+1)
+		}
+		di := int64(s.Dims[i])
+		dj := int64(s.Dims[j+1])
+		want := vals[s.ix.id(i, j)]
+		for k := i; k < j; k++ {
+			c := vals[s.ix.id(i, k)] + vals[s.ix.id(k+1, j)] +
+				di*int64(s.Dims[k+1])*dj
+			if c == want {
+				return "(" + build(i, k) + " " + build(k+1, j) + ")"
+			}
+		}
+		// Unreachable on a consistent table.
+		panic("dp: inconsistent matrix-chain table")
+	}
+	return build(0, len(s.Dims)-2)
+}
+
+// Items reconstructs one optimal item set from a computed knapsack table,
+// returned as 0-based item indices in increasing order.
+func (s *KnapsackSpec) Items(vals []int64) []int {
+	var picked []int
+	w := s.W
+	at := func(i, w int) int64 { return vals[i*s.cols+w] }
+	for i := len(s.Weights); i > 0; i-- {
+		if at(i, w) != at(i-1, w) {
+			picked = append(picked, i-1)
+			w -= s.Weights[i-1]
+		}
+	}
+	for l, r := 0, len(picked)-1; l < r; l, r = l+1, r-1 {
+		picked[l], picked[r] = picked[r], picked[l]
+	}
+	return picked
+}
+
+// Subsequence reconstructs one longest increasing subsequence (as values)
+// from a computed LIS table.
+func (s *LISSpec) Subsequence(vals []int64) []int {
+	// Find the cell achieving the maximum, preferring the earliest.
+	best, bestIdx := int64(0), -1
+	for i, v := range vals {
+		if v > best {
+			best, bestIdx = v, i
+		}
+	}
+	if bestIdx < 0 {
+		return nil
+	}
+	var rev []int
+	i, need := bestIdx, best
+	for i >= 0 {
+		if vals[i] == need {
+			rev = append(rev, s.Data[i])
+			need--
+			if need == 0 {
+				break
+			}
+			// Continue leftwards for a smaller value with length
+			// need.
+			limit := s.Data[i]
+			j := i - 1
+			for j >= 0 && !(vals[j] == need && s.Data[j] < limit) {
+				j--
+			}
+			i = j
+			continue
+		}
+		i--
+	}
+	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+		rev[l], rev[r] = rev[r], rev[l]
+	}
+	return rev
+}
+
+// Cuts reconstructs one optimal cut multiset (piece lengths, ascending) from
+// a computed rod-cutting table.
+func (s *RodCuttingSpec) Cuts(vals []int64) []int {
+	var cuts []int
+	l := len(s.Prices)
+	for l > 0 {
+		for k := 1; k <= l; k++ {
+			if vals[l] == int64(s.Prices[k-1])+vals[l-k] {
+				cuts = append(cuts, k)
+				l -= k
+				break
+			}
+		}
+	}
+	// ascending order for determinism
+	for i := 1; i < len(cuts); i++ {
+		v := cuts[i]
+		j := i - 1
+		for j >= 0 && cuts[j] > v {
+			cuts[j+1] = cuts[j]
+			j--
+		}
+		cuts[j+1] = v
+	}
+	return cuts
+}
+
+// Path reconstructs one cheapest state sequence from a computed Viterbi
+// table.
+func (s *ViterbiSpec) Path(vals []int64) []int {
+	T := len(s.Obs)
+	states := s.M.States
+	path := make([]int, T)
+	// Final state: the cheapest cell of the last layer.
+	last := (T - 1) * states
+	best := vals[last]
+	path[T-1] = 0
+	for j := 1; j < states; j++ {
+		if vals[last+j] < best {
+			best = vals[last+j]
+			path[T-1] = j
+		}
+	}
+	// Walk backwards matching the recurrence.
+	for t := T - 1; t > 0; t-- {
+		cur := path[t]
+		emit := s.M.Emit[cur*s.M.Symbols+s.Obs[t]]
+		target := vals[t*states+cur] - emit
+		base := (t - 1) * states
+		for j := 0; j < states; j++ {
+			if vals[base+j]+s.M.Trans[j*states+cur] == target {
+				path[t-1] = j
+				break
+			}
+		}
+	}
+	return path
+}
+
+// PathCost returns the total cost of a state sequence under the model; used
+// to validate reconstructed paths.
+func (s *ViterbiSpec) PathCost(path []int) int64 {
+	cost := s.M.Start[path[0]] + s.M.Emit[path[0]*s.M.Symbols+s.Obs[0]]
+	for t := 1; t < len(path); t++ {
+		cost += s.M.Trans[path[t-1]*s.M.States+path[t]]
+		cost += s.M.Emit[path[t]*s.M.Symbols+s.Obs[t]]
+	}
+	return cost
+}

@@ -1,0 +1,241 @@
+package dp
+
+import (
+	"strings"
+	"testing"
+
+	"lopram/internal/workload"
+)
+
+func TestEditScriptReconstruction(t *testing.T) {
+	r := workload.NewRNG(1)
+	for trial := 0; trial < 20; trial++ {
+		a, b := workload.RelatedStrings(r, 20+r.Intn(40), 4, 8)
+		spec := NewEditDistance(a, b)
+		vals, err := RunSeq(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops := spec.EditScript(vals)
+		// Cost of the script equals the distance.
+		cost := int64(0)
+		for _, op := range ops {
+			if op.Kind != "match" {
+				cost++
+			}
+		}
+		if want := spec.Distance(vals); cost != want {
+			t.Fatalf("trial %d: script cost %d, distance %d", trial, cost, want)
+		}
+		// Applying the script transforms A into B.
+		got, err := spec.ApplyEditScript(ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != b {
+			t.Fatalf("trial %d: script produced %q, want %q", trial, got, b)
+		}
+	}
+}
+
+func TestEditScriptDegenerate(t *testing.T) {
+	spec := NewEditDistance("", "abc")
+	vals, _ := RunSeq(spec)
+	ops := spec.EditScript(vals)
+	if len(ops) != 3 {
+		t.Fatalf("ops = %v", ops)
+	}
+	out, _ := spec.ApplyEditScript(ops)
+	if out != "abc" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestParenthesizationCLRS(t *testing.T) {
+	dims := []int{30, 35, 15, 5, 10, 20, 25}
+	spec := NewMatrixChain(dims)
+	vals, err := RunSeq(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := spec.Parenthesization(vals)
+	// CLRS optimal: ((A1 (A2 A3)) ((A4 A5) A6)).
+	want := "((A1 (A2 A3)) ((A4 A5) A6))"
+	if got != want {
+		t.Fatalf("parenthesization = %s, want %s", got, want)
+	}
+}
+
+func TestParenthesizationCostConsistent(t *testing.T) {
+	r := workload.NewRNG(2)
+	for trial := 0; trial < 10; trial++ {
+		dims := workload.ChainDims(r, 3+r.Intn(10), 2, 30)
+		spec := NewMatrixChain(dims)
+		vals, err := RunSeq(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expr := spec.Parenthesization(vals)
+		cost, rows, _ := evalParen(expr, dims)
+		if rows != dims[0] {
+			t.Fatalf("trial %d: wrong shape", trial)
+		}
+		if cost != spec.OptimalCost(vals) {
+			t.Fatalf("trial %d: expr cost %d, table %d (%s)", trial, cost, spec.OptimalCost(vals), expr)
+		}
+	}
+}
+
+// evalParen parses the reconstructed expression and computes its
+// multiplication cost independently.
+func evalParen(expr string, dims []int) (cost int64, rows, cols int) {
+	expr = strings.TrimSpace(expr)
+	if strings.HasPrefix(expr, "A") {
+		var idx int
+		for _, c := range expr[1:] {
+			idx = idx*10 + int(c-'0')
+		}
+		return 0, dims[idx-1], dims[idx]
+	}
+	// strip outer parens, split at the top-level space
+	inner := expr[1 : len(expr)-1]
+	depth := 0
+	for i := 0; i < len(inner); i++ {
+		switch inner[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ' ':
+			if depth == 0 {
+				lc, lr, lcN := evalParen(inner[:i], dims)
+				rc, rr, rcN := evalParen(inner[i+1:], dims)
+				if lcN != rr {
+					panic("shape mismatch")
+				}
+				return lc + rc + int64(lr)*int64(lcN)*int64(rcN), lr, rcN
+			}
+		}
+	}
+	panic("bad expr: " + expr)
+}
+
+func TestKnapsackItems(t *testing.T) {
+	w := []int{5, 4, 6, 3}
+	v := []int{10, 40, 30, 50}
+	spec := NewKnapsack(w, v, 10)
+	vals, err := RunSeq(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := spec.Items(vals)
+	var tw int
+	var tv int64
+	for _, i := range items {
+		tw += w[i]
+		tv += int64(v[i])
+	}
+	if tw > 10 {
+		t.Fatalf("items %v exceed capacity: %d", items, tw)
+	}
+	if tv != spec.Best(vals) {
+		t.Fatalf("items value %d, table best %d", tv, spec.Best(vals))
+	}
+}
+
+func TestKnapsackItemsRandom(t *testing.T) {
+	r := workload.NewRNG(3)
+	for trial := 0; trial < 15; trial++ {
+		n := 3 + r.Intn(12)
+		ws, vs := workload.Weights(r, n, 10, 50)
+		cap := 5 + r.Intn(40)
+		spec := NewKnapsack(ws, vs, cap)
+		vals, err := RunSeq(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items := spec.Items(vals)
+		var tw int
+		var tv int64
+		for _, i := range items {
+			tw += ws[i]
+			tv += int64(vs[i])
+		}
+		if tw > cap || tv != spec.Best(vals) {
+			t.Fatalf("trial %d: reconstruction inconsistent (w=%d cap=%d v=%d best=%d)",
+				trial, tw, cap, tv, spec.Best(vals))
+		}
+	}
+}
+
+func TestLISSubsequence(t *testing.T) {
+	r := workload.NewRNG(4)
+	for trial := 0; trial < 15; trial++ {
+		data := workload.Ints(r, 20+r.Intn(40), 60)
+		spec := NewLIS(data)
+		vals, err := RunSeq(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub := spec.Subsequence(vals)
+		if int64(len(sub)) != spec.Length(vals) {
+			t.Fatalf("trial %d: reconstructed length %d, table %d", trial, len(sub), spec.Length(vals))
+		}
+		for i := 1; i < len(sub); i++ {
+			if sub[i-1] >= sub[i] {
+				t.Fatalf("trial %d: not strictly increasing: %v", trial, sub)
+			}
+		}
+		// Subsequence of data: verify by greedy matching.
+		j := 0
+		for _, v := range data {
+			if j < len(sub) && v == sub[j] {
+				j++
+			}
+		}
+		if j != len(sub) {
+			t.Fatalf("trial %d: %v not a subsequence of %v", trial, sub, data)
+		}
+	}
+}
+
+func TestRodCuts(t *testing.T) {
+	prices := []int{1, 5, 8, 9, 10, 17, 17, 20}
+	spec := NewRodCutting(prices)
+	vals, err := RunSeq(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts := spec.Cuts(vals)
+	total, revenue := 0, int64(0)
+	for _, c := range cuts {
+		total += c
+		revenue += int64(prices[c-1])
+	}
+	if total != len(prices) {
+		t.Fatalf("cuts %v use length %d, want %d", cuts, total, len(prices))
+	}
+	if revenue != spec.Best(vals) {
+		t.Fatalf("cuts revenue %d, best %d", revenue, spec.Best(vals))
+	}
+}
+
+func TestViterbiPath(t *testing.T) {
+	r := workload.NewRNG(5)
+	for trial := 0; trial < 10; trial++ {
+		m := randomHMM(r, 2+r.Intn(5), 2+r.Intn(3))
+		obs := workload.Ints(r, 4+r.Intn(20), m.Symbols)
+		spec := NewViterbi(m, obs)
+		vals, err := RunSeq(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := spec.Path(vals)
+		if len(path) != len(obs) {
+			t.Fatalf("trial %d: path length %d, want %d", trial, len(path), len(obs))
+		}
+		if got, want := spec.PathCost(path), spec.Best(vals); got != want {
+			t.Fatalf("trial %d: path cost %d, best %d", trial, got, want)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package dp
+
+import (
+	"lopram/internal/dag"
+	"lopram/internal/sim"
+)
+
+// SimOptions configure the simulated Algorithm 1 run.
+type SimOptions struct {
+	// CrewCounters charges ⌈log₂ p⌉ work units per dependent-counter
+	// update instead of 1, modelling the CRCW-on-CREW serialization of
+	// §4.6 (concurrent updates to a popular cell's counter must combine
+	// through a log-depth tree).
+	CrewCounters bool
+	// P must mirror the machine's processor count when CrewCounters is
+	// set; it sizes the log factor.
+	P int
+}
+
+// Program returns a simulator program that executes the spec with
+// Algorithm 1 verbatim: the root thread pal-spawns (nowait) one thread per
+// base case; each computeVertex thread performs the cell's work, decrements
+// its dependents' counters, and pal-spawns (nowait) every dependent that
+// becomes ready. The machine's own scheduler throttles the spawned threads
+// to the available processors, exactly as §4.4 intends.
+//
+// The returned vals slice is filled in during the run; inspect it after
+// Machine.Run returns.
+//
+// The program carries per-run counter state and is therefore single-use:
+// build a fresh one for every Machine.Run call.
+func Program(s Spec, g *dag.Graph, opt SimOptions) (prog sim.Func, vals []int64) {
+	n := g.N()
+	vals = make([]int64, n)
+	cnt := g.InDegrees()
+	get := func(x int) int64 { return vals[x] }
+
+	updateCost := int64(1)
+	if opt.CrewCounters {
+		updateCost = ceilLog2(opt.P)
+	}
+
+	var computeVertex func(u int) sim.Func
+	computeVertex = func(u int) sim.Func {
+		return func(tc *sim.TC) {
+			tc.Work(s.Cost(u))
+			vals[u] = s.Compute(u, get)
+			succ := g.Succ(u)
+			if len(succ) == 0 {
+				return
+			}
+			tc.Work(updateCost * int64(len(succ)))
+			var ready []sim.Func
+			for _, v := range succ {
+				cnt[v]--
+				if cnt[v] == 0 {
+					ready = append(ready, computeVertex(int(v)))
+				}
+			}
+			tc.Spawn(ready...)
+		}
+	}
+
+	prog = func(tc *sim.TC) {
+		src := g.Sources()
+		kids := make([]sim.Func, len(src))
+		for i, u := range src {
+			kids[i] = computeVertex(u)
+		}
+		tc.Spawn(kids...)
+	}
+	return prog, vals
+}
+
+// BuildProgram returns a simulator program modelling the parallel
+// construction of the dependencies graph (§4.4): the cell range is split
+// into p chunks, each charged Σ (1 + |Deps(v)|) work — one unit to locate
+// the vertex and one per recorded dependency. Its wall-clock is the
+// O(m·n^d/p) bound of the paper (experiment E14).
+func BuildProgram(s Spec, p int) sim.Func {
+	n := s.Cells()
+	return func(tc *sim.TC) {
+		per := (n + p - 1) / p
+		var jobs []sim.Func
+		buf := make([]int, 0, 8)
+		for lo := 0; lo < n; lo += per {
+			hi := lo + per
+			if hi > n {
+				hi = n
+			}
+			var work int64
+			for v := lo; v < hi; v++ {
+				buf = s.Deps(v, buf[:0])
+				work += 1 + int64(len(buf))
+			}
+			w := work
+			jobs = append(jobs, func(tc *sim.TC) { tc.Work(w) })
+		}
+		tc.Do(jobs...)
+	}
+}
+
+func ceilLog2(p int) int64 {
+	if p <= 1 {
+		return 1
+	}
+	l := int64(0)
+	for v := p - 1; v > 0; v >>= 1 {
+		l++
+	}
+	return l
+}

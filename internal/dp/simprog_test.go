@@ -1,0 +1,126 @@
+package dp
+
+import (
+	"testing"
+
+	"lopram/internal/sim"
+	"lopram/internal/workload"
+)
+
+// runSim executes Algorithm 1 on the simulator and returns (steps, vals).
+func runSim(t *testing.T, s Spec, p int, opt SimOptions) (int64, []int64) {
+	t.Helper()
+	g := BuildGraph(s)
+	prog, vals := Program(s, g, opt)
+	m := sim.New(sim.Config{P: p})
+	res, err := m.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Steps, vals
+}
+
+func TestSimProgramCorrect(t *testing.T) {
+	r := workload.NewRNG(3)
+	a, b := workload.RelatedStrings(r, 24, 4, 6)
+	spec := NewEditDistance(a, b)
+	want, err := RunSeq(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 4, 8} {
+		_, vals := runSim(t, spec, p, SimOptions{})
+		for i := range want {
+			if vals[i] != want[i] {
+				t.Fatalf("p=%d: cell %d = %d, want %d", p, i, vals[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSimDPSpeedup is experiment E8 in miniature: the 2-D diagonal DP
+// achieves speedup close to p on the simulator for p = O(log n).
+func TestSimDPSpeedup(t *testing.T) {
+	r := workload.NewRNG(4)
+	a, b := workload.RelatedStrings(r, 96, 4, 10)
+	spec := NewEditDistance(a, b)
+	t1, _ := runSim(t, spec, 1, SimOptions{})
+	for _, p := range []int{2, 4, 8} {
+		tp, _ := runSim(t, spec, p, SimOptions{})
+		speedup := float64(t1) / float64(tp)
+		if speedup < 0.7*float64(p) {
+			t.Errorf("p=%d: speedup %.2f below 0.7·p", p, speedup)
+		}
+		if speedup > float64(p)+0.01 {
+			t.Errorf("p=%d: superlinear speedup %.2f", p, speedup)
+		}
+	}
+}
+
+// TestSimChainNoSpeedup is experiment E9: a 1-D chain DP gains nothing from
+// more processors (§4.3: "the DAG is a path and hence there is no speedup
+// possible").
+func TestSimChainNoSpeedup(t *testing.T) {
+	spec := NewPrefixSum(make([]int64, 300))
+	t1, _ := runSim(t, spec, 1, SimOptions{})
+	for _, p := range []int{2, 8} {
+		tp, _ := runSim(t, spec, p, SimOptions{})
+		if float64(t1)/float64(tp) > 1.05 {
+			t.Errorf("p=%d: chain DP sped up: %d → %d", p, t1, tp)
+		}
+	}
+}
+
+// TestSimCrewCountersSlowdown: charging the §4.6 CRCW-on-CREW factor makes
+// runs slower by at most ~log p and never faster.
+func TestSimCrewCountersSlowdown(t *testing.T) {
+	r := workload.NewRNG(5)
+	a, b := workload.RelatedStrings(r, 48, 4, 6)
+	spec := NewEditDistance(a, b)
+	for _, p := range []int{2, 8} {
+		plain, _ := runSim(t, spec, p, SimOptions{})
+		crew, _ := runSim(t, spec, p, SimOptions{CrewCounters: true, P: p})
+		if crew < plain {
+			t.Errorf("p=%d: CREW-accounted run faster (%d < %d)", p, crew, plain)
+		}
+		logp := int64(1)
+		for v := p - 1; v > 0; v >>= 1 {
+			logp++
+		}
+		if crew > plain*logp {
+			t.Errorf("p=%d: CREW slowdown %d/%d exceeds log p factor", p, crew, plain)
+		}
+	}
+}
+
+// TestBuildProgramLinearSpeedup is experiment E14: dependency-graph
+// construction parallelizes perfectly (it has no dependencies of its own).
+func TestBuildProgramLinearSpeedup(t *testing.T) {
+	r := workload.NewRNG(6)
+	a, b := workload.RelatedStrings(r, 64, 4, 6)
+	spec := NewEditDistance(a, b)
+	steps := func(p int) int64 {
+		m := sim.New(sim.Config{P: p})
+		res, err := m.Run(BuildProgram(spec, p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Steps
+	}
+	t1 := steps(1)
+	for _, p := range []int{2, 4, 8} {
+		tp := steps(p)
+		speedup := float64(t1) / float64(tp)
+		if speedup < 0.85*float64(p) {
+			t.Errorf("p=%d: build speedup %.2f, want ≈ %d", p, speedup, p)
+		}
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	for p, want := range map[int]int64{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4} {
+		if got := ceilLog2(p); got != want {
+			t.Errorf("ceilLog2(%d) = %d, want %d", p, got, want)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsPass runs the complete suite in quick mode and requires
+// every reproduction to report PASS: this is the repository's end-to-end
+// claim that the paper's results hold.
+func TestAllExperimentsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite skipped in -short mode")
+	}
+	for _, rep := range All(true) {
+		if !rep.Pass {
+			t.Errorf("%s (%s) FAILED: %s\n%s", rep.ID, rep.Title, rep.Verdict, rep.String())
+		}
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	rep := E9()
+	out := rep.String()
+	for _, want := range []string{"## E9", "PASS", "Paper claim:", "Verdict:", "| p "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	rep, ok := ByID("e9", true)
+	if !ok || rep.ID != "E9" {
+		t.Fatalf("ByID(e9) = %v, %v", rep.ID, ok)
+	}
+	if _, ok := ByID("E99", true); ok {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestFigure1ExtrasRendered(t *testing.T) {
+	rep := E1()
+	if !strings.Contains(rep.Extra, "[1]") || !strings.Contains(rep.Extra, "Gantt") {
+		t.Fatalf("E1 extras incomplete:\n%s", rep.Extra)
+	}
+	if !rep.Pass {
+		t.Fatalf("E1 failed: %s", rep.Verdict)
+	}
+}

@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"lopram/internal/dandc"
+	"lopram/internal/dp"
+	"lopram/internal/master"
+	"lopram/internal/memo"
+	"lopram/internal/network"
+	"lopram/internal/palrt"
+	"lopram/internal/pram"
+	"lopram/internal/sim"
+	"lopram/internal/trace"
+	"lopram/internal/workload"
+)
+
+// E15: the decomposition, not the problem, owns the parallelism. Prefix
+// sums as a 1-D DP is a chain (E9: speedup 1); the same function as a
+// two-pass divide and conquer is a tree recurrence with optimal speedup.
+// Measured on the simulator via cost models and on the host via wall clock.
+func E15(quick bool) Report {
+	tb := trace.NewTable("formulation", "engine", "p", "time", "speedup")
+	pass := true
+
+	// Simulator: chain DP.
+	chainSpec := dp.NewPrefixSum(make([]int64, 300))
+	g := dp.BuildGraph(chainSpec)
+	chainT1 := int64(0)
+	for _, p := range []int{1, 4, 8} {
+		prog, _ := dp.Program(chainSpec, g, dp.SimOptions{})
+		st := sim.New(sim.Config{P: p}).MustRun(prog).Steps
+		if p == 1 {
+			chainT1 = st
+		}
+		sp := float64(chainT1) / float64(st)
+		if p > 1 && sp > 1.05 {
+			pass = false
+		}
+		tb.AddRow("1-D DP (chain DAG)", "sim", p, fmt.Sprintf("%d steps", st), fmt.Sprintf("%.2f", sp))
+	}
+
+	// Simulator: D&C scan cost model — two passes of T(n)=2T(n/2)+1 with
+	// leaf segments of grain work.
+	scanRec := master.IntRec{
+		A: 2, B: 2, Cutoff: 4,
+		Divide: dandc.Unit,
+		Merge:  dandc.Unit,
+		Base:   func(n int64) int64 { return n },
+	}
+	var scanT1 int64
+	for _, p := range []int{1, 4, 8} {
+		frontier := master.FrontierDepth(p, 2)
+		cm := dandc.CostModel{Rec: scanRec, SpawnDepth: frontier + 2}
+		st := 2 * sim.New(sim.Config{P: p}).MustRun(cm.Program(300)).Steps // up + down sweeps
+		if p == 1 {
+			scanT1 = st
+		}
+		sp := float64(scanT1) / float64(st)
+		if p == 8 && sp < 4 {
+			pass = false
+		}
+		tb.AddRow("D&C two-pass scan", "sim", p, fmt.Sprintf("%d steps", st), fmt.Sprintf("%.2f", sp))
+	}
+
+	// Host wall clock for the real implementations.
+	n := 1 << 24
+	if quick {
+		n = 1 << 22
+	}
+	r := workload.NewRNG(15)
+	data := workload.Int64s(r, n)
+	for i := range data {
+		data[i] %= 1000
+	}
+	var t1 time.Duration
+	host := runtime.GOMAXPROCS(0)
+	for _, p := range []int{1, 4, 8} {
+		if p > host {
+			break
+		}
+		best := time.Duration(1<<62 - 1)
+		for rep := 0; rep < 3; rep++ {
+			rt := palrt.New(p)
+			start := time.Now()
+			if p == 1 {
+				dandc.PrefixSumsSeq(data)
+			} else {
+				dandc.PrefixSums(rt, data)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		if p == 1 {
+			t1 = best
+		}
+		sp := float64(t1) / float64(best)
+		tb.AddRow("D&C two-pass scan", "host", p, best.Round(time.Microsecond), fmt.Sprintf("%.2f", sp))
+	}
+
+	return Report{
+		ID:      "E15",
+		Title:   "Chain DP vs two-pass D&C: same function, different DAG",
+		Claim:   "§4.3 — the chain admits no speedup; reformulating the decomposition recovers it (the antichain structure of the chosen DAG is what the framework parallelizes)",
+		Table:   tb,
+		Pass:    pass,
+		Verdict: "chain formulation pinned at speedup 1.0; D&C formulation reaches ≥ 4× at p=8 on the simulator",
+	}
+}
+
+// E16: Brent-emulated PRAM algorithms vs native LoPRAM algorithms. The
+// PRAM scan (Hillis–Steele) does Θ(n log n) work, so even under a perfect
+// Brent emulation it loses a log n factor to the work-optimal LoPRAM scan —
+// the quantitative core of the paper's §1/§2 motivation.
+func E16() Report {
+	const n = 1 << 12
+	r := workload.NewRNG(16)
+	in := workload.Int64s(r, n)
+	for i := range in {
+		in[i] %= 1000
+	}
+
+	tb := trace.NewTable("algorithm", "work", "span (steps)", "p", "T_p", "vs LoPRAM scan")
+	pass := true
+
+	// LoPRAM scan cost model: 2 passes, work ≈ 2n + 2·(#internal nodes).
+	scanRec := master.IntRec{
+		A: 2, B: 2, Cutoff: 4,
+		Divide: dandc.Unit, Merge: dandc.Unit,
+		Base: func(sz int64) int64 { return sz },
+	}
+	lopramT := map[int]int64{}
+	for _, p := range []int{1, 4, 16} {
+		frontier := master.FrontierDepth(p, 2)
+		cm := dandc.CostModel{Rec: scanRec, SpawnDepth: frontier + 2}
+		lopramT[p] = 2 * sim.New(sim.Config{P: p}).MustRun(cm.Program(n)).Steps
+		tb.AddRow("LoPRAM D&C scan", 2*scanRec.Seq(n), "2·depth", p, lopramT[p], "1.00")
+	}
+
+	prog := pram.HillisSteele{Input: in}
+	for _, p := range []int{1, 4, 16} {
+		res := pram.Emulate(prog, p)
+		// Correctness of the emulation.
+		scan := prog.Scan(res)
+		want := dandc.PrefixSumsSeq(in)
+		for i := range want {
+			if scan[i] != want[i] {
+				pass = false
+			}
+		}
+		ratio := float64(res.TimeP) / float64(lopramT[p])
+		if ratio < 2 { // log2(4096) = 12; constants eat some of it
+			pass = false
+		}
+		tb.AddRow("Brent-emulated Hillis–Steele", res.Work, res.Steps, p, res.TimeP,
+			fmt.Sprintf("%.2f× slower", ratio))
+	}
+
+	// List ranking: same story for a pointer problem.
+	lr := pram.ListRanking{Succ: chainSucc(n)}
+	for _, p := range []int{4} {
+		res := pram.Emulate(lr, p)
+		seqWork := int64(n) // a RAM walks the list once
+		tb.AddRow("Brent-emulated pointer jumping", res.Work, res.Steps, p, res.TimeP,
+			fmt.Sprintf("PRAM work %d vs RAM %d", res.Work, seqWork))
+		if res.Work < int64(n)*int64(log2int(n)) {
+			pass = false
+		}
+	}
+
+	return Report{
+		ID:      "E16",
+		Title:   "Brent's Lemma emulation of Θ(n)-processor PRAM algorithms",
+		Claim:   "§1/§2 — classic PRAM algorithms are work-suboptimal (Θ(n log n) for Θ(n)-work problems); on p = O(log n) processors the Brent emulation loses the log factor that native LoPRAM algorithms keep",
+		Table:   tb,
+		Pass:    pass,
+		Verdict: "emulated PRAM scan is ≥ 2× slower than the work-optimal LoPRAM scan at every p (asymptotically log n ×), while producing identical results",
+	}
+}
+
+func chainSucc(n int) []int {
+	next := make([]int, n)
+	for i := 0; i < n-1; i++ {
+		next[i] = i + 1
+	}
+	next[n-1] = n - 1
+	return next
+}
+
+func log2int(v int) int {
+	l := 0
+	for v > 1 {
+		v >>= 1
+		l++
+	}
+	return l
+}
+
+// E17: the complete-graph realizability claim — wiring cost of full
+// connectivity for p = ⌊log₂ n⌋ versus the PRAM's p = n.
+func E17() Report {
+	tb := trace.NewTable("n", "model", "p", "links", "degree", "diameter", "all-to-all rounds")
+	pass := true
+	for _, n := range []int{1 << 10, 1 << 16, 1 << 20, 1 << 30} {
+		lop, pr := network.CompareModels(n)
+		tb.AddRow(n, "LoPRAM complete graph", lop.P, lop.Links, lop.Degree, lop.Diameter, lop.AllToAll)
+		tb.AddRow(n, "PRAM complete graph", pr.P, pr.Links, pr.Degree, pr.Diameter, pr.AllToAll)
+		if lop.Links > int64(lop.P*lop.P) || pr.Links < int64(n/2)*int64(n/4) {
+			pass = false
+		}
+	}
+	// Contrast with cheaper topologies at LoPRAM scale: even they are
+	// unnecessary — the complete graph is already tiny.
+	for _, kind := range []network.Topology{network.Complete, network.Ring, network.Hypercube} {
+		net, err := network.New(32, kind)
+		if err != nil {
+			pass = false
+			continue
+		}
+		f := net.Feasible()
+		tb.AddRow("p=32", kind.String(), f.P, f.Links, f.Degree, f.Diameter, f.AllToAll)
+	}
+	return Report{
+		ID:      "E17",
+		Title:   "Interconnect realizability: complete graph at p = O(log n)",
+		Claim:   "§1 — \"with this bound in place a full processor network based on the complete graph is realizable\"; the PRAM's Θ(n) processors would need Θ(n²) links",
+		Table:   tb,
+		Pass:    pass,
+		Verdict: "LoPRAM full connectivity costs O(log² n) links (≤ 435 even at n = 2³⁰) and 1-hop diameter; PRAM wiring grows quadratically in n",
+	}
+}
+
+// E18: §4.5 memoization on the machine — step counts for the lazy top-down
+// strategy against bottom-up Algorithm 1, including the laziness advantage
+// on sub-queries and the exactly-once/probe accounting under determinism.
+func E18() Report {
+	r := workload.NewRNG(18)
+	dims := workload.ChainDims(r, 16, 3, 25)
+	spec := dp.NewMatrixChain(dims)
+	full := spec.Cells() - 1
+	n := len(dims) - 1
+	subID := 0
+	for l := 0; l < n/3; l++ {
+		subID += n - l
+	}
+	want := dp.MatrixChain(dims)
+
+	runMemo := func(root, p int) (int64, *memo.SimStats, int64) {
+		prog, vals, stats := memo.Program(spec, root)
+		m := sim.New(sim.Config{P: p})
+		res := m.MustRun(prog)
+		return vals[root], stats, res.Steps
+	}
+	runBottomUp := func(p int) int64 {
+		g := dp.BuildGraph(spec)
+		prog, _ := dp.Program(spec, g, dp.SimOptions{})
+		m := sim.New(sim.Config{P: p})
+		return m.MustRun(prog).Steps
+	}
+
+	tb := trace.NewTable("strategy", "query", "p", "steps", "computes", "probes", "hits")
+	pass := true
+	for _, p := range []int{1, 4, 8} {
+		v, st, steps := runMemo(full, p)
+		if v != want || st.Computes != memo.Reachable(spec, full) {
+			pass = false
+		}
+		tb.AddRow("memoized (top-down)", "full chain", p, steps, st.Computes, st.Probes, st.Hits)
+	}
+	for _, p := range []int{1, 4, 8} {
+		tb.AddRow("Algorithm 1 (bottom-up)", "full chain", p, runBottomUp(p), spec.Cells(), "-", "-")
+	}
+	subReach := memo.Reachable(spec, subID)
+	for _, p := range []int{4} {
+		_, st, steps := runMemo(subID, p)
+		if st.Computes != subReach {
+			pass = false
+		}
+		fullSteps := runBottomUp(p)
+		if steps*2 > fullSteps {
+			pass = false // laziness should save at least half on this sub-query
+		}
+		tb.AddRow("memoized (top-down)", fmt.Sprintf("prefix interval (%d cells)", subReach),
+			p, steps, st.Computes, st.Probes, st.Hits)
+	}
+
+	return Report{
+		ID:      "E18",
+		Title:   "Simulated memoization (§4.5): lazy top-down vs bottom-up step counts",
+		Claim:   "§4.5 — each sub-problem computed once with in-progress claims and notify-waits; memoization evaluates only reachable sub-problems, which bottom-up evaluation cannot",
+		Table:   tb,
+		Pass:    pass,
+		Verdict: "values and exactly-once accounting hold at every p; the sub-query runs in < half the bottom-up steps",
+	}
+}

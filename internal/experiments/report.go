@@ -1,0 +1,118 @@
+// Package experiments implements the reproduction suite: one function per
+// experiment of EXPERIMENTS.md (E1–E14) plus the design-choice ablations
+// (A1–A4). Each returns a Report with the regenerated table and a Check
+// verdict comparing the measured shape against the paper's claim, so both
+// cmd/lopram-bench and the test suite consume the same code path.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"lopram/internal/trace"
+)
+
+// Report is the outcome of one experiment.
+type Report struct {
+	// ID is the experiment id (E1…E14, A1…A4).
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Claim is the paper's claim being reproduced, with its section.
+	Claim string
+	// Table is the regenerated data.
+	Table *trace.Table
+	// Extra holds non-tabular artifacts (rendered trees, Gantt charts).
+	Extra string
+	// Pass reports whether the measured shape matches the claim.
+	Pass bool
+	// Verdict explains the pass/fail decision quantitatively.
+	Verdict string
+}
+
+// String renders the report as a Markdown section.
+func (r Report) String() string {
+	var b strings.Builder
+	status := "PASS"
+	if !r.Pass {
+		status = "FAIL"
+	}
+	fmt.Fprintf(&b, "## %s — %s [%s]\n\n", r.ID, r.Title, status)
+	fmt.Fprintf(&b, "Paper claim: %s\n\n", r.Claim)
+	if r.Table != nil {
+		b.WriteString(r.Table.String())
+		b.WriteString("\n")
+	}
+	if r.Extra != "" {
+		b.WriteString("```\n")
+		b.WriteString(r.Extra)
+		if !strings.HasSuffix(r.Extra, "\n") {
+			b.WriteString("\n")
+		}
+		b.WriteString("```\n\n")
+	}
+	fmt.Fprintf(&b, "Verdict: %s\n", r.Verdict)
+	return b.String()
+}
+
+// All runs the entire suite in order. The quick flag trims the most
+// expensive parameter sweeps (used by tests; cmd/lopram-bench runs full).
+func All(quick bool) []Report {
+	return []Report{
+		E1(),
+		E2(),
+		E3(quick),
+		E4(quick),
+		E5(quick),
+		E6(quick),
+		E7(),
+		E8(quick),
+		E9(),
+		E10(quick),
+		E11(),
+		E12(),
+		E13(quick),
+		E14(),
+		E15(quick),
+		E16(),
+		E17(),
+		E18(),
+		A1(quick),
+		A2(quick),
+		A3(),
+		A4(),
+	}
+}
+
+// ByID returns the experiment with the given id, running it on demand.
+func ByID(id string, quick bool) (Report, bool) {
+	funcs := map[string]func() Report{
+		"E1":  E1,
+		"E2":  E2,
+		"E3":  func() Report { return E3(quick) },
+		"E4":  func() Report { return E4(quick) },
+		"E5":  func() Report { return E5(quick) },
+		"E6":  func() Report { return E6(quick) },
+		"E7":  E7,
+		"E8":  func() Report { return E8(quick) },
+		"E9":  E9,
+		"E10": func() Report { return E10(quick) },
+		"E11": E11,
+		"E12": E12,
+		"E13": func() Report { return E13(quick) },
+		"E14": E14,
+		"E15": func() Report { return E15(quick) },
+		"E16": E16,
+		"E17": E17,
+		"E18": E18,
+		"A1":  func() Report { return A1(quick) },
+		"A2":  func() Report { return A2(quick) },
+		"A3":  A3,
+		"A4":  A4,
+	}
+	f, ok := funcs[strings.ToUpper(id)]
+	if !ok {
+		return Report{}, false
+	}
+	return f(), true
+}

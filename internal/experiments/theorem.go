@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lopram/internal/core"
+	"lopram/internal/dandc"
+	"lopram/internal/master"
+	"lopram/internal/sim"
+	"lopram/internal/trace"
+)
+
+// theoremSweep runs one Master-case recurrence across n and p, measuring
+// simulated wall-clock against the exact Eq(3)/Eq(5) predictor and the
+// theorem's speedup claim.
+func theoremSweep(id, title, claim string, rec master.IntRec, mode dandc.MergeMode,
+	sizes []int64, procs []int, wantOptimal bool, quick bool) Report {
+
+	if quick {
+		sizes = sizes[:1]
+		procs = []int{1, 2, 4}
+	}
+	tb := trace.NewTable("n", "p", "T_seq", "T_p (sim)", "T_p (predicted)",
+		"speedup", "efficiency", "theorem bound")
+	pass := true
+	worst := ""
+	for _, n := range sizes {
+		seq := rec.Seq(n)
+		for _, p := range procs {
+			frontier := master.FrontierDepth(p, rec.A)
+			cm := dandc.CostModel{Rec: rec, Mode: mode, SpawnDepth: frontier + 2}
+			if mode == dandc.ParMerge {
+				cm.MergeChunks = p
+			}
+			m := sim.New(sim.Config{P: p})
+			res := m.MustRun(cm.Program(n))
+
+			predicted := int64(-1)
+			if p == 1 || master.IsPowerOf(p, rec.A) {
+				if mode == dandc.ParMerge {
+					predicted = rec.ParParMerge(n, p)
+				} else {
+					predicted = rec.ParSeqMerge(n, p)
+				}
+				if res.Steps != predicted {
+					pass = false
+					worst = fmt.Sprintf("n=%d p=%d: sim %d != predicted %d", n, p, res.Steps, predicted)
+				}
+			}
+
+			speedup := float64(seq) / float64(res.Steps)
+			eff := speedup / float64(p)
+			bound := "Θ(f(n))"
+			if wantOptimal {
+				bound = "O(T/p)"
+				if speedup > float64(p)+1e-9 {
+					pass = false
+					worst = fmt.Sprintf("n=%d p=%d: superlinear %.2f", n, p, speedup)
+				}
+				if p > 1 && speedup < 0.5*float64(p) {
+					pass = false
+					worst = fmt.Sprintf("n=%d p=%d: speedup %.2f below p/2", n, p, speedup)
+				}
+			} else if p > 1 {
+				// Case 3 sequential merge: T_p pinned to Θ(f(n)).
+				f := rec.Merge(n)
+				if float64(res.Steps) < float64(f) || float64(res.Steps) > 2.2*float64(f) {
+					pass = false
+					worst = fmt.Sprintf("n=%d p=%d: T_p=%d not within [f, 2.2f], f=%d", n, p, res.Steps, f)
+				}
+			}
+			predStr := "-"
+			if predicted >= 0 {
+				predStr = fmt.Sprintf("%d", predicted)
+			}
+			tb.AddRow(n, p, seq, res.Steps, predStr,
+				fmt.Sprintf("%.2f", speedup), fmt.Sprintf("%.2f", eff), bound)
+		}
+	}
+	verdict := "simulated T_p equals the exact Eq(3)/Eq(5) predictor for p = a^k and the speedup shape matches the theorem"
+	if !pass {
+		verdict = "MISMATCH: " + worst
+	}
+	return Report{ID: id, Title: title, Claim: claim, Table: tb, Pass: pass, Verdict: verdict}
+}
+
+// E3: Theorem 1, Case 1 — T(n) = 4T(n/2) + n; leaves dominate; optimal
+// speedup via the straightforward parallelization.
+func E3(quick bool) Report {
+	return theoremSweep("E3",
+		"Theorem 1 Case 1: T(n) = 4T(n/2) + n",
+		"§4.1 Eq. 4 Case 1 — f(n) = O(n^{log_b a - ε}) ⇒ T_p = O(T(n)/p)",
+		dandc.Case1Rec(), dandc.SeqMerge,
+		[]int64{1 << 10, 1 << 12, 1 << 14}, []int{1, 2, 4, 8, 16}, true, quick)
+}
+
+// E4: Theorem 1, Case 2 — mergesort.
+func E4(quick bool) Report {
+	return theoremSweep("E4",
+		"Theorem 1 Case 2: T(n) = 2T(n/2) + n (mergesort)",
+		"§4.1 Eq. 4 Case 2 — f(n) = Θ(n^{log_b a}) ⇒ T_p = O(T(n)/p)",
+		dandc.Mergesort(), dandc.SeqMerge,
+		[]int64{1 << 16, 1 << 18, 1 << 20}, []int{1, 2, 4, 8}, true, quick)
+}
+
+// E5: Theorem 1, Case 3 with sequential merging — no speedup.
+func E5(quick bool) Report {
+	return theoremSweep("E5",
+		"Theorem 1 Case 3 (sequential merge): T(n) = 2T(n/2) + n²",
+		"§4.1 Eq. 4 Case 3 — f(n) = Ω(n^{log_b a + ε}) with regularity ⇒ T_p = Θ(f(n)): no speedup",
+		dandc.Case3Rec(), dandc.SeqMerge,
+		[]int64{1 << 9, 1 << 11, 1 << 12}, []int{1, 2, 4, 8, 16}, false, quick)
+}
+
+// E6: Equation 5 — the same Case 3 recurrence with parallel merging regains
+// optimal speedup Θ(f(n)/p).
+func E6(quick bool) Report {
+	return theoremSweep("E6",
+		"Equation 5 (parallel merge): T(n) = 2T(n/2) + n²",
+		"§4.1 Eq. 5 — parallelizable merge ⇒ T_p = Θ(f(n)/p): optimal speedup restored",
+		dandc.Case3Rec(), dandc.ParMerge,
+		[]int64{1 << 9, 1 << 11, 1 << 12}, []int{1, 2, 4, 8, 16}, true, quick)
+}
+
+// E7 probes the p = O(log n) premise (§3.2): with n fixed, speedup tracks p
+// while p ≤ log₂ n and the marginal gain collapses as p grows past it, and
+// the b^{log_a p} ≥ n saturation boundary of the Theorem 1 proof is where
+// parallelism runs out entirely.
+func E7() Report {
+	rec := dandc.Mergesort()
+	const n = int64(1 << 10) // log2 n = 10
+	seq := rec.Seq(n)
+	tb := trace.NewTable("p", "p ≤ log2(n)?", "T_p (sim)", "speedup",
+		"marginal speedup vs previous p", "saturated (b^{log_a p} ≥ n)")
+	pass := true
+	var inModel, outModel []float64
+	prev := float64(seq)
+	for _, p := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024} {
+		m := sim.New(sim.Config{P: p})
+		frontier := master.FrontierDepth(p, rec.A)
+		cm := dandc.CostModel{Rec: rec, SpawnDepth: frontier + 2}
+		res := m.MustRun(cm.Program(n))
+		speedup := float64(seq) / float64(res.Steps)
+		marginal := prev / float64(res.Steps)
+		prev = float64(res.Steps)
+		within := core.WithinModel(p, int(n))
+		sat := core.SpawnSaturated(float64(n), p, float64(rec.A), float64(rec.B))
+		if within {
+			inModel = append(inModel, speedup/float64(p))
+		} else if p >= 64 {
+			outModel = append(outModel, marginal)
+		}
+		tb.AddRow(p, boolWord(within, "yes", "no"), res.Steps,
+			fmt.Sprintf("%.2f", speedup), fmt.Sprintf("%.3f", marginal),
+			boolWord(sat, "yes", "no"))
+	}
+	// Within the model: efficiency ≥ 0.5. Far outside: marginal gain from
+	// doubling p below 1.35 (diminishing returns).
+	for _, e := range inModel {
+		if e < 0.5 {
+			pass = false
+		}
+	}
+	for _, mg := range outModel {
+		if mg > 1.35 {
+			pass = false
+		}
+	}
+	return Report{
+		ID:    "E7",
+		Title: "The p = O(log n) premise: speedup saturation past log n",
+		Claim: "§3.2/§4.1 — the analysis assumes p = O(log n); beyond it the sequential component vanishes (b^{log_a p} ≥ n would need p ≥ n^{log_b a})",
+		Table: tb,
+		Pass:  pass,
+		Verdict: fmt.Sprintf("efficiency ≥ 0.5 for all p ≤ log2(n); marginal speedup collapses toward 1 for p ≫ log n (n=%d)",
+			n),
+	}
+}

@@ -1,0 +1,95 @@
+package master
+
+// This file provides exact integer-valued evaluators for the recurrences the
+// simulator executes. Where Recurrence works with real-valued asymptotics,
+// IntRec mirrors the simulator's cost model step for step, so tests can
+// assert *equality* between predicted and simulated wall-clock times (for
+// processor counts of the form p = a^k, where the greedy frontier schedule
+// of Figure 2 is perfectly balanced).
+
+// IntRec is an integer divide-and-conquer cost recurrence:
+//
+//	T(n) = Divide(n) + a·T(⌈n/b⌉) + Merge(n)   for n > Cutoff,
+//	T(n) = Base(n)                              for n ≤ Cutoff.
+type IntRec struct {
+	A, B   int
+	Cutoff int64
+	Divide func(n int64) int64
+	Merge  func(n int64) int64
+	Base   func(n int64) int64
+}
+
+// Child returns the subproblem size, ⌈n/b⌉.
+func (r IntRec) Child(n int64) int64 {
+	b := int64(r.B)
+	return (n + b - 1) / b
+}
+
+// Seq returns the exact sequential time T(n). Results are memoized per call
+// via an internal map because uneven divisions can revisit sizes.
+func (r IntRec) Seq(n int64) int64 {
+	memo := make(map[int64]int64)
+	return r.seq(n, memo)
+}
+
+func (r IntRec) seq(n int64, memo map[int64]int64) int64 {
+	if n <= r.Cutoff {
+		return r.Base(n)
+	}
+	if v, ok := memo[n]; ok {
+		return v
+	}
+	v := r.Divide(n) + int64(r.A)*r.seq(r.Child(n), memo) + r.Merge(n)
+	memo[n] = v
+	return v
+}
+
+// ParSeqMerge returns the exact wall-clock time of the greedy LoPRAM
+// schedule with sequential merging on p processors, valid for p = a^k
+// (balanced frontier): above the frontier all a^i level-i nodes run
+// simultaneously, below it each frontier thread runs sequentially.
+//
+//	T_p(n) = Divide(n) + T_{p/a}(⌈n/b⌉) + Merge(n),  T_1 = Seq.
+func (r IntRec) ParSeqMerge(n int64, p int) int64 {
+	if p <= 1 || n <= r.Cutoff {
+		return r.Seq(n)
+	}
+	return r.Divide(n) + r.ParSeqMerge(r.Child(n), p/r.A) + r.Merge(n)
+}
+
+// ParParMerge is the Equation (5) variant: the merge at a node splits into
+// q equal chunks, where q is the processor share of the node's subtree, so
+// it costs ⌈Merge(n)/q⌉ wall-clock steps.
+func (r IntRec) ParParMerge(n int64, p int) int64 {
+	if p <= 1 || n <= r.Cutoff {
+		return r.Seq(n)
+	}
+	m := r.Merge(n)
+	q := int64(p)
+	return r.Divide(n) + r.ParParMerge(r.Child(n), p/r.A) + (m+q-1)/q
+}
+
+// IsPowerOf reports whether p == base^k for some integer k >= 0.
+func IsPowerOf(p, base int) bool {
+	if p < 1 || base < 2 {
+		return false
+	}
+	for p%base == 0 {
+		p /= base
+	}
+	return p == 1
+}
+
+// FrontierDepth returns ⌈log_a p⌉: the recursion depth at which the number
+// of subproblems first reaches p (the spawn frontier of Figure 2).
+func FrontierDepth(p, a int) int {
+	if p <= 1 {
+		return 0
+	}
+	d, have := 0, 1
+	for have < p {
+		have *= a
+		d++
+	}
+	return d
+}

@@ -1,0 +1,243 @@
+// Package master implements the classical Master theorem and the paper's
+// parallel Master theorem (Theorem 1 and Equation 5): the machinery that
+// classifies a divide-and-conquer recurrence
+//
+//	T(n) = a·T(n/b) + f(n)
+//
+// and predicts both its sequential growth and its wall-clock time on a
+// LoPRAM with p = O(log n) processors, under sequential merging (Eq. 3/4)
+// and under parallel merging (Eq. 5).
+package master
+
+import (
+	"fmt"
+	"math"
+)
+
+// Case is a Master theorem case.
+type Case int
+
+const (
+	// Inapplicable: f does not fall into any of the three cases (e.g. it
+	// straddles the critical exponent by a sub-polynomial factor).
+	Inapplicable Case = iota
+	// Case1: f(n) = O(n^{log_b a - ε}); leaves dominate, T = Θ(n^{log_b a}).
+	Case1
+	// Case2: f(n) = Θ(n^{log_b a}); T = Θ(n^{log_b a} log n).
+	Case2
+	// Case3: f(n) = Ω(n^{log_b a + ε}) with the regularity condition
+	// a·f(n/b) ≤ c·f(n); root dominates, T = Θ(f(n)).
+	Case3
+)
+
+func (c Case) String() string {
+	switch c {
+	case Case1:
+		return "case 1"
+	case Case2:
+		return "case 2"
+	case Case3:
+		return "case 3"
+	}
+	return "inapplicable"
+}
+
+// Recurrence describes T(n) = a·T(n/b) + f(n) with the driving function
+// restricted to the polylogarithmic family f(n) = C · n^E · (log₂ n)^K,
+// which covers every recurrence in the paper and allows exact symbolic
+// classification. Base cases cost Base work units each and apply for n <= Cutoff.
+type Recurrence struct {
+	A float64 // number of subproblems, a >= 1
+	B float64 // shrink factor, b > 1
+
+	C float64 // multiplicative constant of f
+	E float64 // polynomial exponent of f
+	K float64 // power of log n in f
+
+	Cutoff float64 // n at or below which the base case applies (>= 1)
+	Base   float64 // cost of a base case
+}
+
+// Validate reports whether the recurrence parameters are admissible.
+func (r Recurrence) Validate() error {
+	if r.A < 1 {
+		return fmt.Errorf("master: a = %v < 1", r.A)
+	}
+	if r.B <= 1 {
+		return fmt.Errorf("master: b = %v <= 1", r.B)
+	}
+	if r.Cutoff < 1 {
+		return fmt.Errorf("master: cutoff = %v < 1", r.Cutoff)
+	}
+	if r.C < 0 || r.Base < 0 {
+		return fmt.Errorf("master: negative cost")
+	}
+	return nil
+}
+
+// F evaluates the driving (divide + merge) cost at size n.
+func (r Recurrence) F(n float64) float64 {
+	if n < 1 {
+		return 0
+	}
+	l := 1.0
+	if r.K != 0 {
+		lg := math.Log2(n)
+		if lg < 1 {
+			lg = 1 // avoid log 1 = 0 killing the term at tiny n
+		}
+		l = math.Pow(lg, r.K)
+	}
+	return r.C * math.Pow(n, r.E) * l
+}
+
+// CriticalExponent returns log_b a, the exponent against which f is compared.
+func (r Recurrence) CriticalExponent() float64 {
+	return math.Log(r.A) / math.Log(r.B)
+}
+
+// Classify returns the Master theorem case of the recurrence. With f in the
+// polylog family the classification is exact:
+//
+//   - E < log_b a                 → Case 1 (any K),
+//   - E = log_b a and K = 0       → Case 2,
+//   - E > log_b a                 → Case 3 (regularity a/b^E < 1 holds
+//     automatically for polynomial f; a polylog factor K ≥ 0 does not
+//     disturb it),
+//   - E = log_b a and K ≠ 0       → Inapplicable under the classical
+//     three-case statement used by the paper.
+func (r Recurrence) Classify() Case {
+	crit := r.CriticalExponent()
+	const eps = 1e-9
+	switch {
+	case r.E < crit-eps:
+		return Case1
+	case r.E > crit+eps:
+		return Case3
+	case r.K == 0:
+		return Case2
+	default:
+		return Inapplicable
+	}
+}
+
+// Regular reports whether the regularity condition a·f(n/b) ≤ c·f(n) holds
+// for some c < 1 (needed by Case 3). For the polylog family this reduces to
+// a / b^E < 1.
+func (r Recurrence) Regular() bool {
+	return r.A/math.Pow(r.B, r.E) < 1-1e-12
+}
+
+// SeqTime evaluates the sequential recurrence T(n) numerically by direct
+// level-sum evaluation:
+//
+//	T(n) = Σ_{i=0}^{d-1} a^i f(n/b^i) + a^d · Base,  d = ⌈log_b(n/Cutoff)⌉.
+//
+// This is the exact solution of the continuous recurrence and tracks the Θ
+// bound with its true constants, which the experiments compare against.
+func (r Recurrence) SeqTime(n float64) float64 {
+	if n <= r.Cutoff {
+		return r.Base
+	}
+	total := 0.0
+	size := n
+	weight := 1.0
+	for size > r.Cutoff {
+		total += weight * r.F(size)
+		weight *= r.A
+		size /= r.B
+	}
+	total += weight * r.Base
+	return total
+}
+
+// ParTimeSeqMerge evaluates Equation (3) of the paper: the wall-clock time
+// on p processors when each merge runs sequentially on one processor,
+//
+//	T_p(n) = T(n / b^{log_a p}) + Σ_{i=0}^{log_a(p)-1} f(n / b^i).
+//
+// For p = 1 it reduces to SeqTime.
+func (r Recurrence) ParTimeSeqMerge(n float64, p int) float64 {
+	if p <= 1 {
+		return r.SeqTime(n)
+	}
+	depth := math.Log(float64(p)) / math.Log(r.A) // log_a p
+	total := r.SeqTime(n / math.Pow(r.B, depth))
+	size := n
+	for i := 0.0; i < depth; i++ {
+		total += r.F(size)
+		size /= r.B
+	}
+	return total
+}
+
+// ParTimeParMerge evaluates the Equation (5) variant: merges at level i are
+// themselves parallelized with optimal speedup, so the level-i merge phase
+// costs (a^i/p)·f(n/b^i) (at least one step's worth once a^i ≥ p):
+//
+//	T_p(n) = T(n / b^{log_a p}) + Σ_{i=0}^{log_a(p)-1} (a^i/p)·f(n / b^i).
+func (r Recurrence) ParTimeParMerge(n float64, p int) float64 {
+	if p <= 1 {
+		return r.SeqTime(n)
+	}
+	depth := math.Log(float64(p)) / math.Log(r.A)
+	total := r.SeqTime(n / math.Pow(r.B, depth))
+	size := n
+	ai := 1.0
+	for i := 0.0; i < depth; i++ {
+		total += ai / float64(p) * r.F(size)
+		size /= r.B
+		ai *= r.A
+	}
+	return total
+}
+
+// PredictedSpeedup returns the Theorem 1 speedup prediction for the
+// recurrence on p processors: p for Cases 1 and 2, Θ(1) (namely
+// T(n)/f(n)·(1-c/a)-ish constants, reported as SeqTime/f) for Case 3 under
+// sequential merging.
+func (r Recurrence) PredictedSpeedup(n float64, p int, parallelMerge bool) float64 {
+	switch r.Classify() {
+	case Case1, Case2:
+		return float64(p)
+	case Case3:
+		if parallelMerge {
+			return float64(p) // Eq. 5: Θ(f(n)/p)
+		}
+		return r.SeqTime(n) / r.F(n) // a constant ≥ 1
+	default:
+		return math.NaN()
+	}
+}
+
+// ThetaString returns the human-readable Θ bound of the sequential time,
+// per Equation (2) of the paper.
+func (r Recurrence) ThetaString() string {
+	crit := r.CriticalExponent()
+	switch r.Classify() {
+	case Case1:
+		return fmt.Sprintf("Θ(n^%.3g)", crit)
+	case Case2:
+		return fmt.Sprintf("Θ(n^%.3g · log n)", crit)
+	case Case3:
+		return fmt.Sprintf("Θ(f(n)) = Θ(n^%.3g · log^%.3g n)", r.E, r.K)
+	default:
+		return "no Master-theorem bound"
+	}
+}
+
+// ParallelThetaString returns the Θ bound for T_p per Theorem 1 (sequential
+// merging) or Eq. 5 (parallel merging).
+func (r Recurrence) ParallelThetaString(parallelMerge bool) string {
+	switch r.Classify() {
+	case Case1, Case2:
+		return "O(T(n)/p)"
+	case Case3:
+		if parallelMerge {
+			return "Θ(f(n)/p)"
+		}
+		return "Θ(f(n))"
+	default:
+		return "no Master-theorem bound"
+	}
+}

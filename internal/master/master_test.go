@@ -1,0 +1,282 @@
+package master
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func rec(a, b, c, e, k float64) Recurrence {
+	return Recurrence{A: a, B: b, C: c, E: e, K: k, Cutoff: 1, Base: 1}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		r    Recurrence
+		want Case
+	}{
+		{"mergesort 2T(n/2)+n", rec(2, 2, 1, 1, 0), Case2},
+		{"strassen 7T(n/2)+n^2", rec(7, 2, 1, 2, 0), Case1},
+		{"karatsuba 3T(n/2)+n", rec(3, 2, 1, 1, 0), Case1},
+		{"binary search T(n/2)+1", rec(1, 2, 1, 0, 0), Case2},
+		{"case3 2T(n/2)+n^2", rec(2, 2, 1, 2, 0), Case3},
+		{"4T(n/2)+n", rec(4, 2, 1, 1, 0), Case1},
+		{"regularity gap 2T(n/2)+n log n", rec(2, 2, 1, 1, 1), Inapplicable},
+		{"case3 with log 2T(n/2)+n^2 log n", rec(2, 2, 1, 2, 1), Case3},
+	}
+	for _, c := range cases {
+		if got := c.r.Classify(); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := rec(2, 2, 1, 1, 0).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Recurrence{
+		{A: 0.5, B: 2, Cutoff: 1},
+		{A: 2, B: 1, Cutoff: 1},
+		{A: 2, B: 2, Cutoff: 0},
+		{A: 2, B: 2, Cutoff: 1, C: -1},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("bad recurrence %d validated", i)
+		}
+	}
+}
+
+func TestRegular(t *testing.T) {
+	if !rec(2, 2, 1, 2, 0).Regular() {
+		t.Error("2T(n/2)+n²: regularity should hold (a/b² = 1/2)")
+	}
+	if rec(4, 2, 1, 1, 0).Regular() {
+		t.Error("4T(n/2)+n: a/b = 2 ≥ 1, regularity must fail")
+	}
+}
+
+// TestSeqTimeTracksTheta checks that the numeric evaluator grows with the
+// closed-form exponent of its Master case: the log-log slope over a decade
+// of n must match within 5%.
+func TestSeqTimeTracksTheta(t *testing.T) {
+	cases := []struct {
+		r         Recurrence
+		wantSlope float64
+	}{
+		{rec(2, 2, 1, 1, 0), 1},            // Case 2: n log n → slope ~1 + o(1)
+		{rec(4, 2, 1, 1, 0), 2},            // Case 1: n²
+		{rec(7, 2, 1, 2, 0), math.Log2(7)}, // Case 1: n^2.807
+		{rec(2, 2, 1, 2, 0), 2},            // Case 3: n²
+	}
+	for i, c := range cases {
+		n1, n2 := 1<<14, 1<<20
+		t1 := c.r.SeqTime(float64(n1))
+		t2 := c.r.SeqTime(float64(n2))
+		slope := math.Log(t2/t1) / math.Log(float64(n2)/float64(n1))
+		tol := 0.08
+		if c.r.Classify() == Case2 {
+			tol = 0.15 // the log factor inflates the finite-n slope
+		}
+		if math.Abs(slope-c.wantSlope) > c.wantSlope*tol+0.05 {
+			t.Errorf("case %d: slope = %.3f, want ≈ %.3f", i, slope, c.wantSlope)
+		}
+	}
+}
+
+// TestParTimeOptimalSpeedup: for Cases 1 and 2, Theorem 1 claims
+// T_p(n) = O(T(n)/p). At finite n the constant is visible (the Σf(n/bⁱ)
+// merge term adds ≈ 2n for mergesort), so the test asserts exactly the
+// theorem: the ratio T_p/(T/p) is bounded by a small constant, never below
+// 1 (no superlinear speedup), and decreases toward 1 as n grows.
+func TestParTimeOptimalSpeedup(t *testing.T) {
+	for _, r := range []Recurrence{rec(2, 2, 1, 1, 0), rec(4, 2, 1, 1, 0)} {
+		for _, p := range []int{2, 4, 8, 16} {
+			ratioAt := func(n float64) float64 {
+				return r.ParTimeSeqMerge(n, p) / (r.SeqTime(n) / float64(p))
+			}
+			small, large := ratioAt(1<<22), ratioAt(1<<40)
+			for _, ratio := range []float64{small, large} {
+				if ratio < 0.99 {
+					t.Errorf("a=%v p=%d: superlinear ratio %.3f", r.A, p, ratio)
+				}
+				if ratio > 2.5 {
+					t.Errorf("a=%v p=%d: ratio %.3f not O(T/p) with small constant", r.A, p, ratio)
+				}
+			}
+			if large > small+0.01 {
+				t.Errorf("a=%v p=%d: ratio grew with n (%.3f → %.3f), should approach 1",
+					r.A, p, small, large)
+			}
+		}
+	}
+}
+
+// TestParTimeCase3NoSpeedup: Case 3 with sequential merging is stuck at
+// Θ(f(n)) regardless of p.
+func TestParTimeCase3NoSpeedup(t *testing.T) {
+	r := rec(2, 2, 1, 2, 0)
+	n := float64(1 << 20)
+	f := r.F(n)
+	for _, p := range []int{2, 4, 16} {
+		par := r.ParTimeSeqMerge(n, p)
+		if par < f {
+			t.Errorf("p=%d: T_p = %g below f(n) = %g", p, par, f)
+		}
+		if par > 2.5*f {
+			t.Errorf("p=%d: T_p = %g not Θ(f(n)) = %g", p, par, f)
+		}
+	}
+	// And the speedup is flat: doubling p barely moves T_p.
+	t4, t16 := r.ParTimeSeqMerge(n, 4), r.ParTimeSeqMerge(n, 16)
+	if t4/t16 > 1.5 {
+		t.Errorf("sequential-merge Case 3 sped up: T_4/T_16 = %.2f", t4/t16)
+	}
+}
+
+// TestParTimeCase3ParallelMergeSpeedup: Equation 5 restores speedup ≈ p.
+func TestParTimeCase3ParallelMergeSpeedup(t *testing.T) {
+	r := rec(2, 2, 1, 2, 0)
+	n := float64(1 << 20)
+	seq := r.SeqTime(n)
+	for _, p := range []int{2, 4, 8, 16} {
+		par := r.ParTimeParMerge(n, p)
+		speedup := seq / par
+		if speedup < 0.7*float64(p) || speedup > 1.1*float64(p) {
+			t.Errorf("p=%d: speedup = %.2f, want ≈ %d", p, speedup, p)
+		}
+	}
+}
+
+func TestParTimeP1Reduces(t *testing.T) {
+	r := rec(2, 2, 1, 1, 0)
+	n := 4096.0
+	if r.ParTimeSeqMerge(n, 1) != r.SeqTime(n) {
+		t.Error("ParTimeSeqMerge(n,1) != SeqTime(n)")
+	}
+	if r.ParTimeParMerge(n, 1) != r.SeqTime(n) {
+		t.Error("ParTimeParMerge(n,1) != SeqTime(n)")
+	}
+}
+
+func TestPredictedSpeedup(t *testing.T) {
+	if s := rec(2, 2, 1, 1, 0).PredictedSpeedup(1e6, 8, false); s != 8 {
+		t.Errorf("Case 2 prediction = %v, want 8", s)
+	}
+	if s := rec(2, 2, 1, 2, 0).PredictedSpeedup(1e6, 8, true); s != 8 {
+		t.Errorf("Case 3 parallel-merge prediction = %v, want 8", s)
+	}
+	s := rec(2, 2, 1, 2, 0).PredictedSpeedup(1e6, 8, false)
+	if s < 1 || s > 3 {
+		t.Errorf("Case 3 sequential-merge prediction = %v, want small constant", s)
+	}
+}
+
+func TestThetaStrings(t *testing.T) {
+	if got := rec(2, 2, 1, 1, 0).ThetaString(); got != "Θ(n^1 · log n)" {
+		t.Errorf("ThetaString = %q", got)
+	}
+	if got := rec(2, 2, 1, 2, 0).ParallelThetaString(false); got != "Θ(f(n))" {
+		t.Errorf("ParallelThetaString = %q", got)
+	}
+	if got := rec(2, 2, 1, 2, 0).ParallelThetaString(true); got != "Θ(f(n)/p)" {
+		t.Errorf("ParallelThetaString = %q", got)
+	}
+	if got := rec(2, 2, 1, 1, 0).ParallelThetaString(false); got != "O(T(n)/p)" {
+		t.Errorf("ParallelThetaString = %q", got)
+	}
+}
+
+func TestIntRecSeqMergesort(t *testing.T) {
+	// T(n) = 2T(n/2) + n + 1, T(1) = 1 has closed form n log2 n + 2n - 1
+	// for powers of two.
+	r := IntRec{A: 2, B: 2, Cutoff: 1,
+		Divide: func(int64) int64 { return 1 },
+		Merge:  func(n int64) int64 { return n },
+		Base:   func(int64) int64 { return 1 },
+	}
+	for _, n := range []int64{1, 2, 4, 8, 64, 1024} {
+		want := int64(0)
+		if n == 1 {
+			want = 1
+		} else {
+			lg := int64(math.Round(math.Log2(float64(n))))
+			want = n*lg + 2*n - 1
+		}
+		if got := r.Seq(n); got != want {
+			t.Errorf("Seq(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestIntRecParEquation3(t *testing.T) {
+	// For p = 2^k the greedy schedule matches Equation (3) exactly:
+	// T_p(n) = T(n/2^k) + Σ_{i<k} f(n/2^i) with f = divide + merge.
+	r := IntRec{A: 2, B: 2, Cutoff: 1,
+		Divide: func(int64) int64 { return 1 },
+		Merge:  func(n int64) int64 { return n },
+		Base:   func(int64) int64 { return 1 },
+	}
+	n := int64(1 << 12)
+	for _, p := range []int{2, 4, 8, 16} {
+		k := FrontierDepth(p, 2)
+		want := r.Seq(n >> uint(k))
+		for i := 0; i < k; i++ {
+			sz := n >> uint(i)
+			want += 1 + sz // divide + merge at level i
+		}
+		if got := r.ParSeqMerge(n, p); got != want {
+			t.Errorf("p=%d: ParSeqMerge = %d, Equation(3) = %d", p, got, want)
+		}
+	}
+}
+
+func TestIsPowerOf(t *testing.T) {
+	for p, want := range map[int]bool{1: true, 2: true, 3: false, 4: true, 6: false, 8: true, 1024: true} {
+		if got := IsPowerOf(p, 2); got != want {
+			t.Errorf("IsPowerOf(%d,2) = %v", p, got)
+		}
+	}
+	if !IsPowerOf(9, 3) || IsPowerOf(12, 3) {
+		t.Error("base-3 powers misclassified")
+	}
+	if IsPowerOf(0, 2) || IsPowerOf(-4, 2) {
+		t.Error("non-positive p accepted")
+	}
+}
+
+func TestFrontierDepth(t *testing.T) {
+	for _, c := range []struct{ p, a, want int }{
+		{1, 2, 0}, {2, 2, 1}, {3, 2, 2}, {4, 2, 2}, {5, 2, 3},
+		{8, 2, 3}, {7, 7, 1}, {49, 7, 2}, {16, 4, 2},
+	} {
+		if got := FrontierDepth(c.p, c.a); got != c.want {
+			t.Errorf("FrontierDepth(%d,%d) = %d, want %d", c.p, c.a, got, c.want)
+		}
+	}
+}
+
+func TestParMonotoneInP(t *testing.T) {
+	r := IntRec{A: 2, B: 2, Cutoff: 1,
+		Divide: func(int64) int64 { return 1 },
+		Merge:  func(n int64) int64 { return n },
+		Base:   func(int64) int64 { return 1 },
+	}
+	err := quick.Check(func(raw uint8) bool {
+		n := int64(64) << (raw % 8)
+		last := r.ParSeqMerge(n, 1)
+		for _, p := range []int{2, 4, 8} {
+			cur := r.ParSeqMerge(n, p)
+			if cur > last {
+				return false
+			}
+			last = cur
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,187 @@
+// Package memo implements the parallel memoization strategy of §4.5 of the
+// paper: the DP recursion is executed top-down; the first thread to reach a
+// sub-problem claims it by marking it "in progress" and computes it, threads
+// that probe an in-progress entry register for notification and wait, and
+// solved entries are reused directly. Every sub-problem is therefore
+// computed exactly once, and the probe overhead is at most k−1 probes for a
+// value shared by k consumers — both properties are asserted by the tests.
+//
+// Problems are given as dp.Spec values: memoization and the bottom-up
+// framework of package dp are the two evaluation strategies for the same
+// Equation (6) specification, mirroring the paper's presentation.
+package memo
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"lopram/internal/dp"
+	"lopram/internal/palrt"
+)
+
+// cell states
+const (
+	empty int32 = iota
+	inProgress
+	solved
+)
+
+// Stats reports the §4.5 accounting of a memoized run.
+type Stats struct {
+	// Computes is the number of sub-problems actually computed; it equals
+	// the number of sub-problems reachable from the root.
+	Computes int64
+	// Probes is the number of lookups that found a value in progress and
+	// had to wait — the overhead factor §4.5 discusses ("as many as k−1
+	// probes for the value").
+	Probes int64
+	// Hits is the number of lookups that found a solved value.
+	Hits int64
+}
+
+// Table is the memoization store: tri-state cells with a notification
+// channel per in-progress cell.
+type Table struct {
+	spec  dp.Spec
+	state []atomic.Int32
+	vals  []int64
+	done  []chan struct{}
+
+	computes atomic.Int64
+	probes   atomic.Int64
+	hits     atomic.Int64
+
+	mu sync.Mutex // guards lazy done-channel creation
+}
+
+// NewTable returns an empty memo table for the spec.
+func NewTable(s dp.Spec) *Table {
+	n := s.Cells()
+	return &Table{
+		spec:  s,
+		state: make([]atomic.Int32, n),
+		vals:  make([]int64, n),
+		done:  make([]chan struct{}, n),
+	}
+}
+
+// doneCh returns the notification channel of cell v, creating it if needed.
+func (t *Table) doneCh(v int) chan struct{} {
+	t.mu.Lock()
+	ch := t.done[v]
+	if ch == nil {
+		ch = make(chan struct{})
+		t.done[v] = ch
+	}
+	t.mu.Unlock()
+	return ch
+}
+
+// Stats returns the accounting so far.
+func (t *Table) Stats() Stats {
+	return Stats{
+		Computes: t.computes.Load(),
+		Probes:   t.probes.Load(),
+		Hits:     t.hits.Load(),
+	}
+}
+
+// Value returns the solved value of cell v; valid only after a Run that
+// reached v.
+func (t *Table) Value(v int) int64 { return t.vals[v] }
+
+// Run evaluates cell root top-down on the runtime and returns its value.
+// Unresolved dependencies of a claimed cell are fetched as a palthreads
+// block, so independent sub-problems descend in parallel; dependencies found
+// in progress are waited on, per §4.5.
+func Run(rt *palrt.RT, s dp.Spec, root int) (int64, Stats) {
+	t := NewTable(s)
+	v := t.fetch(rt, root)
+	return v, t.Stats()
+}
+
+// RunOn is Run against an existing table (for incremental queries).
+func RunOn(rt *palrt.RT, t *Table, root int) int64 {
+	return t.fetch(rt, root)
+}
+
+func (t *Table) fetch(rt *palrt.RT, v int) int64 {
+	switch t.state[v].Load() {
+	case solved:
+		t.hits.Add(1)
+		return t.vals[v]
+	case inProgress:
+		// Another thread owns the computation: register on its
+		// notification and wait (the paper's "registers a notify
+		// condition on solution").
+		t.probes.Add(1)
+		<-t.doneCh(v)
+		return t.vals[v]
+	}
+	if !t.state[v].CompareAndSwap(empty, inProgress) {
+		// Lost the claim race; resolve via the owner.
+		return t.fetch(rt, v)
+	}
+
+	deps := t.spec.Deps(v, nil)
+	if len(deps) > 0 {
+		jobs := make([]func(), len(deps))
+		for i, d := range deps {
+			d := d
+			jobs[i] = func() { t.fetch(rt, d) }
+		}
+		rt.Do(jobs...)
+	}
+
+	val := t.spec.Compute(v, func(x int) int64 { return t.vals[x] })
+	t.vals[v] = val
+	t.computes.Add(1)
+	t.state[v].Store(solved)
+	close(t.doneCh(v))
+	return val
+}
+
+// RunSeq is the sequential memoized baseline: same top-down order, one
+// processor, no claim protocol.
+func RunSeq(s dp.Spec, root int) (int64, Stats) {
+	n := s.Cells()
+	state := make([]int32, n)
+	vals := make([]int64, n)
+	var computes int64
+	var visit func(v int) int64
+	visit = func(v int) int64 {
+		if state[v] == solved {
+			return vals[v]
+		}
+		for _, d := range s.Deps(v, nil) {
+			visit(d)
+		}
+		vals[v] = s.Compute(v, func(x int) int64 { return vals[x] })
+		state[v] = solved
+		computes++
+		return vals[v]
+	}
+	out := visit(root)
+	return out, Stats{Computes: computes}
+}
+
+// Reachable returns the number of cells reachable from root through Deps —
+// the expected Computes count of any memoized run.
+func Reachable(s dp.Spec, root int) int64 {
+	seen := make([]bool, s.Cells())
+	stack := []int{root}
+	seen[root] = true
+	var count int64
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		for _, d := range s.Deps(v, nil) {
+			if !seen[d] {
+				seen[d] = true
+				stack = append(stack, d)
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,188 @@
+package memo
+
+import (
+	"testing"
+
+	"lopram/internal/dp"
+	"lopram/internal/palrt"
+	"lopram/internal/workload"
+)
+
+func TestMemoMatchesBottomUp(t *testing.T) {
+	r := workload.NewRNG(1)
+	dims := workload.ChainDims(r, 14, 5, 30)
+	spec := dp.NewMatrixChain(dims)
+	root := spec.Cells() - 1
+	want := dp.MatrixChain(dims)
+	for _, p := range []int{1, 2, 4, 8} {
+		rt := palrt.New(p)
+		got, st := Run(rt, spec, root)
+		if got != want {
+			t.Fatalf("p=%d: got %d, want %d", p, got, want)
+		}
+		if st.Computes != Reachable(spec, root) {
+			t.Fatalf("p=%d: computed %d cells, reachable %d", p, st.Computes, Reachable(spec, root))
+		}
+	}
+}
+
+func TestMemoEditDistance(t *testing.T) {
+	r := workload.NewRNG(2)
+	a, b := workload.RelatedStrings(r, 60, 4, 12)
+	spec := dp.NewEditDistance(a, b)
+	root := spec.Cells() - 1
+	rt := palrt.New(6)
+	got, st := Run(rt, spec, root)
+	if want := dp.EditDistance(a, b); got != want {
+		t.Fatalf("got %d, want %d", got, want)
+	}
+	// The whole table is reachable from the corner.
+	if st.Computes != int64(spec.Cells()) {
+		t.Fatalf("computed %d, want %d", st.Computes, spec.Cells())
+	}
+}
+
+// TestEachCellComputedOnce: the claim protocol guarantees exactly-once
+// computation even under maximal contention. Run many rounds to give races
+// a chance.
+func TestEachCellComputedOnce(t *testing.T) {
+	r := workload.NewRNG(3)
+	for trial := 0; trial < 20; trial++ {
+		dims := workload.ChainDims(r, 10, 2, 20)
+		spec := dp.NewMatrixChain(dims)
+		root := spec.Cells() - 1
+		rt := palrt.New(8)
+		_, st := Run(rt, spec, root)
+		if st.Computes != Reachable(spec, root) {
+			t.Fatalf("trial %d: %d computes, %d reachable", trial, st.Computes, Reachable(spec, root))
+		}
+	}
+}
+
+// TestProbeBound: §4.5's overhead bound — if k threads need a value, at most
+// k−1 probe it while in progress. Summed over all cells, probes cannot
+// exceed the number of dependency edges minus the cells computed (each cell
+// is demanded at least once without a probe: by its claimant).
+func TestProbeBound(t *testing.T) {
+	r := workload.NewRNG(4)
+	spec := dp.NewMatrixChain(workload.ChainDims(r, 12, 2, 20))
+	root := spec.Cells() - 1
+	var edges int64
+	for v := 0; v < spec.Cells(); v++ {
+		edges += int64(len(spec.Deps(v, nil)))
+	}
+	for _, p := range []int{2, 4, 8} {
+		rt := palrt.New(p)
+		_, st := Run(rt, spec, root)
+		if st.Probes > edges {
+			t.Fatalf("p=%d: %d probes exceed %d edges", p, st.Probes, edges)
+		}
+	}
+}
+
+func TestSequentialMemoNoProbes(t *testing.T) {
+	r := workload.NewRNG(5)
+	spec := dp.NewMatrixChain(workload.ChainDims(r, 10, 2, 20))
+	root := spec.Cells() - 1
+	got, st := RunSeq(spec, root)
+	if wantV := mustSeqValue(t, spec, root); got != wantV {
+		t.Fatalf("got %d, want %d", got, wantV)
+	}
+	if st.Probes != 0 {
+		t.Fatalf("sequential run recorded %d probes", st.Probes)
+	}
+	if st.Computes != Reachable(spec, root) {
+		t.Fatalf("computes = %d, want %d", st.Computes, Reachable(spec, root))
+	}
+}
+
+func mustSeqValue(t *testing.T, s dp.Spec, root int) int64 {
+	t.Helper()
+	vals, err := dp.RunSeq(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vals[root]
+}
+
+// TestMemoOnlyComputesReachable: querying a sub-interval leaves unrelated
+// cells untouched (memoization's laziness — the advantage §4.2 notes it can
+// have over bottom-up evaluation).
+func TestMemoOnlyComputesReachable(t *testing.T) {
+	r := workload.NewRNG(6)
+	dims := workload.ChainDims(r, 16, 2, 20)
+	spec := dp.NewMatrixChain(dims)
+	rt := palrt.New(4)
+	// Query a short prefix interval: cells touching later matrices must
+	// remain uncomputed. Packed id of interval (0,3): intervals of length
+	// l start at Σ_{k<l}(n-k), so id = (n) + (n-1) + (n-2) + 0.
+	n := len(dims) - 1
+	id := 0
+	for l := 0; l < 3; l++ {
+		id += n - l
+	}
+	got, st := Run(rt, spec, id)
+	reach := Reachable(spec, id)
+	if st.Computes != reach {
+		t.Fatalf("computes = %d, want %d", st.Computes, reach)
+	}
+	if reach >= int64(spec.Cells()) {
+		t.Fatalf("sub-query reached the whole table (%d cells)", reach)
+	}
+	// And the value matches the full bottom-up table.
+	vals, err := dp.RunSeq(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != vals[id] {
+		t.Fatalf("sub-query value %d, want %d", got, vals[id])
+	}
+}
+
+func TestRunOnIncremental(t *testing.T) {
+	r := workload.NewRNG(7)
+	spec := dp.NewFib(60)
+	tbl := NewTable(spec)
+	rt := palrt.New(4)
+	if got := RunOn(rt, tbl, 40); got != dp.Fib(40) {
+		t.Fatalf("F(40) = %d", got)
+	}
+	before := tbl.Stats().Computes
+	// Extending to 60 must only compute the 20 new cells.
+	if got := RunOn(rt, tbl, 60); got != dp.Fib(60) {
+		t.Fatalf("F(60) = %d", got)
+	}
+	after := tbl.Stats().Computes
+	if after-before != 20 {
+		t.Fatalf("incremental query recomputed %d cells, want 20", after-before)
+	}
+	_ = r
+}
+
+func TestValueAccessor(t *testing.T) {
+	spec := dp.NewFib(10)
+	rt := palrt.New(2)
+	tbl := NewTable(spec)
+	RunOn(rt, tbl, 10)
+	if tbl.Value(10) != dp.Fib(10) {
+		t.Fatalf("Value(10) = %d", tbl.Value(10))
+	}
+	if tbl.Value(7) != dp.Fib(7) {
+		t.Fatalf("Value(7) = %d", tbl.Value(7))
+	}
+}
+
+func TestHitsCounted(t *testing.T) {
+	// Fib: cell i is demanded by i+1 and i+2; after the claimant, later
+	// lookups are hits or probes — with p=1 everything is sequential so
+	// they must all be hits.
+	spec := dp.NewFib(30)
+	rt := palrt.New(1)
+	_, st := Run(rt, spec, 30)
+	if st.Probes != 0 {
+		t.Fatalf("p=1 run has %d probes", st.Probes)
+	}
+	if st.Hits == 0 {
+		t.Fatal("no memoization hits recorded")
+	}
+}

@@ -1,0 +1,99 @@
+package memo
+
+import (
+	"lopram/internal/dp"
+	"lopram/internal/sim"
+)
+
+// Simulated memoization: §4.5 executed on the deterministic machine, so the
+// strategy's step counts can be compared with bottom-up Algorithm 1. The
+// program follows the paper's protocol literally:
+//
+//   - the first thread to need a sub-problem claims it and creates a
+//     pal-thread for it ("a new thread is launched to compute it and this is
+//     recorded in the object M as in progress");
+//   - a thread probing an in-progress entry "registers a notify condition on
+//     solution" — here, an Await on the cell's Future;
+//   - the thread continues through its remaining sub-problems before
+//     waiting ("continues with all other subproblems yi until all of the
+//     subproblems are active or solved").
+//
+// Because the machine is deterministic, the division into claims, hits and
+// probes is reproducible, and SimStats reports it.
+
+// SimStats is the §4.5 accounting of a simulated memoized run.
+type SimStats struct {
+	// Computes is the number of sub-problems claimed and computed.
+	Computes int64
+	// Probes counts lookups that found an in-progress entry and awaited.
+	Probes int64
+	// Hits counts lookups that found a solved entry.
+	Hits int64
+}
+
+// cell states in the simulated store
+const (
+	simEmpty int8 = iota
+	simInProgress
+	simSolved
+)
+
+// Program builds a simulator program that evaluates cell root of the spec
+// top-down with memoization. vals and stats are filled during the run;
+// inspect them after Machine.Run returns. The program is single-use.
+//
+// Cost model: each cell charges Spec.Cost(v) for its computation, plus one
+// unit per dependency lookup (the probe overhead §4.5 discusses is thereby
+// visible in the wall clock, not only in the stats).
+func Program(s dp.Spec, root int) (prog sim.Func, vals []int64, stats *SimStats) {
+	n := s.Cells()
+	vals = make([]int64, n)
+	stats = &SimStats{}
+	state := make([]int8, n)
+	futs := make([]*sim.Future, n)
+	get := func(x int) int64 { return vals[x] }
+
+	var fetch func(v int) sim.Func
+	fetch = func(v int) sim.Func {
+		return func(tc *sim.TC) {
+			deps := s.Deps(v, nil)
+			var kids []sim.Func
+			var awaits []*sim.Future
+			if len(deps) > 0 {
+				// One unit per dependency lookup.
+				tc.Work(int64(len(deps)))
+				for _, d := range deps {
+					switch state[d] {
+					case simEmpty:
+						state[d] = simInProgress
+						futs[d] = tc.NewFuture()
+						kids = append(kids, fetch(d))
+					case simInProgress:
+						stats.Probes++
+						awaits = append(awaits, futs[d])
+					default:
+						stats.Hits++
+					}
+				}
+			}
+			tc.Do(kids...)
+			for _, f := range awaits {
+				tc.Await(f)
+			}
+			tc.Work(s.Cost(v))
+			vals[v] = s.Compute(v, get)
+			state[v] = simSolved
+			stats.Computes++
+			if futs[v] != nil {
+				tc.Resolve(futs[v])
+			}
+		}
+	}
+
+	prog = func(tc *sim.TC) {
+		state[root] = simInProgress
+		futs[root] = tc.NewFuture()
+		fetch(root)(tc)
+	}
+	return prog, vals, stats
+}

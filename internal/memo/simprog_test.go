@@ -1,0 +1,156 @@
+package memo
+
+import (
+	"testing"
+
+	"lopram/internal/dp"
+	"lopram/internal/sim"
+	"lopram/internal/workload"
+)
+
+func runSimMemo(t *testing.T, s dp.Spec, root, p int) ([]int64, *SimStats, int64) {
+	t.Helper()
+	prog, vals, stats := Program(s, root)
+	m := sim.New(sim.Config{P: p})
+	res, err := m.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vals, stats, res.Steps
+}
+
+func TestSimMemoMatrixChain(t *testing.T) {
+	r := workload.NewRNG(1)
+	dims := workload.ChainDims(r, 12, 3, 25)
+	spec := dp.NewMatrixChain(dims)
+	root := spec.Cells() - 1
+	want := dp.MatrixChain(dims)
+	for _, p := range []int{1, 2, 4, 8} {
+		vals, stats, _ := runSimMemo(t, spec, root, p)
+		if vals[root] != want {
+			t.Fatalf("p=%d: value %d, want %d", p, vals[root], want)
+		}
+		if stats.Computes != Reachable(spec, root) {
+			t.Fatalf("p=%d: computes %d, reachable %d", p, stats.Computes, Reachable(spec, root))
+		}
+	}
+}
+
+func TestSimMemoEditDistance(t *testing.T) {
+	r := workload.NewRNG(2)
+	a, b := workload.RelatedStrings(r, 24, 4, 6)
+	spec := dp.NewEditDistance(a, b)
+	root := spec.Cells() - 1
+	for _, p := range []int{1, 4} {
+		vals, stats, _ := runSimMemo(t, spec, root, p)
+		if vals[root] != dp.EditDistance(a, b) {
+			t.Fatalf("p=%d: distance %d, want %d", p, vals[root], dp.EditDistance(a, b))
+		}
+		if stats.Computes != int64(spec.Cells()) {
+			t.Fatalf("p=%d: computes %d, want all %d", p, stats.Computes, spec.Cells())
+		}
+	}
+}
+
+// TestSimMemoLazy: a sub-query touches only reachable cells, in time
+// proportional to them — laziness with step counts.
+func TestSimMemoLazy(t *testing.T) {
+	r := workload.NewRNG(3)
+	dims := workload.ChainDims(r, 16, 3, 25)
+	spec := dp.NewMatrixChain(dims)
+	n := len(dims) - 1
+	subID := 0
+	for l := 0; l < 4; l++ {
+		subID += n - l
+	}
+	_, stats, subSteps := runSimMemo(t, spec, subID, 4)
+	if stats.Computes != Reachable(spec, subID) {
+		t.Fatalf("computes %d, reachable %d", stats.Computes, Reachable(spec, subID))
+	}
+	_, _, fullSteps := runSimMemo(t, spec, spec.Cells()-1, 4)
+	if subSteps*3 > fullSteps {
+		t.Fatalf("sub-query %d steps not ≪ full %d", subSteps, fullSteps)
+	}
+}
+
+// TestSimMemoDeterministic: the probe/hit division is reproducible.
+func TestSimMemoDeterministic(t *testing.T) {
+	r := workload.NewRNG(4)
+	dims := workload.ChainDims(r, 10, 3, 25)
+	spec := dp.NewMatrixChain(dims)
+	root := spec.Cells() - 1
+	_, s1, t1 := runSimMemo(t, spec, root, 4)
+	_, s2, t2 := runSimMemo(t, spec, root, 4)
+	if *s1 != *s2 || t1 != t2 {
+		t.Fatalf("nondeterministic: %+v/%d vs %+v/%d", s1, t1, s2, t2)
+	}
+}
+
+// TestSimMemoSpeedup: the memoized evaluation parallelizes (the amount
+// depends on the DAG's antichains, per §4.5's closing remark).
+func TestSimMemoSpeedup(t *testing.T) {
+	r := workload.NewRNG(5)
+	a, b := workload.RelatedStrings(r, 48, 4, 8)
+	spec := dp.NewEditDistance(a, b)
+	root := spec.Cells() - 1
+	_, _, t1 := runSimMemo(t, spec, root, 1)
+	_, _, t8 := runSimMemo(t, spec, root, 8)
+	speedup := float64(t1) / float64(t8)
+	if speedup < 2 {
+		t.Fatalf("p=8 speedup = %.2f, want ≥ 2", speedup)
+	}
+	if speedup > 8.01 {
+		t.Fatalf("superlinear speedup %.2f", speedup)
+	}
+}
+
+// TestSimMemoChainFlat: memoizing a chain cannot speed it up either.
+func TestSimMemoChainFlat(t *testing.T) {
+	spec := dp.NewPrefixSum(make([]int64, 200))
+	root := spec.Cells() - 1
+	_, _, t1 := runSimMemo(t, spec, root, 1)
+	_, _, t8 := runSimMemo(t, spec, root, 8)
+	if float64(t1)/float64(t8) > 1.05 {
+		t.Fatalf("chain memoization sped up: %d → %d", t1, t8)
+	}
+}
+
+func TestFutureBasics(t *testing.T) {
+	// Resolve-before-await and await-then-resolve both work; double
+	// resolve fails the run.
+	m := sim.New(sim.Config{P: 2})
+	res := m.MustRun(func(tc *sim.TC) {
+		f := tc.NewFuture()
+		tc.Spawn(func(tc *sim.TC) {
+			tc.Work(5)
+			tc.Resolve(f)
+		})
+		tc.Await(f) // waits for the spawned thread
+		tc.Work(1)
+	})
+	if res.Steps != 6 {
+		t.Fatalf("steps = %d, want 6 (await released the processor)", res.Steps)
+	}
+
+	m2 := sim.New(sim.Config{P: 1})
+	_, err := m2.Run(func(tc *sim.TC) {
+		f := tc.NewFuture()
+		tc.Resolve(f)
+		tc.Await(f) // immediate return
+		tc.Resolve(f)
+	})
+	if err == nil {
+		t.Fatal("double resolve not rejected")
+	}
+}
+
+func TestAwaitUnresolvedDeadlocks(t *testing.T) {
+	m := sim.New(sim.Config{P: 2})
+	_, err := m.Run(func(tc *sim.TC) {
+		f := tc.NewFuture()
+		tc.Await(f) // nobody will resolve it
+	})
+	if err != sim.ErrDeadlock {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}

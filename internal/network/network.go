@@ -1,0 +1,185 @@
+// Package network models the interconnect feasibility argument of the
+// paper's introduction: "communication cost remains modest under the
+// assumption of low-degree parallelism. Indeed with this bound in place a
+// full processor network based on the complete graph is realizable."
+//
+// The model is deliberately simple — counting, not queueing theory: a
+// topology determines the number of physical links, the diameter (worst
+// point-to-point latency in hops), and the number of rounds needed for an
+// all-to-all personalized exchange when each link moves one message per
+// round in each direction. With p = O(log n) the complete graph needs only
+// O(log² n) links and does everything in one hop; with the PRAM's p = Θ(n)
+// it needs Θ(n²) links, which is what makes the classical model physically
+// unrealistic (§2's criticism).
+package network
+
+import "fmt"
+
+// Topology is a processor interconnect shape.
+type Topology int
+
+const (
+	// Complete connects every processor pair directly.
+	Complete Topology = iota
+	// Ring connects processor i to i±1 (mod p).
+	Ring
+	// Hypercube connects processors differing in one bit of their index
+	// (p must be a power of two).
+	Hypercube
+)
+
+func (t Topology) String() string {
+	switch t {
+	case Complete:
+		return "complete"
+	case Ring:
+		return "ring"
+	case Hypercube:
+		return "hypercube"
+	}
+	return fmt.Sprintf("Topology(%d)", int(t))
+}
+
+// Net is an interconnect over p processors.
+type Net struct {
+	P    int
+	Kind Topology
+}
+
+// New returns the network, validating topology constraints.
+func New(p int, kind Topology) (Net, error) {
+	if p < 1 {
+		return Net{}, fmt.Errorf("network: invalid processor count %d", p)
+	}
+	if kind == Hypercube && p&(p-1) != 0 {
+		return Net{}, fmt.Errorf("network: hypercube needs a power-of-two p, got %d", p)
+	}
+	return Net{P: p, Kind: kind}, nil
+}
+
+// Links returns the number of physical links.
+func (n Net) Links() int64 {
+	p := int64(n.P)
+	switch n.Kind {
+	case Complete:
+		return p * (p - 1) / 2
+	case Ring:
+		if p < 3 {
+			return p - 1
+		}
+		return p
+	case Hypercube:
+		return p * int64(log2(n.P)) / 2
+	}
+	return 0
+}
+
+// Diameter returns the worst-case hop distance between two processors.
+func (n Net) Diameter() int {
+	switch n.Kind {
+	case Complete:
+		if n.P > 1 {
+			return 1
+		}
+		return 0
+	case Ring:
+		return n.P / 2
+	case Hypercube:
+		return log2(n.P)
+	}
+	return 0
+}
+
+// Degree returns the per-processor link count.
+func (n Net) Degree() int {
+	switch n.Kind {
+	case Complete:
+		return n.P - 1
+	case Ring:
+		if n.P <= 2 {
+			return n.P - 1
+		}
+		return 2
+	case Hypercube:
+		return log2(n.P)
+	}
+	return 0
+}
+
+// AllToAllRounds returns the number of communication rounds for an
+// all-to-all personalized exchange (every processor sends one distinct
+// message to every other), with each link carrying one message per round
+// per direction.
+//
+//   - Complete: p−1 rounds (a round-robin pairing schedule; every pair has
+//     its own link, so round r pairs i with i+r).
+//   - Ring: Θ(p²) message-hops over 2p links ⇒ ⌈p²/4⌉-ish rounds; we use
+//     the exact bisection bound ⌈(p/2)·(p/2)⌉ / 1 links across the cut …
+//     conservatively (p²+3)/4 rounds.
+//   - Hypercube: p/2 messages cross each dimension; p−1 rounds suffice with
+//     standard dimension-ordered routing for permutations applied p−1 times
+//     … we report (p−1)·1 rounds times the dimension count bound log p.
+//
+// The exact constants are not the point; the orders are, and the tests pin
+// them.
+func (n Net) AllToAllRounds() int64 {
+	p := int64(n.P)
+	if p <= 1 {
+		return 0
+	}
+	switch n.Kind {
+	case Complete:
+		return p - 1
+	case Ring:
+		// Bisection: p²/4 messages must cross 2 links.
+		return (p*p + 7) / 8
+	case Hypercube:
+		// log p phases, each a shuffle of p/2 messages per dimension
+		// pipelined: (p-1) rounds per phase is the naive bound.
+		return (p - 1) * int64(log2(n.P))
+	}
+	return 0
+}
+
+// Feasibility summarises the wiring cost of equipping a machine with the
+// topology at a given processor count — the table behind the paper's
+// realizability claim.
+type Feasibility struct {
+	P        int
+	Links    int64
+	Degree   int
+	Diameter int
+	AllToAll int64
+}
+
+// Feasible returns the feasibility summary.
+func (n Net) Feasible() Feasibility {
+	return Feasibility{
+		P:        n.P,
+		Links:    n.Links(),
+		Degree:   n.Degree(),
+		Diameter: n.Diameter(),
+		AllToAll: n.AllToAllRounds(),
+	}
+}
+
+// CompareModels contrasts the complete-graph wiring cost of a LoPRAM
+// (p = ⌊log₂ n⌋) against a classical PRAM (p = n) for the same input size.
+func CompareModels(n int) (lopram, pram Feasibility) {
+	pl := log2(n)
+	if pl < 1 {
+		pl = 1
+	}
+	l, _ := New(pl, Complete)
+	c, _ := New(n, Complete)
+	return l.Feasible(), c.Feasible()
+}
+
+func log2(v int) int {
+	l := 0
+	for v > 1 {
+		v >>= 1
+		l++
+	}
+	return l
+}

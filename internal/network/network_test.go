@@ -1,0 +1,90 @@
+package network
+
+import "testing"
+
+func TestCompleteGraphCounts(t *testing.T) {
+	n, err := New(8, Complete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Links() != 28 {
+		t.Fatalf("links = %d, want 28", n.Links())
+	}
+	if n.Degree() != 7 || n.Diameter() != 1 {
+		t.Fatalf("degree %d diameter %d", n.Degree(), n.Diameter())
+	}
+	if n.AllToAllRounds() != 7 {
+		t.Fatalf("all-to-all = %d, want 7", n.AllToAllRounds())
+	}
+}
+
+func TestRingCounts(t *testing.T) {
+	n, _ := New(8, Ring)
+	if n.Links() != 8 || n.Degree() != 2 || n.Diameter() != 4 {
+		t.Fatalf("ring: %+v", n.Feasible())
+	}
+	if n.AllToAllRounds() <= int64(8-1) {
+		t.Fatal("ring all-to-all should exceed complete graph's")
+	}
+}
+
+func TestHypercubeCounts(t *testing.T) {
+	n, err := New(16, Hypercube)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Links() != 32 { // p·log(p)/2 = 16·4/2
+		t.Fatalf("links = %d, want 32", n.Links())
+	}
+	if n.Degree() != 4 || n.Diameter() != 4 {
+		t.Fatalf("hypercube: %+v", n.Feasible())
+	}
+}
+
+func TestHypercubeRejectsNonPow2(t *testing.T) {
+	if _, err := New(12, Hypercube); err == nil {
+		t.Fatal("p=12 hypercube accepted")
+	}
+}
+
+func TestNewRejectsBadP(t *testing.T) {
+	if _, err := New(0, Complete); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+}
+
+// TestRealizabilityClaim is the paper's §1 argument in numbers: full
+// connectivity for p = O(log n) costs O(log² n) links while the PRAM's
+// p = Θ(n) needs Θ(n²).
+func TestRealizabilityClaim(t *testing.T) {
+	for _, n := range []int{1 << 10, 1 << 20} {
+		lop, pr := CompareModels(n)
+		if lop.Links > int64(lop.P*lop.P) {
+			t.Fatalf("n=%d: LoPRAM links %d exceed p²", n, lop.Links)
+		}
+		if pr.Links < int64(n)*int64(n)/4 {
+			t.Fatalf("n=%d: PRAM links %d not Θ(n²)", n, pr.Links)
+		}
+		ratio := float64(pr.Links) / float64(lop.Links)
+		if ratio < 1e4 {
+			t.Fatalf("n=%d: wiring gap only %.0f×", n, ratio)
+		}
+	}
+}
+
+func TestDegenerateSizes(t *testing.T) {
+	one, _ := New(1, Complete)
+	if one.Links() != 0 || one.Diameter() != 0 || one.AllToAllRounds() != 0 {
+		t.Fatalf("p=1: %+v", one.Feasible())
+	}
+	two, _ := New(2, Ring)
+	if two.Links() != 1 || two.Degree() != 1 {
+		t.Fatalf("p=2 ring: %+v", two.Feasible())
+	}
+}
+
+func TestTopologyStrings(t *testing.T) {
+	if Complete.String() != "complete" || Ring.String() != "ring" || Hypercube.String() != "hypercube" {
+		t.Fatal("topology names")
+	}
+}

@@ -1,0 +1,196 @@
+// Package palrt is the goroutine-backed LoPRAM runtime: it executes the same
+// pal-thread programs as the simulator, but for real, on the host's cores.
+//
+// The runtime owns p logical processors represented by permits. A palthreads
+// block (Do) offers its children to idle processors and executes the rest
+// inline on the parent's processor — the exact behaviour §4.1 relies on:
+// "as there are no more free cores available, the sequential version of the
+// algorithm is used", and crucially "this condition is never explicitly
+// tested for by the scheduling algorithm, rather it is a natural consequence
+// of the proposed order of execution of the parent child threads". Here too:
+// no code tests the recursion depth; the handoff attempt simply fails when
+// all permits are taken and the parent recurses sequentially.
+package palrt
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RT is a LoPRAM runtime with a fixed processor budget. Create one per
+// computation (or reuse across computations; it is stateless between calls).
+// The zero value is not usable; call New.
+type RT struct {
+	p int
+	// permits holds p-1 tokens: the caller of Run holds the p-th
+	// processor implicitly, exactly like the main thread of the model.
+	permits chan struct{}
+	spawns  atomic.Int64 // children actually handed to another processor
+	inlines atomic.Int64 // children executed inline by their parent
+}
+
+// New returns a runtime with p processors. p < 1 is treated as 1.
+// The runtime does not call runtime.GOMAXPROCS; the permit discipline alone
+// bounds parallelism, so a single process can host several runtimes.
+func New(p int) *RT {
+	if p < 1 {
+		p = 1
+	}
+	rt := &RT{p: p, permits: make(chan struct{}, p-1)}
+	for i := 0; i < p-1; i++ {
+		rt.permits <- struct{}{}
+	}
+	return rt
+}
+
+// NewHost returns a runtime sized to the host: min(maxP, GOMAXPROCS).
+func NewHost(maxP int) *RT {
+	p := runtime.GOMAXPROCS(0)
+	if maxP > 0 && p > maxP {
+		p = maxP
+	}
+	return New(p)
+}
+
+// P returns the processor budget.
+func (rt *RT) P() int { return rt.p }
+
+// Stats returns how many pal-thread children were executed on a fresh
+// processor versus inline on their parent's processor since the runtime was
+// created. Used by the spawn-policy ablation and the scheduler tests.
+func (rt *RT) Stats() (spawned, inline int64) {
+	return rt.spawns.Load(), rt.inlines.Load()
+}
+
+// Do executes a palthreads block: the children run, possibly in parallel,
+// and Do returns when all have completed (the block's implicit wait).
+//
+// Child 0 always runs inline: when the parent suspends at the wait, its
+// processor is assigned to the first child (§3.1), and running it on the
+// same goroutine realizes that handoff with zero cost. Children 1..k-1 are
+// offered to idle processors in creation order; each one that finds no idle
+// processor runs inline after its predecessors, which is precisely the
+// "processor is assigned sequentially to the children, in order of
+// creation" rule.
+func (rt *RT) Do(children ...func()) {
+	switch len(children) {
+	case 0:
+		return
+	case 1:
+		children[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	tryHand := func(f func()) bool {
+		select {
+		case <-rt.permits:
+			wg.Add(1)
+			rt.spawns.Add(1)
+			go func() {
+				defer wg.Done()
+				f()
+				rt.permits <- struct{}{}
+			}()
+			return true
+		default:
+			return false
+		}
+	}
+	deferred := children[1:]
+	handed := make([]bool, len(deferred))
+	for i, child := range deferred {
+		handed[i] = tryHand(child)
+	}
+	children[0]()
+	for i, child := range deferred {
+		if handed[i] {
+			continue
+		}
+		// A processor may have become idle while earlier children ran;
+		// pending pal-threads are activated as resources free up, so
+		// offer the child again before falling back to inline.
+		if tryHand(child) {
+			continue
+		}
+		rt.inlines.Add(1)
+		child()
+	}
+	wg.Wait()
+}
+
+// Go starts a single pal-thread with nowait semantics and returns a Join
+// handle. If no processor is idle the child runs inline immediately and the
+// returned join is a no-op — the degenerate but correct realization of
+// nowait on a saturated machine.
+func (rt *RT) Go(child func()) *Join {
+	select {
+	case <-rt.permits:
+		rt.spawns.Add(1)
+		j := &Join{ch: make(chan struct{})}
+		go func() {
+			child()
+			rt.permits <- struct{}{}
+			close(j.ch)
+		}()
+		return j
+	default:
+		rt.inlines.Add(1)
+		child()
+		return &Join{done: true}
+	}
+}
+
+// Join is the handle returned by Go.
+type Join struct {
+	ch   chan struct{}
+	done bool
+}
+
+// Wait blocks until the pal-thread completes.
+func (j *Join) Wait() {
+	if j.done {
+		return
+	}
+	<-j.ch
+}
+
+// For executes f over [lo, hi) in parallel with optimal speedup, splitting
+// the range by recursive halving until segments reach grain. It implements
+// the "parallel merging" capability of §4.1 (Equation 5): a D&C algorithm
+// whose merge is a data-parallel loop can wrap it in For to move from Case 3
+// sequential-merge behaviour (no speedup) to Θ(f(n)/p).
+func (rt *RT) For(lo, hi, grain int, f func(lo, hi int)) {
+	if grain < 1 {
+		grain = 1
+	}
+	rt.pfor(lo, hi, grain, f)
+}
+
+func (rt *RT) pfor(lo, hi, grain int, f func(lo, hi int)) {
+	if hi-lo <= grain {
+		f(lo, hi)
+		return
+	}
+	mid := lo + (hi-lo)/2
+	rt.Do(
+		func() { rt.pfor(lo, mid, grain, f) },
+		func() { rt.pfor(mid, hi, grain, f) },
+	)
+}
+
+// AlwaysSpawn is the naive policy used by the spawn-policy ablation: every
+// child gets its own goroutine regardless of processor availability, so the
+// scheduler (Go's, here) sees the full a^depth thread explosion the paper's
+// design avoids. Exported for benchmarks only.
+func AlwaysSpawn(children ...func()) {
+	var wg sync.WaitGroup
+	wg.Add(len(children))
+	for _, child := range children {
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(child)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,220 @@
+package palrt
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoRunsAllChildren(t *testing.T) {
+	rt := New(4)
+	var count atomic.Int64
+	var jobs []func()
+	for i := 0; i < 100; i++ {
+		jobs = append(jobs, func() { count.Add(1) })
+	}
+	rt.Do(jobs...)
+	if count.Load() != 100 {
+		t.Fatalf("ran %d of 100 children", count.Load())
+	}
+}
+
+func TestDoEmptyAndSingle(t *testing.T) {
+	rt := New(2)
+	rt.Do() // no-op
+	ran := false
+	rt.Do(func() { ran = true })
+	if !ran {
+		t.Fatal("single child not run")
+	}
+}
+
+func TestDoWaitsForChildren(t *testing.T) {
+	rt := New(4)
+	var done [8]atomic.Bool
+	var jobs []func()
+	for i := range done {
+		i := i
+		jobs = append(jobs, func() { done[i].Store(true) })
+	}
+	rt.Do(jobs...)
+	for i := range done {
+		if !done[i].Load() {
+			t.Fatalf("child %d not finished when Do returned", i)
+		}
+	}
+}
+
+func TestNestedDoRecursion(t *testing.T) {
+	rt := New(8)
+	var sum atomic.Int64
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == 0 {
+			sum.Add(1)
+			return
+		}
+		rt.Do(
+			func() { rec(depth - 1) },
+			func() { rec(depth - 1) },
+		)
+	}
+	rec(10)
+	if sum.Load() != 1024 {
+		t.Fatalf("sum = %d, want 1024", sum.Load())
+	}
+}
+
+// TestConcurrencyBound verifies the permit discipline: at no instant do more
+// than p children execute simultaneously.
+func TestConcurrencyBound(t *testing.T) {
+	const p = 3
+	rt := New(p)
+	var cur, max atomic.Int64
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth > 0 {
+			rt.Do(
+				func() { rec(depth - 1) },
+				func() { rec(depth - 1) },
+			)
+			return
+		}
+		// Only leaves occupy a processor for measurable time; parents
+		// blocked at a Do's implicit wait hold no processor.
+		c := cur.Add(1)
+		for {
+			m := max.Load()
+			if c <= m || max.CompareAndSwap(m, c) {
+				break
+			}
+		}
+		for i := 0; i < 1000; i++ {
+			_ = i
+		}
+		cur.Add(-1)
+	}
+	rec(8)
+	if got := max.Load(); got > p {
+		t.Fatalf("observed %d concurrent pal-threads, budget %d", got, p)
+	}
+}
+
+func TestP1IsFullySequential(t *testing.T) {
+	rt := New(1)
+	order := make([]int, 0, 4)
+	rt.Do(
+		func() { order = append(order, 0) }, // no locking needed: p=1
+		func() { order = append(order, 1) },
+		func() { order = append(order, 2) },
+	)
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("order = %v, want [0 1 2] (creation order, inline)", order)
+	}
+	spawned, _ := rt.Stats()
+	if spawned != 0 {
+		t.Fatalf("p=1 spawned %d children", spawned)
+	}
+}
+
+func TestGoJoin(t *testing.T) {
+	rt := New(4)
+	var flag atomic.Bool
+	j := rt.Go(func() { flag.Store(true) })
+	j.Wait()
+	if !flag.Load() {
+		t.Fatal("Go child not finished after Wait")
+	}
+}
+
+func TestGoInlineFallback(t *testing.T) {
+	rt := New(1) // zero permits: Go must run inline
+	ran := false
+	j := rt.Go(func() { ran = true })
+	if !ran {
+		t.Fatal("inline Go did not run before returning")
+	}
+	j.Wait() // must not block
+	_, inline := rt.Stats()
+	if inline != 1 {
+		t.Fatalf("inline count = %d", inline)
+	}
+}
+
+func TestForCoversRange(t *testing.T) {
+	rt := New(6)
+	var marks [1000]atomic.Int32
+	rt.For(0, len(marks), 7, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			marks[i].Add(1)
+		}
+	})
+	for i := range marks {
+		if marks[i].Load() != 1 {
+			t.Fatalf("index %d visited %d times", i, marks[i].Load())
+		}
+	}
+}
+
+func TestForEmptyAndTiny(t *testing.T) {
+	rt := New(2)
+	calls := 0
+	rt.For(5, 5, 1, func(lo, hi int) { calls++ })
+	if calls != 1 { // one call with an empty range is fine
+		t.Fatalf("calls = %d", calls)
+	}
+	var total atomic.Int64
+	rt.For(0, 3, 0, func(lo, hi int) { total.Add(int64(hi - lo)) }) // grain clamped to 1
+	if total.Load() != 3 {
+		t.Fatalf("covered %d of 3", total.Load())
+	}
+}
+
+func TestNewClampsP(t *testing.T) {
+	if New(0).P() != 1 || New(-5).P() != 1 {
+		t.Fatal("non-positive p not clamped to 1")
+	}
+	if NewHost(2).P() > 2 {
+		t.Fatal("NewHost ignored the cap")
+	}
+}
+
+func TestAlwaysSpawn(t *testing.T) {
+	var count atomic.Int64
+	var jobs []func()
+	for i := 0; i < 50; i++ {
+		jobs = append(jobs, func() { count.Add(1) })
+	}
+	AlwaysSpawn(jobs...)
+	if count.Load() != 50 {
+		t.Fatalf("ran %d of 50", count.Load())
+	}
+}
+
+func TestPermitsRestoredAfterDo(t *testing.T) {
+	rt := New(4)
+	for round := 0; round < 50; round++ {
+		rt.Do(
+			func() {},
+			func() {},
+			func() {},
+			func() {},
+		)
+	}
+	// All permits must be back: p-1 consecutive Go calls should all
+	// hand off rather than run inline.
+	_, inlineBefore := rt.Stats()
+	var joins []*Join
+	var block = make(chan struct{})
+	for i := 0; i < rt.P()-1; i++ {
+		j := rt.Go(func() { <-block })
+		joins = append(joins, j)
+	}
+	_, inlineAfter := rt.Stats()
+	close(block)
+	for _, j := range joins {
+		j.Wait()
+	}
+	if inlineAfter != inlineBefore {
+		t.Fatalf("permits leaked: %d Go calls ran inline", inlineAfter-inlineBefore)
+	}
+}

@@ -1,0 +1,86 @@
+package pram
+
+import (
+	"sort"
+	"testing"
+
+	"lopram/internal/workload"
+)
+
+func TestBitonicSorts(t *testing.T) {
+	r := workload.NewRNG(1)
+	for _, n := range []int{2, 4, 16, 256, 1024} {
+		in := workload.Int64s(r, n)
+		for i := range in {
+			in[i] %= 10000
+		}
+		prog := BitonicSort{Input: in}
+		res := Emulate(prog, 8)
+		got := prog.Sorted(res)
+		want := append([]int64(nil), in...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: pos %d = %d, want %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBitonicStructure(t *testing.T) {
+	// n = 2^k: log n · (log n + 1)/2 layers of exactly n/2 comparators.
+	n := 256
+	in := make([]int64, n)
+	res := Emulate(BitonicSort{Input: in}, 4)
+	wantSteps := 8 * 9 / 2
+	if res.Steps != wantSteps {
+		t.Fatalf("steps = %d, want %d", res.Steps, wantSteps)
+	}
+	if res.Work != int64(wantSteps)*int64(n/2) {
+		t.Fatalf("work = %d, want %d", res.Work, int64(wantSteps)*int64(n/2))
+	}
+}
+
+func TestBitonicBrentEnvelope(t *testing.T) {
+	r := workload.NewRNG(2)
+	in := workload.Int64s(r, 512)
+	prog := BitonicSort{Input: in}
+	for _, p := range []int{1, 3, 16, 10000} {
+		res := Emulate(prog, p)
+		if res.TimeP > res.BrentBound(p) || res.TimeP < int64(res.Steps) {
+			t.Fatalf("p=%d: TimeP %d outside Brent envelope [span %d, %d]",
+				p, res.TimeP, res.Steps, res.BrentBound(p))
+		}
+	}
+}
+
+func TestBitonicSingleElement(t *testing.T) {
+	res := Emulate(BitonicSort{Input: []int64{7}}, 2)
+	if res.Steps != 0 || res.Mem[0] != 7 {
+		t.Fatalf("degenerate sort: %+v", res)
+	}
+}
+
+func TestBitonicAdversarial(t *testing.T) {
+	// Reverse-sorted and all-equal inputs.
+	n := 128
+	rev := make([]int64, n)
+	for i := range rev {
+		rev[i] = int64(n - i)
+	}
+	prog := BitonicSort{Input: rev}
+	got := prog.Sorted(Emulate(prog, 4))
+	for i := range got {
+		if got[i] != int64(i+1) {
+			t.Fatalf("reverse input: pos %d = %d", i, got[i])
+		}
+	}
+	eq := make([]int64, n)
+	prog2 := BitonicSort{Input: eq}
+	got2 := prog2.Sorted(Emulate(prog2, 4))
+	for i := range got2 {
+		if got2[i] != 0 {
+			t.Fatalf("all-equal input corrupted at %d", i)
+		}
+	}
+}

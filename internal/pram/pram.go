@@ -1,0 +1,230 @@
+// Package pram implements the classical PRAM baseline the paper positions
+// LoPRAM against (§1–§2): algorithms designed for Θ(n) processors, emulated
+// on a machine with only p processors via Brent's Lemma [Brent 1974] — "if
+// the number of processors available in practice was smaller, the Θ(n)
+// processor solution could be emulated using Brent's Lemma".
+//
+// A PRAM program is a sequence of synchronous parallel steps; each step is a
+// batch of independent unit-cost operations on a shared memory. Emulation on
+// p processors costs Σᵢ ⌈opsᵢ/p⌉ ≤ W/p + S steps (W total work, S steps) —
+// Brent's bound, which Emulate reports and the tests verify.
+//
+// The catalogue includes the textbook PRAM algorithms whose *work
+// sub-optimality* motivates the paper: Hillis–Steele prefix sums and
+// pointer-jumping list ranking both do Θ(n log n) work for an Θ(n)-work
+// problem, so even a perfect Brent emulation loses a log n factor to the
+// work-optimal LoPRAM algorithms (experiment E16).
+package pram
+
+import "fmt"
+
+// Op is one unit-cost PRAM operation. Operations within a step must be
+// independent: they may read anything written in earlier steps and must
+// write disjoint cells (EREW/CREW discipline is the program's duty; the
+// batch executor applies all reads before any write via operation-local
+// staging where the algorithm requires it).
+type Op func(mem []int64)
+
+// Program is a PRAM algorithm: a generator of synchronous steps. Next
+// returns the operation batch of the next step, or nil when the program is
+// complete.
+type Program interface {
+	// Memory returns the initial shared memory contents.
+	Memory() []int64
+	// Next returns the next step's operations, or nil at the end. Steps
+	// may depend on memory contents (the executor passes the live
+	// memory).
+	Next(step int, mem []int64) []Op
+}
+
+// Result summarises an emulated execution.
+type Result struct {
+	// Steps is the PRAM program's step count S (its depth/span).
+	Steps int
+	// Work is the total operation count W.
+	Work int64
+	// TimeP is the emulated wall-clock on p processors: Σ ⌈opsᵢ/p⌉.
+	TimeP int64
+	// Mem is the final memory.
+	Mem []int64
+}
+
+// BrentBound returns W/p + S, the Brent's Lemma upper bound on TimeP.
+func (r Result) BrentBound(p int) int64 {
+	return r.Work/int64(p) + int64(r.Steps)
+}
+
+// Emulate runs the program on p emulated processors and returns the result.
+// Within each step, operations execute in batches of p; operations in the
+// same step observe the memory as of the step's start for cells they stage
+// through their closure reads — programs in this package are written so that
+// every step's reads and writes are disjoint, making batch order irrelevant.
+func Emulate(prog Program, p int) Result {
+	if p < 1 {
+		panic(fmt.Sprintf("pram: invalid processor count %d", p))
+	}
+	mem := append([]int64(nil), prog.Memory()...)
+	var res Result
+	for step := 0; ; step++ {
+		ops := prog.Next(step, mem)
+		if ops == nil {
+			break
+		}
+		res.Steps++
+		res.Work += int64(len(ops))
+		res.TimeP += int64((len(ops) + p - 1) / p)
+		for _, op := range ops {
+			op(mem)
+		}
+	}
+	res.Mem = mem
+	return res
+}
+
+// ---- Catalogue ----
+
+// SumReduction is the classical Θ(n)-processor PRAM tree reduction: log₂ n
+// steps, n/2ⁱ operations at step i, total work n−1 (work-optimal). The sum
+// ends in cell 0. n must be a power of two.
+type SumReduction struct {
+	Input []int64
+}
+
+// Memory returns a copy of the input.
+func (s SumReduction) Memory() []int64 { return s.Input }
+
+// Next returns the step's pairwise additions.
+func (s SumReduction) Next(step int, mem []int64) []Op {
+	n := len(s.Input)
+	stride := 1 << uint(step+1)
+	if stride > n {
+		return nil
+	}
+	half := stride / 2
+	var ops []Op
+	for i := 0; i+half < n; i += stride {
+		i := i
+		ops = append(ops, func(m []int64) { m[i] += m[i+half] })
+	}
+	return ops
+}
+
+// HillisSteele is the classic PRAM inclusive scan: ⌈log₂ n⌉ steps with
+// Θ(n) operations each — Θ(n log n) work, *not* work-optimal. It is the
+// canonical example of the PRAM style the paper criticizes: simple,
+// shallow, and wasteful of work.
+type HillisSteele struct {
+	Input []int64
+}
+
+// Memory lays out [input | scratch] so each step reads generation g and
+// writes generation g+1 without read/write overlap.
+func (h HillisSteele) Memory() []int64 {
+	mem := make([]int64, 2*len(h.Input)+1)
+	copy(mem, h.Input)
+	return mem
+}
+
+// Next returns the step's shifted additions.
+func (h HillisSteele) Next(step int, mem []int64) []Op {
+	n := len(h.Input)
+	offset := 1 << uint(step)
+	if offset >= n {
+		return nil
+	}
+	// generation parity selects which half is "current".
+	cur, nxt := 0, n
+	if step%2 == 1 {
+		cur, nxt = n, 0
+	}
+	ops := make([]Op, 0, n)
+	for i := 0; i < n; i++ {
+		i := i
+		ops = append(ops, func(m []int64) {
+			v := m[cur+i]
+			if i >= offset {
+				v += m[cur+i-offset]
+			}
+			m[nxt+i] = v
+		})
+	}
+	// The last cell records which half holds the final generation.
+	ops = append(ops, func(m []int64) { m[2*n] = int64(nxt) })
+	return ops
+}
+
+// Scan extracts the final prefix sums from an emulated HillisSteele result.
+func (h HillisSteele) Scan(res Result) []int64 {
+	n := len(h.Input)
+	base := int(res.Mem[2*n])
+	out := make([]int64, n)
+	copy(out, res.Mem[base:base+n])
+	return out
+}
+
+// ListRanking ranks a linked list by pointer jumping: each node learns its
+// distance to the list's end in ⌈log₂ n⌉ steps of n operations each —
+// Θ(n log n) work for a problem a sequential RAM solves in Θ(n).
+// Succ[i] is the successor index, with Succ[i] == i marking the tail.
+type ListRanking struct {
+	Succ []int
+}
+
+// Memory lays out [next | rank | scratchNext | scratchRank].
+func (l ListRanking) Memory() []int64 {
+	n := len(l.Succ)
+	mem := make([]int64, 4*n)
+	for i, nx := range l.Succ {
+		mem[i] = int64(nx)
+		if nx == i {
+			mem[n+i] = 0
+		} else {
+			mem[n+i] = 1
+		}
+	}
+	return mem
+}
+
+// Next returns one pointer-jumping half-round: even steps jump (reading the
+// live pointers, writing the scratch generation), odd steps publish the
+// scratch generation back. Splitting keeps every operation unit-cost and
+// every step's reads and writes disjoint.
+func (l ListRanking) Next(step int, mem []int64) []Op {
+	n := len(l.Succ)
+	round := step / 2
+	if 1<<uint(round) >= n {
+		return nil
+	}
+	ops := make([]Op, 0, n)
+	if step%2 == 0 {
+		for i := 0; i < n; i++ {
+			i := i
+			ops = append(ops, func(m []int64) {
+				nx := int(m[i])
+				m[2*n+i] = m[nx] // next = next.next
+				if nx == i {
+					m[3*n+i] = m[n+i]
+				} else {
+					m[3*n+i] = m[n+i] + m[n+nx] // rank += rank(next)
+				}
+			})
+		}
+		return ops
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		ops = append(ops, func(m []int64) {
+			m[i] = m[2*n+i]
+			m[n+i] = m[3*n+i]
+		})
+	}
+	return ops
+}
+
+// Ranks extracts node ranks (distance to tail) from an emulated result.
+func (l ListRanking) Ranks(res Result) []int64 {
+	n := len(l.Succ)
+	out := make([]int64, n)
+	copy(out, res.Mem[n:2*n])
+	return out
+}

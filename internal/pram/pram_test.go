@@ -1,0 +1,164 @@
+package pram
+
+import (
+	"testing"
+
+	"lopram/internal/workload"
+)
+
+func TestSumReduction(t *testing.T) {
+	r := workload.NewRNG(1)
+	for _, n := range []int{1, 2, 8, 64, 1024} {
+		in := workload.Int64s(r, n)
+		var want int64
+		for i := range in {
+			in[i] %= 1000
+			want += in[i]
+		}
+		for _, p := range []int{1, 2, 4, 8} {
+			res := Emulate(SumReduction{Input: in}, p)
+			if res.Mem[0] != want {
+				t.Fatalf("n=%d p=%d: sum = %d, want %d", n, p, res.Mem[0], want)
+			}
+			if res.Work != int64(n-1) && n > 1 {
+				t.Fatalf("n=%d: work = %d, want %d (work-optimal reduction)", n, res.Work, n-1)
+			}
+			if res.TimeP > res.BrentBound(p) {
+				t.Fatalf("n=%d p=%d: TimeP %d exceeds Brent bound %d", n, p, res.TimeP, res.BrentBound(p))
+			}
+		}
+	}
+}
+
+func TestHillisSteeleScan(t *testing.T) {
+	r := workload.NewRNG(2)
+	for _, n := range []int{1, 2, 7, 100, 512} {
+		in := workload.Int64s(r, n)
+		for i := range in {
+			in[i] %= 1000
+		}
+		want := make([]int64, n)
+		var run int64
+		for i, v := range in {
+			run += v
+			want[i] = run
+		}
+		prog := HillisSteele{Input: in}
+		res := Emulate(prog, 4)
+		got := prog.Scan(res)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: scan[%d] = %d, want %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestHillisSteeleWorkSuboptimal pins the Θ(n log n) work of the PRAM scan:
+// the quantitative basis of the paper's criticism (E16 builds the table).
+func TestHillisSteeleWorkSuboptimal(t *testing.T) {
+	n := 1 << 10
+	in := make([]int64, n)
+	res := Emulate(HillisSteele{Input: in}, 8)
+	// 10 steps × (n+1) ops.
+	if res.Steps != 10 {
+		t.Fatalf("steps = %d, want 10", res.Steps)
+	}
+	wantWork := int64(10 * (n + 1))
+	if res.Work != wantWork {
+		t.Fatalf("work = %d, want %d = Θ(n log n)", res.Work, wantWork)
+	}
+}
+
+func TestListRanking(t *testing.T) {
+	// Build a list 3 → 1 → 4 → 0 → 2(tail): ranks are distance to tail.
+	next := []int{2, 4, 2, 1, 0}
+	// 3→1, 1→4, 4→0, 0→2, 2 tail. Ranks: 3:4, 1:3, 4:2, 0:1, 2:0.
+	prog := ListRanking{Succ: next}
+	res := Emulate(prog, 2)
+	ranks := prog.Ranks(res)
+	want := []int64{1, 3, 0, 4, 2}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("rank[%d] = %d, want %d (all: %v)", i, ranks[i], want[i], ranks)
+		}
+	}
+}
+
+func TestListRankingRandom(t *testing.T) {
+	r := workload.NewRNG(3)
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + r.Intn(60)
+		perm := r.Perm(n)
+		// perm defines the list order: perm[0] is head … perm[n-1] tail.
+		next := make([]int, n)
+		for i := 0; i < n-1; i++ {
+			next[perm[i]] = perm[i+1]
+		}
+		next[perm[n-1]] = perm[n-1]
+		prog := ListRanking{Succ: next}
+		res := Emulate(prog, 4)
+		ranks := prog.Ranks(res)
+		for pos, node := range perm {
+			want := int64(n - 1 - pos)
+			if ranks[node] != want {
+				t.Fatalf("trial %d: node %d rank = %d, want %d", trial, node, ranks[node], want)
+			}
+		}
+	}
+}
+
+// TestBrentLemma: for every program and p, TimeP ≤ W/p + S and
+// TimeP ≥ max(W/p, S) — the two-sided Brent envelope.
+func TestBrentLemma(t *testing.T) {
+	r := workload.NewRNG(4)
+	in := workload.Int64s(r, 256)
+	for i := range in {
+		in[i] %= 100
+	}
+	progs := []Program{
+		SumReduction{Input: in},
+		HillisSteele{Input: in},
+		ListRanking{Succ: chain(256)},
+	}
+	for pi, prog := range progs {
+		for _, p := range []int{1, 2, 3, 8, 16, 1000} {
+			res := Emulate(prog, p)
+			if res.TimeP > res.BrentBound(p) {
+				t.Fatalf("prog %d p=%d: TimeP %d > Brent %d", pi, p, res.TimeP, res.BrentBound(p))
+			}
+			if res.TimeP < int64(res.Steps) {
+				t.Fatalf("prog %d p=%d: TimeP %d below span %d", pi, p, res.TimeP, res.Steps)
+			}
+			if res.TimeP < res.Work/int64(p) {
+				t.Fatalf("prog %d p=%d: TimeP %d below W/p", pi, p, res.TimeP)
+			}
+		}
+	}
+}
+
+func chain(n int) []int {
+	next := make([]int, n)
+	for i := 0; i < n-1; i++ {
+		next[i] = i + 1
+	}
+	next[n-1] = n - 1
+	return next
+}
+
+func TestEmulatePanicsOnBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on p=0")
+		}
+	}()
+	Emulate(SumReduction{Input: []int64{1}}, 0)
+}
+
+func TestEmulateDoesNotMutateInput(t *testing.T) {
+	in := []int64{1, 2, 3, 4}
+	Emulate(SumReduction{Input: in}, 2)
+	if in[0] != 1 {
+		t.Fatal("input mutated")
+	}
+}

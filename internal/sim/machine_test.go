@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"testing"
+)
+
+// msortFig is the cost model under which the simulator reproduces Figure 1
+// of the paper exactly: each call performs one unit of divide/base work and
+// the merge is free (the figure tracks only pal-request events).
+func msortFig(n int) Func {
+	return func(tc *TC) {
+		tc.Work(1)
+		if n <= 1 {
+			return
+		}
+		tc.Do(msortFig(n/2), msortFig(n-n/2))
+	}
+}
+
+// TestFigure1Labels checks every node label of Figure 1: the time step at
+// which each call of mergesort(n=16) on p=4 processors is pal-requested
+// (activated, in our terminology; see the sim package comment).
+func TestFigure1Labels(t *testing.T) {
+	m := New(Config{P: 4, Trace: true})
+	res := m.MustRun(msortFig(16))
+
+	want := map[string]int64{
+		"":  1,
+		"0": 2, "1": 2,
+		"0.0": 3, "0.1": 3, "1.0": 3, "1.1": 3,
+	}
+	// Each of the four depth-2 subtrees has the same local schedule:
+	// left child at 4, its leaves at 5 and 6, right child at 7, its
+	// leaves at 8 and 9.
+	for _, x := range []string{"0.0", "0.1", "1.0", "1.1"} {
+		want[x+".0"] = 4
+		want[x+".0.0"] = 5
+		want[x+".0.1"] = 6
+		want[x+".1"] = 7
+		want[x+".1.0"] = 8
+		want[x+".1.1"] = 9
+	}
+
+	for key, wantAt := range want {
+		path := parsePath(key)
+		n := res.Trace.Node(path...)
+		if n == nil {
+			t.Fatalf("node %q: not created", key)
+		}
+		if n.ActivatedAt != wantAt {
+			t.Errorf("node %q: activated at %d, want %d", key, n.ActivatedAt, wantAt)
+		}
+	}
+	if res.Threads != 31 {
+		t.Errorf("threads = %d, want 31", res.Threads)
+	}
+}
+
+// TestFigure1Colors checks the colour classes of Figure 1 at t = 6: the
+// instant the figure depicts.
+func TestFigure1Colors(t *testing.T) {
+	m := New(Config{P: 4, Trace: true})
+	res := m.MustRun(msortFig(16))
+	tr := res.Trace
+
+	check := func(key string, want Color) {
+		t.Helper()
+		got := tr.ColorAt(6, parsePath(key)...)
+		if got != want {
+			t.Errorf("t=6 color(%s) = %v, want %v", key, got, want)
+		}
+	}
+	// Activated by t=6: root, both halves, four quarters, the left
+	// eighth of each quarter and its two leaves.
+	for _, k := range []string{"", "0", "1", "0.0", "0.1", "1.0", "1.1"} {
+		check(k, Black)
+	}
+	for _, x := range []string{"0.0", "0.1", "1.0", "1.1"} {
+		check(x+".0", Black)
+		check(x+".0.0", Black)
+		check(x+".0.1", Black)
+		// The right eighths were pal-requested at t=4 but activate
+		// only at t=7: gray in the figure.
+		check(x+".1", Gray)
+		// Their children have not been requested at all: white.
+		check(x+".1.0", White)
+		check(x+".1.1", White)
+	}
+}
+
+func parsePath(s string) []int32 {
+	if s == "" {
+		return nil
+	}
+	var path []int32
+	cur := int32(0)
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '.' {
+			path = append(path, cur)
+			cur = 0
+			continue
+		}
+		cur = cur*10 + int32(s[i]-'0')
+	}
+	return path
+}
+
+func TestSequentialWorkOnly(t *testing.T) {
+	m := New(Config{P: 1})
+	res := m.MustRun(func(tc *TC) { tc.Work(10) })
+	if res.Steps != 10 {
+		t.Fatalf("Steps = %d, want 10", res.Steps)
+	}
+	if res.Work != 10 {
+		t.Fatalf("Work = %d, want 10", res.Work)
+	}
+}
+
+func TestDoJoinSemantics(t *testing.T) {
+	// Two children of 5 units each on 2 processors run fully in
+	// parallel: total 1 (parent) + 5 (children in parallel) + 1 (parent
+	// after join) = 7 steps.
+	m := New(Config{P: 2})
+	res := m.MustRun(func(tc *TC) {
+		tc.Work(1)
+		tc.Do(
+			func(tc *TC) { tc.Work(5) },
+			func(tc *TC) { tc.Work(5) },
+		)
+		tc.Work(1)
+	})
+	if res.Steps != 7 {
+		t.Fatalf("Steps = %d, want 7", res.Steps)
+	}
+	// Same program on 1 processor: children run sequentially: 1+5+5+1.
+	m1 := New(Config{P: 1})
+	res1 := m1.MustRun(func(tc *TC) {
+		tc.Work(1)
+		tc.Do(
+			func(tc *TC) { tc.Work(5) },
+			func(tc *TC) { tc.Work(5) },
+		)
+		tc.Work(1)
+	})
+	if res1.Steps != 12 {
+		t.Fatalf("sequential Steps = %d, want 12", res1.Steps)
+	}
+}
+
+func TestSpawnNoWait(t *testing.T) {
+	// A spawned child does not block the parent; the run ends when all
+	// threads finish.
+	m := New(Config{P: 2})
+	res := m.MustRun(func(tc *TC) {
+		tc.Spawn(func(tc *TC) { tc.Work(8) })
+		tc.Work(2)
+	})
+	// Parent works steps 1-2 on proc A; child activates in the global
+	// assignment phase and works 8 steps on proc B starting at t=1.
+	if res.Steps != 8 {
+		t.Fatalf("Steps = %d, want 8", res.Steps)
+	}
+	if res.Work != 10 {
+		t.Fatalf("Work = %d, want 10", res.Work)
+	}
+}
+
+func TestWorkConservation(t *testing.T) {
+	m := New(Config{P: 3})
+	res := m.MustRun(msortFig(64))
+	var busy int64
+	for _, b := range res.ProcBusy {
+		busy += b
+	}
+	if busy != res.Work {
+		t.Fatalf("Σ ProcBusy = %d, want Work = %d", busy, res.Work)
+	}
+}
+
+// TestBrentBounds checks work/p <= T_p <= work/p + span for the mergesort
+// shape across processor counts (all costs unit, so span = tree depth).
+func TestBrentBounds(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 5, 8, 16} {
+		m := New(Config{P: p})
+		res := m.MustRun(msortFig(128))
+		lower := (res.Work + int64(p) - 1) / int64(p)
+		if res.Steps < lower {
+			t.Errorf("p=%d: T_p=%d below work/p=%d", p, res.Steps, lower)
+		}
+		// span: unit work per node over depth log2(128)+1 = 8 levels.
+		span := int64(8)
+		if res.Steps > res.Work/int64(p)+span+1 {
+			t.Errorf("p=%d: T_p=%d above Brent bound %d", p, res.Steps,
+				res.Work/int64(p)+span+1)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"lopram/internal/crew"
+)
+
+func TestMemoryDisjointWritesLegal(t *testing.T) {
+	m := New(Config{P: 4}).AttachMemory(16, crew.Record)
+	m.MustRun(func(tc *TC) {
+		tc.Do(
+			func(tc *TC) { tc.Write(0, 10); tc.Work(1) },
+			func(tc *TC) { tc.Write(1, 20); tc.Work(1) },
+			func(tc *TC) { tc.Write(2, 30); tc.Work(1) },
+		)
+		if got := tc.Read(0) + tc.Read(1) + tc.Read(2); got != 60 {
+			t.Errorf("sum = %d", got)
+		}
+	})
+	if vs := m.Memory().Violations(); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+}
+
+func TestMemoryConcurrentWriteDetected(t *testing.T) {
+	// Two pal-threads write the same cell in the same step: the paper's
+	// undefined behaviour, caught by the auditor.
+	m := New(Config{P: 2}).AttachMemory(4, crew.Record)
+	m.MustRun(func(tc *TC) {
+		tc.Do(
+			func(tc *TC) { tc.Write(0, 1); tc.Work(1) },
+			func(tc *TC) { tc.Write(0, 2); tc.Work(1) },
+		)
+	})
+	vs := m.Memory().Violations()
+	if len(vs) != 1 || !vs[0].WriteWrite {
+		t.Fatalf("violations = %v, want one write-write", vs)
+	}
+}
+
+func TestMemoryConcurrentReadsLegal(t *testing.T) {
+	// CREW: everyone may read the same cell simultaneously.
+	m := New(Config{P: 4}).AttachMemory(4, crew.Record)
+	m.MustRun(func(tc *TC) {
+		tc.Write(0, 42)
+		tc.Work(1) // move to the next step before the fan-out
+		var kids []Func
+		for i := 0; i < 4; i++ {
+			kids = append(kids, func(tc *TC) {
+				if tc.Read(0) != 42 {
+					t.Error("bad read")
+				}
+				tc.Work(1)
+			})
+		}
+		tc.Do(kids...)
+	})
+	if vs := m.Memory().Violations(); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+}
+
+func TestMemorySequentialStepsNoConflict(t *testing.T) {
+	// Writes separated by Work land in different epochs.
+	m := New(Config{P: 2}).AttachMemory(4, crew.Record)
+	m.MustRun(func(tc *TC) {
+		tc.Do(
+			func(tc *TC) { tc.Write(0, 1); tc.Work(2) },
+			func(tc *TC) { tc.Work(1); tc.Write(0, 2); tc.Work(1) },
+		)
+	})
+	if vs := m.Memory().Violations(); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+	if got := m.Memory().Peek(0); got != 2 {
+		t.Fatalf("final value = %d", got)
+	}
+}
+
+func TestMemoryAbortPolicy(t *testing.T) {
+	// Under the Abort policy a CREW violation suspends execution: Run
+	// fails with an error wrapping ErrThreadPanic.
+	m := New(Config{P: 2}).AttachMemory(4, crew.Abort)
+	_, err := m.Run(func(tc *TC) {
+		tc.Do(
+			func(tc *TC) { tc.Write(0, 1); tc.Work(1) },
+			func(tc *TC) { tc.Write(0, 2); tc.Work(1) },
+		)
+	})
+	if err == nil || !errors.Is(err, ErrThreadPanic) {
+		t.Fatalf("err = %v, want ErrThreadPanic", err)
+	}
+	if !strings.Contains(err.Error(), "write-write") {
+		t.Fatalf("err = %v, want write-write detail", err)
+	}
+}
+
+// TestBodyPanicBecomesError: any panic in a thread body is surfaced as a
+// Run error rather than crashing the process.
+func TestBodyPanicBecomesError(t *testing.T) {
+	m := New(Config{P: 2})
+	_, err := m.Run(func(tc *TC) {
+		tc.Do(
+			func(tc *TC) { tc.Work(1) },
+			func(tc *TC) { panic("boom") },
+		)
+	})
+	if err == nil || !errors.Is(err, ErrThreadPanic) {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMemoryUnattachedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic without memory")
+		}
+	}()
+	m := New(Config{P: 1})
+	m.MustRun(func(tc *TC) { tc.Read(0) })
+}
+
+// TestMemoryTreeSum runs an audited tree-sum program: leaves write disjoint
+// cells, each internal node combines its two children's cells after they
+// finish — a complete CREW-legal reduction whose result and audit are both
+// checked.
+func TestMemoryTreeSum(t *testing.T) {
+	const leaves = 8
+	m := New(Config{P: 4}).AttachMemory(2*leaves, crew.Record)
+
+	// Cell layout: heap order, root at 0, leaves at leaves-1..2*leaves-2.
+	var node func(k int) Func
+	node = func(k int) Func {
+		return func(tc *TC) {
+			if k >= leaves-1 { // leaf
+				tc.Write(k, int64(k-leaves+2)) // values 1..leaves
+				tc.Work(1)
+				return
+			}
+			tc.Do(node(2*k+1), node(2*k+2))
+			tc.Work(1) // the combine step occupies this thread's slot
+			tc.Write(k, tc.Read(2*k+1)+tc.Read(2*k+2))
+		}
+	}
+	m.MustRun(node(0))
+
+	want := int64(leaves * (leaves + 1) / 2)
+	if got := m.Memory().Peek(0); got != want {
+		t.Fatalf("tree sum = %d, want %d", got, want)
+	}
+	if vs := m.Memory().Violations(); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+}
+
+func TestMemoryStandardThreadsDistinctIDs(t *testing.T) {
+	// Standard threads hold no processor; the auditor must still tell
+	// them apart (distinct pseudo-processor ids).
+	m := New(Config{P: 2}).AttachMemory(8, crew.Record)
+	m.MustRun(func(tc *TC) {
+		tc.Launch(
+			func(tc *TC) { tc.Write(0, 1); tc.Work(1) },
+			func(tc *TC) { tc.Write(1, 2); tc.Work(1) },
+		)
+	})
+	if vs := m.Memory().Violations(); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+}

@@ -1,0 +1,343 @@
+package sim
+
+import (
+	"testing"
+
+	"lopram/internal/workload"
+)
+
+// randomProgram builds a random pal-thread computation and returns its body
+// together with its analytically computed total work and span (critical
+// path), so properties can be asserted against ground truth.
+func randomProgram(r *workload.RNG, depth int) (f Func, work, span int64) {
+	pre := int64(r.Intn(5)) // 0..4 units before any children
+	post := int64(r.Intn(3))
+	if depth == 0 {
+		w := pre + 1
+		return func(tc *TC) { tc.Work(w) }, w, w
+	}
+	nKids := 1 + r.Intn(3)
+	kids := make([]Func, nKids)
+	var kidWork, kidSpan int64
+	useSpawn := r.Intn(4) == 0 // occasionally a nowait block
+	for i := range kids {
+		kf, kw, ks := randomProgram(r, depth-1)
+		kids[i] = kf
+		kidWork += kw
+		if ks > kidSpan {
+			kidSpan = ks
+		}
+	}
+	work = pre + kidWork + post
+	if useSpawn {
+		// Spawned children run concurrently with the parent's tail;
+		// the span is conservative: parent path or deepest child.
+		span = pre + post
+		if kidSpan > span {
+			span = kidSpan
+		}
+		span = pre + post + kidSpan // safe upper bound on the critical path
+		return func(tc *TC) {
+			tc.Work(pre)
+			tc.Spawn(kids...)
+			tc.Work(post)
+		}, work, span
+	}
+	span = pre + kidSpan + post
+	return func(tc *TC) {
+		tc.Work(pre)
+		tc.Do(kids...)
+		tc.Work(post)
+	}, work, span
+}
+
+// TestGreedyBoundsOnRandomPrograms: for any program and any p, the greedy
+// scheduler satisfies Brent's bounds work/p ≤ T_p ≤ work/p + span, work is
+// conserved across processors, and the run is deterministic.
+func TestGreedyBoundsOnRandomPrograms(t *testing.T) {
+	r := workload.NewRNG(123)
+	for trial := 0; trial < 60; trial++ {
+		prog, work, span := randomProgram(r, 1+r.Intn(4))
+		for _, p := range []int{1, 2, 3, 5, 8} {
+			m := New(Config{P: p})
+			res, err := m.Run(prog)
+			if err != nil {
+				t.Fatalf("trial %d p=%d: %v", trial, p, err)
+			}
+			if res.Work != work {
+				t.Fatalf("trial %d p=%d: work %d, want %d", trial, p, res.Work, work)
+			}
+			var busy int64
+			for _, b := range res.ProcBusy {
+				busy += b
+			}
+			if busy != work {
+				t.Fatalf("trial %d p=%d: Σ busy %d != work %d", trial, p, busy, work)
+			}
+			lower := (work + int64(p) - 1) / int64(p)
+			if res.Steps < lower {
+				t.Fatalf("trial %d p=%d: T_p=%d < work/p=%d", trial, p, res.Steps, lower)
+			}
+			if res.Steps > work/int64(p)+span {
+				t.Fatalf("trial %d p=%d: T_p=%d > work/p+span=%d (work=%d span=%d)",
+					trial, p, res.Steps, work/int64(p)+span, work, span)
+			}
+			// Determinism: a second run is identical.
+			res2 := m.MustRun(prog)
+			if res2.Steps != res.Steps || res2.Work != res.Work {
+				t.Fatalf("trial %d p=%d: nondeterministic (%d,%d) vs (%d,%d)",
+					trial, p, res.Steps, res.Work, res2.Steps, res2.Work)
+			}
+		}
+	}
+}
+
+// randomMixedProgram extends randomProgram with occasional standard-thread
+// Launches; span accounting is skipped (standard threads interleave with the
+// pal schedule), so callers assert conservation and termination only.
+func randomMixedProgram(r *workload.RNG, depth int) (f Func, work int64) {
+	pre := int64(r.Intn(4))
+	post := int64(r.Intn(3))
+	if depth == 0 {
+		w := pre + 1
+		return func(tc *TC) { tc.Work(w) }, w
+	}
+	nKids := 1 + r.Intn(3)
+	kids := make([]Func, nKids)
+	var kidWork int64
+	for i := range kids {
+		kf, kw := randomMixedProgram(r, depth-1)
+		kids[i] = kf
+		kidWork += kw
+	}
+	var stdKids []Func
+	var stdWork int64
+	if r.Intn(3) == 0 {
+		nStd := 1 + r.Intn(3)
+		for i := 0; i < nStd; i++ {
+			w := int64(1 + r.Intn(9))
+			stdWork += w
+			stdKids = append(stdKids, func(tc *TC) { tc.Work(w) })
+		}
+	}
+	work = pre + kidWork + post + stdWork
+	return func(tc *TC) {
+		tc.Work(pre)
+		if len(stdKids) > 0 {
+			tc.Launch(stdKids...)
+		}
+		tc.Do(kids...)
+		tc.Work(post)
+	}, work
+}
+
+// TestMixedProgramsConserveWork fuzzes pal trees with standard threads mixed
+// in: the run must terminate, conserve work across processors, and respect
+// the work/p lower bound, for every processor count and activation policy.
+func TestMixedProgramsConserveWork(t *testing.T) {
+	r := workload.NewRNG(777)
+	for trial := 0; trial < 40; trial++ {
+		prog, work := randomMixedProgram(r, 1+r.Intn(4))
+		for _, p := range []int{1, 2, 3, 8} {
+			for _, pol := range []Policy{Preorder, FIFO, LIFO} {
+				m := New(Config{P: p, Policy: pol})
+				res, err := m.Run(prog)
+				if err != nil {
+					t.Fatalf("trial %d p=%d %v: %v", trial, p, pol, err)
+				}
+				if res.Work != work {
+					t.Fatalf("trial %d p=%d: work %d, want %d", trial, p, res.Work, work)
+				}
+				var busy int64
+				for _, b := range res.ProcBusy {
+					busy += b
+				}
+				if busy != work {
+					t.Fatalf("trial %d p=%d: Σbusy %d != work %d", trial, p, busy, work)
+				}
+				if res.Steps < (work+int64(p)-1)/int64(p) {
+					t.Fatalf("trial %d p=%d: T_p %d below work/p", trial, p, res.Steps)
+				}
+			}
+		}
+	}
+}
+
+// TestMonotoneInP: more processors never hurt, for Do-only programs (greedy
+// scheduling of series-parallel DAGs).
+func TestMonotoneInP(t *testing.T) {
+	r := workload.NewRNG(321)
+	for trial := 0; trial < 20; trial++ {
+		prog, _, _ := randomDoProgram(r, 3)
+		prev := int64(1 << 62)
+		for _, p := range []int{1, 2, 4, 8, 16} {
+			m := New(Config{P: p})
+			res := m.MustRun(prog)
+			if res.Steps > prev {
+				// Greedy schedulers can in principle suffer
+				// anomalies, but the LoPRAM handoff rule is
+				// processor-monotone on fork-join programs; a
+				// regression here means the scheduler changed.
+				t.Fatalf("trial %d: T_%d=%d > T_prev=%d", trial, p, res.Steps, prev)
+			}
+			prev = res.Steps
+		}
+	}
+}
+
+// randomDoProgram is randomProgram restricted to Do blocks.
+func randomDoProgram(r *workload.RNG, depth int) (f Func, work, span int64) {
+	pre := int64(1 + r.Intn(4))
+	if depth == 0 {
+		return func(tc *TC) { tc.Work(pre) }, pre, pre
+	}
+	nKids := 2
+	kids := make([]Func, nKids)
+	var kidWork, kidSpan int64
+	for i := range kids {
+		kf, kw, ks := randomDoProgram(r, depth-1)
+		kids[i] = kf
+		kidWork += kw
+		if ks > kidSpan {
+			kidSpan = ks
+		}
+	}
+	return func(tc *TC) {
+		tc.Work(pre)
+		tc.Do(kids...)
+	}, pre + kidWork, pre + kidSpan
+}
+
+// TestPoliciesAllValid: every activation policy yields a valid, work-
+// conserving, Brent-bounded schedule; the paper's preorder default is never
+// worse than LIFO on the balanced mergesort shape.
+func TestPoliciesAllValid(t *testing.T) {
+	for _, pol := range []Policy{Preorder, FIFO, LIFO} {
+		m := New(Config{P: 4, Policy: pol})
+		res := m.MustRun(msortFig(64))
+		if res.Work != 127 { // 2·64-1 nodes, unit work each
+			t.Fatalf("%v: work = %d, want 127", pol, res.Work)
+		}
+		if res.Steps < 127/4 || res.Steps > 127/4+8 {
+			t.Fatalf("%v: steps %d outside Brent window", pol, res.Steps)
+		}
+	}
+}
+
+// TestAtLeastOneActiveInvariant: §3.1 — "If there are any pal-threads
+// pending, at least one of them must be actively executing". In scheduler
+// terms: the run never deadlocks and every created thread eventually
+// activates and finishes.
+func TestAtLeastOneActiveInvariant(t *testing.T) {
+	r := workload.NewRNG(55)
+	for trial := 0; trial < 30; trial++ {
+		prog, _, _ := randomProgram(r, 3)
+		m := New(Config{P: 2, Trace: true})
+		res, err := m.Run(prog)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, n := range res.Trace.Nodes() {
+			if n.ActivatedAt < 0 || n.DoneAt < 0 {
+				t.Fatalf("trial %d: thread %d never completed (activated %d, done %d)",
+					trial, n.ID, n.ActivatedAt, n.DoneAt)
+			}
+			if n.ActivatedAt < n.CreatedAt {
+				t.Fatalf("trial %d: thread %d activated before created", trial, n.ID)
+			}
+		}
+	}
+}
+
+// TestActivationRespectsCreationOrderAmongSiblings: within one palthreads
+// block, sibling i never activates after sibling j > i created in the same
+// block (the paper's "in a manner consistent with order of creation").
+func TestActivationRespectsCreationOrderAmongSiblings(t *testing.T) {
+	r := workload.NewRNG(66)
+	for trial := 0; trial < 30; trial++ {
+		prog, _, _ := randomProgram(r, 3)
+		for _, p := range []int{1, 2, 3} {
+			m := New(Config{P: p, Trace: true})
+			res, err := m.Run(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Group nodes by parent path; siblings must activate in
+			// index order.
+			byParent := map[string][]*NodeTrace{}
+			for _, n := range res.Trace.Nodes() {
+				if len(n.Path) == 0 {
+					continue
+				}
+				key := pathKey(n.Path[:len(n.Path)-1])
+				byParent[key] = append(byParent[key], n)
+			}
+			for _, sibs := range byParent {
+				for i := 1; i < len(sibs); i++ {
+					a, b := sibs[i-1], sibs[i]
+					if a.Path[len(a.Path)-1] < b.Path[len(b.Path)-1] &&
+						a.CreatedAt == b.CreatedAt &&
+						a.ActivatedAt > b.ActivatedAt {
+						t.Fatalf("trial %d p=%d: sibling %v activated after younger %v",
+							trial, p, a.Path, b.Path)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestResultUtilization(t *testing.T) {
+	m := New(Config{P: 2})
+	res := m.MustRun(func(tc *TC) {
+		tc.Do(
+			func(tc *TC) { tc.Work(10) },
+			func(tc *TC) { tc.Work(10) },
+		)
+	})
+	if u := res.Utilization(2); u < 0.99 || u > 1.01 {
+		t.Fatalf("utilization = %v, want 1.0", u)
+	}
+}
+
+func TestEmptyBlocksAreNoOps(t *testing.T) {
+	m := New(Config{P: 2})
+	res := m.MustRun(func(tc *TC) {
+		tc.Do()
+		tc.Spawn()
+		tc.Work(0)
+		tc.Work(-5)
+		tc.Work(3)
+	})
+	if res.Steps != 3 || res.Work != 3 {
+		t.Fatalf("steps=%d work=%d, want 3/3", res.Steps, res.Work)
+	}
+	if res.Threads != 1 {
+		t.Fatalf("threads = %d, want 1", res.Threads)
+	}
+}
+
+func TestTraceGanttAndBusyAt(t *testing.T) {
+	m := New(Config{P: 2, Trace: true})
+	res := m.MustRun(func(tc *TC) {
+		tc.Work(2)
+		tc.Do(
+			func(tc *TC) { tc.Work(3) },
+			func(tc *TC) { tc.Work(3) },
+		)
+	})
+	busy := res.Trace.BusyAt(1)
+	if busy[0] != 0 && busy[1] != 0 {
+		t.Fatalf("root not busy at t=1: %v", busy)
+	}
+	busy = res.Trace.BusyAt(4)
+	occupied := 0
+	for _, id := range busy {
+		if id >= 0 {
+			occupied++
+		}
+	}
+	if occupied != 2 {
+		t.Fatalf("children not both busy at t=4: %v", busy)
+	}
+}

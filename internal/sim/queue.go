@@ -1,0 +1,93 @@
+package sim
+
+import "container/heap"
+
+// pendingQueue orders pending threads for global activation according to the
+// machine's Policy. Threads activated through local handoff are lazily
+// removed (marked and skipped at pop time), keeping both paths O(log n).
+type pendingQueue struct {
+	policy Policy
+	h      threadHeap
+}
+
+func newPendingQueue(policy Policy) *pendingQueue {
+	return &pendingQueue{policy: policy, h: threadHeap{policy: policy}}
+}
+
+func (q *pendingQueue) push(th *thread) {
+	th.inQueue = true
+	heap.Push(&q.h, th)
+}
+
+// pop returns the highest-priority thread still pending, or nil.
+func (q *pendingQueue) pop() *thread {
+	for q.h.Len() > 0 {
+		th := heap.Pop(&q.h).(*thread)
+		if th.inQueue && th.state == Pending {
+			th.inQueue = false
+			return th
+		}
+	}
+	return nil
+}
+
+// remove lazily deletes th from the queue.
+func (q *pendingQueue) remove(th *thread) { th.inQueue = false }
+
+// empty reports whether no pending thread remains.
+func (q *pendingQueue) empty() bool {
+	for q.h.Len() > 0 {
+		th := q.h.items[0]
+		if th.inQueue && th.state == Pending {
+			return false
+		}
+		heap.Pop(&q.h)
+	}
+	return true
+}
+
+type threadHeap struct {
+	policy Policy
+	items  []*thread
+}
+
+func (h *threadHeap) Len() int { return len(h.items) }
+
+func (h *threadHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	switch h.policy {
+	case FIFO:
+		return a.seq < b.seq
+	case LIFO:
+		return a.seq > b.seq
+	default: // Preorder
+		return pathLess(a.path, b.path)
+	}
+}
+
+func (h *threadHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+
+func (h *threadHeap) Push(x any) { h.items = append(h.items, x.(*thread)) }
+
+func (h *threadHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}
+
+// pathLess compares tree paths lexicographically; a prefix precedes its
+// extensions, which is exactly preorder.
+func pathLess(a, b []int32) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

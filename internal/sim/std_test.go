@@ -1,0 +1,220 @@
+package sim
+
+import "testing"
+
+// TestStdParallelWhenCoresFree: with enough processors, standard threads run
+// fully in parallel, "just as in a regular RAM".
+func TestStdParallelWhenCoresFree(t *testing.T) {
+	m := New(Config{P: 4})
+	res := m.MustRun(func(tc *TC) {
+		tc.Launch(
+			func(tc *TC) { tc.Work(10) },
+			func(tc *TC) { tc.Work(10) },
+			func(tc *TC) { tc.Work(10) },
+		)
+		// Root does no further work; three free processors carry the
+		// three standard threads simultaneously.
+	})
+	if res.Steps != 10 {
+		t.Fatalf("Steps = %d, want 10 (fully parallel)", res.Steps)
+	}
+	if res.Work != 30 {
+		t.Fatalf("Work = %d, want 30", res.Work)
+	}
+}
+
+// TestStdMultitasking: more standard threads than processors multitask;
+// total time is work divided by the processors available.
+func TestStdMultitasking(t *testing.T) {
+	m := New(Config{P: 2})
+	res := m.MustRun(func(tc *TC) {
+		tc.Launch(
+			func(tc *TC) { tc.Work(10) },
+			func(tc *TC) { tc.Work(10) },
+			func(tc *TC) { tc.Work(10) },
+			func(tc *TC) { tc.Work(10) },
+		)
+	})
+	// 40 units of work over 2 processors: 20 steps, fair round-robin.
+	if res.Steps != 20 {
+		t.Fatalf("Steps = %d, want 20", res.Steps)
+	}
+}
+
+// TestStdFairness: round-robin multitasking finishes equal-length standard
+// threads at (nearly) the same time — no thread starves.
+func TestStdFairness(t *testing.T) {
+	m := New(Config{P: 2, Trace: true})
+	res := m.MustRun(func(tc *TC) {
+		var kids []Func
+		for i := 0; i < 6; i++ {
+			kids = append(kids, func(tc *TC) { tc.Work(9) })
+		}
+		tc.Launch(kids...)
+	})
+	var minDone, maxDone int64 = 1 << 62, 0
+	for _, n := range res.Trace.Nodes() {
+		if len(n.Path) == 0 {
+			continue
+		}
+		if n.DoneAt < minDone {
+			minDone = n.DoneAt
+		}
+		if n.DoneAt > maxDone {
+			maxDone = n.DoneAt
+		}
+	}
+	// 54 units over 2 procs = 27 steps; with fair sharing all finish
+	// within one round-robin cycle (6 threads / 2 procs = 3 steps).
+	if maxDone-minDone > 3 {
+		t.Fatalf("unfair completion spread: %d .. %d", minDone, maxDone)
+	}
+}
+
+// TestStdStallsWhilePalHoldsAllProcs: pal-threads keep dedicated processors;
+// standard threads only progress on free ones.
+func TestStdStallsWhilePalHoldsAllProcs(t *testing.T) {
+	m := New(Config{P: 2})
+	res := m.MustRun(func(tc *TC) {
+		tc.Launch(func(tc *TC) { tc.Work(5) }) // standard: needs a free proc
+		tc.Do(                                 // two pal children occupy both processors for 10 steps
+			func(tc *TC) { tc.Work(10) },
+			func(tc *TC) { tc.Work(10) },
+		)
+	})
+	// Pal phase: root handed its proc to child 1, child 2 on the other:
+	// both busy through step 10; the standard thread stalls, then runs
+	// steps 11-15 → 15 total.
+	if res.Steps != 15 {
+		t.Fatalf("Steps = %d, want 15 (std stalled behind pal)", res.Steps)
+	}
+}
+
+// TestStdSharesWithPal: one pal thread working leaves p-1 processors for the
+// standard pool.
+func TestStdSharesWithPal(t *testing.T) {
+	m := New(Config{P: 3})
+	res := m.MustRun(func(tc *TC) {
+		tc.Launch(
+			func(tc *TC) { tc.Work(8) },
+			func(tc *TC) { tc.Work(8) },
+		)
+		tc.Work(8) // the root (a pal thread) works too
+	})
+	// Root holds one processor for steps 1-8; the two standard threads
+	// use the other two in parallel: everything done at step 8.
+	if res.Steps != 8 {
+		t.Fatalf("Steps = %d, want 8", res.Steps)
+	}
+	if res.Work != 24 {
+		t.Fatalf("Work = %d, want 24", res.Work)
+	}
+}
+
+// TestStdLaunchNested: standard threads can launch more standard threads.
+func TestStdLaunchNested(t *testing.T) {
+	m := New(Config{P: 4})
+	res := m.MustRun(func(tc *TC) {
+		tc.Launch(func(tc *TC) {
+			tc.Work(2)
+			tc.Launch(func(tc *TC) { tc.Work(2) })
+			tc.Work(2)
+		})
+	})
+	if res.Work != 6 {
+		t.Fatalf("Work = %d, want 6", res.Work)
+	}
+	if res.Threads != 3 {
+		t.Fatalf("Threads = %d, want 3", res.Threads)
+	}
+}
+
+// TestStdCannotOpenPalBlocks: Do/Spawn from a standard thread panic.
+func TestStdCannotOpenPalBlocks(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic when standard thread called Do")
+		}
+	}()
+	m := New(Config{P: 2})
+	m.MustRun(func(tc *TC) {
+		tc.Launch(func(tc *TC) {
+			tc.Do(func(tc *TC) { tc.Work(1) })
+		})
+	})
+}
+
+// TestStdWorkConservation: quanta accounting balances.
+func TestStdWorkConservation(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5} {
+		m := New(Config{P: p})
+		res := m.MustRun(func(tc *TC) {
+			tc.Launch(
+				func(tc *TC) { tc.Work(7) },
+				func(tc *TC) { tc.Work(13) },
+				func(tc *TC) { tc.Work(29) },
+			)
+			tc.Work(3)
+		})
+		var busy int64
+		for _, b := range res.ProcBusy {
+			busy += b
+		}
+		if busy != res.Work || res.Work != 52 {
+			t.Fatalf("p=%d: Σbusy=%d work=%d, want 52", p, busy, res.Work)
+		}
+	}
+}
+
+// TestStdMixedWithPalTree: a full pal computation alongside background
+// standard threads still satisfies conservation and completes.
+func TestStdMixedWithPalTree(t *testing.T) {
+	m := New(Config{P: 4})
+	res := m.MustRun(func(tc *TC) {
+		tc.Launch(
+			func(tc *TC) { tc.Work(50) },
+			func(tc *TC) { tc.Work(50) },
+		)
+		var rec func(n int) Func
+		rec = func(n int) Func {
+			return func(tc *TC) {
+				tc.Work(1)
+				if n <= 1 {
+					return
+				}
+				tc.Do(rec(n/2), rec(n/2))
+			}
+		}
+		rec(64)(tc)
+	})
+	var busy int64
+	for _, b := range res.ProcBusy {
+		busy += b
+	}
+	if busy != res.Work {
+		t.Fatalf("Σbusy=%d work=%d", busy, res.Work)
+	}
+	if res.Work != 100+127 {
+		t.Fatalf("work = %d, want 227", res.Work)
+	}
+	// Lower bound: 227 units on 4 procs ≥ 57 steps.
+	if res.Steps < 57 {
+		t.Fatalf("Steps = %d below work/p", res.Steps)
+	}
+}
+
+// TestStdP1SerializesEverything: one processor multitasks all standard
+// threads after the pal root finishes.
+func TestStdP1SerializesEverything(t *testing.T) {
+	m := New(Config{P: 1})
+	res := m.MustRun(func(tc *TC) {
+		tc.Launch(
+			func(tc *TC) { tc.Work(4) },
+			func(tc *TC) { tc.Work(4) },
+		)
+		tc.Work(2)
+	})
+	if res.Steps != 10 {
+		t.Fatalf("Steps = %d, want 10", res.Steps)
+	}
+}

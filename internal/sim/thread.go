@@ -1,0 +1,226 @@
+// Package sim implements a deterministic discrete-time simulator of the
+// LoPRAM machine of §3 of the paper: p processors in MIMD mode executing a
+// program structured as pal-threads (Parallel ALgorithmic threads).
+//
+// # Thread model (§3.1)
+//
+// Pal-threads form an ordered tree rooted at the main thread. A thread
+// issues a palthreads block (Do) to create children in a specific order; the
+// block has an implicit wait, so the thread suspends and its processor is
+// handed to the first pending child. Children are activated in creation
+// order as processors free up; "once a thread has been activated it remains
+// active just like a standard thread". When the last child of a block
+// completes, control returns to the parent on the freeing processor. Pending
+// threads with no local claim on a processor are activated in the order
+// given by the preorder traversal of the tree (the paper's default policy;
+// FIFO and LIFO orders are provided for the ablation study).
+//
+// A nowait block (Spawn) creates children without suspending the parent —
+// the paper's "palthreads { ... } nowait" construct, which Algorithm 1 (the
+// DP scheduler) relies on.
+//
+// # Time
+//
+// Time advances in integer steps. Each active thread occupies one processor
+// and consumes work declared through Work(k): k units take k steps. Creating
+// children, merging bookkeeping and scheduling decisions are free unless the
+// program declares work for them, so the program's cost model — not the
+// simulator — decides what a step means. The simulator is event-driven and
+// skips idle stretches, so simulated times far beyond the number of
+// scheduler interactions are cheap.
+//
+// The simulated wall-clock of a run is exactly the T_p(n) analysed by
+// Theorem 1 of the paper, which is what the experiment suite checks.
+package sim
+
+import "fmt"
+
+// State is the lifecycle state of a pal-thread. The names mirror the node
+// colours of Figure 1 of the paper: a Pending thread is "gray" (requested
+// but not active), Running/Waiting threads are "black" (activated), and
+// calls never created are "white" (they have no Thread at all).
+type State int32
+
+const (
+	// Pending: created by a palthreads block but not yet assigned a
+	// processor (gray in Figure 1).
+	Pending State = iota
+	// Running: activated and occupying a processor.
+	Running
+	// Waiting: suspended at the implicit wait of a Do block while its
+	// children execute; holds no processor.
+	Waiting
+	// Done: finished.
+	Done
+)
+
+func (s State) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Running:
+		return "running"
+	case Waiting:
+		return "waiting"
+	case Done:
+		return "done"
+	}
+	return fmt.Sprintf("State(%d)", int32(s))
+}
+
+// Func is the body of a pal-thread. It receives the thread context used to
+// declare work and create children.
+type Func func(*TC)
+
+// reqKind discriminates the scheduler requests a thread goroutine can issue.
+type reqKind int
+
+const (
+	reqWork reqKind = iota
+	reqDo
+	reqSpawn
+	reqLaunch
+	reqDone
+	reqPanic
+	reqResolve
+	reqAwait
+)
+
+// request is the message a thread passes to the scheduler at each yield
+// point. Exactly one request is outstanding per thread; the simulator is
+// single-threaded and resumes threads one at a time.
+type request struct {
+	kind     reqKind
+	units    int64   // reqWork
+	children []Func  // reqDo, reqSpawn, reqLaunch
+	panicVal any     // reqPanic
+	fut      *Future // reqResolve, reqAwait
+}
+
+// thread is the scheduler-side record of a pal-thread.
+type thread struct {
+	id       int
+	parent   *thread
+	childIdx int     // index among siblings, creation order
+	path     []int32 // child indices from root; preorder sort key
+	seq      int64   // global creation sequence number (FIFO/LIFO keys)
+
+	state State
+	proc  int   // processor currently assigned, -1 if none
+	busy  int64 // time at which the current Work segment completes
+
+	// Children created by this thread, in creation order. pendingHead
+	// indexes the first child that has not been activated yet; the
+	// scheduler hands freed processors to children starting there.
+	children    []*thread
+	pendingHead int
+
+	// blockOpen is true between a Do issue and the completion of all the
+	// block's children; blockRemaining counts unfinished children of the
+	// current block. Spawn children are not counted (no implicit wait).
+	blockOpen      bool
+	blockRemaining int
+
+	// Lockstep coroutine channels: the scheduler sends on resume, the
+	// thread body writes req and replies on yield.
+	resume chan struct{}
+	yield  chan struct{}
+	req    request
+
+	// Trace timestamps (-1 where not reached).
+	createdAt, activatedAt, doneAt int64
+
+	// heap bookkeeping for the pending queue (lazy deletion).
+	inQueue bool
+	// resumable marks a waiting parent whose block completed but which
+	// has not yet received a processor for its control-return.
+	resumable bool
+	// std marks a standard thread (§3.1): multitasked over free
+	// processors rather than owning one. busyRem is its remaining work.
+	std     bool
+	busyRem int64
+}
+
+// TC is the context handed to a pal-thread body. Its methods are the
+// simulated LoPRAM programming interface. A TC is only valid inside the body
+// it was passed to, on the goroutine running that body.
+type TC struct {
+	m  *Machine
+	th *thread
+}
+
+// Work declares that the thread performs units units of computation; the
+// simulated clock charges one step per unit to the thread's processor.
+// Non-positive units are a no-op.
+func (tc *TC) Work(units int64) {
+	if units <= 0 {
+		return
+	}
+	tc.th.req = request{kind: reqWork, units: units}
+	tc.th.yieldAndWait()
+}
+
+// Do executes a palthreads block: the children are created in the order
+// given, the thread suspends at the block's implicit wait, and it resumes
+// once every child has completed. An empty block is a no-op.
+func (tc *TC) Do(children ...Func) {
+	if len(children) == 0 {
+		return
+	}
+	tc.th.req = request{kind: reqDo, children: children}
+	tc.th.yieldAndWait()
+}
+
+// Spawn executes a "palthreads { ... } nowait" block: the children are
+// created but the thread continues immediately. There is no join primitive;
+// per §3.1 execution of the machine concludes when no threads remain, which
+// is how Algorithm 1 terminates.
+func (tc *TC) Spawn(children ...Func) {
+	if len(children) == 0 {
+		return
+	}
+	tc.th.req = request{kind: reqSpawn, children: children}
+	tc.th.yieldAndWait()
+}
+
+// Now returns the current simulated time step.
+func (tc *TC) Now() int64 { return tc.m.now }
+
+// P returns the machine's processor count.
+func (tc *TC) P() int { return tc.m.p }
+
+// Proc returns the processor the thread is currently running on.
+func (tc *TC) Proc() int { return tc.th.proc }
+
+// ID returns the thread's id (creation order, root = 0).
+func (tc *TC) ID() int { return tc.th.id }
+
+// Path returns the thread's position in the activation tree as the sequence
+// of child indices from the root. The root has an empty path. The returned
+// slice must not be modified.
+func (tc *TC) Path() []int32 { return tc.th.path }
+
+func (t *thread) yieldAndWait() {
+	t.yield <- struct{}{}
+	<-t.resume
+}
+
+// start launches the thread body goroutine. The body runs only when the
+// scheduler resumes it; when the body returns, a final reqDone is issued. A
+// panic inside the body (including a CREW Abort-policy violation) is relayed
+// to the scheduler, which fails the whole Run — the machine-level analogue
+// of the paper's "suspension of execution".
+func (t *thread) start(m *Machine, body Func) {
+	go func() {
+		<-t.resume
+		defer func() {
+			if r := recover(); r != nil {
+				t.req = request{kind: reqPanic, panicVal: r}
+				t.yield <- struct{}{}
+			}
+		}()
+		body(&TC{m: m, th: t})
+		t.req = request{kind: reqDone}
+		t.yield <- struct{}{}
+	}()
+}

@@ -1,0 +1,132 @@
+// Package stats provides the small statistical toolkit the experiment suite
+// needs: least-squares log-log slope fitting (to estimate the empirical
+// exponent of a measured growth curve and compare it with a theorem's
+// predicted exponent), speedup aggregation, and summary statistics.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (0 for fewer than two
+// samples).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// GeoMean returns the geometric mean of xs (all entries must be positive).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Fit holds a least-squares line fit y = Slope·x + Intercept with its
+// coefficient of determination.
+type Fit struct {
+	Slope, Intercept, R2 float64
+}
+
+// LinearFit fits a least-squares line through (xs, ys). It panics on
+// mismatched lengths and returns a zero fit for fewer than two points.
+func LinearFit(xs, ys []float64) Fit {
+	if len(xs) != len(ys) {
+		panic("stats: mismatched sample lengths")
+	}
+	n := float64(len(xs))
+	if len(xs) < 2 {
+		return Fit{}
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{Intercept: my}
+	}
+	slope := sxy / sxx
+	fit := Fit{Slope: slope, Intercept: my - slope*mx}
+	if syy > 0 {
+		fit.R2 = sxy * sxy / (sxx * syy)
+	} else {
+		fit.R2 = 1
+	}
+	_ = n
+	return fit
+}
+
+// LogLogSlope fits log(y) against log(x) and returns the slope: the
+// empirical polynomial exponent of y's growth in x. All samples must be
+// positive.
+func LogLogSlope(xs, ys []float64) Fit {
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			panic(fmt.Sprintf("stats: non-positive sample (%g, %g) in log-log fit", xs[i], ys[i]))
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	return LinearFit(lx, ly)
+}
+
+// Speedup holds a measured speedup point.
+type Speedup struct {
+	P        int
+	T1, Tp   float64
+	Achieved float64 // T1 / Tp
+	Eff      float64 // Achieved / P
+}
+
+// NewSpeedup computes the derived fields.
+func NewSpeedup(p int, t1, tp float64) Speedup {
+	s := Speedup{P: p, T1: t1, Tp: tp}
+	if tp > 0 {
+		s.Achieved = t1 / tp
+	}
+	if p > 0 {
+		s.Eff = s.Achieved / float64(p)
+	}
+	return s
+}
+
+// WithinFactor reports whether got is within factor f of want (f >= 1):
+// want/f <= got <= want·f.
+func WithinFactor(got, want, f float64) bool {
+	if f < 1 {
+		f = 1 / f
+	}
+	return got >= want/f && got <= want*f
+}

@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("mean = %v", m)
+	}
+	if s := StdDev(xs); math.Abs(s-2.138) > 0.01 {
+		t.Fatalf("stddev = %v", s)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Fatal("degenerate inputs mishandled")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 100}); math.Abs(g-10) > 1e-9 {
+		t.Fatalf("geomean = %v", g)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty geomean")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 2x + 1
+	f := LinearFit(xs, ys)
+	if math.Abs(f.Slope-2) > 1e-12 || math.Abs(f.Intercept-1) > 1e-12 {
+		t.Fatalf("fit = %+v", f)
+	}
+	if f.R2 < 0.999999 {
+		t.Fatalf("R2 = %v", f.R2)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	f := LinearFit([]float64{5, 5, 5}, []float64{1, 2, 3})
+	if f.Slope != 0 {
+		t.Fatalf("vertical data slope = %v", f.Slope)
+	}
+	if LinearFit(nil, nil) != (Fit{}) {
+		t.Fatal("empty fit not zero")
+	}
+}
+
+func TestLinearFitPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	LinearFit([]float64{1}, []float64{1, 2})
+}
+
+func TestLogLogSlopeRecoverExponent(t *testing.T) {
+	// y = 3 x^2.5 exactly.
+	var xs, ys []float64
+	for _, x := range []float64{2, 4, 8, 16, 32} {
+		xs = append(xs, x)
+		ys = append(ys, 3*math.Pow(x, 2.5))
+	}
+	f := LogLogSlope(xs, ys)
+	if math.Abs(f.Slope-2.5) > 1e-9 {
+		t.Fatalf("slope = %v, want 2.5", f.Slope)
+	}
+}
+
+func TestLogLogSlopePanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	LogLogSlope([]float64{1, 0}, []float64{1, 1})
+}
+
+func TestSpeedup(t *testing.T) {
+	s := NewSpeedup(4, 100, 25)
+	if s.Achieved != 4 || s.Eff != 1 {
+		t.Fatalf("speedup = %+v", s)
+	}
+	z := NewSpeedup(4, 100, 0)
+	if z.Achieved != 0 {
+		t.Fatalf("zero-time speedup = %+v", z)
+	}
+}
+
+func TestWithinFactor(t *testing.T) {
+	if !WithinFactor(10, 10, 1) || !WithinFactor(11, 10, 1.2) || WithinFactor(13, 10, 1.2) {
+		t.Fatal("WithinFactor misbehaves")
+	}
+	// Factor below 1 is normalized.
+	if !WithinFactor(11, 10, 0.8) {
+		t.Fatal("factor normalization broken")
+	}
+}
+
+func TestFitRecoversRandomLines(t *testing.T) {
+	err := quick.Check(func(m8, b8 int8) bool {
+		m, b := float64(m8), float64(b8)
+		xs := []float64{0, 1, 2, 3, 4, 5}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = m*x + b
+		}
+		f := LinearFit(xs, ys)
+		return math.Abs(f.Slope-m) < 1e-9 && math.Abs(f.Intercept-b) < 1e-9
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+// Package trace renders simulator traces: the execution-tree snapshots of
+// Figure 1 (node labels and colours at a chosen time step), per-processor
+// Gantt charts, and aligned text tables for the experiment reports.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lopram/internal/sim"
+)
+
+// RenderTree draws the execution tree of a complete binary recursion of the
+// given height as stacked levels, one node per column position, labelled
+// with each call's activation step and coloured per Figure 1 at time step t:
+//
+//	[n]  black — activated (pal-request being executed or finished)
+//	(n)  gray  — pal-requested but not yet activated
+//	 ·   white — not yet pal-requested
+//
+// Calls that never appear in the trace render as white.
+func RenderTree(tr *sim.Trace, height int, at int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "execution tree at t = %d   [n]=black (activated at n)  (n)=gray (requested)  ·=white\n", at)
+	width := 1 << height // leaves
+	cell := 6            // column width per leaf slot
+	for level := 0; level <= height; level++ {
+		nodes := 1 << level
+		span := width * cell / nodes
+		for k := 0; k < nodes; k++ {
+			path := pathOf(k, level)
+			label := nodeLabel(tr, path, at)
+			pad := (span - len([]rune(label))) / 2
+			if pad < 0 {
+				pad = 0
+			}
+			b.WriteString(strings.Repeat(" ", pad))
+			b.WriteString(label)
+			b.WriteString(strings.Repeat(" ", span-pad-len([]rune(label))))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// pathOf converts heap position k at the given level into a root path.
+func pathOf(k, level int) []int32 {
+	path := make([]int32, level)
+	for i := level - 1; i >= 0; i-- {
+		path[i] = int32(k & 1)
+		k >>= 1
+	}
+	return path
+}
+
+func nodeLabel(tr *sim.Trace, path []int32, at int64) string {
+	switch tr.ColorAt(at, path...) {
+	case sim.Black:
+		n := tr.Node(path...)
+		return fmt.Sprintf("[%d]", n.ActivatedAt)
+	case sim.Gray:
+		return "(·)"
+	default:
+		return "·"
+	}
+}
+
+// RenderLabels draws the same tree with every node's final activation label,
+// the full numbering of Figure 1.
+func RenderLabels(tr *sim.Trace, height int) string {
+	return RenderTree(tr, height, tr.MaxTime())
+}
+
+// Gantt renders per-processor busy intervals up to maxT as one row per
+// processor; each busy step prints the last digit of the running thread's
+// id, idle steps print '.'. Wide runs are truncated with an ellipsis.
+func Gantt(tr *sim.Trace, maxT int64) string {
+	const limit = 120
+	truncated := false
+	if maxT > limit {
+		maxT = limit
+		truncated = true
+	}
+	var b strings.Builder
+	for p := range tr.Intervals {
+		fmt.Fprintf(&b, "proc %2d |", p)
+		row := make([]byte, maxT)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, iv := range tr.Intervals[p] {
+			for t := iv.From; t < iv.To && t-1 < maxT; t++ {
+				if t >= 1 {
+					row[t-1] = byte('0' + iv.Thread%10)
+				}
+			}
+		}
+		b.Write(row)
+		if truncated {
+			b.WriteString("…")
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+// Table is a simple aligned text table builder for the experiment reports.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; each cell is rendered with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns in Markdown pipe syntax.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len([]rune(c)) > widths[i] {
+				widths[i] = len([]rune(c))
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for i, w := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			fmt.Fprintf(&b, " %-*s |", w, c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	b.WriteString("|")
+	for _, w := range widths {
+		b.WriteString(strings.Repeat("-", w+2))
+		b.WriteString("|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// SortRowsByFirstColumn orders rows lexicographically by their first cell;
+// numeric-looking cells compare numerically.
+func (t *Table) SortRowsByFirstColumn() {
+	sort.SliceStable(t.rows, func(i, j int) bool {
+		var a, b float64
+		na, errA := fmt.Sscanf(t.rows[i][0], "%g", &a)
+		nb, errB := fmt.Sscanf(t.rows[j][0], "%g", &b)
+		if na == 1 && nb == 1 && errA == nil && errB == nil {
+			return a < b
+		}
+		return t.rows[i][0] < t.rows[j][0]
+	})
+}

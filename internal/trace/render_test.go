@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"lopram/internal/sim"
+)
+
+func msortFig(n int) sim.Func {
+	return func(tc *sim.TC) {
+		tc.Work(1)
+		if n <= 1 {
+			return
+		}
+		tc.Do(msortFig(n/2), msortFig(n-n/2))
+	}
+}
+
+func figure1Trace(t *testing.T) *sim.Trace {
+	t.Helper()
+	m := sim.New(sim.Config{P: 4, Trace: true})
+	res, err := m.Run(msortFig(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Trace
+}
+
+func TestRenderTreeFigure1Snapshot(t *testing.T) {
+	tr := figure1Trace(t)
+	out := RenderTree(tr, 4, 6)
+	// The t=6 snapshot must show the root activated at 1, gray right
+	// eighths, and white leaves.
+	if !strings.Contains(out, "[1]") {
+		t.Errorf("missing root label:\n%s", out)
+	}
+	if !strings.Contains(out, "(·)") {
+		t.Errorf("missing gray nodes:\n%s", out)
+	}
+	if strings.Count(out, "(·)") != 4 {
+		t.Errorf("want exactly 4 gray nodes at t=6:\n%s", out)
+	}
+	// Leaves activated at 5 and 6 are black; 8s and 9s must not appear.
+	if strings.Contains(out, "[8]") || strings.Contains(out, "[9]") {
+		t.Errorf("future activations visible at t=6:\n%s", out)
+	}
+	if !strings.Contains(out, "[6]") {
+		t.Errorf("t=6 activation missing:\n%s", out)
+	}
+}
+
+func TestRenderLabelsComplete(t *testing.T) {
+	tr := figure1Trace(t)
+	out := RenderLabels(tr, 4)
+	// Full numbering of Figure 1: each label count matches the figure.
+	for label, count := range map[string]int{
+		"[1]": 1, "[2]": 2, "[3]": 4,
+		"[4]": 4, "[5]": 4, "[6]": 4, "[7]": 4, "[8]": 4, "[9]": 4,
+	} {
+		if got := strings.Count(out, label); got != count {
+			t.Errorf("label %s appears %d times, want %d\n%s", label, got, count, out)
+		}
+	}
+	if strings.Contains(out, "(·)") || strings.Contains(out, " · ") {
+		t.Errorf("final tree should be all black:\n%s", out)
+	}
+}
+
+func TestGanttShape(t *testing.T) {
+	tr := figure1Trace(t)
+	out := Gantt(tr, 12)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("gantt rows = %d, want 4 processors:\n%s", len(lines), out)
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "proc") {
+			t.Fatalf("bad row %q", l)
+		}
+	}
+	// Processor 0 is busy at t=1 (the root): first slot not idle.
+	if strings.Contains(lines[0][9:10], ".") && strings.Contains(lines[1][9:10], ".") &&
+		strings.Contains(lines[2][9:10], ".") && strings.Contains(lines[3][9:10], ".") {
+		t.Fatalf("no processor busy at t=1:\n%s", out)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("n", "p", "speedup")
+	tb.AddRow(1024, 4, 3.91)
+	tb.AddRow(64, 2, 1.97)
+	out := tb.String()
+	if !strings.Contains(out, "| n ") || !strings.Contains(out, "speedup") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "3.91") {
+		t.Fatalf("float cell missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + separator + 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// All rows same width.
+	for _, l := range lines[1:] {
+		if len([]rune(l)) != len([]rune(lines[0])) {
+			t.Fatalf("ragged table:\n%s", out)
+		}
+	}
+}
+
+func TestTableSort(t *testing.T) {
+	tb := NewTable("n", "v")
+	tb.AddRow(256, "c")
+	tb.AddRow(16, "a")
+	tb.AddRow(64, "b")
+	tb.SortRowsByFirstColumn()
+	out := tb.String()
+	i16 := strings.Index(out, "16")
+	i64 := strings.Index(out, "64")
+	i256 := strings.Index(out, "256")
+	if !(i16 < i64 && i64 < i256) {
+		t.Fatalf("rows not numerically sorted:\n%s", out)
+	}
+}

@@ -1,0 +1,158 @@
+package workload
+
+// Ints returns n pseudo-random ints in [0, bound) drawn from the stream.
+func Ints(r *RNG, n, bound int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.Intn(bound)
+	}
+	return out
+}
+
+// Int64s returns n pseudo-random non-negative int64 values.
+func Int64s(r *RNG, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = r.Int63()
+	}
+	return out
+}
+
+// Floats returns n pseudo-random float64 values in [0, 1).
+func Floats(r *RNG, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.Float64()
+	}
+	return out
+}
+
+// NearlySorted returns a sorted slice of length n with swaps random adjacent
+// transpositions applied, modelling the almost-sorted inputs that adaptive
+// sorts care about.
+func NearlySorted(r *RNG, n, swaps int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	for s := 0; s < swaps; s++ {
+		if n < 2 {
+			break
+		}
+		i := r.Intn(n - 1)
+		out[i], out[i+1] = out[i+1], out[i]
+	}
+	return out
+}
+
+// Reversed returns n, n-1, ..., 1 — the adversarial input for naive
+// quicksort pivoting.
+func Reversed(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = n - i
+	}
+	return out
+}
+
+// String returns a pseudo-random string of length n over the first k letters
+// of the lowercase alphabet. k is clamped to [1, 26].
+func String(r *RNG, n, k int) string {
+	if k < 1 {
+		k = 1
+	}
+	if k > 26 {
+		k = 26
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + r.Intn(k))
+	}
+	return string(b)
+}
+
+// RelatedStrings returns two strings of length n over a k-letter alphabet
+// where the second is derived from the first by applying edits random
+// single-character substitutions, insertions and deletions. This produces
+// string pairs with a controlled edit distance upper bound, exercising the
+// interesting regime of the edit-distance DP.
+func RelatedStrings(r *RNG, n, k, edits int) (string, string) {
+	a := []byte(String(r, n, k))
+	b := append([]byte(nil), a...)
+	for e := 0; e < edits && len(b) > 0; e++ {
+		switch r.Intn(3) {
+		case 0: // substitute
+			i := r.Intn(len(b))
+			b[i] = byte('a' + r.Intn(max(k, 1)))
+		case 1: // delete
+			i := r.Intn(len(b))
+			b = append(b[:i], b[i+1:]...)
+		default: // insert
+			i := r.Intn(len(b) + 1)
+			b = append(b[:i], append([]byte{byte('a' + r.Intn(max(k, 1)))}, b[i:]...)...)
+		}
+	}
+	return string(a), string(b)
+}
+
+// Matrix returns an n×n matrix of float64 in [0, 1) in row-major order.
+func Matrix(r *RNG, n int) []float64 {
+	return Floats(r, n*n)
+}
+
+// ChainDims returns n+1 matrix dimensions in [lo, hi] for an n-matrix chain
+// multiplication instance. It panics if lo > hi or n < 1.
+func ChainDims(r *RNG, n, lo, hi int) []int {
+	if lo > hi || n < 1 {
+		panic("workload: invalid ChainDims parameters")
+	}
+	dims := make([]int, n+1)
+	for i := range dims {
+		dims[i] = lo + r.Intn(hi-lo+1)
+	}
+	return dims
+}
+
+// Points returns n pseudo-random points in the unit square.
+func Points(r *RNG, n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: r.Float64(), Y: r.Float64()}
+	}
+	return pts
+}
+
+// Point is a point in the plane, used by the closest-pair workloads.
+type Point struct {
+	X, Y float64
+}
+
+// Weights returns n item weights in [1, maxW] and values in [1, maxV] for
+// knapsack instances.
+func Weights(r *RNG, n, maxW, maxV int) (weights, values []int) {
+	weights = make([]int, n)
+	values = make([]int, n)
+	for i := range weights {
+		weights[i] = 1 + r.Intn(maxW)
+		values[i] = 1 + r.Intn(maxV)
+	}
+	return weights, values
+}
+
+// BSTFrequencies returns n access probabilities summing (approximately) to 1
+// for optimal-BST instances, plus the raw positive weights used to derive
+// them. Using integer weights keeps the DP exact.
+func BSTFrequencies(r *RNG, n, maxW int) []int {
+	w := make([]int, n)
+	for i := range w {
+		w[i] = 1 + r.Intn(maxW)
+	}
+	return w
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+}
+
+func TestRNGSeedSensitivity(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	err := quick.Check(func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	// Coarse uniformity: 10 buckets over 100k draws should each hold
+	// close to 10%.
+	r := NewRNG(99)
+	const draws = 100000
+	var buckets [10]int
+	for i := 0; i < draws; i++ {
+		buckets[r.Intn(10)]++
+	}
+	for b, c := range buckets {
+		if c < draws/10-draws/100 || c > draws/10+draws/100 {
+			t.Errorf("bucket %d: %d draws, expected ~%d", b, c, draws/10)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(5)
+	err := quick.Check(func(nRaw uint8) bool {
+		n := int(nRaw % 64)
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnCoversFullRange(t *testing.T) {
+	// Every value of a small range must eventually appear.
+	r := NewRNG(31)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		seen[r.Intn(7)] = true
+	}
+	for v := 0; v < 7; v++ {
+		if !seen[v] {
+			t.Errorf("value %d never drawn", v)
+		}
+	}
+}
+
+func TestNearlySorted(t *testing.T) {
+	r := NewRNG(11)
+	a := NearlySorted(r, 100, 5)
+	inversions := 0
+	for i := 1; i < len(a); i++ {
+		if a[i-1] > a[i] {
+			inversions++
+		}
+	}
+	if inversions > 5 {
+		t.Fatalf("%d inversions after 5 swaps", inversions)
+	}
+	// All values present exactly once.
+	seen := make([]bool, 100)
+	for _, v := range a {
+		if seen[v] {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestReversed(t *testing.T) {
+	a := Reversed(5)
+	want := []int{5, 4, 3, 2, 1}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("Reversed(5) = %v", a)
+		}
+	}
+}
+
+func TestStringAlphabet(t *testing.T) {
+	r := NewRNG(13)
+	s := String(r, 1000, 4)
+	for _, c := range s {
+		if c < 'a' || c > 'd' {
+			t.Fatalf("character %q outside 4-letter alphabet", c)
+		}
+	}
+	if len(s) != 1000 {
+		t.Fatalf("len = %d", len(s))
+	}
+}
+
+func TestRelatedStringsEditBound(t *testing.T) {
+	r := NewRNG(17)
+	a, b := RelatedStrings(r, 200, 6, 10)
+	if len(a) != 200 {
+		t.Fatalf("len(a) = %d", len(a))
+	}
+	// Each edit changes the length by at most one.
+	diff := len(a) - len(b)
+	if diff < -10 || diff > 10 {
+		t.Fatalf("length drift %d exceeds edit budget", diff)
+	}
+}
+
+func TestChainDims(t *testing.T) {
+	r := NewRNG(19)
+	dims := ChainDims(r, 8, 5, 20)
+	if len(dims) != 9 {
+		t.Fatalf("len = %d", len(dims))
+	}
+	for _, d := range dims {
+		if d < 5 || d > 20 {
+			t.Fatalf("dim %d out of [5,20]", d)
+		}
+	}
+}
+
+func TestWeights(t *testing.T) {
+	r := NewRNG(23)
+	ws, vs := Weights(r, 50, 10, 100)
+	if len(ws) != 50 || len(vs) != 50 {
+		t.Fatal("length mismatch")
+	}
+	for i := range ws {
+		if ws[i] < 1 || ws[i] > 10 || vs[i] < 1 || vs[i] > 100 {
+			t.Fatalf("item %d out of range: w=%d v=%d", i, ws[i], vs[i])
+		}
+	}
+}
