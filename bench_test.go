@@ -9,13 +9,16 @@
 package lopram_test
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"testing"
 
+	"lopram/internal/core"
 	"lopram/internal/crew"
 	"lopram/internal/dandc"
 	"lopram/internal/dp"
+	"lopram/internal/jobqueue"
 	"lopram/internal/master"
 	"lopram/internal/memo"
 	"lopram/internal/palrt"
@@ -547,6 +550,45 @@ func BenchmarkStdThreads(b *testing.B) {
 					}
 					tc.Launch(kids...)
 				})
+			}
+		})
+	}
+}
+
+// BenchmarkJobQueueThroughput measures the dispatch service's end-to-end
+// jobs/sec at pool sizes 1, 4 and 16: each iteration submits a batch of
+// small deterministic simulator jobs and waits for all of them. The result
+// cache is disabled so every job executes — this is dispatch + execution
+// throughput, not cache throughput.
+func BenchmarkJobQueueThroughput(b *testing.B) {
+	var seed atomic.Uint64
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			q := jobqueue.New(jobqueue.Config{Workers: workers, QueueDepth: 4096, CacheSize: -1})
+			defer q.Close()
+			const batch = 64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				jobs := make([]*jobqueue.Job, 0, batch)
+				for j := 0; j < batch; j++ {
+					job, err := q.Submit(jobqueue.Spec{
+						Algorithm: "reduce", N: 256, P: 4,
+						Engine: core.EngineSim, Seed: seed.Add(1),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					jobs = append(jobs, job)
+				}
+				for _, job := range jobs {
+					if _, err := job.Wait(context.Background()); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N*batch)/secs, "jobs/sec")
 			}
 		})
 	}

@@ -14,14 +14,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"lopram/internal/experiments"
+	"lopram/internal/jobqueue"
 )
 
 func main() {
 	exp := flag.String("exp", "", "run a single experiment by id (e.g. E5, A2)")
 	quick := flag.Bool("quick", false, "trim parameter sweeps for a fast pass")
 	list := flag.Bool("list", false, "list experiment ids")
+	jobs := flag.Int("jobs", 0, "run the suite through the jobqueue dispatcher with this many workers (0 = sequential)")
 	flag.Parse()
 
 	if *list {
@@ -39,6 +42,20 @@ func main() {
 			os.Exit(2)
 		}
 		reports = []experiments.Report{r}
+	} else if *jobs > 0 {
+		// Dispatch the suite across a worker pool: the reproduction
+		// suite doubling as a load test of internal/jobqueue.
+		q := jobqueue.New(jobqueue.Config{Workers: *jobs, DefaultTimeout: 30 * time.Minute})
+		var err error
+		reports, err = experiments.QueueSuite(q, *quick)
+		q.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lopram-bench: %v\n", err)
+			os.Exit(1)
+		}
+		m := q.Snapshot()
+		fmt.Printf("dispatched %d experiments over %d workers: exec p50 %.0fms p95 %.0fms\n\n",
+			m.Completed, m.Workers, m.Wall.P50, m.Wall.P95)
 	} else {
 		reports = experiments.All(*quick)
 	}

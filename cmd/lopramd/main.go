@@ -1,0 +1,324 @@
+// Command lopramd is the LoPRAM simulation-job dispatch daemon: it serves
+// concurrent "run algorithm A at size n with p processors on engine E"
+// requests over HTTP/JSON, scheduling them across a bounded worker pool
+// with an LRU result cache (internal/jobqueue).
+//
+// Serve mode (default):
+//
+//	lopramd -addr :8080 -workers 8
+//
+//	POST /v1/jobs          {"algorithm":"mergesort","n":65536,"engine":"sim","seed":7}
+//	GET  /v1/jobs/{id}     job status + result; ?wait=1 blocks until done
+//	GET  /v1/jobs?limit=50 recent jobs, newest first
+//	GET  /v1/algorithms    the catalogue: algorithm → supported engines
+//	GET  /v1/metrics       serving statistics (latency percentiles, hit rate)
+//	GET  /healthz          liveness
+//
+// Batch mode replays a synthetic mixed workload through the same queue and
+// prints a serving report — the load-test harness:
+//
+//	lopramd -batch 100 -workers 8 -seed 42 -dup 0.3
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"lopram/internal/core"
+	"lopram/internal/jobqueue"
+	"lopram/internal/workload"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "serve mode: HTTP listen address")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = one per hardware core)")
+		queueDepth = flag.Int("queue-depth", 1024, "max admitted-but-not-started jobs")
+		cacheSize  = flag.Int("cache", 512, "LRU result cache entries (-1 disables)")
+		timeout    = flag.Duration("timeout", 60*time.Second, "default per-job deadline")
+		batch      = flag.Int("batch", 0, "batch mode: run this many synthetic jobs and exit")
+		seed       = flag.Uint64("seed", 1, "batch mode: workload seed")
+		dup        = flag.Float64("dup", 0.3, "batch mode: fraction of jobs that duplicate an earlier spec (exercises the cache)")
+		algos      = flag.String("algorithms", "", "batch mode: comma-separated algorithm subset (default: full catalogue)")
+	)
+	flag.Parse()
+
+	cfg := jobqueue.Config{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		CacheSize:      *cacheSize,
+		DefaultTimeout: *timeout,
+	}
+
+	if *batch > 0 {
+		if err := runBatch(cfg, *batch, *seed, *dup, *algos); err != nil {
+			fmt.Fprintf(os.Stderr, "lopramd: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := serve(cfg, *addr); err != nil {
+		fmt.Fprintf(os.Stderr, "lopramd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// ---- serve mode ----
+
+func serve(cfg jobqueue.Config, addr string) error {
+	q := jobqueue.New(cfg)
+	defer q.Close()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec jobqueue.Spec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+			return
+		}
+		job, err := q.Submit(spec)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, jobqueue.ErrQueueFull) {
+				status = http.StatusServiceUnavailable
+			} else if errors.Is(err, jobqueue.ErrClosed) {
+				status = http.StatusServiceUnavailable
+			}
+			httpError(w, status, err.Error())
+			return
+		}
+		status := http.StatusAccepted
+		if job.Status() == jobqueue.StatusDone {
+			status = http.StatusOK // cache hit: complete on arrival
+		}
+		writeJSON(w, status, job.View())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad job id")
+			return
+		}
+		job, ok := q.Get(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such job (it may have aged out)")
+			return
+		}
+		if r.URL.Query().Get("wait") != "" {
+			ctx, cancel := context.WithTimeout(r.Context(), 5*time.Minute)
+			defer cancel()
+			// Result/error are reported through the view below.
+			_, _ = job.Wait(ctx)
+		}
+		writeJSON(w, http.StatusOK, job.View())
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		limit := 100
+		if s := r.URL.Query().Get("limit"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil {
+				limit = v
+			}
+		}
+		writeJSON(w, http.StatusOK, q.Jobs(limit))
+	})
+	mux.HandleFunc("GET /v1/algorithms", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, catalogueView())
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, q.Snapshot())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	srv := &http.Server{Addr: addr, Handler: mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("lopramd: serving on %s (%d workers)", addr, q.Snapshot().Workers)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case <-stop:
+		log.Printf("lopramd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}
+}
+
+func catalogueView() []map[string]any {
+	var out []map[string]any
+	for _, name := range core.Algorithms() {
+		engines := core.EnginesFor(name)
+		maxN := make(map[string]int, len(engines))
+		for _, e := range engines {
+			maxN[string(e)] = core.MaxN(name, e)
+		}
+		out = append(out, map[string]any{
+			"algorithm": name,
+			"engines":   engines,
+			"max_n":     maxN,
+		})
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// ---- batch mode ----
+
+// runBatch synthesizes a deterministic mixed workload (weighted algorithm
+// choice, log-uniform sizes, a duplicate fraction re-submitting earlier
+// specs) and replays it through the queue, then prints the serving report.
+func runBatch(cfg jobqueue.Config, count int, seed uint64, dupFrac float64, algoCSV string) error {
+	names := core.Algorithms()
+	if algoCSV != "" {
+		names = nil
+		for _, s := range strings.Split(algoCSV, ",") {
+			s = strings.TrimSpace(s)
+			if core.MaxN(s, core.EnginePalrt) == 0 && core.MaxN(s, core.EngineSim) == 0 && core.MaxN(s, core.EnginePRAM) == 0 {
+				return fmt.Errorf("unknown algorithm %q (catalogue: %s)", s, strings.Join(core.Algorithms(), ", "))
+			}
+			names = append(names, s)
+		}
+	}
+
+	// Every (algorithm, engine) pair in the subset, uniformly weighted.
+	type pair struct {
+		algo   string
+		engine core.Engine
+	}
+	var pairs []pair
+	for _, name := range names {
+		for _, e := range core.EnginesFor(name) {
+			pairs = append(pairs, pair{name, e})
+		}
+	}
+	if len(pairs) == 0 {
+		return fmt.Errorf("no runnable (algorithm, engine) pairs")
+	}
+	weights := make([]int, len(pairs))
+	for i := range weights {
+		weights[i] = 1
+	}
+
+	r := workload.NewRNG(seed)
+	var specs []jobqueue.Spec
+	for len(specs) < count {
+		if len(specs) > 0 && r.Float64() < dupFrac {
+			// Re-request an earlier spec verbatim: the duplicate traffic
+			// the result cache and coalescer exist for.
+			specs = append(specs, specs[r.Intn(len(specs))])
+			continue
+		}
+		p := pairs[workload.Choice(r, weights)]
+		maxN := core.MaxN(p.algo, p.engine)
+		hi := maxN
+		if hi > 1<<16 {
+			hi = 1 << 16
+		}
+		lo := 16
+		if lo > hi {
+			lo = hi
+		}
+		specs = append(specs, jobqueue.Spec{
+			Algorithm: p.algo,
+			N:         workload.LogUniform(r, lo, hi),
+			Engine:    p.engine,
+			Seed:      r.Uint64() % 8, // small seed space → organic duplicates too
+		})
+	}
+
+	q := jobqueue.New(cfg)
+	defer q.Close()
+
+	// Closed-loop load generation: keep a bounded window of jobs in
+	// flight, like a client population of fixed size. (An open-loop
+	// flood would make every duplicate coalesce onto an in-flight job;
+	// the window lets later duplicates hit the result cache instead.)
+	window := 4 * cfg.Workers
+	if window < 8 {
+		window = 8
+	}
+	start := time.Now()
+	jobs := make([]*jobqueue.Job, 0, count)
+	failures := 0
+	waitOldest := func(idx int) {
+		if _, err := jobs[idx].Wait(context.Background()); err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", jobs[idx].Name, err)
+		}
+	}
+	for _, spec := range specs {
+		job, err := q.Submit(spec)
+		if err != nil {
+			if errors.Is(err, jobqueue.ErrQueueFull) {
+				return fmt.Errorf("queue saturated at %d jobs; raise -queue-depth", len(jobs))
+			}
+			return fmt.Errorf("submitting %s: %w", spec, err)
+		}
+		jobs = append(jobs, job)
+		if waited := len(jobs) - window; waited >= 0 {
+			waitOldest(waited)
+		}
+	}
+	// The submit loop waited indices 0..len(jobs)-window; drain the rest.
+	drainFrom := len(jobs) - window + 1
+	if drainFrom < 0 {
+		drainFrom = 0
+	}
+	for i := drainFrom; i < len(jobs); i++ {
+		waitOldest(i)
+	}
+	elapsed := time.Since(start)
+
+	m := q.Snapshot()
+	fmt.Printf("lopramd batch: %d jobs in %v (%.1f jobs/sec, %d workers)\n",
+		len(jobs), elapsed.Round(time.Millisecond), float64(len(jobs))/elapsed.Seconds(), m.Workers)
+	fmt.Printf("  executed %d · cache hits %d · coalesced %d · hit rate %.0f%% · failures %d · timeouts %d\n",
+		m.Completed+m.Failed, m.CacheHits, m.Coalesced, 100*m.HitRate, m.Failed, m.Timeouts)
+	fmt.Printf("  exec latency ms: p50 %.2f · p95 %.2f · p99 %.2f · max %.2f\n",
+		m.Wall.P50, m.Wall.P95, m.Wall.P99, m.Wall.Max)
+	fmt.Printf("  queue wait ms:   p50 %.2f · p95 %.2f · p99 %.2f · max %.2f\n",
+		m.Wait.P50, m.Wait.P95, m.Wait.P99, m.Wait.Max)
+
+	var algNames []string
+	for name := range m.PerAlgorithm {
+		algNames = append(algNames, name)
+	}
+	sort.Strings(algNames)
+	fmt.Println("  per algorithm (executed runs):")
+	for _, name := range algNames {
+		s := m.PerAlgorithm[name]
+		fmt.Printf("    %-14s count %-4d mean %.2fms  failed %d\n", name, s.Count, s.MeanWallMS, s.Failed)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d of %d jobs failed", failures, len(jobs))
+	}
+	return nil
+}

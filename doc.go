@@ -14,7 +14,8 @@
 //
 // Layout:
 //
-//   - internal/core       — public facade (model sizing, algorithm wrappers)
+//   - internal/core       — public facade (model sizing, algorithm wrappers,
+//     the named-algorithm catalogue dispatching onto every engine)
 //   - internal/sim        — the LoPRAM machine simulator (§3.1 scheduler)
 //   - internal/palrt      — goroutine runtime with palthreads semantics
 //   - internal/crew       — CREW memory, CRCW-on-CREW combining (§3, §4.6)
@@ -25,11 +26,14 @@
 //   - internal/dag        — poset/antichain substrate (Mirsky, §4.3)
 //   - internal/pram       — Θ(n)-processor PRAM baseline + Brent emulation (§2)
 //   - internal/network    — interconnect realizability model (§1)
+//   - internal/jobqueue   — concurrent job-dispatch service over the engines:
+//     bounded worker pool, admission control, LRU result cache (cmd/lopramd)
+//   - internal/workload   — deterministic input + traffic-mix generators
+//   - internal/stats      — fitting, speedup and latency-summary toolkit
 //   - internal/experiments— the E1–E18 + A1–A4 reproduction suite
 //
-// See README.md for a guided tour, DESIGN.md for the system inventory and
-// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
-// bench_test.go regenerate every table and figure:
+// See README.md for a guided tour. The benchmarks in bench_test.go
+// regenerate every table and figure:
 //
 //	go test -bench=. -benchmem
 package lopram

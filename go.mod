@@ -1,0 +1,3 @@
+module lopram
+
+go 1.24

@@ -3,19 +3,39 @@ package experiments
 import (
 	"strings"
 	"testing"
+	"time"
+
+	"lopram/internal/jobqueue"
 )
 
-// TestAllExperimentsPass runs the complete suite in quick mode and requires
-// every reproduction to report PASS: this is the repository's end-to-end
-// claim that the paper's results hold.
+// TestAllExperimentsPass runs the complete suite in quick mode — dispatched
+// through the job queue, so the reproduction suite doubles as a load test
+// of the serving layer — and requires every reproduction to report PASS:
+// this is the repository's end-to-end claim that the paper's results hold.
 func TestAllExperimentsPass(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment suite skipped in -short mode")
 	}
-	for _, rep := range All(true) {
+	q := jobqueue.New(jobqueue.Config{Workers: 4, DefaultTimeout: 10 * time.Minute})
+	defer q.Close()
+	reports, err := QueueSuite(q, true)
+	if err != nil {
+		t.Fatalf("dispatching the suite: %v", err)
+	}
+	ids := SuiteIDs()
+	if len(reports) != len(ids) {
+		t.Fatalf("got %d reports, want %d", len(reports), len(ids))
+	}
+	for i, rep := range reports {
+		if rep.ID != ids[i] {
+			t.Errorf("report %d: id %s, want %s (order must be canonical)", i, rep.ID, ids[i])
+		}
 		if !rep.Pass {
 			t.Errorf("%s (%s) FAILED: %s\n%s", rep.ID, rep.Title, rep.Verdict, rep.String())
 		}
+	}
+	if m := q.Snapshot(); m.Completed != int64(len(ids)) || m.Failed != 0 {
+		t.Errorf("queue metrics: completed %d failed %d, want %d/0", m.Completed, m.Failed, len(ids))
 	}
 }
 

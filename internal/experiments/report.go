@@ -55,33 +55,25 @@ func (r Report) String() string {
 	return b.String()
 }
 
+// SuiteIDs returns the ids of the full suite in canonical order:
+// E1–E18 then the ablations A1–A4.
+func SuiteIDs() []string {
+	return []string{
+		"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
+		"E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18",
+		"A1", "A2", "A3", "A4",
+	}
+}
+
 // All runs the entire suite in order. The quick flag trims the most
 // expensive parameter sweeps (used by tests; cmd/lopram-bench runs full).
 func All(quick bool) []Report {
-	return []Report{
-		E1(),
-		E2(),
-		E3(quick),
-		E4(quick),
-		E5(quick),
-		E6(quick),
-		E7(),
-		E8(quick),
-		E9(),
-		E10(quick),
-		E11(),
-		E12(),
-		E13(quick),
-		E14(),
-		E15(quick),
-		E16(),
-		E17(),
-		E18(),
-		A1(quick),
-		A2(quick),
-		A3(),
-		A4(),
+	reports := make([]Report, 0, len(SuiteIDs()))
+	for _, id := range SuiteIDs() {
+		r, _ := ByID(id, quick)
+		reports = append(reports, r)
 	}
+	return reports
 }
 
 // ByID returns the experiment with the given id, running it on demand.

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"lopram/internal/jobqueue"
+)
+
+// wallClock lists the experiments whose verdicts depend on host wall-clock
+// timing; QueueSuite runs them after the queue has drained so concurrent
+// experiments cannot distort their measurements. Everything else measures
+// deterministic simulated steps and parallelizes freely.
+var wallClock = map[string]bool{"E13": true}
+
+// QueueSuite runs the full reproduction suite (SuiteIDs order) through a
+// job queue instead of sequentially: each experiment is one job dispatched
+// across the queue's worker pool, so the suite doubles as a load test of
+// the dispatch layer while the queue's admission control and deadlines
+// apply to every experiment. Reports come back in canonical order. An
+// error is returned only for dispatch failures (queue closed or saturated,
+// experiment deadline exceeded); an experiment that runs and FAILs is a
+// report, not an error.
+func QueueSuite(q *jobqueue.Queue, quick bool) ([]Report, error) {
+	ids := SuiteIDs()
+	reports := make([]Report, len(ids))
+
+	dispatch := func(pick func(id string) bool) error {
+		jobs := make(map[int]*jobqueue.Job)
+		for i, id := range ids {
+			if !pick(id) {
+				continue
+			}
+			i, id := i, id
+			job, err := q.SubmitFunc("experiment:"+id, func(ctx context.Context) error {
+				r, ok := ByID(id, quick)
+				if !ok {
+					return fmt.Errorf("unknown experiment %q", id)
+				}
+				reports[i] = r
+				return nil
+			})
+			if err != nil {
+				return fmt.Errorf("experiments: submitting %s: %w", id, err)
+			}
+			jobs[i] = job
+		}
+		for i, job := range jobs {
+			if _, err := job.Wait(context.Background()); err != nil {
+				return fmt.Errorf("experiments: running %s: %w", ids[i], err)
+			}
+		}
+		return nil
+	}
+
+	// Phase 1: the deterministic experiments, fanned out across workers.
+	if err := dispatch(func(id string) bool { return !wallClock[id] }); err != nil {
+		return nil, err
+	}
+	// Phase 2: wall-clock experiments on a drained queue.
+	if err := dispatch(func(id string) bool { return wallClock[id] }); err != nil {
+		return nil, err
+	}
+	return reports, nil
+}

@@ -1,0 +1,56 @@
+package jobqueue
+
+import "container/list"
+
+// lru is a fixed-capacity least-recently-used result cache. It memoizes
+// completed job results by Key — the memoization table of §4.5 lifted from
+// DP cells to whole jobs: identical requests hit the table instead of
+// recomputing. Not safe for concurrent use; the Queue serializes access
+// under its own mutex.
+type lru struct {
+	cap     int
+	entries map[Key]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type lruEntry struct {
+	key Key
+	res Result
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{cap: capacity, entries: make(map[Key]*list.Element), order: list.New()}
+}
+
+// get returns the cached result for key, promoting it to most recently
+// used.
+func (c *lru) get(key Key) (Result, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return Result{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).res, true
+}
+
+// put inserts or refreshes key, evicting the least recently used entry when
+// over capacity. A zero-capacity cache stores nothing.
+func (c *lru) put(key Key, res Result) {
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*lruEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&lruEntry{key: key, res: res})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// len returns the number of cached results.
+func (c *lru) len() int { return c.order.Len() }

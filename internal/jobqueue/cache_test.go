@@ -1,0 +1,55 @@
+package jobqueue
+
+import (
+	"testing"
+
+	"lopram/internal/core"
+)
+
+func k(n int) Key { return Key{Algorithm: "mergesort", N: n, P: 2, Engine: core.EngineSim} }
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRU(2)
+	c.put(k(1), Result{Outcome: core.Outcome{Value: 1}})
+	c.put(k(2), Result{Outcome: core.Outcome{Value: 2}})
+	if _, ok := c.get(k(1)); !ok {
+		t.Fatal("k1 missing before eviction")
+	}
+	// k1 is now most recent; inserting k3 evicts k2.
+	c.put(k(3), Result{Outcome: core.Outcome{Value: 3}})
+	if _, ok := c.get(k(2)); ok {
+		t.Fatal("k2 survived eviction")
+	}
+	if res, ok := c.get(k(1)); !ok || res.Value != 1 {
+		t.Fatalf("k1 lost or corrupted: %v %v", res, ok)
+	}
+	if res, ok := c.get(k(3)); !ok || res.Value != 3 {
+		t.Fatalf("k3 lost or corrupted: %v %v", res, ok)
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+func TestLRURefresh(t *testing.T) {
+	c := newLRU(4)
+	c.put(k(1), Result{Outcome: core.Outcome{Value: 1}})
+	c.put(k(1), Result{Outcome: core.Outcome{Value: 42}})
+	if c.len() != 1 {
+		t.Fatalf("len = %d after double put, want 1", c.len())
+	}
+	if res, _ := c.get(k(1)); res.Value != 42 {
+		t.Fatalf("refresh lost: %d", res.Value)
+	}
+}
+
+func TestLRUZeroCapacity(t *testing.T) {
+	c := newLRU(0)
+	c.put(k(1), Result{})
+	if _, ok := c.get(k(1)); ok {
+		t.Fatal("zero-capacity cache stored a result")
+	}
+	if c.len() != 0 {
+		t.Fatal("zero-capacity cache non-empty")
+	}
+}

@@ -1,0 +1,513 @@
+// Package jobqueue is the job-dispatch subsystem: a bounded worker pool
+// that accepts simulation-job requests ("run algorithm A at size n with p
+// processors on engine E"), validates and admission-controls them,
+// schedules them across workers, memoizes completed results in an LRU
+// cache, and aggregates serving statistics.
+//
+// The design transplants the paper's §3.1 scheduler from pal-threads to
+// jobs: a fixed processor budget (the worker pool), work admitted into a
+// bounded pending set and activated in creation order (the FIFO run queue),
+// activated work never preempted, and saturation handled by refusing new
+// work at admission (ErrQueueFull) rather than by unbounded queueing — the
+// job-level analogue of a palthreads block running its children inline when
+// no processor is free. Identical requests are coalesced while in flight
+// and served from the result cache afterwards, the memoization principle of
+// §4.5 applied to whole jobs.
+package jobqueue
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lopram/internal/core"
+	"lopram/internal/stats"
+)
+
+// Errors returned by Submit and Result.
+var (
+	// ErrQueueFull: admission control refused the job; the pending queue
+	// is at capacity. Retry later or raise Config.QueueDepth.
+	ErrQueueFull = errors.New("jobqueue: queue full")
+	// ErrClosed: the queue is shut down.
+	ErrClosed = errors.New("jobqueue: queue closed")
+	// ErrNotFinished: Result was called on a job still in flight.
+	ErrNotFinished = errors.New("jobqueue: job not finished")
+)
+
+// Config sizes a Queue. The zero value selects sensible defaults.
+type Config struct {
+	// Workers is the worker-pool size: the number of jobs executing
+	// concurrently. Defaults to the host's core count — one dispatch
+	// worker per hardware core, mirroring the machine model's fixed p.
+	Workers int
+	// QueueDepth bounds the admitted-but-not-started set; submissions
+	// beyond it fail fast with ErrQueueFull. Default 1024.
+	QueueDepth int
+	// CacheSize is the LRU result-cache capacity in entries. Default
+	// 512; negative disables caching.
+	CacheSize int
+	// DefaultTimeout caps each job's execution when its spec does not
+	// set one. Default 60s.
+	DefaultTimeout time.Duration
+	// Retain bounds how many terminal jobs stay queryable by ID.
+	// Default 4096.
+	Retain int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 512
+	}
+	if c.CacheSize < 0 {
+		c.CacheSize = 0
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.Retain <= 0 {
+		c.Retain = 4096
+	}
+	return c
+}
+
+// Queue is the dispatch service. Create with New, stop with Close. All
+// methods are safe for concurrent use.
+type Queue struct {
+	cfg    Config
+	runq   chan *Job
+	nextID atomic.Uint64
+	// detach is the orphan budget: a worker may abandon a deadline-blown
+	// run (leaving it to finish in the background) only while a slot is
+	// free, so hostile timeout traffic cannot accumulate unbounded
+	// concurrent runs. With the budget exhausted the worker waits for
+	// its run to finish — backpressure instead of runaway concurrency.
+	detach chan struct{}
+
+	mu       sync.Mutex
+	closed   bool
+	byID     map[uint64]*Job
+	retained []uint64 // submission order, for retention eviction
+	inflight map[Key]*Job
+	cache    *lru
+	wallMS   []float64                 // recent execution latencies (ms), bounded
+	waitMS   []float64                 // recent queueing latencies (ms), bounded
+	perAlgo  map[string]*algoAggregate // keyed by algorithm (or func-job name)
+
+	workers sync.WaitGroup
+	orphans sync.WaitGroup
+
+	// Counters (atomics: hot path, read by Snapshot without the lock).
+	submitted  atomic.Int64
+	completed  atomic.Int64
+	failed     atomic.Int64
+	rejected   atomic.Int64
+	coalesced  atomic.Int64
+	cacheHits  atomic.Int64
+	cacheMiss  atomic.Int64
+	timeouts   atomic.Int64
+	pending    atomic.Int64
+	running    atomic.Int64
+	abandonedG atomic.Int64 // live abandoned runs (gauge)
+}
+
+type algoAggregate struct {
+	count, failed int64
+	totalWallMS   float64
+}
+
+// maxLatencySamples bounds the retained latency samples; older samples are
+// dropped FIFO. 4096 is plenty for p99 estimation.
+const maxLatencySamples = 4096
+
+// New returns a running queue.
+func New(cfg Config) *Queue {
+	cfg = cfg.withDefaults()
+	q := &Queue{
+		cfg:      cfg,
+		runq:     make(chan *Job, cfg.QueueDepth),
+		detach:   make(chan struct{}, 2*cfg.Workers),
+		byID:     make(map[uint64]*Job),
+		inflight: make(map[Key]*Job),
+		cache:    newLRU(cfg.CacheSize),
+		perAlgo:  make(map[string]*algoAggregate),
+	}
+	q.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go q.worker()
+	}
+	return q
+}
+
+// Close stops admission, drains already-admitted jobs, and waits for all
+// workers (and any deadline-abandoned runs) to finish.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	close(q.runq)
+	q.mu.Unlock()
+	q.workers.Wait()
+	q.orphans.Wait()
+}
+
+// Submit validates, admission-controls and enqueues an algorithm job.
+// Duplicate requests are served without re-execution: a spec whose key is
+// already in flight returns the in-flight job (coalescing), and one whose
+// result is cached returns an already-completed job.
+func (q *Queue) Submit(spec Spec) (*Job, error) {
+	if spec.P == 0 && spec.N >= 1 {
+		// Freeze the model-default processor count into the spec so the
+		// submitter sees the p the job actually runs with.
+		spec.P = core.ProcsFor(spec.N)
+	}
+	if err := core.ValidateSpec(spec.Algorithm, spec.Engine, spec.N, spec.P); err != nil {
+		q.rejected.Add(1)
+		return nil, fmt.Errorf("jobqueue: invalid spec: %w", err)
+	}
+	key := spec.key()
+	now := time.Now()
+
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		q.rejected.Add(1)
+		return nil, ErrClosed
+	}
+	if res, ok := q.cache.get(key); ok {
+		job := newJob(q.nextID.Add(1), spec.String(), spec, nil, now)
+		q.insertLocked(job)
+		q.mu.Unlock()
+		q.cacheHits.Add(1)
+		q.submitted.Add(1)
+		// Cached serves are near-instant and skip the latency samples;
+		// Wall in the result reports the original run's cost.
+		job.completeCached(res, now)
+		return job, nil
+	}
+	if dup, ok := q.inflight[key]; ok {
+		q.mu.Unlock()
+		q.coalesced.Add(1)
+		return dup, nil
+	}
+	q.cacheMiss.Add(1)
+	job := newJob(q.nextID.Add(1), spec.String(), spec, nil, now)
+	if err := q.enqueueLocked(job, key); err != nil {
+		q.mu.Unlock()
+		return nil, err
+	}
+	q.mu.Unlock()
+	return job, nil
+}
+
+// SubmitFunc enqueues an arbitrary work item on the same pool, subject to
+// the same admission control and deadlines but bypassing spec validation,
+// coalescing and the result cache. The experiment suite uses it to run
+// E1–E18 through the queue as a load test.
+func (q *Queue) SubmitFunc(name string, fn func(ctx context.Context) error) (*Job, error) {
+	if fn == nil {
+		return nil, fmt.Errorf("jobqueue: nil func for %q", name)
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		q.rejected.Add(1)
+		return nil, ErrClosed
+	}
+	job := newJob(q.nextID.Add(1), name, Spec{}, fn, time.Now())
+	if err := q.enqueueLocked(job, Key{}); err != nil {
+		q.mu.Unlock()
+		return nil, err
+	}
+	q.mu.Unlock()
+	return job, nil
+}
+
+// enqueueLocked admits a job to the run queue; the caller holds q.mu.
+func (q *Queue) enqueueLocked(job *Job, key Key) error {
+	select {
+	case q.runq <- job:
+	default:
+		q.rejected.Add(1)
+		return ErrQueueFull
+	}
+	q.insertLocked(job)
+	if job.fn == nil {
+		q.inflight[key] = job
+	}
+	q.submitted.Add(1)
+	q.pending.Add(1)
+	return nil
+}
+
+// insertLocked registers the job for Get/Jobs and evicts over-retention
+// terminal jobs; the caller holds q.mu.
+func (q *Queue) insertLocked(job *Job) {
+	q.byID[job.ID] = job
+	q.retained = append(q.retained, job.ID)
+	for len(q.retained) > q.cfg.Retain {
+		id := q.retained[0]
+		old := q.byID[id]
+		if old != nil {
+			if st := old.Status(); st != StatusDone && st != StatusFailed {
+				break // oldest job still in flight; retention resumes later
+			}
+			delete(q.byID, id)
+		}
+		q.retained = q.retained[1:]
+	}
+}
+
+// Get returns the job with the given ID, if still retained.
+func (q *Queue) Get(id uint64) (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.byID[id]
+	return j, ok
+}
+
+// Jobs returns views of the most recent jobs, newest first, up to limit
+// (limit <= 0 means all retained).
+func (q *Queue) Jobs(limit int) []View {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if limit <= 0 || limit > len(q.retained) {
+		limit = len(q.retained)
+	}
+	views := make([]View, 0, limit)
+	for i := len(q.retained) - 1; i >= 0 && len(views) < limit; i-- {
+		if j, ok := q.byID[q.retained[i]]; ok {
+			views = append(views, j.View())
+		}
+	}
+	return views
+}
+
+// worker is the run loop of one pool worker: activate jobs in admission
+// order until the queue closes.
+func (q *Queue) worker() {
+	defer q.workers.Done()
+	for job := range q.runq {
+		q.runJob(job)
+	}
+}
+
+// runJob executes one job under its deadline. The engine run itself is not
+// preemptible (an activated job "remains active just like a standard
+// thread"), so a blown deadline fails the job immediately; the worker then
+// either abandons the run to finish in the background (its result dropped)
+// if the orphan budget allows, or waits it out to bound total concurrency.
+func (q *Queue) runJob(job *Job) {
+	q.pending.Add(-1)
+	start := time.Now()
+	if !job.markRunning(start) {
+		return
+	}
+	q.running.Add(1)
+	defer q.running.Add(-1)
+
+	timeout := q.cfg.DefaultTimeout
+	if job.Spec.Timeout > 0 {
+		timeout = job.Spec.Timeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	runnerDone := make(chan struct{})
+	q.orphans.Add(1)
+	go func() {
+		defer q.orphans.Done()
+		defer close(runnerDone)
+		var res Result
+		var err error
+		if job.fn != nil {
+			err = job.fn(ctx)
+		} else {
+			var o core.Outcome
+			o, err = core.RunAlgorithm(job.Spec.Algorithm, job.Spec.Engine, job.Spec.N, job.Spec.P, job.Spec.Seed)
+			res = Result{Outcome: o}
+		}
+		res.Wall = time.Since(start)
+		// Loses against the worker's deadline finish when the job was
+		// abandoned; the computed result is dropped.
+		if job.finish(res, err, time.Now()) {
+			q.settle(job, res, err, start)
+		}
+	}()
+
+	select {
+	case <-runnerDone:
+	case <-ctx.Done():
+		err := fmt.Errorf("jobqueue: job %s exceeded its %v deadline: %w", job.Name, timeout, context.DeadlineExceeded)
+		if !job.finish(Result{}, err, time.Now()) {
+			// The runner finished in the same instant and won.
+			return
+		}
+		q.timeouts.Add(1)
+		q.settle(job, Result{}, err, start)
+		select {
+		case q.detach <- struct{}{}:
+			// Budget available: abandon the run and free this worker. A
+			// watcher returns the slot when the run drains.
+			q.abandonedG.Add(1)
+			q.orphans.Add(1)
+			go func() {
+				defer q.orphans.Done()
+				<-runnerDone
+				<-q.detach
+				q.abandonedG.Add(-1)
+			}()
+		default:
+			// Orphan budget exhausted: hold this worker until the run
+			// completes so deadline abuse cannot stack up unbounded
+			// concurrent runs.
+			<-runnerDone
+		}
+	}
+}
+
+// settle updates cache, inflight tracking and aggregates after a job
+// reaches its terminal state.
+func (q *Queue) settle(job *Job, res Result, err error, start time.Time) {
+	wall := time.Since(start)
+	q.mu.Lock()
+	if job.fn == nil {
+		key := job.Spec.key()
+		if q.inflight[key] == job {
+			delete(q.inflight, key)
+		}
+		if err == nil {
+			q.cache.put(key, res)
+		}
+	}
+	q.mu.Unlock()
+	if err != nil {
+		q.failed.Add(1)
+	} else {
+		q.completed.Add(1)
+	}
+	q.recordDone(job, wall, err != nil)
+}
+
+// recordDone folds one terminal job into the latency samples and
+// per-algorithm aggregates.
+func (q *Queue) recordDone(job *Job, wall time.Duration, failed bool) {
+	name := job.Spec.Algorithm
+	if name == "" {
+		name = job.Name
+	}
+	wallMS := float64(wall) / float64(time.Millisecond)
+	waitMS := 0.0
+	job.mu.Lock()
+	if !job.started.IsZero() {
+		waitMS = float64(job.started.Sub(job.submitted)) / float64(time.Millisecond)
+	}
+	job.mu.Unlock()
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.wallMS = appendBounded(q.wallMS, wallMS)
+	q.waitMS = appendBounded(q.waitMS, waitMS)
+	agg := q.perAlgo[name]
+	if agg == nil {
+		agg = &algoAggregate{}
+		q.perAlgo[name] = agg
+	}
+	agg.count++
+	if failed {
+		agg.failed++
+	}
+	agg.totalWallMS += wallMS
+}
+
+func appendBounded(xs []float64, x float64) []float64 {
+	if len(xs) >= maxLatencySamples {
+		copy(xs, xs[1:])
+		xs = xs[:len(xs)-1]
+	}
+	return append(xs, x)
+}
+
+// AlgoStats summarizes one algorithm's traffic.
+type AlgoStats struct {
+	Count      int64   `json:"count"`
+	Failed     int64   `json:"failed,omitempty"`
+	MeanWallMS float64 `json:"mean_wall_ms"`
+}
+
+// Metrics is a point-in-time snapshot of the queue's serving statistics.
+type Metrics struct {
+	Workers    int   `json:"workers"`
+	QueueDepth int   `json:"queue_depth"`
+	Pending    int64 `json:"pending"`
+	Running    int64 `json:"running"`
+
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Rejected  int64 `json:"rejected"`
+	Timeouts  int64 `json:"timeouts"`
+	Abandoned int64 `json:"abandoned_running"`
+
+	Coalesced   int64   `json:"coalesced"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+	CacheSize   int     `json:"cache_size"`
+	HitRate     float64 `json:"hit_rate"`
+
+	Wall stats.Summary `json:"wall_ms"`
+	Wait stats.Summary `json:"wait_ms"`
+
+	PerAlgorithm map[string]AlgoStats `json:"per_algorithm,omitempty"`
+}
+
+// Snapshot returns current metrics. HitRate counts both cache hits and
+// in-flight coalesces as served-without-execution.
+func (q *Queue) Snapshot() Metrics {
+	m := Metrics{
+		Workers:     q.cfg.Workers,
+		QueueDepth:  q.cfg.QueueDepth,
+		Pending:     q.pending.Load(),
+		Running:     q.running.Load(),
+		Submitted:   q.submitted.Load(),
+		Completed:   q.completed.Load(),
+		Failed:      q.failed.Load(),
+		Rejected:    q.rejected.Load(),
+		Timeouts:    q.timeouts.Load(),
+		Abandoned:   q.abandonedG.Load(),
+		Coalesced:   q.coalesced.Load(),
+		CacheHits:   q.cacheHits.Load(),
+		CacheMisses: q.cacheMiss.Load(),
+	}
+	served := m.CacheHits + m.Coalesced
+	if total := served + m.CacheMisses; total > 0 {
+		m.HitRate = float64(served) / float64(total)
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	m.CacheSize = q.cache.len()
+	m.Wall = stats.Summarize(q.wallMS)
+	m.Wait = stats.Summarize(q.waitMS)
+	m.PerAlgorithm = make(map[string]AlgoStats, len(q.perAlgo))
+	for name, agg := range q.perAlgo {
+		s := AlgoStats{Count: agg.count, Failed: agg.failed}
+		if agg.count > 0 {
+			s.MeanWallMS = agg.totalWallMS / float64(agg.count)
+		}
+		m.PerAlgorithm[name] = s
+	}
+	return m
+}

@@ -7,6 +7,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Mean returns the arithmetic mean of xs (0 for empty input).
@@ -120,6 +121,71 @@ func NewSpeedup(p int, t1, tp float64) Speedup {
 		s.Eff = s.Achieved / float64(p)
 	}
 	return s
+}
+
+// Percentile returns the q-th percentile (q in [0, 100]) of xs by linear
+// interpolation between closest ranks. It returns 0 for empty input and
+// does not modify xs.
+func Percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, q)
+}
+
+// percentileSorted is Percentile on an already-sorted sample.
+func percentileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := q / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summary condenses a latency (or any) sample into the aggregates a serving
+// layer reports: count, mean, spread, and tail percentiles.
+type Summary struct {
+	Count  int     `json:"count"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	P50    float64 `json:"p50"`
+	P90    float64 `json:"p90"`
+	P95    float64 `json:"p95"`
+	P99    float64 `json:"p99"`
+}
+
+// Summarize computes a Summary of xs (zero Summary for empty input). It
+// sorts one copy of the sample and derives all order statistics from it.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return Summary{
+		Count:  len(sorted),
+		Mean:   Mean(sorted),
+		StdDev: StdDev(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		P50:    percentileSorted(sorted, 50),
+		P90:    percentileSorted(sorted, 90),
+		P95:    percentileSorted(sorted, 95),
+		P99:    percentileSorted(sorted, 99),
+	}
 }
 
 // WithinFactor reports whether got is within factor f of want (f >= 1):

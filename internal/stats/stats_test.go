@@ -117,3 +117,47 @@ func TestFitRecoversRandomLines(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4} // unsorted on purpose; must not be mutated
+	if got := Percentile(xs, 50); got != 3 {
+		t.Fatalf("p50 = %g, want 3", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("p0 = %g, want 1", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Fatalf("p100 = %g, want 5", got)
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Fatalf("p25 = %g, want 2", got)
+	}
+	if got := Percentile([]float64{1, 2}, 75); got != 1.75 {
+		t.Fatalf("interpolated p75 = %g, want 1.75", got)
+	}
+	if xs[0] != 5 {
+		t.Fatal("Percentile mutated its input")
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("empty p50 = %g", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if s.Count != 10 || s.Min != 1 || s.Max != 10 {
+		t.Fatalf("bad extremes: %+v", s)
+	}
+	if s.Mean != 5.5 {
+		t.Fatalf("mean = %g", s.Mean)
+	}
+	if s.P50 != 5.5 {
+		t.Fatalf("p50 = %g", s.P50)
+	}
+	if !(s.P50 <= s.P90 && s.P90 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max) {
+		t.Fatalf("percentiles not monotone: %+v", s)
+	}
+	if z := Summarize(nil); z != (Summary{}) {
+		t.Fatalf("empty summary not zero: %+v", z)
+	}
+}

@@ -1,0 +1,73 @@
+package workload
+
+// This file provides the mix-synthesis primitives the job-dispatch layer
+// uses to turn "run a mixed workload" into a concrete deterministic stream
+// of job parameters: weighted categorical choice (which algorithm/engine)
+// and log-uniform sizing (input sizes spread evenly across orders of
+// magnitude, the shape real request traffic has).
+
+// Choice returns an index in [0, len(weights)) with probability
+// proportional to weights[i]. Zero-weight entries are never chosen. It
+// panics if weights is empty or the total weight is not positive.
+func Choice(r *RNG, weights []int) int {
+	total := 0
+	for _, w := range weights {
+		if w < 0 {
+			panic("workload: negative weight in Choice")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("workload: Choice requires positive total weight")
+	}
+	x := r.Intn(total)
+	for i, w := range weights {
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	// Unreachable: x < total = Σw guarantees the loop returns.
+	return len(weights) - 1
+}
+
+// LogUniform returns an integer in [lo, hi] whose logarithm is uniformly
+// distributed: sizes 10 and 1000 are equally likely to be the magnitude,
+// which is how request sizes spread in practice. It panics if lo < 1 or
+// lo > hi.
+func LogUniform(r *RNG, lo, hi int) int {
+	if lo < 1 || lo > hi {
+		panic("workload: invalid LogUniform bounds")
+	}
+	if lo == hi {
+		return lo
+	}
+	// Pick a bit length uniformly, then a value uniformly within the
+	// intersection of that bit length's range and [lo, hi]. Integer-only
+	// (no math.Log) so the stream is bit-for-bit reproducible across
+	// architectures.
+	loBits, hiBits := bitLen(lo), bitLen(hi)
+	for {
+		b := loBits + r.Intn(hiBits-loBits+1)
+		blo, bhi := 1<<(b-1), 1<<b-1
+		if blo < lo {
+			blo = lo
+		}
+		if bhi > hi {
+			bhi = hi
+		}
+		if blo > bhi {
+			continue
+		}
+		return blo + r.Intn(bhi-blo+1)
+	}
+}
+
+func bitLen(x int) int {
+	n := 0
+	for x > 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,99 @@
+package workload
+
+import "testing"
+
+// TestGeneratorDeterminism: every generator must produce an identical
+// stream from an identical seed — the property the job layer's result
+// cache keys on.
+func TestGeneratorDeterminism(t *testing.T) {
+	type draw func(r *RNG) any
+	draws := map[string]draw{
+		"Ints":           func(r *RNG) any { out := Ints(r, 50, 1000); return [2]int{out[0], out[49]} },
+		"Int64s":         func(r *RNG) any { out := Int64s(r, 50); return out[49] },
+		"Floats":         func(r *RNG) any { out := Floats(r, 50); return out[49] },
+		"NearlySorted":   func(r *RNG) any { out := NearlySorted(r, 50, 10); return [2]int{out[0], out[49]} },
+		"String":         func(r *RNG) any { return String(r, 64, 8) },
+		"RelatedStrings": func(r *RNG) any { a, b := RelatedStrings(r, 64, 4, 8); return a + "|" + b },
+		"ChainDims":      func(r *RNG) any { out := ChainDims(r, 10, 2, 30); return [2]int{out[0], out[10]} },
+		"Points":         func(r *RNG) any { return Points(r, 20)[19] },
+		"Weights":        func(r *RNG) any { w, v := Weights(r, 20, 9, 99); return [2]int{w[19], v[19]} },
+		"Choice":         func(r *RNG) any { return Choice(r, []int{1, 2, 3, 4}) },
+		"LogUniform":     func(r *RNG) any { return LogUniform(r, 4, 4096) },
+	}
+	for name, d := range draws {
+		if a, b := d(NewRNG(77)), d(NewRNG(77)); a != b {
+			t.Errorf("%s: same seed, different draws: %v vs %v", name, a, b)
+		}
+		if a, b := d(NewRNG(77)), d(NewRNG(78)); a == b {
+			t.Logf("%s: adjacent seeds coincided (possible, but suspicious): %v", name, a)
+		}
+	}
+}
+
+func TestChoiceDistribution(t *testing.T) {
+	r := NewRNG(5)
+	counts := make([]int, 3)
+	weights := []int{1, 0, 3}
+	for i := 0; i < 4000; i++ {
+		counts[Choice(r, weights)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight entry chosen %d times", counts[1])
+	}
+	// E[counts[2]] = 3000; a 3:1 ratio should be unmistakable.
+	if counts[2] < 2*counts[0] {
+		t.Fatalf("weights ignored: %v", counts)
+	}
+}
+
+func TestChoicePanics(t *testing.T) {
+	for _, weights := range [][]int{nil, {0, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Choice(%v) did not panic", weights)
+				}
+			}()
+			Choice(NewRNG(1), weights)
+		}()
+	}
+}
+
+func TestLogUniformBounds(t *testing.T) {
+	r := NewRNG(9)
+	lowMag, highMag := 0, 0
+	for i := 0; i < 2000; i++ {
+		v := LogUniform(r, 16, 1<<16)
+		if v < 16 || v > 1<<16 {
+			t.Fatalf("value %d out of [16, %d]", v, 1<<16)
+		}
+		if v < 256 {
+			lowMag++
+		}
+		if v >= 1<<12 {
+			highMag++
+		}
+	}
+	// Log-uniform: the bottom four octaves and the top four octaves each
+	// get ≈ a third of the mass; a uniform distribution would put < 1%
+	// below 256.
+	if lowMag < 200 || highMag < 200 {
+		t.Fatalf("distribution not log-spread: %d below 256, %d above 4096", lowMag, highMag)
+	}
+	if v := LogUniform(r, 7, 7); v != 7 {
+		t.Fatalf("degenerate range returned %d", v)
+	}
+}
+
+func TestLogUniformPanics(t *testing.T) {
+	for _, bounds := range [][2]int{{0, 5}, {10, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("LogUniform%v did not panic", bounds)
+				}
+			}()
+			LogUniform(NewRNG(1), bounds[0], bounds[1])
+		}()
+	}
+}
