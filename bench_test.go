@@ -11,6 +11,7 @@ package lopram_test
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
 
@@ -591,5 +592,156 @@ func BenchmarkJobQueueThroughput(b *testing.B) {
 				b.ReportMetric(float64(b.N*batch)/secs, "jobs/sec")
 			}
 		})
+	}
+}
+
+// ---- palrt work-stealing scheduler matrix ----
+//
+// BenchmarkPalrt{Spawn,Steal,DandC,DP} sweep processor count and task grain
+// for the goroutine runtime, with the retained permit-channel runtime as
+// the A/B baseline (sched=permit). The CI bench job runs these at
+// -benchtime=1x as a smoke test; the acceptance number for the scheduler is
+// BenchmarkPalrtDandC/p=8: ops/sec of sched=steal vs sched=permit.
+
+// palDoer is the scheduling surface shared by the work-stealing RT and the
+// permit-channel baseline.
+type palDoer interface {
+	Do(children ...func())
+	P() int
+}
+
+func palSchedulers(p int) map[string]func() palDoer {
+	return map[string]func() palDoer{
+		"steal":  func() palDoer { return palrt.New(p) },
+		"permit": func() palDoer { return palrt.NewPermit(p) },
+	}
+}
+
+// benchBusy burns deterministic CPU proportional to units.
+func benchBusy(units int) int64 {
+	var s int64
+	for i := 0; i < units; i++ {
+		s += int64(i ^ (i >> 3))
+	}
+	return s
+}
+
+// benchDandCTree is the paper-shaped D&C recursion: binary spawning down to
+// the frontier depth (one level past processor saturation, like
+// dandc.CostModel.SpawnDepth = FrontierDepth+), sequential leaf work below
+// it. depth log2(2p) gives 2p leaves, so the runtime is saturated and the
+// last level exercises the inline fallback.
+func benchDandCTree(rt palDoer, depth, leafUnits int, sink *atomic.Int64) {
+	if depth == 0 {
+		sink.Add(benchBusy(leafUnits))
+		return
+	}
+	rt.Do(
+		func() { benchDandCTree(rt, depth-1, leafUnits, sink) },
+		func() { benchDandCTree(rt, depth-1, leafUnits, sink) },
+	)
+}
+
+// frontierDepth is ceil(log2(2p)): the spawn depth at which a binary tree
+// saturates p processors, plus one.
+func frontierDepth(p int) int {
+	d := 0
+	for 1<<d < 2*p {
+		d++
+	}
+	return d
+}
+
+// BenchmarkPalrtSpawn measures the bare cost of offering one child and
+// joining it: a two-child block with no leaf work, the worst case for
+// per-spawn overhead.
+func BenchmarkPalrtSpawn(b *testing.B) {
+	for _, p := range []int{2, 4, 8} {
+		for _, sched := range []string{"steal", "permit"} {
+			rt := palSchedulers(p)[sched]()
+			b.Run(fmt.Sprintf("p=%d/sched=%s", p, sched), func(b *testing.B) {
+				b.ReportAllocs()
+				noop := func() {}
+				for i := 0; i < b.N; i++ {
+					rt.Do(noop, noop)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPalrtSteal offers a wide flat block of medium-grain children so
+// idle processors must claim work from the submitting processor's deque; it
+// reports how many children were actually stolen per op. Each child yields
+// once mid-task (modeling work that blocks), so worker goroutines get
+// scheduled even when GOMAXPROCS serializes the host and claims move to
+// other processors' deques.
+func BenchmarkPalrtSteal(b *testing.B) {
+	const kids, units = 64, 4096
+	for _, p := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			rt := palrt.New(p)
+			var sink atomic.Int64
+			jobs := make([]func(), kids)
+			for i := range jobs {
+				jobs[i] = func() {
+					sink.Add(benchBusy(units / 2))
+					runtime.Gosched()
+					sink.Add(benchBusy(units / 2))
+				}
+			}
+			rt.ResetStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rt.Do(jobs...)
+			}
+			b.StopTimer()
+			s := rt.StatsSnapshot()
+			if off := s.Offered(); off > 0 {
+				b.ReportMetric(float64(s.Stolen)/float64(b.N), "steals/op")
+				b.ReportMetric(float64(s.Spawned)/float64(off), "spawned-frac")
+			}
+		})
+	}
+}
+
+// BenchmarkPalrtDandC runs the frontier-truncated D&C recursion across the
+// full (p, grain, scheduler) matrix — the acceptance benchmark for the
+// work-stealing runtime. Each op is one computation arriving on an idle
+// runtime (the serving pattern), so the permit baseline pays its per-spawn
+// goroutine creation and the deque scheduler its pooled fast path.
+func BenchmarkPalrtDandC(b *testing.B) {
+	for _, p := range []int{2, 4, 8} {
+		for _, grain := range []int{64, 1024} {
+			for _, sched := range []string{"steal", "permit"} {
+				mk := palSchedulers(p)[sched]
+				b.Run(fmt.Sprintf("p=%d/grain=%d/sched=%s", p, grain, sched), func(b *testing.B) {
+					b.ReportAllocs()
+					rt := mk()
+					depth := frontierDepth(p)
+					var sink atomic.Int64
+					for i := 0; i < b.N; i++ {
+						benchDandCTree(rt, depth, grain, &sink)
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkPalrtDP drives the DP counter scheduler through the catalogue's
+// edit-distance entry on the goroutine engine: the serving layer's DP path
+// end to end, across p and problem size (the DP grain).
+func BenchmarkPalrtDP(b *testing.B) {
+	for _, p := range []int{2, 4, 8} {
+		for _, n := range []int{128, 512} {
+			b.Run(fmt.Sprintf("p=%d/n=%d", p, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.RunAlgorithm("editdistance", core.EnginePalrt, n, p, 7); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	out := `goos: linux
+BenchmarkJobQueueThroughput/workers=4-8         	     100	   5000000 ns/op	     12800 jobs/sec
+BenchmarkJobQueueThroughput/workers=4-8         	     120	   4000000 ns/op	     16000 jobs/sec
+BenchmarkPalrtSpawn/p=2/sched=steal             	 4244977	        85.27 ns/op	      16 B/op
+PASS
+`
+	got, err := parse(strings.NewReader(out), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best of the two runs: 1e9/4e6 = 250 ops/sec, -cpu suffix stripped.
+	if ops := got["BenchmarkJobQueueThroughput/workers=4"]; ops < 249.9 || ops > 250.1 {
+		t.Fatalf("throughput ops/sec = %v, want 250 (best of runs)", ops)
+	}
+	if _, ok := got["BenchmarkPalrtSpawn/p=2/sched=steal"]; !ok {
+		t.Fatal("spawn benchmark not parsed")
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+}

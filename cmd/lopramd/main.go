@@ -11,7 +11,8 @@
 //	GET  /v1/jobs/{id}     job status + result; ?wait=1 blocks until done
 //	GET  /v1/jobs?limit=50 recent jobs, newest first
 //	GET  /v1/algorithms    the catalogue: algorithm → supported engines
-//	GET  /v1/metrics       serving statistics (latency percentiles, hit rate)
+//	GET  /v1/metrics       serving statistics (latency percentiles, hit rate,
+//	                       palrt work-stealing scheduler counters)
 //	GET  /healthz          liveness
 //
 // Batch mode replays a synthetic mixed workload through the same queue and
@@ -306,6 +307,8 @@ func runBatch(cfg jobqueue.Config, count int, seed uint64, dupFrac float64, algo
 		m.Wall.P50, m.Wall.P95, m.Wall.P99, m.Wall.Max)
 	fmt.Printf("  queue wait ms:   p50 %.2f · p95 %.2f · p99 %.2f · max %.2f\n",
 		m.Wait.P50, m.Wait.P95, m.Wait.P99, m.Wait.Max)
+	fmt.Printf("  palrt scheduler: spawned %d (stolen %d) · inlined %d · workers started %d\n",
+		m.Scheduler.Spawned, m.Scheduler.Stolen, m.Scheduler.Inlined, m.Scheduler.WorkersStarted)
 
 	var algNames []string
 	for name := range m.PerAlgorithm {

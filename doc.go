@@ -17,7 +17,7 @@
 //   - internal/core       — public facade (model sizing, algorithm wrappers,
 //     the named-algorithm catalogue dispatching onto every engine)
 //   - internal/sim        — the LoPRAM machine simulator (§3.1 scheduler)
-//   - internal/palrt      — goroutine runtime with palthreads semantics
+//   - internal/palrt      — work-stealing goroutine runtime with palthreads semantics
 //   - internal/crew       — CREW memory, CRCW-on-CREW combining (§3, §4.6)
 //   - internal/master     — Master theorem + parallel predictors (Thm 1, Eq 5)
 //   - internal/dandc      — D&C framework and algorithms (§4.1)

@@ -1,3 +1,3 @@
 module lopram
 
-go 1.24
+go 1.23

@@ -64,6 +64,10 @@ type Outcome struct {
 	// Check is an FNV-1a checksum of the algorithm's full output, used
 	// to confirm cross-engine and cache-vs-recompute agreement.
 	Check uint64 `json:"check"`
+	// Sched is the work-stealing scheduler's spawn/steal/inline breakdown
+	// for the run (EnginePalrt only). The split is timing-dependent; the
+	// total offered children (Sched.Offered) is deterministic for a spec.
+	Sched *palrt.SchedulerStats `json:"sched,omitempty"`
 }
 
 // runner executes one (algorithm, engine) pair. Inputs derive from seed.
@@ -214,19 +218,35 @@ func simDP(build func(n int, seed uint64) (dp.Spec, func(vals []int64) int64)) r
 	}
 }
 
+// palrtRunner builds an EnginePalrt runner: it owns the runtime's
+// lifecycle and attaches the scheduler snapshot to the outcome, so every
+// palrt engine reports its spawn/steal/inline split without call-site
+// churn.
+func palrtRunner(run func(rt *palrt.RT, n int, seed uint64) (Outcome, error)) runner {
+	return func(n, p int, seed uint64) (Outcome, error) {
+		rt := palrt.New(p)
+		out, err := run(rt, n, seed)
+		if err != nil {
+			return out, err
+		}
+		s := rt.StatsSnapshot()
+		out.Sched = &s
+		return out, nil
+	}
+}
+
 // palrtDP runs a DP spec through the counter scheduler on the goroutine
 // runtime.
 func palrtDP(build func(n int, seed uint64) (dp.Spec, func(vals []int64) int64)) runner {
-	return func(n, p int, seed uint64) (Outcome, error) {
+	return palrtRunner(func(rt *palrt.RT, n int, seed uint64) (Outcome, error) {
 		spec, answer := build(n, seed)
-		rt := palrt.New(p)
 		g := dp.BuildGraphParallel(rt, spec)
-		vals, err := dp.RunCounter(spec, g, p)
+		vals, err := dp.RunCounter(spec, g, rt.P())
 		if err != nil {
 			return Outcome{}, err
 		}
 		return Outcome{Value: answer(vals), Check: checksumInt64s(vals)}, nil
-	}
+	})
 }
 
 // pramProgram Brent-emulates a classical PRAM program on p processors.
@@ -287,14 +307,14 @@ var catalogue = map[string]algorithm{
 			// The Case 2 cost model T(n) = 2T(n/2) + n on the exact
 			// scheduler.
 			EngineSim: simCostModel(dandc.Mergesort),
-			EnginePalrt: func(n, p int, seed uint64) (Outcome, error) {
+			EnginePalrt: palrtRunner(func(rt *palrt.RT, n int, seed uint64) (Outcome, error) {
 				a := workload.Ints(workload.NewRNG(seed), n, 1<<30)
-				dandc.MergeSort(palrt.New(p), a)
+				dandc.MergeSort(rt, a)
 				if !sort.IntsAreSorted(a) {
 					return Outcome{}, fmt.Errorf("mergesort produced unsorted output")
 				}
 				return Outcome{Check: checksumInts(a)}, nil
-			},
+			}),
 			// Batcher's bitonic network: the Θ(n log² n)-work baseline.
 			EnginePRAM: pramProgram(func(n int, seed uint64) (pram.Program, func(pram.Result) (int64, uint64)) {
 				n = pow2Floor(n)
@@ -309,14 +329,14 @@ var catalogue = map[string]algorithm{
 	},
 	"quicksort": {
 		engines: map[Engine]runner{
-			EnginePalrt: func(n, p int, seed uint64) (Outcome, error) {
+			EnginePalrt: palrtRunner(func(rt *palrt.RT, n int, seed uint64) (Outcome, error) {
 				a := workload.Ints(workload.NewRNG(seed), n, 1<<30)
-				dandc.QuickSort(palrt.New(p), a)
+				dandc.QuickSort(rt, a)
 				if !sort.IntsAreSorted(a) {
 					return Outcome{}, fmt.Errorf("quicksort produced unsorted output")
 				}
 				return Outcome{Check: checksumInts(a)}, nil
-			},
+			}),
 		},
 		maxN: map[Engine]int{EnginePalrt: 1 << 22},
 	},
@@ -326,15 +346,15 @@ var catalogue = map[string]algorithm{
 			EngineSim: simCostModel(func() master.IntRec {
 				return master.IntRec{A: 2, B: 2, Cutoff: 1, Divide: dandc.Unit, Merge: dandc.Unit, Base: dandc.Unit}
 			}),
-			EnginePalrt: func(n, p int, seed uint64) (Outcome, error) {
+			EnginePalrt: palrtRunner(func(rt *palrt.RT, n int, seed uint64) (Outcome, error) {
 				a := workload.Int64s(workload.NewRNG(seed), n)
 				// Bound entries so Σa fits in int64 regardless of n.
 				for i := range a {
 					a[i] %= 1 << 32
 				}
-				sum := dandc.ReduceSum(palrt.New(p), a)
+				sum := dandc.ReduceSum(rt, a)
 				return Outcome{Value: sum}, nil
-			},
+			}),
 			EnginePRAM: pramProgram(func(n int, seed uint64) (pram.Program, func(pram.Result) (int64, uint64)) {
 				n = pow2Floor(n)
 				in := workload.Int64s(workload.NewRNG(seed), n)
@@ -350,14 +370,14 @@ var catalogue = map[string]algorithm{
 	},
 	"prefixsums": {
 		engines: map[Engine]runner{
-			EnginePalrt: func(n, p int, seed uint64) (Outcome, error) {
+			EnginePalrt: palrtRunner(func(rt *palrt.RT, n int, seed uint64) (Outcome, error) {
 				a := workload.Int64s(workload.NewRNG(seed), n)
 				for i := range a {
 					a[i] %= 1 << 32
 				}
-				out := dandc.PrefixSums(palrt.New(p), a)
+				out := dandc.PrefixSums(rt, a)
 				return Outcome{Value: out[len(out)-1], Check: checksumInt64s(out)}, nil
-			},
+			}),
 			// Hillis–Steele: Θ(n log n) work, the canonical
 			// work-suboptimal PRAM scan.
 			EnginePRAM: pramProgram(func(n int, seed uint64) (pram.Program, func(pram.Result) (int64, uint64)) {
@@ -409,11 +429,11 @@ var catalogue = map[string]algorithm{
 					Value: vals[spec.Cells()-1],
 				}, nil
 			},
-			EnginePalrt: func(n, p int, seed uint64) (Outcome, error) {
+			EnginePalrt: palrtRunner(func(rt *palrt.RT, n int, seed uint64) (Outcome, error) {
 				spec := dp.NewMatrixChain(matrixChainDims(n, seed))
-				v, _ := memo.Run(palrt.New(p), spec, spec.Cells()-1)
+				v, _ := memo.Run(rt, spec, spec.Cells()-1)
 				return Outcome{Value: v}, nil
-			},
+			}),
 		},
 		maxN: map[Engine]int{EngineSim: 96, EnginePalrt: 512},
 	},
@@ -422,24 +442,24 @@ var catalogue = map[string]algorithm{
 			// T(n) = 2T(n/2) + n: the divide/combine of §4.1's closest
 			// pair on the exact scheduler.
 			EngineSim: simCostModel(dandc.Mergesort),
-			EnginePalrt: func(n, p int, seed uint64) (Outcome, error) {
+			EnginePalrt: palrtRunner(func(rt *palrt.RT, n int, seed uint64) (Outcome, error) {
 				pts := workload.Points(workload.NewRNG(seed), n)
-				d := dandc.ClosestPair(palrt.New(p), pts)
+				d := dandc.ClosestPair(rt, pts)
 				return Outcome{Check: math.Float64bits(d)}, nil
-			},
+			}),
 		},
 		maxN: map[Engine]int{EngineSim: 1 << 30, EnginePalrt: 1 << 20},
 	},
 	"maxsubarray": {
 		engines: map[Engine]runner{
 			EngineSim: simCostModel(dandc.Mergesort),
-			EnginePalrt: func(n, p int, seed uint64) (Outcome, error) {
+			EnginePalrt: palrtRunner(func(rt *palrt.RT, n int, seed uint64) (Outcome, error) {
 				a := workload.Ints(workload.NewRNG(seed), n, 2001)
 				for i := range a {
 					a[i] -= 1000 // mixed-sign input, the interesting case
 				}
-				return Outcome{Value: int64(dandc.MaxSubarray(palrt.New(p), a))}, nil
-			},
+				return Outcome{Value: int64(dandc.MaxSubarray(rt, a))}, nil
+			}),
 		},
 		maxN: map[Engine]int{EngineSim: 1 << 30, EnginePalrt: 1 << 22},
 	},

@@ -51,6 +51,17 @@ func TestRunDeterminism(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s/%s rerun: %v", name, e, err)
 			}
+			// The scheduler's spawn/steal/inline split is timing-dependent,
+			// but the number of children offered to it is a property of the
+			// algorithm's task tree and must reproduce.
+			if (a.Sched != nil) != (e == EnginePalrt) {
+				t.Errorf("%s/%s: scheduler stats presence wrong: %+v", name, e, a.Sched)
+			}
+			if a.Sched != nil && b.Sched != nil && a.Sched.Offered() != b.Sched.Offered() {
+				t.Errorf("%s/%s: offered children diverged: %d vs %d",
+					name, e, a.Sched.Offered(), b.Sched.Offered())
+			}
+			a.Sched, b.Sched = nil, nil
 			if a != b {
 				t.Errorf("%s/%s: outcomes diverged: %+v vs %+v", name, e, a, b)
 			}

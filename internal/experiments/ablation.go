@@ -28,13 +28,22 @@ func A1(quick bool) Report {
 		p = 8
 	}
 
-	// palthreads policy.
+	// Work-stealing palthreads policy (the current runtime).
 	rt := palrt.New(p)
 	a := append([]int(nil), base...)
 	start := time.Now()
 	dandc.MergeSort(rt, a)
 	palTime := time.Since(start)
-	spawned, inline := rt.Stats()
+	sched := rt.StatsSnapshot()
+
+	// Permit-channel policy: the runtime this package used before the
+	// deque scheduler — same §3.1 semantics, one goroutine per handoff.
+	prt := palrt.NewPermit(p)
+	c := append([]int(nil), base...)
+	start = time.Now()
+	permitMergeSort(prt, c, make([]int, len(c)))
+	permitTime := time.Since(start)
+	permitSpawned, permitInline := prt.Stats()
 
 	// Naive policy: one goroutine per recursive call down to the grain.
 	b := append([]int(nil), base...)
@@ -42,11 +51,14 @@ func A1(quick bool) Report {
 	naiveMergeSort(b, make([]int, len(b)))
 	naiveTime := time.Since(start)
 
-	pass := dandc.IsSorted(a) && dandc.IsSorted(b)
-	tb := trace.NewTable("policy", "wall time", "goroutines spawned", "children run inline")
-	tb.AddRow("palthreads handoff (paper)", palTime.Round(time.Microsecond), spawned, inline)
+	pass := dandc.IsSorted(a) && dandc.IsSorted(b) && dandc.IsSorted(c)
+	tb := trace.NewTable("policy", "wall time", "children spawned", "run inline", "goroutines created")
+	tb.AddRow("work-stealing deques (current)", palTime.Round(time.Microsecond),
+		fmt.Sprintf("%d (%d stolen)", sched.Spawned, sched.Stolen), sched.Inlined, sched.WorkersStarted)
+	tb.AddRow("permit channel (previous)", permitTime.Round(time.Microsecond),
+		permitSpawned, permitInline, fmt.Sprintf("%d (one per spawn)", permitSpawned))
 	tb.AddRow("always-spawn (naive)", naiveTime.Round(time.Microsecond),
-		fmt.Sprintf("%d (one per call)", 2*(n/(1<<11))-1), 0)
+		fmt.Sprintf("%d (one per call)", 2*(n/(1<<11))-1), 0, 2*(n/(1<<11))-1)
 
 	return Report{
 		ID:    "A1",
@@ -54,9 +66,24 @@ func A1(quick bool) Report {
 		Claim: "design choice §3.1 — the scheduler never tests for free cores explicitly; the handoff naturally bounds live threads by p",
 		Table: tb,
 		Pass:  pass,
-		Verdict: fmt.Sprintf("handoff kept live pal-threads ≤ %d (spawned %d, inlined %d); naive created thousands of goroutines for the same work",
-			p, spawned, inline),
+		Verdict: fmt.Sprintf("handoff kept live pal-threads ≤ %d (spawned %d, stolen %d, inlined %d) on %d worker goroutines; naive created thousands of goroutines for the same work",
+			p, sched.Spawned, sched.Stolen, sched.Inlined, sched.WorkersStarted),
 	}
+}
+
+// permitMergeSort is mergesort over the permit-channel baseline runtime,
+// with the same grain as dandc.MergeSort's parallel recursion.
+func permitMergeSort(rt *palrt.PermitRT, a, tmp []int) {
+	if len(a) <= 1<<11 {
+		dandc.MergeSortSeq(a)
+		return
+	}
+	mid := len(a) / 2
+	rt.Do(
+		func() { permitMergeSort(rt, a[:mid], tmp[:mid]) },
+		func() { permitMergeSort(rt, a[mid:], tmp[mid:]) },
+	)
+	mergeInto(a, tmp, mid)
 }
 
 func naiveMergeSort(a, tmp []int) {
@@ -69,6 +96,11 @@ func naiveMergeSort(a, tmp []int) {
 		func() { naiveMergeSort(a[:mid], tmp[:mid]) },
 		func() { naiveMergeSort(a[mid:], tmp[mid:]) },
 	)
+	mergeInto(a, tmp, mid)
+}
+
+// mergeInto merges the sorted halves a[:mid] and a[mid:] through tmp.
+func mergeInto(a, tmp []int, mid int) {
 	i, j, k := 0, mid, 0
 	for i < mid && j < len(a) {
 		if a[j] < a[i] {

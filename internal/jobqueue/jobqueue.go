@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"lopram/internal/core"
+	"lopram/internal/palrt"
 	"lopram/internal/stats"
 )
 
@@ -100,9 +101,19 @@ type Queue struct {
 	retained []uint64 // submission order, for retention eviction
 	inflight map[Key]*Job
 	cache    *lru
-	wallMS   []float64                 // recent execution latencies (ms), bounded
-	waitMS   []float64                 // recent queueing latencies (ms), bounded
+	wall     sampleRing                // recent execution latencies (ms)
+	wait     sampleRing                // recent queueing latencies (ms)
 	perAlgo  map[string]*algoAggregate // keyed by algorithm (or func-job name)
+
+	// Memoized latency summaries: Summarize sorts its sample, so Snapshot
+	// computes it outside q.mu from a copied-out sample and caches the
+	// result by ring generation — a /metrics poll can never stall workers
+	// on an O(n log n) sort held under the queue lock.
+	sumMu      sync.Mutex
+	wallSum    stats.Summary
+	wallSumGen uint64
+	waitSum    stats.Summary
+	waitSumGen uint64
 
 	workers sync.WaitGroup
 	orphans sync.WaitGroup
@@ -127,8 +138,42 @@ type algoAggregate struct {
 }
 
 // maxLatencySamples bounds the retained latency samples; older samples are
-// dropped FIFO. 4096 is plenty for p99 estimation.
+// overwritten FIFO. 4096 is plenty for p99 estimation.
 const maxLatencySamples = 4096
+
+// sampleRing is a fixed-capacity latency-sample window with O(1) insertion
+// (the appendBounded slice it replaces memmoved the whole window on every
+// completed job). gen counts insertions so readers can skip recomputing
+// summaries of an unchanged window; sample order is irrelevant to the
+// percentile math, so overwriting the oldest slot in place is enough.
+type sampleRing struct {
+	buf  []float64
+	next int
+	full bool
+	gen  uint64
+}
+
+func (r *sampleRing) add(x float64) {
+	if r.buf == nil {
+		r.buf = make([]float64, maxLatencySamples)
+	}
+	r.buf[r.next] = x
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.gen++
+}
+
+// copyOut returns a fresh copy of the live samples.
+func (r *sampleRing) copyOut() []float64 {
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	return append([]float64(nil), r.buf[:n]...)
+}
 
 // New returns a running queue.
 func New(cfg Config) *Queue {
@@ -419,8 +464,8 @@ func (q *Queue) recordDone(job *Job, wall time.Duration, failed bool) {
 
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	q.wallMS = appendBounded(q.wallMS, wallMS)
-	q.waitMS = appendBounded(q.waitMS, waitMS)
+	q.wall.add(wallMS)
+	q.wait.add(waitMS)
 	agg := q.perAlgo[name]
 	if agg == nil {
 		agg = &algoAggregate{}
@@ -431,14 +476,6 @@ func (q *Queue) recordDone(job *Job, wall time.Duration, failed bool) {
 		agg.failed++
 	}
 	agg.totalWallMS += wallMS
-}
-
-func appendBounded(xs []float64, x float64) []float64 {
-	if len(xs) >= maxLatencySamples {
-		copy(xs, xs[1:])
-		xs = xs[:len(xs)-1]
-	}
-	return append(xs, x)
 }
 
 // AlgoStats summarizes one algorithm's traffic.
@@ -471,6 +508,11 @@ type Metrics struct {
 	Wall stats.Summary `json:"wall_ms"`
 	Wait stats.Summary `json:"wait_ms"`
 
+	// Scheduler is the palrt work-stealing runtime's process-wide
+	// spawn/steal/inline breakdown: how the goroutine engine behind every
+	// EnginePalrt job scheduled its pal-threads.
+	Scheduler palrt.SchedulerStats `json:"scheduler"`
+
 	PerAlgorithm map[string]AlgoStats `json:"per_algorithm,omitempty"`
 }
 
@@ -496,11 +538,22 @@ func (q *Queue) Snapshot() Metrics {
 	if total := served + m.CacheMisses; total > 0 {
 		m.HitRate = float64(served) / float64(total)
 	}
+	m.Scheduler = palrt.GlobalStats()
+
+	// Under q.mu: only O(1) reads and the sample copy-out. The sorts the
+	// summaries need run after the lock is released.
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	m.CacheSize = q.cache.len()
-	m.Wall = stats.Summarize(q.wallMS)
-	m.Wait = stats.Summarize(q.waitMS)
+	wallGen, waitGen := q.wall.gen, q.wait.gen
+	var wallCopy, waitCopy []float64
+	q.sumMu.Lock()
+	if wallGen != q.wallSumGen {
+		wallCopy = q.wall.copyOut()
+	}
+	if waitGen != q.waitSumGen {
+		waitCopy = q.wait.copyOut()
+	}
+	q.sumMu.Unlock()
 	m.PerAlgorithm = make(map[string]AlgoStats, len(q.perAlgo))
 	for name, agg := range q.perAlgo {
 		s := AlgoStats{Count: agg.count, Failed: agg.failed}
@@ -509,5 +562,16 @@ func (q *Queue) Snapshot() Metrics {
 		}
 		m.PerAlgorithm[name] = s
 	}
+	q.mu.Unlock()
+
+	q.sumMu.Lock()
+	if wallCopy != nil {
+		q.wallSum, q.wallSumGen = stats.Summarize(wallCopy), wallGen
+	}
+	if waitCopy != nil {
+		q.waitSum, q.waitSumGen = stats.Summarize(waitCopy), waitGen
+	}
+	m.Wall, m.Wait = q.wallSum, q.waitSum
+	q.sumMu.Unlock()
 	return m
 }

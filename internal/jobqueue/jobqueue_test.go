@@ -412,3 +412,65 @@ func TestAbandonmentBounded(t *testing.T) {
 		t.Errorf("%d runs still live after Close", live.Load())
 	}
 }
+
+// TestSampleRingWindow: the latency window inserts in O(1), keeps only the
+// newest maxLatencySamples, and Snapshot's memoized summaries track it.
+func TestSampleRingWindow(t *testing.T) {
+	var r sampleRing
+	for i := 0; i < maxLatencySamples+100; i++ {
+		r.add(float64(i))
+	}
+	out := r.copyOut()
+	if len(out) != maxLatencySamples {
+		t.Fatalf("window holds %d samples, want %d", len(out), maxLatencySamples)
+	}
+	if r.gen != maxLatencySamples+100 {
+		t.Fatalf("gen = %d, want %d", r.gen, maxLatencySamples+100)
+	}
+	min := out[0]
+	for _, x := range out {
+		if x < min {
+			min = x
+		}
+	}
+	if min != 100 {
+		t.Fatalf("oldest retained sample = %g, want 100 (older overwritten FIFO)", min)
+	}
+}
+
+// TestSnapshotSummariesMemoized: repeated Snapshots of an idle queue reuse
+// the cached summary (same values) and reflect new completions when they
+// happen; the palrt scheduler aggregate is carried along.
+func TestSnapshotSummariesMemoized(t *testing.T) {
+	q := New(Config{Workers: 2, CacheSize: -1})
+	defer q.Close()
+
+	run := func() {
+		job, err := q.Submit(Spec{Algorithm: "reduce", N: 1 << 15, P: 2, Engine: core.EnginePalrt, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := job.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	m1 := q.Snapshot()
+	m2 := q.Snapshot()
+	if m1.Wall != m2.Wall || m1.Wait != m2.Wait {
+		t.Fatalf("idle snapshots diverged: %+v vs %+v", m1.Wall, m2.Wall)
+	}
+	if m1.Wall.Count != 1 {
+		t.Fatalf("wall sample count = %d, want 1", m1.Wall.Count)
+	}
+	run() // cache disabled, so the duplicate spec executes again
+	m3 := q.Snapshot()
+	if m3.Wall.Count != 2 {
+		t.Fatalf("wall sample count after second run = %d, want 2", m3.Wall.Count)
+	}
+	// An EnginePalrt job ran, so the process-wide scheduler aggregate must
+	// have counted its offered children.
+	if m3.Scheduler.Spawned+m3.Scheduler.Inlined == 0 {
+		t.Fatal("scheduler aggregate empty after a palrt job")
+	}
+}

@@ -1,15 +1,32 @@
 // Package palrt is the goroutine-backed LoPRAM runtime: it executes the same
 // pal-thread programs as the simulator, but for real, on the host's cores.
 //
-// The runtime owns p logical processors represented by permits. A palthreads
-// block (Do) offers its children to idle processors and executes the rest
-// inline on the parent's processor — the exact behaviour §4.1 relies on:
-// "as there are no more free cores available, the sequential version of the
-// algorithm is used", and crucially "this condition is never explicitly
-// tested for by the scheduling algorithm, rather it is a natural consequence
-// of the proposed order of execution of the parent child threads". Here too:
-// no code tests the recursion depth; the handoff attempt simply fails when
-// all permits are taken and the parent recurses sequentially.
+// The runtime is a work-stealing scheduler with the paper's §3.1/§4.1
+// semantics. Each of the p logical processors owns a bounded deque. A
+// palthreads block (Do) offers its children in one batch to a processor's
+// deque; idle processors claim work — their own deque newest-first (LIFO,
+// the cache-hot end), other processors' deques oldest-first (FIFO, the end
+// rooting the largest unexplored subtree). When the block reaches its
+// implicit wait, the parent runs child 0 inline (the §3.1 handoff of the
+// suspended parent's processor to its first child) and then reclaims every
+// child no processor picked up, running them sequentially in creation
+// order.
+//
+// That reclaim is exactly the property §4.1 relies on: "as there are no
+// more free cores available, the sequential version of the algorithm is
+// used", and crucially "this condition is never explicitly tested for by
+// the scheduling algorithm, rather it is a natural consequence of the
+// proposed order of execution of the parent child threads". No code here
+// tests the recursion depth or counts free cores: a child runs elsewhere
+// only if an idle processor claimed it first; otherwise the parent's own
+// arrival at the wait runs it inline. A full deque fails the offer outright
+// — the saturated machine — and the child falls back the same way.
+//
+// Compared to the earlier permit-channel runtime (kept as PermitRT for A/B
+// benchmarks), no goroutine is created per spawned child: at most p-1
+// worker goroutines serve all claims, parking and retiring when the
+// machine goes idle, and per-spawn bookkeeping comes from a sync.Pool task
+// arena, so the steady-state spawn path allocates nothing.
 package palrt
 
 import (
@@ -19,29 +36,38 @@ import (
 )
 
 // RT is a LoPRAM runtime with a fixed processor budget. Create one per
-// computation (or reuse across computations; it is stateless between calls).
-// The zero value is not usable; call New.
+// computation (or reuse across computations; idle workers retire on their
+// own, so there is nothing to close). The zero value is not usable; call
+// New.
 type RT struct {
-	p int
-	// permits holds p-1 tokens: the caller of Run holds the p-th
-	// processor implicitly, exactly like the main thread of the model.
-	permits chan struct{}
-	spawns  atomic.Int64 // children actually handed to another processor
-	inlines atomic.Int64 // children executed inline by their parent
+	p      int
+	deques []deque // one inbox per logical processor
+	rotor  atomic.Uint32
+	// pending is the pushed-but-unclaimed task hint; see claim.
+	pending   atomic.Int64
+	live      atomic.Int32 // running worker goroutines, always <= p-1
+	parked    atomic.Int32
+	workerSeq atomic.Uint32
+	wake      chan struct{}
+
+	spawned        atomic.Int64 // children claimed by a worker
+	stolen         atomic.Int64 // of those, claimed from a non-owned deque
+	inlined        atomic.Int64 // children run sequentially by their parent
+	workersStarted atomic.Int64
+
+	// framePool is this runtime's task arena; per-RT so stale deque
+	// entries can never alias another runtime's tasks (see getFrame).
+	framePool sync.Pool
 }
 
 // New returns a runtime with p processors. p < 1 is treated as 1.
-// The runtime does not call runtime.GOMAXPROCS; the permit discipline alone
+// The runtime does not call runtime.GOMAXPROCS; the worker budget alone
 // bounds parallelism, so a single process can host several runtimes.
 func New(p int) *RT {
 	if p < 1 {
 		p = 1
 	}
-	rt := &RT{p: p, permits: make(chan struct{}, p-1)}
-	for i := 0; i < p-1; i++ {
-		rt.permits <- struct{}{}
-	}
-	return rt
+	return &RT{p: p, deques: make([]deque, p), wake: make(chan struct{}, p)}
 }
 
 // NewHost returns a runtime sized to the host: min(maxP, GOMAXPROCS).
@@ -58,9 +84,39 @@ func (rt *RT) P() int { return rt.p }
 
 // Stats returns how many pal-thread children were executed on a fresh
 // processor versus inline on their parent's processor since the runtime was
-// created. Used by the spawn-policy ablation and the scheduler tests.
+// created (or last reset). Used by the spawn-policy ablation and the
+// scheduler tests; StatsSnapshot returns the full breakdown.
 func (rt *RT) Stats() (spawned, inline int64) {
-	return rt.spawns.Load(), rt.inlines.Load()
+	return rt.spawned.Load(), rt.inlined.Load()
+}
+
+// StatsSnapshot returns the full scheduler counters for this runtime.
+func (rt *RT) StatsSnapshot() SchedulerStats {
+	return SchedulerStats{
+		P:              rt.p,
+		Spawned:        rt.spawned.Load(),
+		Stolen:         rt.stolen.Load(),
+		Inlined:        rt.inlined.Load(),
+		WorkersStarted: rt.workersStarted.Load(),
+	}
+}
+
+// ResetStats zeroes this runtime's counters (the process-wide aggregates
+// behind GlobalStats keep accumulating).
+func (rt *RT) ResetStats() {
+	rt.spawned.Store(0)
+	rt.stolen.Store(0)
+	rt.inlined.Store(0)
+	rt.workersStarted.Store(0)
+}
+
+// Run executes root with fresh counters and returns the scheduler
+// statistics of exactly that computation. It is the preferred entry point
+// when the caller wants per-run stats: counters reset between Runs.
+func (rt *RT) Run(root func()) SchedulerStats {
+	rt.ResetStats()
+	root()
+	return rt.StatsSnapshot()
 }
 
 // Do executes a palthreads block: the children run, possibly in parallel,
@@ -69,90 +125,128 @@ func (rt *RT) Stats() (spawned, inline int64) {
 // Child 0 always runs inline: when the parent suspends at the wait, its
 // processor is assigned to the first child (§3.1), and running it on the
 // same goroutine realizes that handoff with zero cost. Children 1..k-1 are
-// offered to idle processors in creation order; each one that finds no idle
-// processor runs inline after its predecessors, which is precisely the
-// "processor is assigned sequentially to the children, in order of
-// creation" rule.
+// offered to a processor's deque in creation order; each one that no idle
+// processor claims is reclaimed by the parent at the wait and runs inline
+// after its predecessors, which is precisely the "processor is assigned
+// sequentially to the children, in order of creation" rule.
 func (rt *RT) Do(children ...func()) {
-	switch len(children) {
+	k := len(children)
+	switch k {
 	case 0:
 		return
 	case 1:
 		children[0]()
 		return
 	}
-	var wg sync.WaitGroup
-	tryHand := func(f func()) bool {
-		select {
-		case <-rt.permits:
-			wg.Add(1)
-			rt.spawns.Add(1)
-			go func() {
-				defer wg.Done()
-				f()
-				rt.permits <- struct{}{}
-			}()
-			return true
-		default:
-			return false
+	if rt.p == 1 {
+		// One processor: no worker may exist, so every child runs inline
+		// in creation order — the sequential execution §4.1 falls back to.
+		for _, child := range children {
+			child()
 		}
+		rt.addInlined(int64(k - 1))
+		return
 	}
-	deferred := children[1:]
-	handed := make([]bool, len(deferred))
-	for i, child := range deferred {
-		handed[i] = tryHand(child)
+	f := rt.getFrame(k - 1)
+	f.wg.Add(k - 1)
+	for i := 1; i < k; i++ {
+		t := &f.tasks[i-1]
+		t.fn = children[i]
+		t.frame = f
+		t.state.Store(taskPending)
+	}
+	target := int(rt.rotor.Add(1) % uint32(rt.p))
+	pushed := rt.deques[target].pushBatch(f.tasks)
+	if pushed > 0 {
+		rt.pending.Add(int64(pushed))
+		rt.wakeWorkers(pushed)
 	}
 	children[0]()
-	for i, child := range deferred {
-		if handed[i] {
-			continue
+	// The wait: reclaim every child still unclaimed — including any that
+	// did not fit in the deque — and run it inline, in creation order.
+	var inlined int64
+	for i := range f.tasks {
+		t := &f.tasks[i]
+		if t.state.CompareAndSwap(taskPending, taskInline) {
+			if i < pushed {
+				rt.pending.Add(-1)
+			}
+			t.fn()
+			t.fn = nil
+			inlined++
+			f.wg.Done()
 		}
-		// A processor may have become idle while earlier children ran;
-		// pending pal-threads are activated as resources free up, so
-		// offer the child again before falling back to inline.
-		if tryHand(child) {
-			continue
-		}
-		rt.inlines.Add(1)
-		child()
 	}
-	wg.Wait()
+	if inlined > 0 {
+		rt.addInlined(inlined)
+	}
+	// Every child is now resolved (taken or inline); drop this block's
+	// leftover ring entries before the frame can be recycled.
+	rt.deques[target].purge(f)
+	f.wg.Wait()
+	rt.putFrame(f)
 }
 
 // Go starts a single pal-thread with nowait semantics and returns a Join
-// handle. If no processor is idle the child runs inline immediately and the
+// handle. The child is offered to a deque like a Do child; if the machine
+// is saturated (full inbox, or p = 1) it runs inline immediately and the
 // returned join is a no-op — the degenerate but correct realization of
-// nowait on a saturated machine.
+// nowait on a saturated machine. A child still unclaimed when Wait is
+// called runs inline there, completing the same fallback.
 func (rt *RT) Go(child func()) *Join {
-	select {
-	case <-rt.permits:
-		rt.spawns.Add(1)
-		j := &Join{ch: make(chan struct{})}
-		go func() {
-			child()
-			rt.permits <- struct{}{}
-			close(j.ch)
-		}()
-		return j
-	default:
-		rt.inlines.Add(1)
+	if rt.p == 1 {
+		rt.addInlined(1)
 		child()
-		return &Join{done: true}
+		return &Join{}
 	}
+	f := rt.getFrame(1)
+	f.wg.Add(1)
+	t := &f.tasks[0]
+	t.fn = child
+	t.frame = f
+	t.state.Store(taskPending)
+	target := int(rt.rotor.Add(1) % uint32(rt.p))
+	if rt.deques[target].pushBatch(f.tasks) == 0 {
+		rt.addInlined(1)
+		t.fn = nil
+		child()
+		f.wg.Done()
+		rt.putFrame(f)
+		return &Join{}
+	}
+	rt.pending.Add(1)
+	rt.wakeWorkers(1)
+	return &Join{rt: rt, f: f, d: &rt.deques[target]}
 }
 
-// Join is the handle returned by Go.
+// Join is the handle returned by Go. Wait may be called from multiple
+// goroutines; the pal-thread completes exactly once.
 type Join struct {
-	ch   chan struct{}
-	done bool
+	rt   *RT
+	f    *frame
+	d    *deque
+	once sync.Once
 }
 
-// Wait blocks until the pal-thread completes.
+// Wait blocks until the pal-thread completes, running it inline if no
+// processor has claimed it yet.
 func (j *Join) Wait() {
-	if j.done {
+	if j.f == nil {
 		return
 	}
-	<-j.ch
+	j.once.Do(func() {
+		t := &j.f.tasks[0]
+		if t.state.CompareAndSwap(taskPending, taskInline) {
+			j.rt.pending.Add(-1)
+			j.rt.addInlined(1)
+			t.fn()
+			t.fn = nil
+			j.f.wg.Done()
+		}
+		j.d.purge(j.f)
+		j.f.wg.Wait()
+		j.rt.putFrame(j.f)
+	})
 }
 
 // For executes f over [lo, hi) in parallel with optimal speedup, splitting

@@ -1,0 +1,104 @@
+package palrt
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// PermitRT is the runtime this package used before the work-stealing
+// scheduler: a single global permit channel holding p-1 tokens, a goroutine
+// spawned per handed-off child. It realizes the same §3.1 semantics — a
+// failed token grab runs the child inline — but every spawn attempt
+// serializes on the one channel and pays a goroutine creation, which is
+// what the deque scheduler exists to fix. Retained as the A/B baseline for
+// BenchmarkPalrtDandC and the scheduler regression suite; new code should
+// use RT.
+type PermitRT struct {
+	p       int
+	permits chan struct{}
+	spawns  atomic.Int64
+	inlines atomic.Int64
+}
+
+// NewPermit returns a permit-channel runtime with p processors (p < 1 is
+// treated as 1).
+func NewPermit(p int) *PermitRT {
+	if p < 1 {
+		p = 1
+	}
+	rt := &PermitRT{p: p, permits: make(chan struct{}, p-1)}
+	for i := 0; i < p-1; i++ {
+		rt.permits <- struct{}{}
+	}
+	return rt
+}
+
+// P returns the processor budget.
+func (rt *PermitRT) P() int { return rt.p }
+
+// Stats returns the spawned/inline split, mirroring RT.Stats.
+func (rt *PermitRT) Stats() (spawned, inline int64) {
+	return rt.spawns.Load(), rt.inlines.Load()
+}
+
+// Do executes a palthreads block under the permit discipline: children
+// 1..k-1 are offered to idle processors via the token channel; failures run
+// inline after child 0, in creation order.
+func (rt *PermitRT) Do(children ...func()) {
+	switch len(children) {
+	case 0:
+		return
+	case 1:
+		children[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	tryHand := func(f func()) bool {
+		select {
+		case <-rt.permits:
+			wg.Add(1)
+			rt.spawns.Add(1)
+			go func() {
+				defer wg.Done()
+				f()
+				rt.permits <- struct{}{}
+			}()
+			return true
+		default:
+			return false
+		}
+	}
+	deferred := children[1:]
+	handed := make([]bool, len(deferred))
+	for i, child := range deferred {
+		handed[i] = tryHand(child)
+	}
+	children[0]()
+	for i, child := range deferred {
+		if handed[i] {
+			continue
+		}
+		if tryHand(child) {
+			continue
+		}
+		rt.inlines.Add(1)
+		child()
+	}
+	wg.Wait()
+}
+
+// For mirrors RT.For on the permit runtime, for like-for-like benchmarks.
+func (rt *PermitRT) For(lo, hi, grain int, f func(lo, hi int)) {
+	if grain < 1 {
+		grain = 1
+	}
+	if hi-lo <= grain {
+		f(lo, hi)
+		return
+	}
+	mid := lo + (hi-lo)/2
+	rt.Do(
+		func() { rt.For(lo, mid, grain, f) },
+		func() { rt.For(mid, hi, grain, f) },
+	)
+}

@@ -1,0 +1,375 @@
+package palrt
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the work-stealing machinery behind RT: per-processor bounded
+// deques, the pooled task arena, and the lazy worker pool. The public
+// surface (Do, Go, For, Run, Stats) lives in palrt.go.
+//
+// A task offered by Do lives in exactly one deque slot and moves through a
+// three-state machine:
+//
+//	pending → taken   a worker claimed it (a spawn; a steal when the worker
+//	                  claimed it from a deque it does not own)
+//	pending → inline  its parent reclaimed it at the block's implicit wait
+//	                  and ran it sequentially — §4.1's fallback
+//
+// The claim CAS is the only synchronization a task needs, so deque entries
+// may go stale (their task already resolved elsewhere); poppers discard
+// stale entries when they meet them, and a full ring compacts them away
+// before refusing an offer. Because a parent reclaims every still-pending
+// child before blocking, it only ever waits on tasks a live worker is
+// actually executing — which makes missed wakeups and worker retirement
+// harmless (lost parallelism, never lost children) and rules out join
+// deadlock by induction on the task tree.
+
+// Task states. A task slot is reused across Do calls via the frame pool;
+// the state is re-armed to taskPending immediately before each offer.
+const (
+	taskPending int32 = iota
+	taskTaken
+	taskInline
+)
+
+const (
+	// dequeCap bounds one processor's inbox. A full inbox fails the offer
+	// and the parent runs the child sequentially, exactly like the paper's
+	// saturated machine.
+	dequeCap = 256
+	// claimSweeps failed sweeps over all deques before a worker parks.
+	claimSweeps = 4
+	// workerIdleTTL is how long a parked worker waits for new work before
+	// retiring its goroutine. Runtimes are created per computation all over
+	// the codebase, so workers must die off on their own: RT has no Close.
+	workerIdleTTL = time.Millisecond
+)
+
+// task is one offered pal-thread child.
+type task struct {
+	fn    func()
+	frame *frame
+	state atomic.Int32
+}
+
+// frame is the per-Do arena: the child tasks of one palthreads block plus
+// the block's implicit-wait counter. Frames are pooled so a spawn costs no
+// allocation on the steady path.
+type frame struct {
+	wg    sync.WaitGroup
+	tasks []task
+}
+
+// getFrame takes a frame from this runtime's arena. The pool is per-RT on
+// purpose: a deque entry can outlive its task's resolution (entries are
+// dropped lazily), so an entry may alias a task slot that a later Do has
+// re-armed. Within one runtime that alias is benign — the claimer runs a
+// genuinely pending task of this runtime and the accounting balances — but
+// across runtimes it would hand one RT's child to another RT's worker and
+// corrupt both runtimes' pending counts.
+func (rt *RT) getFrame(k int) *frame {
+	f, _ := rt.framePool.Get().(*frame)
+	if f == nil {
+		f = new(frame)
+	}
+	if cap(f.tasks) < k {
+		f.tasks = make([]task, k)
+	} else {
+		f.tasks = f.tasks[:k]
+	}
+	return f
+}
+
+// putFrame recycles a frame. Callers must have observed wg reach zero, so
+// no worker will touch the frame again; stale deque entries pointing into
+// f.tasks stay valid memory and either fail their claim CAS or — if the
+// slot has been re-armed by a later block on this runtime — legitimately
+// claim that block's child.
+func (rt *RT) putFrame(f *frame) { rt.framePool.Put(f) }
+
+// deque is one processor's bounded task inbox: a fixed ring under a
+// per-processor mutex. The owner takes newest-first (LIFO: the freshest
+// task is the cache-hottest), thieves take oldest-first (FIFO: the oldest
+// task roots the largest unexplored subtree). Entries whose task already
+// resolved are discarded during pops.
+type deque struct {
+	mu   sync.Mutex
+	head int // ring index of the oldest entry
+	size int
+	buf  [dequeCap]*task
+}
+
+// pushBatch offers a prefix of ts to the ring in one lock acquisition and
+// returns how many slots were accepted. A full ring is first compacted:
+// entries whose task already resolved (parents reclaim children without
+// touching the ring) are dropped, so stale entries cost amortized O(1) per
+// push and can never wedge an idle runtime into permanent inline-only
+// execution. Whatever still does not fit is the paper's failed offer: the
+// caller runs those children inline.
+func (d *deque) pushBatch(ts []task) int {
+	d.mu.Lock()
+	if d.size == dequeCap {
+		d.compactLocked()
+	}
+	n := dequeCap - d.size
+	if n > len(ts) {
+		n = len(ts)
+	}
+	for i := 0; i < n; i++ {
+		d.buf[(d.head+d.size+i)%dequeCap] = &ts[i]
+	}
+	d.size += n
+	d.mu.Unlock()
+	return n
+}
+
+// compactLocked drops entries whose task is no longer pending, preserving
+// the order of the live ones; the caller holds d.mu. An entry observed
+// non-pending is safe to drop even if its slot is later re-armed: the
+// re-arming block pushes a fresh entry of its own.
+func (d *deque) compactLocked() {
+	kept := 0
+	for i := 0; i < d.size; i++ {
+		t := d.buf[(d.head+i)%dequeCap]
+		if t.state.Load() == taskPending {
+			d.buf[(d.head+kept)%dequeCap] = t
+			kept++
+		}
+	}
+	for i := kept; i < d.size; i++ {
+		d.buf[(d.head+i)%dequeCap] = nil
+	}
+	d.size = kept
+}
+
+// purge removes every entry belonging to frame f. A completing block calls
+// it after resolving its children and before recycling the frame, so no
+// ring entry ever outlives its frame: without this, entries for
+// parent-reclaimed children would linger, and once the pooled frame is
+// re-armed by a later block those leftovers alias the new tasks — a full
+// ring of aliases reads as "all pending" and wedges the compactor. All of
+// f's tasks are already resolved when purge runs, so nothing claimable is
+// lost.
+func (d *deque) purge(f *frame) {
+	d.mu.Lock()
+	kept := 0
+	for i := 0; i < d.size; i++ {
+		t := d.buf[(d.head+i)%dequeCap]
+		if t.frame != f {
+			d.buf[(d.head+kept)%dequeCap] = t
+			kept++
+		}
+	}
+	for i := kept; i < d.size; i++ {
+		d.buf[(d.head+i)%dequeCap] = nil
+	}
+	d.size = kept
+	d.mu.Unlock()
+}
+
+// takeNewest claims the most recently pushed still-pending task (owner
+// LIFO), discarding stale entries.
+func (d *deque) takeNewest() *task {
+	d.mu.Lock()
+	for d.size > 0 {
+		i := (d.head + d.size - 1) % dequeCap
+		t := d.buf[i]
+		d.buf[i] = nil
+		d.size--
+		if t.state.CompareAndSwap(taskPending, taskTaken) {
+			d.mu.Unlock()
+			return t
+		}
+	}
+	d.mu.Unlock()
+	return nil
+}
+
+// takeOldest claims the oldest still-pending task (thief FIFO), discarding
+// stale entries.
+func (d *deque) takeOldest() *task {
+	d.mu.Lock()
+	for d.size > 0 {
+		t := d.buf[d.head]
+		d.buf[d.head] = nil
+		d.head = (d.head + 1) % dequeCap
+		d.size--
+		if t.state.CompareAndSwap(taskPending, taskTaken) {
+			d.mu.Unlock()
+			return t
+		}
+	}
+	d.mu.Unlock()
+	return nil
+}
+
+// ---- worker pool ----
+
+// wakeWorkers makes up to n processors available for pending tasks: parked
+// workers are woken first; below the p-1 worker budget, new goroutines are
+// started. Never exceeding p-1 workers is what bounds live pal-threads by p
+// (the caller of Do holds the p-th processor).
+func (rt *RT) wakeWorkers(n int) {
+	for ; n > 0; n-- {
+		if rt.parked.Load() > 0 {
+			select {
+			case rt.wake <- struct{}{}:
+				continue
+			default:
+			}
+		}
+		for {
+			live := rt.live.Load()
+			if int(live) >= rt.p-1 {
+				return
+			}
+			if rt.live.CompareAndSwap(live, live+1) {
+				rt.workersStarted.Add(1)
+				globalWorkers.Add(1)
+				self := 1 + int((rt.workerSeq.Add(1)-1)%uint32(rt.p-1))
+				go rt.workerLoop(self)
+				break
+			}
+		}
+	}
+}
+
+// workerLoop is one logical processor: claim and run tasks until the
+// machine goes idle, then park, then retire. self is the index of the deque
+// this worker owns (takes LIFO from); everything else it steals FIFO.
+func (rt *RT) workerLoop(self int) {
+	timer := time.NewTimer(workerIdleTTL)
+	defer timer.Stop()
+	sweeps := 0
+	for {
+		if t, from := rt.claim(self); t != nil {
+			sweeps = 0
+			rt.runTask(t, from != self)
+			continue
+		}
+		sweeps++
+		if sweeps < claimSweeps {
+			runtime.Gosched()
+			continue
+		}
+		// Park. Re-checking the pending hint after the parked increment
+		// closes the missed-wake window against a concurrent push (the
+		// pusher increments pending before it reads parked).
+		rt.parked.Add(1)
+		if rt.pending.Load() > 0 {
+			rt.parked.Add(-1)
+			sweeps = 0
+			continue
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(workerIdleTTL)
+		select {
+		case <-rt.wake:
+			rt.parked.Add(-1)
+			sweeps = 0
+		case <-timer.C:
+			rt.parked.Add(-1)
+			rt.live.Add(-1)
+			// A push racing this retirement may have seen a full worker
+			// pool and skipped spawning; re-offer its processor. Even if
+			// this loses too, the parents reclaim their children inline.
+			if rt.pending.Load() > 0 {
+				rt.wakeWorkers(1)
+			}
+			return
+		}
+	}
+}
+
+// claim finds one pending task: own deque newest-first, then the other
+// processors' deques oldest-first. The pending counter is a hint that lets
+// idle workers skip the lock sweep; it may transiently disagree with the
+// deques (claims can race pushes), which costs parallelism, never
+// correctness.
+func (rt *RT) claim(self int) (t *task, from int) {
+	if rt.pending.Load() <= 0 {
+		return nil, 0
+	}
+	if t := rt.deques[self].takeNewest(); t != nil {
+		rt.pending.Add(-1)
+		return t, self
+	}
+	for off := 1; off < rt.p; off++ {
+		i := (self + off) % rt.p
+		if t := rt.deques[i].takeOldest(); t != nil {
+			rt.pending.Add(-1)
+			return t, i
+		}
+	}
+	return nil, 0
+}
+
+// runTask executes a claimed task on this worker's processor and signals
+// the parent's implicit wait.
+func (rt *RT) runTask(t *task, stolen bool) {
+	f := t.frame
+	rt.spawned.Add(1)
+	globalSpawned.Add(1)
+	if stolen {
+		rt.stolen.Add(1)
+		globalStolen.Add(1)
+	}
+	t.fn()
+	t.fn = nil // drop the closure before the frame returns to the pool
+	f.wg.Done()
+}
+
+func (rt *RT) addInlined(n int64) {
+	rt.inlined.Add(n)
+	globalInlined.Add(n)
+}
+
+// ---- stats ----
+
+// SchedulerStats is a point-in-time snapshot of scheduler activity: how
+// many offered children were picked up by another processor (Spawned, of
+// which Stolen came from a deque the claiming worker does not own) versus
+// run sequentially by their parent (Inlined), and how many worker
+// goroutines were started. Spawned+Inlined equals the number of children
+// offered (every child after the first of each Do, plus each Go).
+type SchedulerStats struct {
+	P              int   `json:"p,omitempty"`
+	Spawned        int64 `json:"spawned"`
+	Stolen         int64 `json:"stolen"`
+	Inlined        int64 `json:"inlined"`
+	WorkersStarted int64 `json:"workers_started"`
+}
+
+// Offered returns the total number of children offered to the scheduler.
+func (s SchedulerStats) Offered() int64 { return s.Spawned + s.Inlined }
+
+// Process-wide counters aggregated across every RT, for serving-layer
+// metrics (the jobqueue snapshot and lopramd /v1/metrics): runtimes are
+// created per computation, so per-RT counters vanish with their runs.
+var (
+	globalSpawned atomic.Int64
+	globalStolen  atomic.Int64
+	globalInlined atomic.Int64
+	globalWorkers atomic.Int64
+)
+
+// GlobalStats returns scheduler counters aggregated over all runtimes since
+// process start. P is zero: the aggregate spans runtimes of different
+// sizes.
+func GlobalStats() SchedulerStats {
+	return SchedulerStats{
+		Spawned:        globalSpawned.Load(),
+		Stolen:         globalStolen.Load(),
+		Inlined:        globalInlined.Load(),
+		WorkersStarted: globalWorkers.Load(),
+	}
+}
