@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -557,35 +558,55 @@ func BenchmarkStdThreads(b *testing.B) {
 }
 
 // BenchmarkJobQueueThroughput measures the dispatch service's end-to-end
-// jobs/sec at pool sizes 1, 4 and 16: each iteration submits a batch of
-// small deterministic simulator jobs and waits for all of them. The result
-// cache is disabled so every job executes — this is dispatch + execution
-// throughput, not cache throughput.
+// jobs/sec across the (workers, shards) matrix: each iteration fans a
+// batch of small deterministic simulator jobs out from four concurrent
+// submitters and waits for all of them — concurrent submission is what
+// makes dispatch-path contention (shard locks, run-queue hand-off)
+// visible next to the execution cost. The result cache is disabled so
+// every job executes. workers=4/shards=4 against workers=4/shards=1 is
+// the sharding acceptance pair; cmd/benchgate gates both via
+// BENCH_BASELINE.json.
 func BenchmarkJobQueueThroughput(b *testing.B) {
 	var seed atomic.Uint64
-	for _, workers := range []int{1, 4, 16} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			q := jobqueue.New(jobqueue.Config{Workers: workers, QueueDepth: 4096, CacheSize: -1})
+	for _, c := range []struct{ workers, shards int }{
+		{1, 1}, {4, 1}, {4, 4}, {16, 4},
+	} {
+		b.Run(fmt.Sprintf("workers=%d/shards=%d", c.workers, c.shards), func(b *testing.B) {
+			q := jobqueue.New(jobqueue.Config{
+				Workers: c.workers, Shards: c.shards,
+				QueueDepth: 8192, CacheSize: -1,
+			})
 			defer q.Close()
 			const batch = 64
+			const submitters = 4
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				jobs := make([]*jobqueue.Job, 0, batch)
-				for j := 0; j < batch; j++ {
-					job, err := q.Submit(jobqueue.Spec{
-						Algorithm: "reduce", N: 256, P: 4,
-						Engine: core.EngineSim, Seed: seed.Add(1),
-					})
-					if err != nil {
-						b.Fatal(err)
-					}
-					jobs = append(jobs, job)
+				var wg sync.WaitGroup
+				for s := 0; s < submitters; s++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						jobs := make([]*jobqueue.Job, 0, batch/submitters)
+						for j := 0; j < batch/submitters; j++ {
+							job, err := q.Submit(jobqueue.Spec{
+								Algorithm: "reduce", N: 256, P: 4,
+								Engine: core.EngineSim, Seed: seed.Add(1),
+							})
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							jobs = append(jobs, job)
+						}
+						for _, job := range jobs {
+							if _, err := job.Wait(context.Background()); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}()
 				}
-				for _, job := range jobs {
-					if _, err := job.Wait(context.Background()); err != nil {
-						b.Fatal(err)
-					}
-				}
+				wg.Wait()
 			}
 			b.StopTimer()
 			if secs := b.Elapsed().Seconds(); secs > 0 {

@@ -1,0 +1,102 @@
+// Command doccheck is the documentation linter the CI docs job runs: it
+// walks every Markdown file in the repository and fails when a relative
+// link points at a file or directory that does not exist. External links
+// (http, https, mailto) and pure in-page anchors are skipped; a relative
+// link's own #fragment is stripped before the target is checked.
+//
+//	go run ./cmd/doccheck            # check the repo rooted at .
+//	go run ./cmd/doccheck -root dir  # check another tree
+//
+// Exit status 1 means at least one broken link, with one "file:line:
+// target" diagnostic per offence on stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkPattern matches inline Markdown links [text](target). Reference
+// links and autolinks are rare in this repository; inline links are the
+// ones that rot.
+var linkPattern = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// skipDirs are trees that hold no documentation of ours.
+var skipDirs = map[string]bool{".git": true, "node_modules": true}
+
+func main() {
+	root := flag.String("root", ".", "directory tree to check")
+	flag.Parse()
+	broken, err := checkTree(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		os.Exit(2)
+	}
+	for _, b := range broken {
+		fmt.Fprintln(os.Stderr, b)
+	}
+	if len(broken) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d broken relative link(s)\n", len(broken))
+		os.Exit(1)
+	}
+	fmt.Println("doccheck: all relative links resolve")
+}
+
+// checkTree returns one "file:line: broken link: target" diagnostic per
+// unresolvable relative link under root.
+func checkTree(root string) ([]string, error) {
+	var broken []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if skipDirs[d.Name()] {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(strings.ToLower(d.Name()), ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range linkPattern.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if !relativeLink(target) {
+					continue
+				}
+				target = strings.SplitN(target, "#", 2)[0]
+				if target == "" {
+					continue // pure in-page anchor
+				}
+				resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+				if _, err := os.Stat(resolved); err != nil {
+					broken = append(broken, fmt.Sprintf("%s:%d: broken link: %s", path, i+1, m[1]))
+				}
+			}
+		}
+		return nil
+	})
+	return broken, err
+}
+
+// relativeLink reports whether target is a relative filesystem link (the
+// kind this tool can and should verify).
+func relativeLink(target string) bool {
+	for _, scheme := range []string{"http://", "https://", "mailto:", "ftp://"} {
+		if strings.HasPrefix(target, scheme) {
+			return false
+		}
+	}
+	// Absolute paths point outside the repository's control.
+	return !strings.HasPrefix(target, "/")
+}

@@ -1,22 +1,37 @@
 // Command lopramd is the LoPRAM simulation-job dispatch daemon: it serves
 // concurrent "run algorithm A at size n with p processors on engine E"
-// requests over HTTP/JSON, scheduling them across a bounded worker pool
-// with an LRU result cache (internal/jobqueue).
+// requests over HTTP/JSON, scheduling them across a sharded bounded
+// worker pool with idle-shard work stealing, per-priority-class admission
+// control and an LRU result cache (internal/jobqueue). See
+// ARCHITECTURE.md for the layer diagram and docs/API.md for the full
+// HTTP reference.
 //
 // Serve mode (default):
 //
-//	lopramd -addr :8080 -workers 8
+//	lopramd -addr :8080 -workers 8 -shards 4
 //
-//	POST /v1/jobs          {"algorithm":"mergesort","n":65536,"engine":"sim","seed":7}
-//	GET  /v1/jobs/{id}     job status + result; ?wait=1 blocks until done
-//	GET  /v1/jobs?limit=50 recent jobs, newest first
-//	GET  /v1/algorithms    the catalogue: algorithm → supported engines
-//	GET  /v1/metrics       serving statistics (latency percentiles, hit rate,
-//	                       palrt work-stealing scheduler counters)
-//	GET  /healthz          liveness
+//	POST /v1/jobs               {"algorithm":"mergesort","n":65536,"engine":"sim","seed":7}
+//	GET  /v1/jobs/{id}          job status + result; ?wait=1 blocks until done
+//	GET  /v1/jobs?limit=50      recent jobs, newest first
+//	GET  /v1/algorithms         the catalogue: algorithm → supported engines
+//	GET  /v1/scenarios          the built-in load-scenario catalogue
+//	GET  /v1/scenarios/{name}   one scenario's full declarative spec
+//	GET  /v1/metrics            serving statistics (per-class latency
+//	                            percentiles, hit rate, per-shard steals,
+//	                            palrt work-stealing scheduler counters)
+//	GET  /healthz               liveness
 //
-// Batch mode replays a synthetic mixed workload through the same queue and
-// prints a serving report — the load-test harness:
+// Scenario mode replays a declarative load scenario (a built-in name or a
+// JSON spec file) through a fresh queue and prints the serving report
+// with per-priority-class latency percentiles — the load-test harness:
+//
+//	lopramd -scenario priority-inversion-probe
+//	lopramd -scenario my-traffic.json -workers 8 -shards 4
+//	lopramd -list-scenarios
+//
+// Batch mode replays a synthetic mixed workload through the same queue
+// and prints a serving report (the pre-scenario harness, kept for quick
+// ad-hoc smoke loads):
 //
 //	lopramd -batch 100 -workers 8 -seed 42 -dup 0.3
 package main
@@ -39,31 +54,52 @@ import (
 
 	"lopram/internal/core"
 	"lopram/internal/jobqueue"
+	"lopram/internal/scenario"
 	"lopram/internal/workload"
 )
 
 func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "serve mode: HTTP listen address")
-		workers    = flag.Int("workers", 0, "worker pool size (0 = one per hardware core)")
-		queueDepth = flag.Int("queue-depth", 1024, "max admitted-but-not-started jobs")
-		cacheSize  = flag.Int("cache", 512, "LRU result cache entries (-1 disables)")
+		workers    = flag.Int("workers", 0, "total worker count across shards (0 = one per hardware core)")
+		shards     = flag.Int("shards", 0, "queue shards (0 = 1; placement is by spec-key hash)")
+		queueDepth = flag.Int("queue-depth", 1024, "interactive-class admission capacity across all shards (batch rides in an extra -batch-share lane on top)")
+		batchShare = flag.Float64("batch-share", 0.5, "size of the batch class's own admission lane, as a fraction of -queue-depth")
+		cacheSize  = flag.Int("cache", 512, "LRU result cache entries across all shards (-1 disables)")
 		timeout    = flag.Duration("timeout", 60*time.Second, "default per-job deadline")
 		batch      = flag.Int("batch", 0, "batch mode: run this many synthetic jobs and exit")
 		seed       = flag.Uint64("seed", 1, "batch mode: workload seed")
 		dup        = flag.Float64("dup", 0.3, "batch mode: fraction of jobs that duplicate an earlier spec (exercises the cache)")
 		algos      = flag.String("algorithms", "", "batch mode: comma-separated algorithm subset (default: full catalogue)")
+		scenarioID = flag.String("scenario", "", "scenario mode: replay a built-in scenario by name, or a JSON spec file by path, and exit")
+		listScen   = flag.Bool("list-scenarios", false, "print the built-in scenario catalogue and exit")
 	)
 	flag.Parse()
+	setFlags := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 
 	cfg := jobqueue.Config{
 		Workers:        *workers,
+		Shards:         *shards,
 		QueueDepth:     *queueDepth,
+		BatchShare:     *batchShare,
 		CacheSize:      *cacheSize,
 		DefaultTimeout: *timeout,
 	}
 
-	if *batch > 0 {
+	switch {
+	case *listScen:
+		for _, sp := range scenario.Builtins() {
+			fmt.Printf("%-26s %4d jobs, %-6s arrival  %s\n", sp.Name, sp.Jobs, arrivalOf(sp), sp.Description)
+		}
+		return
+	case *scenarioID != "":
+		if err := runScenario(cfg, setFlags, *scenarioID); err != nil {
+			fmt.Fprintf(os.Stderr, "lopramd: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case *batch > 0:
 		if err := runBatch(cfg, *batch, *seed, *dup, *algos); err != nil {
 			fmt.Fprintf(os.Stderr, "lopramd: %v\n", err)
 			os.Exit(1)
@@ -74,6 +110,80 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lopramd: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+func arrivalOf(sp scenario.Spec) string {
+	if sp.Arrival == "" {
+		return scenario.ArrivalClosed
+	}
+	return sp.Arrival
+}
+
+// ---- scenario mode ----
+
+// loadScenario resolves the -scenario argument: a built-in name first,
+// else a path to a JSON spec file.
+func loadScenario(nameOrPath string) (scenario.Spec, error) {
+	if sp, ok := scenario.Builtin(nameOrPath); ok {
+		return sp, nil
+	}
+	data, err := os.ReadFile(nameOrPath)
+	if err != nil {
+		var names []string
+		for _, sp := range scenario.Builtins() {
+			names = append(names, sp.Name)
+		}
+		return scenario.Spec{}, fmt.Errorf("%q is neither a built-in scenario (%s) nor a readable spec file: %v",
+			nameOrPath, strings.Join(names, ", "), err)
+	}
+	var sp scenario.Spec
+	if err := json.Unmarshal(data, &sp); err != nil {
+		return scenario.Spec{}, fmt.Errorf("parsing scenario file %s: %w", nameOrPath, err)
+	}
+	if err := sp.Validate(); err != nil {
+		return scenario.Spec{}, err
+	}
+	return sp, nil
+}
+
+// runScenario replays one scenario on a fresh queue and prints the
+// serving report. Queue shape precedence: explicit command-line flags,
+// then the scenario's own shard/worker targets, then defaults.
+func runScenario(flagCfg jobqueue.Config, setFlags map[string]bool, nameOrPath string) error {
+	sp, err := loadScenario(nameOrPath)
+	if err != nil {
+		return err
+	}
+	cfg := scenario.QueueConfig(sp)
+	if setFlags["workers"] {
+		cfg.Workers = flagCfg.Workers
+	}
+	if setFlags["shards"] {
+		cfg.Shards = flagCfg.Shards
+	}
+	if setFlags["queue-depth"] {
+		cfg.QueueDepth = flagCfg.QueueDepth
+	}
+	if setFlags["batch-share"] {
+		cfg.BatchShare = flagCfg.BatchShare
+	}
+	if setFlags["cache"] {
+		cfg.CacheSize = flagCfg.CacheSize
+	}
+	if setFlags["timeout"] {
+		cfg.DefaultTimeout = flagCfg.DefaultTimeout
+	}
+	q := jobqueue.New(cfg)
+	defer q.Close()
+	rep, err := scenario.Run(context.Background(), q, sp)
+	if err != nil {
+		return err
+	}
+	rep.WriteText(os.Stdout)
+	m := q.Snapshot()
+	fmt.Printf("  queue: %d workers × %d shards · palrt scheduler: spawned %d (stolen %d) · inlined %d\n",
+		m.Workers, m.Shards, m.Scheduler.Spawned, m.Scheduler.Stolen, m.Scheduler.Inlined)
+	return nil
 }
 
 // ---- serve mode ----
@@ -136,6 +246,26 @@ func serve(cfg jobqueue.Config, addr string) error {
 	})
 	mux.HandleFunc("GET /v1/algorithms", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, catalogueView())
+	})
+	mux.HandleFunc("GET /v1/scenarios", func(w http.ResponseWriter, _ *http.Request) {
+		var out []map[string]any
+		for _, sp := range scenario.Builtins() {
+			out = append(out, map[string]any{
+				"name":        sp.Name,
+				"description": sp.Description,
+				"jobs":        sp.Jobs,
+				"arrival":     arrivalOf(sp),
+			})
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /v1/scenarios/{name}", func(w http.ResponseWriter, r *http.Request) {
+		sp, ok := scenario.Builtin(r.PathValue("name"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such scenario (GET /v1/scenarios lists the catalogue)")
+			return
+		}
+		writeJSON(w, http.StatusOK, sp)
 	})
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, q.Snapshot())

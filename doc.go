@@ -26,14 +26,19 @@
 //   - internal/dag        — poset/antichain substrate (Mirsky, §4.3)
 //   - internal/pram       — Θ(n)-processor PRAM baseline + Brent emulation (§2)
 //   - internal/network    — interconnect realizability model (§1)
-//   - internal/jobqueue   — concurrent job-dispatch service over the engines:
-//     bounded worker pool, admission control, LRU result cache (cmd/lopramd)
-//   - internal/workload   — deterministic input + traffic-mix generators
+//   - internal/jobqueue   — sharded job-dispatch service over the engines:
+//     key-hash placement, per-shard worker pools with idle-shard work
+//     stealing, per-class admission control, LRU result caches (cmd/lopramd)
+//   - internal/scenario   — declarative load scenarios: arrival processes,
+//     traffic mixes, priority splits; deterministic replay + reports
+//   - internal/workload   — deterministic input, traffic-mix and arrival
+//     generators
 //   - internal/stats      — fitting, speedup and latency-summary toolkit
-//   - internal/experiments— the E1–E18 + A1–A4 reproduction suite
+//   - internal/experiments— the E1–E18 + A1–A5 reproduction suite
 //
-// See README.md for a guided tour. The benchmarks in bench_test.go
-// regenerate every table and figure:
+// See README.md for a guided tour, ARCHITECTURE.md for the serving-stack
+// layer map. The benchmarks in bench_test.go regenerate every table and
+// figure:
 //
 //	go test -bench=. -benchmem
 package lopram

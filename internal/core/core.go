@@ -1,16 +1,3 @@
-// Package core is the public facade of the LoPRAM library: it bundles the
-// machine model (a PRAM with p = O(log n) processors, §3), the two execution
-// engines (the deterministic simulator and the goroutine runtime), and
-// ready-made parallelizations of the paper's algorithm families.
-//
-// The quickest way in:
-//
-//	m := core.New(len(data))        // p = Θ(log n) processors
-//	m.Sort(data)                    // §3.1's parallel mergesort
-//
-// For the frameworks, see lopram/internal/dandc (divide and conquer,
-// Theorem 1), lopram/internal/dp (parallel dynamic programming, Algorithm 1)
-// and lopram/internal/memo (parallel memoization).
 package core
 
 import (

@@ -1,0 +1,26 @@
+// Package core is the public facade of the LoPRAM library and the named-
+// algorithm catalogue the serving stack dispatches through.
+//
+// As a library it bundles the machine model (a PRAM with p = O(log n)
+// processors, §3), the two execution engines (the deterministic simulator
+// and the goroutine runtime), and ready-made parallelizations of the
+// paper's algorithm families. The quickest way in:
+//
+//	m := core.New(len(data))        // p = Θ(log n) processors
+//	m.Sort(data)                    // §3.1's parallel mergesort
+//
+// As the serving layer's contract it is the catalogue: every algorithm a
+// job can name, addressable as (algorithm, engine, n, p, seed) through
+// RunAlgorithm, with ValidateSpec as the admission check and MaxN /
+// MaxProcs as the per-engine size limits. Inputs derive deterministically
+// from the seed, so a spec is a complete description of a run and equal
+// specs produce identical Outcomes — the invariant internal/jobqueue's
+// result cache and coalescer are built on. Engines: EngineSim (exact
+// simulated step counts), EnginePalrt (real execution on the host's
+// cores, scheduler stats attached), EnginePRAM (the work-suboptimal
+// Brent-emulated baseline).
+//
+// For the frameworks, see lopram/internal/dandc (divide and conquer,
+// Theorem 1), lopram/internal/dp (parallel dynamic programming, Algorithm 1)
+// and lopram/internal/memo (parallel memoization).
+package core

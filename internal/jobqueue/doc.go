@@ -1,0 +1,50 @@
+// Package jobqueue is the sharded job-dispatch subsystem: a set of
+// independent queue shards, each with its own worker pool, that accept
+// simulation-job requests ("run algorithm A at size n with p processors on
+// engine E"), validate and admission-control them per priority class,
+// schedule them across workers with idle-shard work stealing, memoize
+// completed results in per-shard LRU caches, and aggregate serving
+// statistics into one merged snapshot.
+//
+// # Sharding
+//
+// A Queue built with Config.Shards = N splits every mutable structure N
+// ways: run queues, worker pools, in-flight coalescing maps, result
+// caches, latency rings and per-algorithm aggregates. A job is placed on
+// the shard selected by an FNV-1a hash of its cache Key (func jobs hash
+// their name), so identical specs always meet on the same shard — the
+// invariant coalescing and result caching depend on. No lock is global:
+// heavy mixed traffic contends only within a shard, and Snapshot merges
+// the shards' views after the fact.
+//
+// Idle shards do not sit out: a worker whose own shard has no runnable
+// job sweeps the other shards' run queues (interactive class first) and
+// steals the oldest admitted job it finds, woken either by a queue-wide
+// kick published on every enqueue or by a slow fallback poll. This is the
+// same discipline internal/palrt applies to pal-threads — owner pops its
+// own deque, thieves take from the others — lifted from threads to jobs.
+//
+// # Priority classes
+//
+// Every job carries a Class: ClassInteractive (the default) or
+// ClassBatch. Admission control is per class: the interactive class owns
+// each shard's full queue depth, while the batch class rides in its own
+// smaller lane (Config.BatchShare of that depth) on top, so a flood in
+// either class cannot crowd the other out of admission. Workers dequeue
+// with strict class priority across the whole queue — no batch job
+// starts anywhere while an interactive job waits anywhere — and latency
+// percentiles are kept per class so a serving report can show the two
+// populations separately.
+//
+// # Lineage
+//
+// The design transplants the paper's §3.1 scheduler from pal-threads to
+// jobs: a fixed processor budget (the worker pools), work admitted into
+// bounded pending sets and activated in creation order (the FIFO run
+// queues), activated work never preempted, and saturation handled by
+// refusing new work at admission (ErrQueueFull) rather than by unbounded
+// queueing — the job-level analogue of a palthreads block running its
+// children inline when no processor is free. Identical requests are
+// coalesced while in flight and served from the result cache afterwards,
+// the memoization principle of §4.5 applied to whole jobs.
+package jobqueue

@@ -17,16 +17,19 @@ import (
 type Status int32
 
 const (
-	// StatusQueued: admitted and waiting for a worker.
+	// StatusQueued means admitted and waiting for a worker.
 	StatusQueued Status = iota
-	// StatusRunning: executing on a worker.
+	// StatusRunning means executing on a worker.
 	StatusRunning
-	// StatusDone: completed successfully; Result is available.
+	// StatusDone means completed successfully; Result is available.
 	StatusDone
-	// StatusFailed: the run returned an error or exceeded its deadline.
+	// StatusFailed means the run returned an error or exceeded its
+	// deadline.
 	StatusFailed
 )
 
+// String returns the status's wire name ("queued", "running", "done",
+// "failed").
 func (s Status) String() string {
 	switch s {
 	case StatusQueued:
@@ -46,6 +49,44 @@ func (s Status) MarshalJSON() ([]byte, error) {
 	return []byte(fmt.Sprintf("%q", s.String())), nil
 }
 
+// Class is a job's priority class. Admission control, run-queue order
+// and latency accounting are all per class: interactive traffic is
+// admitted into a shard's full queue depth and drained first, batch
+// traffic is confined to the Config.BatchShare slice and drained when no
+// interactive work waits.
+type Class string
+
+const (
+	// ClassInteractive is the latency-sensitive class and the default
+	// for specs that do not set a priority.
+	ClassInteractive Class = "interactive"
+	// ClassBatch is the throughput class: admitted only into its
+	// configured share of each shard's queue depth and run after
+	// interactive work.
+	ClassBatch Class = "batch"
+)
+
+// The class indices used for per-class arrays; classes maps them back.
+const (
+	classInteractive = iota
+	classBatch
+	numClasses
+)
+
+var classes = [numClasses]Class{ClassInteractive, ClassBatch}
+
+// classIndex maps a Class to its array index; ok is false for unknown
+// classes.
+func classIndex(c Class) (int, bool) {
+	switch c {
+	case ClassInteractive:
+		return classInteractive, true
+	case ClassBatch:
+		return classBatch, true
+	}
+	return 0, false
+}
+
 // Spec describes one simulation job: run algorithm Algorithm at input size
 // N with P processors on Engine, inputs derived from Seed.
 type Spec struct {
@@ -54,6 +95,10 @@ type Spec struct {
 	P         int         `json:"p,omitempty"` // 0 → core.ProcsFor(N)
 	Engine    core.Engine `json:"engine"`
 	Seed      uint64      `json:"seed"`
+	// Priority selects the job's class; empty means ClassInteractive.
+	// The class does not affect the result, so it is not part of the
+	// cache key: a batch run's cached result serves interactive dups.
+	Priority Class `json:"priority,omitempty"`
 	// Timeout caps the job's execution time; 0 selects the queue's
 	// default. Serialized as nanoseconds.
 	Timeout time.Duration `json:"timeout,omitempty"`
@@ -107,6 +152,9 @@ type Job struct {
 
 	fn        func(ctx context.Context) error // func jobs only
 	submitted time.Time
+	// class is the priority class index (classInteractive/classBatch).
+	// The home shard is not stored: it is encoded in ID's low shardBits.
+	class int
 
 	mu       sync.Mutex
 	status   Status
@@ -170,10 +218,15 @@ func (j *Job) markRunning(now time.Time) bool {
 	return true
 }
 
-// finish transitions to a terminal state exactly once; late finishers (an
-// abandoned run completing after its deadline already failed the job)
-// return false and their result is dropped.
-func (j *Job) finish(res Result, err error, now time.Time) bool {
+// markFinished transitions to a terminal state exactly once; late
+// finishers (an abandoned run completing after its deadline already
+// failed the job) return false and their result is dropped. It does not
+// signal Done: the winner settles the queue's caches and counters first
+// and then calls signalDone, so a submitter whose Wait has returned can
+// rely on the result cache already holding the outcome — without the
+// ordering, a duplicate submitted in the finish→settle window would find
+// a stale in-flight entry instead of a cache hit.
+func (j *Job) markFinished(res Result, err error, now time.Time) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.status == StatusDone || j.status == StatusFailed {
@@ -187,9 +240,12 @@ func (j *Job) finish(res Result, err error, now time.Time) bool {
 		j.status = StatusDone
 		j.result = res
 	}
-	close(j.done)
 	return true
 }
+
+// signalDone closes Done. Called exactly once, by the winner of
+// markFinished, after the queue has settled the job.
+func (j *Job) signalDone() { close(j.done) }
 
 // completeCached resolves a job immediately from a cached result. Used for
 // jobs that never enter the run queue.

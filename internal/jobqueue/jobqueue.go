@@ -1,18 +1,3 @@
-// Package jobqueue is the job-dispatch subsystem: a bounded worker pool
-// that accepts simulation-job requests ("run algorithm A at size n with p
-// processors on engine E"), validates and admission-controls them,
-// schedules them across workers, memoizes completed results in an LRU
-// cache, and aggregates serving statistics.
-//
-// The design transplants the paper's §3.1 scheduler from pal-threads to
-// jobs: a fixed processor budget (the worker pool), work admitted into a
-// bounded pending set and activated in creation order (the FIFO run queue),
-// activated work never preempted, and saturation handled by refusing new
-// work at admission (ErrQueueFull) rather than by unbounded queueing — the
-// job-level analogue of a palthreads block running its children inline when
-// no processor is free. Identical requests are coalesced while in flight
-// and served from the result cache afterwards, the memoization principle of
-// §4.5 applied to whole jobs.
 package jobqueue
 
 import (
@@ -20,47 +5,82 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"lopram/internal/core"
-	"lopram/internal/palrt"
-	"lopram/internal/stats"
 )
 
 // Errors returned by Submit and Result.
 var (
-	// ErrQueueFull: admission control refused the job; the pending queue
-	// is at capacity. Retry later or raise Config.QueueDepth.
+	// ErrQueueFull reports that admission control refused the job: its
+	// priority class's share of the target shard's pending queue is at
+	// capacity. Retry later or raise Config.QueueDepth.
 	ErrQueueFull = errors.New("jobqueue: queue full")
-	// ErrClosed: the queue is shut down.
+	// ErrClosed reports that the queue is shut down.
 	ErrClosed = errors.New("jobqueue: queue closed")
-	// ErrNotFinished: Result was called on a job still in flight.
+	// ErrNotFinished reports that Result was called on a job still in
+	// flight.
 	ErrNotFinished = errors.New("jobqueue: job not finished")
+)
+
+const (
+	// shardBits is how many low bits of a job ID encode its home shard.
+	shardBits = 6
+	// MaxShards bounds Config.Shards: shard indices must fit in the
+	// shardBits low bits of every job ID.
+	MaxShards = 1 << shardBits
 )
 
 // Config sizes a Queue. The zero value selects sensible defaults.
 type Config struct {
-	// Workers is the worker-pool size: the number of jobs executing
-	// concurrently. Defaults to the host's core count — one dispatch
-	// worker per hardware core, mirroring the machine model's fixed p.
+	// Workers is the total worker count across all shards: the number of
+	// jobs executing concurrently. Defaults to the host's core count —
+	// one dispatch worker per hardware core, mirroring the machine
+	// model's fixed p. Each shard gets at least one worker, so the
+	// effective total is max(Workers, Shards).
 	Workers int
-	// QueueDepth bounds the admitted-but-not-started set; submissions
-	// beyond it fail fast with ErrQueueFull. Default 1024.
+	// Shards is the number of independent queue shards (run queue +
+	// worker pool + cache + metric rings). Placement is by key hash, so
+	// identical specs always land on the same shard. Default 1 (the
+	// pre-sharding single-queue behavior); capped at MaxShards.
+	Shards int
+	// QueueDepth is the interactive class's admission capacity: the
+	// bound on admitted-but-not-started interactive jobs across the
+	// whole queue, sliced evenly per shard. The batch class rides in a
+	// separate lane of BatchShare×QueueDepth on top (total pending is
+	// therefore bounded by (1+BatchShare)×QueueDepth), so neither class
+	// can consume the other's admission slots. Submissions beyond a
+	// shard's class slice fail fast with ErrQueueFull. Default 1024.
 	QueueDepth int
-	// CacheSize is the LRU result-cache capacity in entries. Default
-	// 512; negative disables caching.
+	// CacheSize is the total LRU result-cache capacity in entries,
+	// divided evenly among shards. Default 512; negative disables
+	// caching.
 	CacheSize int
 	// DefaultTimeout caps each job's execution when its spec does not
 	// set one. Default 60s.
 	DefaultTimeout time.Duration
-	// Retain bounds how many terminal jobs stay queryable by ID.
-	// Default 4096.
+	// Retain bounds how many terminal jobs stay queryable by ID, divided
+	// evenly among shards. Default 4096.
 	Retain int
+	// BatchShare sizes the batch class's own admission lane as a
+	// fraction of each shard's interactive depth; the interactive class
+	// always keeps its full depth to itself. Admission control applies
+	// it per shard and per class, so a batch flood cannot crowd
+	// interactive work out (and vice versa). Default 0.5; values are
+	// clamped to (0, 1] and every shard keeps at least one batch slot.
+	BatchShare float64
 }
 
 func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Shards > MaxShards {
+		c.Shards = MaxShards
+	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -79,15 +99,29 @@ func (c Config) withDefaults() Config {
 	if c.Retain <= 0 {
 		c.Retain = 4096
 	}
+	if c.BatchShare <= 0 || c.BatchShare > 1 {
+		c.BatchShare = 0.5
+	}
 	return c
+}
+
+// perShard divides a queue-wide budget into an even per-shard slice,
+// rounding up so no shard gets zero.
+func perShard(total, shards int) int {
+	return (total + shards - 1) / shards
 }
 
 // Queue is the dispatch service. Create with New, stop with Close. All
 // methods are safe for concurrent use.
 type Queue struct {
-	cfg    Config
-	runq   chan *Job
-	nextID atomic.Uint64
+	cfg     Config
+	shards  []*shard
+	nextSeq atomic.Uint64
+	// kick wakes one idle worker when any shard enqueues a job, so
+	// cross-shard stealing reacts immediately instead of waiting for the
+	// fallback poll. Capacity 1: a pending kick means some worker will
+	// sweep every shard, which discovers all stealable work.
+	kick chan struct{}
 	// detach is the orphan budget: a worker may abandon a deadline-blown
 	// run (leaving it to finish in the background) only while a slot is
 	// free, so hostile timeout traffic cannot accumulate unbounded
@@ -95,30 +129,14 @@ type Queue struct {
 	// its run to finish — backpressure instead of runaway concurrency.
 	detach chan struct{}
 
-	mu       sync.Mutex
-	closed   bool
-	byID     map[uint64]*Job
-	retained []uint64 // submission order, for retention eviction
-	inflight map[Key]*Job
-	cache    *lru
-	wall     sampleRing                // recent execution latencies (ms)
-	wait     sampleRing                // recent queueing latencies (ms)
-	perAlgo  map[string]*algoAggregate // keyed by algorithm (or func-job name)
+	closeMu sync.Mutex
+	closed  bool
 
-	// Memoized latency summaries: Summarize sorts its sample, so Snapshot
-	// computes it outside q.mu from a copied-out sample and caches the
-	// result by ring generation — a /metrics poll can never stall workers
-	// on an O(n log n) sort held under the queue lock.
-	sumMu      sync.Mutex
-	wallSum    stats.Summary
-	wallSumGen uint64
-	waitSum    stats.Summary
-	waitSumGen uint64
+	workers      sync.WaitGroup
+	totalWorkers int
+	orphans      sync.WaitGroup
 
-	workers sync.WaitGroup
-	orphans sync.WaitGroup
-
-	// Counters (atomics: hot path, read by Snapshot without the lock).
+	// Counters (atomics: hot path, read by Snapshot without any lock).
 	submitted  atomic.Int64
 	completed  atomic.Int64
 	failed     atomic.Int64
@@ -130,66 +148,49 @@ type Queue struct {
 	pending    atomic.Int64
 	running    atomic.Int64
 	abandonedG atomic.Int64 // live abandoned runs (gauge)
+	perClass   [numClasses]classCounters
+
+	// Memoized merged latency summaries — see Snapshot.
+	sumMu sync.Mutex
+	sums  summaryCache
 }
 
-type algoAggregate struct {
-	count, failed int64
-	totalWallMS   float64
-}
-
-// maxLatencySamples bounds the retained latency samples; older samples are
-// overwritten FIFO. 4096 is plenty for p99 estimation.
-const maxLatencySamples = 4096
-
-// sampleRing is a fixed-capacity latency-sample window with O(1) insertion
-// (the appendBounded slice it replaces memmoved the whole window on every
-// completed job). gen counts insertions so readers can skip recomputing
-// summaries of an unchanged window; sample order is irrelevant to the
-// percentile math, so overwriting the oldest slot in place is enough.
-type sampleRing struct {
-	buf  []float64
-	next int
-	full bool
-	gen  uint64
-}
-
-func (r *sampleRing) add(x float64) {
-	if r.buf == nil {
-		r.buf = make([]float64, maxLatencySamples)
-	}
-	r.buf[r.next] = x
-	r.next++
-	if r.next == len(r.buf) {
-		r.next = 0
-		r.full = true
-	}
-	r.gen++
-}
-
-// copyOut returns a fresh copy of the live samples.
-func (r *sampleRing) copyOut() []float64 {
-	n := r.next
-	if r.full {
-		n = len(r.buf)
-	}
-	return append([]float64(nil), r.buf[:n]...)
+// classCounters is the per-priority-class slice of the queue counters.
+type classCounters struct {
+	submitted atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	rejected  atomic.Int64
 }
 
 // New returns a running queue.
 func New(cfg Config) *Queue {
 	cfg = cfg.withDefaults()
 	q := &Queue{
-		cfg:      cfg,
-		runq:     make(chan *Job, cfg.QueueDepth),
-		detach:   make(chan struct{}, 2*cfg.Workers),
-		byID:     make(map[uint64]*Job),
-		inflight: make(map[Key]*Job),
-		cache:    newLRU(cfg.CacheSize),
-		perAlgo:  make(map[string]*algoAggregate),
+		cfg:  cfg,
+		kick: make(chan struct{}, 1),
 	}
+	depth := perShard(cfg.QueueDepth, cfg.Shards)
+	batchDepth := int(cfg.BatchShare * float64(depth))
+	if batchDepth < 1 {
+		batchDepth = 1
+	}
+	cacheCap := 0
+	if cfg.CacheSize > 0 {
+		cacheCap = perShard(cfg.CacheSize, cfg.Shards)
+	}
+	retain := perShard(cfg.Retain, cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		q.shards = append(q.shards, newShard(i, depth, batchDepth, cacheCap, retain))
+	}
+	if cfg.Workers < cfg.Shards {
+		cfg.Workers = cfg.Shards // every shard gets at least one worker
+	}
+	q.totalWorkers = cfg.Workers
+	q.detach = make(chan struct{}, 2*q.totalWorkers)
 	q.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
-		go q.worker()
+		go q.worker(q.shards[i%cfg.Shards]) // dealt round-robin
 	}
 	return q
 }
@@ -197,381 +198,201 @@ func New(cfg Config) *Queue {
 // Close stops admission, drains already-admitted jobs, and waits for all
 // workers (and any deadline-abandoned runs) to finish.
 func (q *Queue) Close() {
-	q.mu.Lock()
+	q.closeMu.Lock()
 	if q.closed {
-		q.mu.Unlock()
+		q.closeMu.Unlock()
 		return
 	}
 	q.closed = true
-	close(q.runq)
-	q.mu.Unlock()
+	q.closeMu.Unlock()
+	// Stop admission on every shard before closing any run queue: a
+	// Submit holding a shard lock finishes its send before the flag
+	// flips, and later Submits see the flag — no send on a closed
+	// channel either way.
+	for _, s := range q.shards {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+	}
+	for _, s := range q.shards {
+		for _, ch := range s.runq {
+			close(ch)
+		}
+	}
 	q.workers.Wait()
 	q.orphans.Wait()
 }
 
-// Submit validates, admission-controls and enqueues an algorithm job.
-// Duplicate requests are served without re-execution: a spec whose key is
-// already in flight returns the in-flight job (coalescing), and one whose
-// result is cached returns an already-completed job.
+// ShardOf reports which shard the spec would be placed on — the shard its
+// cache key hashes to. Placement is deterministic: equal keys always map
+// to the same shard of a queue with the same shard count.
+func (q *Queue) ShardOf(spec Spec) int {
+	return int(spec.key().hash() % uint64(len(q.shards)))
+}
+
+// newID allocates the next job ID for a job homed on shard idx: a global
+// sequence number in the high bits (IDs stay submission-ordered across
+// shards) and the home shard in the low shardBits (Get routes by them).
+func (q *Queue) newID(idx int) uint64 {
+	return q.nextSeq.Add(1)<<shardBits | uint64(idx)
+}
+
+// Submit validates, admission-controls and enqueues an algorithm job on
+// the shard its key hashes to. Duplicate requests are served without
+// re-execution: a spec whose key is already in flight returns the
+// in-flight job (coalescing), and one whose result is cached returns an
+// already-completed job.
 func (q *Queue) Submit(spec Spec) (*Job, error) {
 	if spec.P == 0 && spec.N >= 1 {
 		// Freeze the model-default processor count into the spec so the
 		// submitter sees the p the job actually runs with.
 		spec.P = core.ProcsFor(spec.N)
 	}
+	if spec.Priority == "" {
+		spec.Priority = ClassInteractive
+	}
 	if err := core.ValidateSpec(spec.Algorithm, spec.Engine, spec.N, spec.P); err != nil {
 		q.rejected.Add(1)
 		return nil, fmt.Errorf("jobqueue: invalid spec: %w", err)
 	}
+	class, ok := classIndex(spec.Priority)
+	if !ok {
+		q.rejected.Add(1)
+		return nil, fmt.Errorf("jobqueue: invalid spec: unknown priority %q (want %q or %q)",
+			spec.Priority, ClassInteractive, ClassBatch)
+	}
 	key := spec.key()
+	s := q.shards[int(key.hash()%uint64(len(q.shards)))]
 	now := time.Now()
 
-	q.mu.Lock()
-	if q.closed {
-		q.mu.Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
 		q.rejected.Add(1)
+		q.perClass[class].rejected.Add(1)
 		return nil, ErrClosed
 	}
-	if res, ok := q.cache.get(key); ok {
-		job := newJob(q.nextID.Add(1), spec.String(), spec, nil, now)
-		q.insertLocked(job)
-		q.mu.Unlock()
+	if res, ok := s.cache.get(key); ok {
+		job := newJob(q.newID(s.idx), spec.String(), spec, nil, now)
+		job.class = class
+		s.insertLocked(job)
+		s.mu.Unlock()
 		q.cacheHits.Add(1)
 		q.submitted.Add(1)
+		q.perClass[class].submitted.Add(1)
 		// Cached serves are near-instant and skip the latency samples;
 		// Wall in the result reports the original run's cost.
 		job.completeCached(res, now)
 		return job, nil
 	}
-	if dup, ok := q.inflight[key]; ok {
-		q.mu.Unlock()
+	if dup, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
 		q.coalesced.Add(1)
 		return dup, nil
 	}
 	q.cacheMiss.Add(1)
-	job := newJob(q.nextID.Add(1), spec.String(), spec, nil, now)
-	if err := q.enqueueLocked(job, key); err != nil {
-		q.mu.Unlock()
+	job := newJob(q.newID(s.idx), spec.String(), spec, nil, now)
+	job.class = class
+	if err := q.enqueueLocked(s, job, key); err != nil {
+		s.mu.Unlock()
 		return nil, err
 	}
-	q.mu.Unlock()
+	s.mu.Unlock()
+	q.kickWorkers()
 	return job, nil
 }
 
-// SubmitFunc enqueues an arbitrary work item on the same pool, subject to
-// the same admission control and deadlines but bypassing spec validation,
-// coalescing and the result cache. The experiment suite uses it to run
-// E1–E18 through the queue as a load test.
+// SubmitFunc enqueues an arbitrary work item on the same pools, subject
+// to the same admission control and deadlines but bypassing spec
+// validation, coalescing and the result cache. Placement hashes the name,
+// so equal names share a shard; the job runs in the interactive class.
+// The experiment suite uses it to run E1–E18 through the queue as a load
+// test.
 func (q *Queue) SubmitFunc(name string, fn func(ctx context.Context) error) (*Job, error) {
 	if fn == nil {
 		return nil, fmt.Errorf("jobqueue: nil func for %q", name)
 	}
-	q.mu.Lock()
-	if q.closed {
-		q.mu.Unlock()
+	s := q.shards[int(hashString(name)%uint64(len(q.shards)))]
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
 		q.rejected.Add(1)
 		return nil, ErrClosed
 	}
-	job := newJob(q.nextID.Add(1), name, Spec{}, fn, time.Now())
-	if err := q.enqueueLocked(job, Key{}); err != nil {
-		q.mu.Unlock()
+	job := newJob(q.newID(s.idx), name, Spec{}, fn, time.Now())
+	if err := q.enqueueLocked(s, job, Key{}); err != nil {
+		s.mu.Unlock()
 		return nil, err
 	}
-	q.mu.Unlock()
+	s.mu.Unlock()
+	q.kickWorkers()
 	return job, nil
 }
 
-// enqueueLocked admits a job to the run queue; the caller holds q.mu.
-func (q *Queue) enqueueLocked(job *Job, key Key) error {
+// enqueueLocked admits a job to its class's run queue on shard s; the
+// caller holds s.mu.
+func (q *Queue) enqueueLocked(s *shard, job *Job, key Key) error {
 	select {
-	case q.runq <- job:
+	case s.runq[job.class] <- job:
 	default:
 		q.rejected.Add(1)
+		q.perClass[job.class].rejected.Add(1)
 		return ErrQueueFull
 	}
-	q.insertLocked(job)
+	s.insertLocked(job)
 	if job.fn == nil {
-		q.inflight[key] = job
+		s.inflight[key] = job
 	}
 	q.submitted.Add(1)
+	q.perClass[job.class].submitted.Add(1)
 	q.pending.Add(1)
+	s.pending.Add(1)
 	return nil
 }
 
-// insertLocked registers the job for Get/Jobs and evicts over-retention
-// terminal jobs; the caller holds q.mu.
-func (q *Queue) insertLocked(job *Job) {
-	q.byID[job.ID] = job
-	q.retained = append(q.retained, job.ID)
-	for len(q.retained) > q.cfg.Retain {
-		id := q.retained[0]
-		old := q.byID[id]
-		if old != nil {
-			if st := old.Status(); st != StatusDone && st != StatusFailed {
-				break // oldest job still in flight; retention resumes later
-			}
-			delete(q.byID, id)
-		}
-		q.retained = q.retained[1:]
+// kickWorkers wakes one idle worker to sweep the shards for stealable
+// work. Non-blocking: a pending kick already guarantees a sweep.
+func (q *Queue) kickWorkers() {
+	select {
+	case q.kick <- struct{}{}:
+	default:
 	}
 }
 
 // Get returns the job with the given ID, if still retained.
 func (q *Queue) Get(id uint64) (*Job, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	j, ok := q.byID[id]
+	idx := int(id & (MaxShards - 1))
+	if idx >= len(q.shards) {
+		return nil, false
+	}
+	s := q.shards[idx]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.byID[id]
 	return j, ok
 }
 
-// Jobs returns views of the most recent jobs, newest first, up to limit
-// (limit <= 0 means all retained).
+// Jobs returns views of the most recent jobs across all shards, newest
+// first, up to limit (limit <= 0 means all retained).
 func (q *Queue) Jobs(limit int) []View {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if limit <= 0 || limit > len(q.retained) {
-		limit = len(q.retained)
-	}
-	views := make([]View, 0, limit)
-	for i := len(q.retained) - 1; i >= 0 && len(views) < limit; i-- {
-		if j, ok := q.byID[q.retained[i]]; ok {
-			views = append(views, j.View())
+	var views []View
+	for _, s := range q.shards {
+		s.mu.Lock()
+		for i := len(s.retained) - 1; i >= 0; i-- {
+			if limit > 0 && i < len(s.retained)-limit {
+				break // deeper entries cannot make the newest-limit cut
+			}
+			if j, ok := s.byID[s.retained[i]]; ok {
+				views = append(views, j.View())
+			}
 		}
+		s.mu.Unlock()
+	}
+	// IDs carry the global submission sequence in their high bits, so
+	// sorting by ID descending is newest-first across shards.
+	sort.Slice(views, func(i, j int) bool { return views[i].ID > views[j].ID })
+	if limit > 0 && len(views) > limit {
+		views = views[:limit]
 	}
 	return views
-}
-
-// worker is the run loop of one pool worker: activate jobs in admission
-// order until the queue closes.
-func (q *Queue) worker() {
-	defer q.workers.Done()
-	for job := range q.runq {
-		q.runJob(job)
-	}
-}
-
-// runJob executes one job under its deadline. The engine run itself is not
-// preemptible (an activated job "remains active just like a standard
-// thread"), so a blown deadline fails the job immediately; the worker then
-// either abandons the run to finish in the background (its result dropped)
-// if the orphan budget allows, or waits it out to bound total concurrency.
-func (q *Queue) runJob(job *Job) {
-	q.pending.Add(-1)
-	start := time.Now()
-	if !job.markRunning(start) {
-		return
-	}
-	q.running.Add(1)
-	defer q.running.Add(-1)
-
-	timeout := q.cfg.DefaultTimeout
-	if job.Spec.Timeout > 0 {
-		timeout = job.Spec.Timeout
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
-	defer cancel()
-
-	runnerDone := make(chan struct{})
-	q.orphans.Add(1)
-	go func() {
-		defer q.orphans.Done()
-		defer close(runnerDone)
-		var res Result
-		var err error
-		if job.fn != nil {
-			err = job.fn(ctx)
-		} else {
-			var o core.Outcome
-			o, err = core.RunAlgorithm(job.Spec.Algorithm, job.Spec.Engine, job.Spec.N, job.Spec.P, job.Spec.Seed)
-			res = Result{Outcome: o}
-		}
-		res.Wall = time.Since(start)
-		// Loses against the worker's deadline finish when the job was
-		// abandoned; the computed result is dropped.
-		if job.finish(res, err, time.Now()) {
-			q.settle(job, res, err, start)
-		}
-	}()
-
-	select {
-	case <-runnerDone:
-	case <-ctx.Done():
-		err := fmt.Errorf("jobqueue: job %s exceeded its %v deadline: %w", job.Name, timeout, context.DeadlineExceeded)
-		if !job.finish(Result{}, err, time.Now()) {
-			// The runner finished in the same instant and won.
-			return
-		}
-		q.timeouts.Add(1)
-		q.settle(job, Result{}, err, start)
-		select {
-		case q.detach <- struct{}{}:
-			// Budget available: abandon the run and free this worker. A
-			// watcher returns the slot when the run drains.
-			q.abandonedG.Add(1)
-			q.orphans.Add(1)
-			go func() {
-				defer q.orphans.Done()
-				<-runnerDone
-				<-q.detach
-				q.abandonedG.Add(-1)
-			}()
-		default:
-			// Orphan budget exhausted: hold this worker until the run
-			// completes so deadline abuse cannot stack up unbounded
-			// concurrent runs.
-			<-runnerDone
-		}
-	}
-}
-
-// settle updates cache, inflight tracking and aggregates after a job
-// reaches its terminal state.
-func (q *Queue) settle(job *Job, res Result, err error, start time.Time) {
-	wall := time.Since(start)
-	q.mu.Lock()
-	if job.fn == nil {
-		key := job.Spec.key()
-		if q.inflight[key] == job {
-			delete(q.inflight, key)
-		}
-		if err == nil {
-			q.cache.put(key, res)
-		}
-	}
-	q.mu.Unlock()
-	if err != nil {
-		q.failed.Add(1)
-	} else {
-		q.completed.Add(1)
-	}
-	q.recordDone(job, wall, err != nil)
-}
-
-// recordDone folds one terminal job into the latency samples and
-// per-algorithm aggregates.
-func (q *Queue) recordDone(job *Job, wall time.Duration, failed bool) {
-	name := job.Spec.Algorithm
-	if name == "" {
-		name = job.Name
-	}
-	wallMS := float64(wall) / float64(time.Millisecond)
-	waitMS := 0.0
-	job.mu.Lock()
-	if !job.started.IsZero() {
-		waitMS = float64(job.started.Sub(job.submitted)) / float64(time.Millisecond)
-	}
-	job.mu.Unlock()
-
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	q.wall.add(wallMS)
-	q.wait.add(waitMS)
-	agg := q.perAlgo[name]
-	if agg == nil {
-		agg = &algoAggregate{}
-		q.perAlgo[name] = agg
-	}
-	agg.count++
-	if failed {
-		agg.failed++
-	}
-	agg.totalWallMS += wallMS
-}
-
-// AlgoStats summarizes one algorithm's traffic.
-type AlgoStats struct {
-	Count      int64   `json:"count"`
-	Failed     int64   `json:"failed,omitempty"`
-	MeanWallMS float64 `json:"mean_wall_ms"`
-}
-
-// Metrics is a point-in-time snapshot of the queue's serving statistics.
-type Metrics struct {
-	Workers    int   `json:"workers"`
-	QueueDepth int   `json:"queue_depth"`
-	Pending    int64 `json:"pending"`
-	Running    int64 `json:"running"`
-
-	Submitted int64 `json:"submitted"`
-	Completed int64 `json:"completed"`
-	Failed    int64 `json:"failed"`
-	Rejected  int64 `json:"rejected"`
-	Timeouts  int64 `json:"timeouts"`
-	Abandoned int64 `json:"abandoned_running"`
-
-	Coalesced   int64   `json:"coalesced"`
-	CacheHits   int64   `json:"cache_hits"`
-	CacheMisses int64   `json:"cache_misses"`
-	CacheSize   int     `json:"cache_size"`
-	HitRate     float64 `json:"hit_rate"`
-
-	Wall stats.Summary `json:"wall_ms"`
-	Wait stats.Summary `json:"wait_ms"`
-
-	// Scheduler is the palrt work-stealing runtime's process-wide
-	// spawn/steal/inline breakdown: how the goroutine engine behind every
-	// EnginePalrt job scheduled its pal-threads.
-	Scheduler palrt.SchedulerStats `json:"scheduler"`
-
-	PerAlgorithm map[string]AlgoStats `json:"per_algorithm,omitempty"`
-}
-
-// Snapshot returns current metrics. HitRate counts both cache hits and
-// in-flight coalesces as served-without-execution.
-func (q *Queue) Snapshot() Metrics {
-	m := Metrics{
-		Workers:     q.cfg.Workers,
-		QueueDepth:  q.cfg.QueueDepth,
-		Pending:     q.pending.Load(),
-		Running:     q.running.Load(),
-		Submitted:   q.submitted.Load(),
-		Completed:   q.completed.Load(),
-		Failed:      q.failed.Load(),
-		Rejected:    q.rejected.Load(),
-		Timeouts:    q.timeouts.Load(),
-		Abandoned:   q.abandonedG.Load(),
-		Coalesced:   q.coalesced.Load(),
-		CacheHits:   q.cacheHits.Load(),
-		CacheMisses: q.cacheMiss.Load(),
-	}
-	served := m.CacheHits + m.Coalesced
-	if total := served + m.CacheMisses; total > 0 {
-		m.HitRate = float64(served) / float64(total)
-	}
-	m.Scheduler = palrt.GlobalStats()
-
-	// Under q.mu: only O(1) reads and the sample copy-out. The sorts the
-	// summaries need run after the lock is released.
-	q.mu.Lock()
-	m.CacheSize = q.cache.len()
-	wallGen, waitGen := q.wall.gen, q.wait.gen
-	var wallCopy, waitCopy []float64
-	q.sumMu.Lock()
-	if wallGen != q.wallSumGen {
-		wallCopy = q.wall.copyOut()
-	}
-	if waitGen != q.waitSumGen {
-		waitCopy = q.wait.copyOut()
-	}
-	q.sumMu.Unlock()
-	m.PerAlgorithm = make(map[string]AlgoStats, len(q.perAlgo))
-	for name, agg := range q.perAlgo {
-		s := AlgoStats{Count: agg.count, Failed: agg.failed}
-		if agg.count > 0 {
-			s.MeanWallMS = agg.totalWallMS / float64(agg.count)
-		}
-		m.PerAlgorithm[name] = s
-	}
-	q.mu.Unlock()
-
-	q.sumMu.Lock()
-	if wallCopy != nil {
-		q.wallSum, q.wallSumGen = stats.Summarize(wallCopy), wallGen
-	}
-	if waitCopy != nil {
-		q.waitSum, q.waitSumGen = stats.Summarize(waitCopy), waitGen
-	}
-	m.Wall, m.Wait = q.wallSum, q.waitSum
-	q.sumMu.Unlock()
-	return m
 }

@@ -1,0 +1,258 @@
+package jobqueue
+
+import (
+	"lopram/internal/palrt"
+	"lopram/internal/stats"
+)
+
+type algoAggregate struct {
+	count, failed int64
+	totalWallMS   float64
+}
+
+// maxLatencySamples bounds the retained latency samples per ring; older
+// samples are overwritten FIFO. 4096 is plenty for p99 estimation.
+const maxLatencySamples = 4096
+
+// sampleRing is a fixed-capacity latency-sample window with O(1) insertion
+// (the appendBounded slice it replaces memmoved the whole window on every
+// completed job). gen counts insertions so readers can skip recomputing
+// summaries of an unchanged window; sample order is irrelevant to the
+// percentile math, so overwriting the oldest slot in place is enough.
+type sampleRing struct {
+	buf  []float64
+	next int
+	full bool
+	gen  uint64
+}
+
+func (r *sampleRing) add(x float64) {
+	if r.buf == nil {
+		r.buf = make([]float64, maxLatencySamples)
+	}
+	r.buf[r.next] = x
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.gen++
+}
+
+// copyOut returns a fresh copy of the live samples.
+func (r *sampleRing) copyOut() []float64 {
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	return append([]float64(nil), r.buf[:n]...)
+}
+
+// appendTo appends the live samples to dst.
+func (r *sampleRing) appendTo(dst []float64) []float64 {
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	return append(dst, r.buf[:n]...)
+}
+
+// AlgoStats summarizes one algorithm's traffic.
+type AlgoStats struct {
+	Count      int64   `json:"count"`
+	Failed     int64   `json:"failed,omitempty"`
+	MeanWallMS float64 `json:"mean_wall_ms"`
+}
+
+// ClassStats is one priority class's slice of the serving statistics:
+// admission counters plus the class's own latency percentiles, merged
+// across shards. Rejected counts admission-control refusals only (class
+// lane full, queue closed); spec-validation rejections happen before a
+// job has a resolved class and appear only in the queue-wide
+// Metrics.Rejected, so the per-class values can sum below the total.
+type ClassStats struct {
+	Submitted int64         `json:"submitted"`
+	Completed int64         `json:"completed"`
+	Failed    int64         `json:"failed,omitempty"`
+	Rejected  int64         `json:"rejected,omitempty"`
+	Wall      stats.Summary `json:"wall_ms"`
+	Wait      stats.Summary `json:"wait_ms"`
+}
+
+// ShardStats is one shard's view of the traffic. Executed counts runs of
+// jobs placed on this shard, whichever shard's worker ran them; Stolen
+// counts jobs this shard's workers claimed from other shards' run queues.
+// Imbalanced Executed across shards shows a skewed key distribution;
+// Stolen shows the idle-shard work stealing evening it back out.
+type ShardStats struct {
+	Shard     int   `json:"shard"`
+	Pending   int64 `json:"pending"`
+	Executed  int64 `json:"executed"`
+	Stolen    int64 `json:"stolen"`
+	CacheSize int   `json:"cache_size"`
+	Retained  int   `json:"retained"`
+}
+
+// Metrics is a point-in-time snapshot of the queue's serving statistics,
+// merged across all shards.
+type Metrics struct {
+	Workers    int   `json:"workers"`
+	Shards     int   `json:"shards"`
+	QueueDepth int   `json:"queue_depth"`
+	Pending    int64 `json:"pending"`
+	Running    int64 `json:"running"`
+
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Rejected  int64 `json:"rejected"`
+	Timeouts  int64 `json:"timeouts"`
+	Abandoned int64 `json:"abandoned_running"`
+	// Steals counts jobs executed by a worker from another shard — the
+	// idle-shard work stealing evening out placement skew.
+	Steals int64 `json:"steals"`
+
+	Coalesced   int64   `json:"coalesced"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+	CacheSize   int     `json:"cache_size"`
+	HitRate     float64 `json:"hit_rate"`
+
+	Wall stats.Summary `json:"wall_ms"`
+	Wait stats.Summary `json:"wait_ms"`
+
+	// PerClass splits the traffic by priority class (keys "interactive"
+	// and "batch"), each with its own latency percentiles.
+	PerClass map[Class]ClassStats `json:"per_class"`
+	// PerShard is the per-shard placement/execution/steal breakdown,
+	// indexed by shard.
+	PerShard []ShardStats `json:"per_shard,omitempty"`
+
+	// Scheduler is the palrt work-stealing runtime's process-wide
+	// spawn/steal/inline breakdown: how the goroutine engine behind every
+	// EnginePalrt job scheduled its pal-threads.
+	Scheduler palrt.SchedulerStats `json:"scheduler"`
+
+	PerAlgorithm map[string]AlgoStats `json:"per_algorithm,omitempty"`
+}
+
+// summaryCache memoizes the merged latency summaries by the sum of all
+// ring generations: a /metrics poll of an idle queue reuses the previous
+// sort instead of re-sorting up to Shards×maxLatencySamples samples.
+type summaryCache struct {
+	gen       uint64
+	valid     bool
+	wall      stats.Summary
+	wait      stats.Summary
+	classWall [numClasses]stats.Summary
+	classWait [numClasses]stats.Summary
+}
+
+// Snapshot returns current metrics, merged across shards. HitRate counts
+// both cache hits and in-flight coalesces as served-without-execution.
+// Each shard's lock is held only for O(1) reads and sample copy-out; the
+// percentile sorts run outside all shard locks and are memoized by ring
+// generation, so a metrics poll can never stall workers on an O(n log n)
+// sort held under a queue lock.
+func (q *Queue) Snapshot() Metrics {
+	m := Metrics{
+		Workers:     q.totalWorkers,
+		Shards:      len(q.shards),
+		QueueDepth:  q.cfg.QueueDepth,
+		Pending:     q.pending.Load(),
+		Running:     q.running.Load(),
+		Submitted:   q.submitted.Load(),
+		Completed:   q.completed.Load(),
+		Failed:      q.failed.Load(),
+		Rejected:    q.rejected.Load(),
+		Timeouts:    q.timeouts.Load(),
+		Abandoned:   q.abandonedG.Load(),
+		Coalesced:   q.coalesced.Load(),
+		CacheHits:   q.cacheHits.Load(),
+		CacheMisses: q.cacheMiss.Load(),
+	}
+	served := m.CacheHits + m.Coalesced
+	if total := served + m.CacheMisses; total > 0 {
+		m.HitRate = float64(served) / float64(total)
+	}
+	m.Scheduler = palrt.GlobalStats()
+
+	// Pass 1, under each shard's lock in turn: O(1) gauges, the ring
+	// generations, and the per-algorithm aggregates.
+	var gen uint64
+	m.PerAlgorithm = make(map[string]AlgoStats)
+	for _, s := range q.shards {
+		s.mu.Lock()
+		gen += s.wall.gen + s.wait.gen
+		for c := 0; c < numClasses; c++ {
+			gen += s.classWall[c].gen + s.classWait[c].gen
+		}
+		m.CacheSize += s.cache.len()
+		for name, agg := range s.perAlgo {
+			as := m.PerAlgorithm[name]
+			as.Count += agg.count
+			as.Failed += agg.failed
+			// MeanWallMS is finalized below from the re-aggregated sum.
+			as.MeanWallMS += agg.totalWallMS
+			m.PerAlgorithm[name] = as
+		}
+		st := ShardStats{
+			Shard:     s.idx,
+			Pending:   s.pending.Load(),
+			Executed:  s.executed.Load(),
+			Stolen:    s.stolen.Load(),
+			CacheSize: s.cache.len(),
+			Retained:  len(s.retained),
+		}
+		s.mu.Unlock()
+		m.Steals += st.Stolen
+		m.PerShard = append(m.PerShard, st)
+	}
+	for name, as := range m.PerAlgorithm {
+		if as.Count > 0 {
+			as.MeanWallMS /= float64(as.Count)
+		}
+		m.PerAlgorithm[name] = as
+	}
+
+	// Pass 2: the latency summaries, memoized by total ring generation.
+	// Recomputing copies samples under each shard lock but sorts outside
+	// all of them.
+	q.sumMu.Lock()
+	if !q.sums.valid || q.sums.gen != gen {
+		var wall, wait []float64
+		var classWall, classWait [numClasses][]float64
+		for _, s := range q.shards {
+			s.mu.Lock()
+			wall = s.wall.appendTo(wall)
+			wait = s.wait.appendTo(wait)
+			for c := 0; c < numClasses; c++ {
+				classWall[c] = s.classWall[c].appendTo(classWall[c])
+				classWait[c] = s.classWait[c].appendTo(classWait[c])
+			}
+			s.mu.Unlock()
+		}
+		q.sums.wall = stats.Summarize(wall)
+		q.sums.wait = stats.Summarize(wait)
+		for c := 0; c < numClasses; c++ {
+			q.sums.classWall[c] = stats.Summarize(classWall[c])
+			q.sums.classWait[c] = stats.Summarize(classWait[c])
+		}
+		q.sums.gen = gen
+		q.sums.valid = true
+	}
+	m.Wall, m.Wait = q.sums.wall, q.sums.wait
+	m.PerClass = make(map[Class]ClassStats, numClasses)
+	for c := 0; c < numClasses; c++ {
+		m.PerClass[classes[c]] = ClassStats{
+			Submitted: q.perClass[c].submitted.Load(),
+			Completed: q.perClass[c].completed.Load(),
+			Failed:    q.perClass[c].failed.Load(),
+			Rejected:  q.perClass[c].rejected.Load(),
+			Wall:      q.sums.classWall[c],
+			Wait:      q.sums.classWait[c],
+		}
+	}
+	q.sumMu.Unlock()
+	return m
+}

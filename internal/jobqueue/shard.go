@@ -1,0 +1,355 @@
+package jobqueue
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lopram/internal/core"
+)
+
+// stealPoll is the fallback interval at which an idle worker re-sweeps
+// the other shards for stealable work. The enqueue-time kick is the fast
+// wake path; the poll only covers kick loss under pathological timing,
+// so it can be slow enough to cost nothing on an idle queue.
+const stealPoll = 10 * time.Millisecond
+
+// shard is one independent slice of the queue: its own run queues (one
+// per priority class), worker pool, coalescing map, result cache, and
+// metric rings. All mutable state is guarded by mu except the atomic
+// gauges; nothing on a shard is touched by another shard's submissions,
+// so contention is confined to the traffic hashed here.
+type shard struct {
+	idx int
+	// runq holds the admitted-but-not-started jobs, one bounded FIFO per
+	// priority class. Workers drain the interactive queue first.
+	runq [numClasses]chan *Job
+
+	mu        sync.Mutex
+	closed    bool
+	byID      map[uint64]*Job
+	retained  []uint64 // submission order, for retention eviction
+	inflight  map[Key]*Job
+	cache     *lru
+	limit     int                    // retention bound for this shard
+	wall      sampleRing             // recent execution latencies (ms)
+	wait      sampleRing             // recent queueing latencies (ms)
+	classWall [numClasses]sampleRing // same, split by priority class
+	classWait [numClasses]sampleRing
+	perAlgo   map[string]*algoAggregate // keyed by algorithm (or func-job name)
+
+	pending  atomic.Int64 // jobs admitted here, not yet started
+	executed atomic.Int64 // runs of jobs homed here (by any worker)
+	stolen   atomic.Int64 // jobs this shard's workers took from other shards
+}
+
+func newShard(idx, depth, batchDepth, cacheCap, retain int) *shard {
+	s := &shard{
+		idx:      idx,
+		byID:     make(map[uint64]*Job),
+		inflight: make(map[Key]*Job),
+		cache:    newLRU(cacheCap),
+		limit:    retain,
+		perAlgo:  make(map[string]*algoAggregate),
+	}
+	s.runq[classInteractive] = make(chan *Job, depth)
+	s.runq[classBatch] = make(chan *Job, batchDepth)
+	return s
+}
+
+// insertLocked registers the job for Get/Jobs and evicts over-retention
+// terminal jobs; the caller holds s.mu.
+func (s *shard) insertLocked(job *Job) {
+	s.byID[job.ID] = job
+	s.retained = append(s.retained, job.ID)
+	for len(s.retained) > s.limit {
+		id := s.retained[0]
+		old := s.byID[id]
+		if old != nil {
+			if st := old.Status(); st != StatusDone && st != StatusFailed {
+				break // oldest job still in flight; retention resumes later
+			}
+			delete(s.byID, id)
+		}
+		s.retained = s.retained[1:]
+	}
+}
+
+// ---- placement hashing ----
+
+// hash is the shard-placement hash of a key: FNV-1a over every field, so
+// placement is deterministic across queues and processes with the same
+// shard count, and identical specs always meet on one shard.
+func (k Key) hash() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	h.Write([]byte(k.Algorithm))
+	h.Write([]byte{0})
+	h.Write([]byte(k.Engine))
+	h.Write([]byte{0})
+	for _, v := range [...]uint64{uint64(int64(k.N)), uint64(int64(k.P)), k.Seed} {
+		putUint64LE(&buf, v)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+func putUint64LE(buf *[8]byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+}
+
+// ---- the worker loop ----
+
+// worker is the run loop of one pool worker homed on shard s. Dequeue
+// order is strict class priority across the whole queue: the home
+// shard's interactive queue, every other shard's interactive queue (a
+// steal), then and only then the batch queues in the same home-first
+// order — so no batch job starts anywhere while an interactive job
+// waits anywhere. When nothing is runnable the worker blocks on its
+// home interactive queue plus the queue-wide kick (every enqueue, batch
+// included, publishes a kick), with a slow fallback poll; batch pickup
+// rides the kick path rather than the blocking select so a wakeup
+// always re-checks interactive work first. Exits once the home queues
+// are closed and drained and a final sweep finds nothing.
+func (q *Queue) worker(home *shard) {
+	defer q.workers.Done()
+	hi, lo := home.runq[classInteractive], home.runq[classBatch]
+	timer := time.NewTimer(stealPoll)
+	defer timer.Stop()
+	for {
+		if hi != nil {
+			select {
+			case job, ok := <-hi:
+				if !ok {
+					hi = nil
+					continue
+				}
+				// Chain the wakeup before going busy: this worker may
+				// hold the only kick token while another shard's job
+				// (its own kick dropped at capacity 1) waits for a
+				// sweep.
+				q.kickWorkers()
+				q.runJob(home, job)
+				continue
+			default:
+			}
+		}
+		if owner, job := q.trySteal(home, classInteractive); job != nil {
+			// Chain the wakeup: if more work is stealable, another idle
+			// worker should find it while this one is busy running.
+			q.kickWorkers()
+			q.runJob(owner, job)
+			continue
+		}
+		if lo != nil {
+			select {
+			case job, ok := <-lo:
+				if !ok {
+					lo = nil
+					continue
+				}
+				q.kickWorkers()
+				q.runJob(home, job)
+				continue
+			default:
+			}
+		}
+		if owner, job := q.trySteal(home, classBatch); job != nil {
+			q.kickWorkers()
+			q.runJob(owner, job)
+			continue
+		}
+		if hi == nil && lo == nil {
+			// Closed, drained, and nothing left to steal.
+			return
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(stealPoll)
+		select {
+		case job, ok := <-hi:
+			if !ok {
+				hi = nil
+				continue
+			}
+			q.kickWorkers()
+			q.runJob(home, job)
+		case <-q.kick:
+		case <-timer.C:
+		}
+	}
+}
+
+// trySteal sweeps the other shards' run queues of one class in rotor
+// order from the thief's index and claims the first waiting job. Returns
+// the job's home shard so settle updates the right cache and rings.
+func (q *Queue) trySteal(thief *shard, class int) (*shard, *Job) {
+	n := len(q.shards)
+	for off := 1; off < n; off++ {
+		t := q.shards[(thief.idx+off)%n]
+		select {
+		case job, ok := <-t.runq[class]:
+			if ok {
+				thief.stolen.Add(1)
+				return t, job
+			}
+		default:
+		}
+	}
+	return nil, nil
+}
+
+// ---- job execution ----
+
+// runJob executes one job under its deadline; owner is the job's home
+// shard (not necessarily the running worker's). The engine run itself is
+// not preemptible (an activated job "remains active just like a standard
+// thread"), so a blown deadline fails the job immediately; the worker
+// then either abandons the run to finish in the background (its result
+// dropped) if the orphan budget allows, or waits it out to bound total
+// concurrency.
+func (q *Queue) runJob(owner *shard, job *Job) {
+	q.pending.Add(-1)
+	owner.pending.Add(-1)
+	owner.executed.Add(1)
+	start := time.Now()
+	if !job.markRunning(start) {
+		return
+	}
+	q.running.Add(1)
+	defer q.running.Add(-1)
+
+	timeout := q.cfg.DefaultTimeout
+	if job.Spec.Timeout > 0 {
+		timeout = job.Spec.Timeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	runnerDone := make(chan struct{})
+	q.orphans.Add(1)
+	go func() {
+		defer q.orphans.Done()
+		defer close(runnerDone)
+		var res Result
+		var err error
+		if job.fn != nil {
+			err = job.fn(ctx)
+		} else {
+			var o core.Outcome
+			o, err = core.RunAlgorithm(job.Spec.Algorithm, job.Spec.Engine, job.Spec.N, job.Spec.P, job.Spec.Seed)
+			res = Result{Outcome: o}
+		}
+		res.Wall = time.Since(start)
+		// Loses against the worker's deadline finish when the job was
+		// abandoned; the computed result is dropped.
+		if job.markFinished(res, err, time.Now()) {
+			q.settle(owner, job, res, err, start)
+			job.signalDone()
+		}
+	}()
+
+	select {
+	case <-runnerDone:
+	case <-ctx.Done():
+		err := fmt.Errorf("jobqueue: job %s exceeded its %v deadline: %w", job.Name, timeout, context.DeadlineExceeded)
+		if !job.markFinished(Result{}, err, time.Now()) {
+			// The runner finished in the same instant and won.
+			return
+		}
+		q.timeouts.Add(1)
+		q.settle(owner, job, Result{}, err, start)
+		job.signalDone()
+		select {
+		case q.detach <- struct{}{}:
+			// Budget available: abandon the run and free this worker. A
+			// watcher returns the slot when the run drains.
+			q.abandonedG.Add(1)
+			q.orphans.Add(1)
+			go func() {
+				defer q.orphans.Done()
+				<-runnerDone
+				<-q.detach
+				q.abandonedG.Add(-1)
+			}()
+		default:
+			// Orphan budget exhausted: hold this worker until the run
+			// completes so deadline abuse cannot stack up unbounded
+			// concurrent runs.
+			<-runnerDone
+		}
+	}
+}
+
+// settle updates cache, inflight tracking and aggregates on the job's
+// home shard after it reaches a terminal state.
+func (q *Queue) settle(owner *shard, job *Job, res Result, err error, start time.Time) {
+	wall := time.Since(start)
+	owner.mu.Lock()
+	if job.fn == nil {
+		key := job.Spec.key()
+		if owner.inflight[key] == job {
+			delete(owner.inflight, key)
+		}
+		if err == nil {
+			owner.cache.put(key, res)
+		}
+	}
+	owner.mu.Unlock()
+	if err != nil {
+		q.failed.Add(1)
+		q.perClass[job.class].failed.Add(1)
+	} else {
+		q.completed.Add(1)
+		q.perClass[job.class].completed.Add(1)
+	}
+	q.recordDone(owner, job, wall, err != nil)
+}
+
+// recordDone folds one terminal job into its home shard's latency rings
+// (whole-shard and per-class) and per-algorithm aggregates.
+func (q *Queue) recordDone(owner *shard, job *Job, wall time.Duration, failed bool) {
+	name := job.Spec.Algorithm
+	if name == "" {
+		name = job.Name
+	}
+	wallMS := float64(wall) / float64(time.Millisecond)
+	waitMS := 0.0
+	job.mu.Lock()
+	if !job.started.IsZero() {
+		waitMS = float64(job.started.Sub(job.submitted)) / float64(time.Millisecond)
+	}
+	job.mu.Unlock()
+
+	owner.mu.Lock()
+	defer owner.mu.Unlock()
+	owner.wall.add(wallMS)
+	owner.wait.add(waitMS)
+	owner.classWall[job.class].add(wallMS)
+	owner.classWait[job.class].add(waitMS)
+	agg := owner.perAlgo[name]
+	if agg == nil {
+		agg = &algoAggregate{}
+		owner.perAlgo[name] = agg
+	}
+	agg.count++
+	if failed {
+		agg.failed++
+	}
+	agg.totalWallMS += wallMS
+}

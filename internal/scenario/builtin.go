@@ -1,0 +1,135 @@
+package scenario
+
+import (
+	"sort"
+	"time"
+
+	"lopram/internal/jobqueue"
+)
+
+// builtins is the named scenario catalogue. Each entry is a complete
+// Spec: replaying a builtin needs nothing but its name and a queue.
+var builtins = []Spec{
+	{
+		Name:        "uniform-small",
+		Description: "Baseline mixed traffic: every sim/palrt algorithm at small sizes, uniform weights, a moderate duplicate fraction. The smoke scenario every queue change should keep flat.",
+		Seed:        1,
+		Jobs:        200,
+		Clients:     16,
+		DupFraction: 0.25,
+		Mix: []MixEntry{
+			// The sim engine's DP entries do Θ(n²) model bookkeeping per
+			// run, so "small" is smaller there than on the real runtime;
+			// the palrt cap keeps the cubic matrixchain entry small too.
+			{Engine: "sim", MaxN: 96},
+			{Engine: "palrt", MaxN: 256},
+		},
+		Shards:  4,
+		Workers: 4,
+	},
+	{
+		Name:        "heavy-tail",
+		Description: "Log-uniform sizes up to the engines' admission limits: a few huge jobs dominate service time while small jobs queue behind them — the head-of-line shape that makes work stealing and sharding earn their keep.",
+		Seed:        2,
+		Jobs:        80,
+		Clients:     8,
+		DupFraction: 0.1,
+		SeedSpace:   32,
+		Mix: []MixEntry{
+			{Algorithm: "mergesort", Engine: "palrt", MaxN: 1 << 18},
+			{Algorithm: "quicksort", Engine: "palrt", MaxN: 1 << 18},
+			{Algorithm: "reduce", Engine: "palrt", MaxN: 1 << 19},
+			{Algorithm: "prefixsums", Engine: "palrt", MaxN: 1 << 19},
+			{Algorithm: "mergesort", Engine: "sim", MaxN: 1 << 16},
+		},
+		Shards:  4,
+		Workers: 4,
+	},
+	{
+		Name:        "cache-friendly-repeat",
+		Description: "Repeat-heavy traffic (75% duplicates over a tiny seed space): almost everything should be served from the result cache or coalesced onto an in-flight run. Probes the memoization path; hit rate is the acceptance number.",
+		Seed:        3,
+		Jobs:        300,
+		Clients:     16,
+		DupFraction: 0.75,
+		SeedSpace:   2,
+		Mix: []MixEntry{
+			{Engine: "sim", MaxN: 96},
+			{Engine: "palrt", MaxN: 128},
+		},
+		Shards:  2,
+		Workers: 4,
+	},
+	{
+		Name:        "deadline-storm",
+		Description: "Every job carries a deadline far below its service time: all traffic blows its deadline and the orphan budget must bound abandoned runs. Probes timeout accounting and backpressure, not throughput.",
+		Seed:        4,
+		Jobs:        60,
+		Clients:     8,
+		Timeout:     2 * time.Millisecond,
+		Mix: []MixEntry{
+			{Algorithm: "mergesort", Engine: "palrt", MinN: 1 << 15, MaxN: 1 << 17},
+			{Algorithm: "editdistance", Engine: "palrt", MinN: 512, MaxN: 1 << 11},
+		},
+		Shards:  2,
+		Workers: 4,
+	},
+	{
+		Name:        "priority-inversion-probe",
+		Description: "A 4:1 flood of heavy batch sorts with sparse small interactive probes riding on top: per-class admission and interactive-first dequeueing should hold the interactive wait percentiles far below batch. The per-class report is the verdict.",
+		Seed:        5,
+		Jobs:        120,
+		Clients:     12,
+		Mix: []MixEntry{
+			{Algorithm: "mergesort", Engine: "palrt", Weight: 4, MinN: 1 << 14, MaxN: 1 << 16, Priority: jobqueue.ClassBatch},
+			{Algorithm: "reduce", Engine: "sim", Weight: 1, MinN: 64, MaxN: 256, Priority: jobqueue.ClassInteractive},
+		},
+		Shards:  2,
+		Workers: 2,
+	},
+	{
+		Name:        "all-engines-sweep",
+		Description: "The whole catalogue across all three engines, pram baseline included, at defaulted sizes — the coverage scenario that exercises every (algorithm, engine) dispatch path in one replay.",
+		Seed:        6,
+		Jobs:        120,
+		Clients:     16,
+		DupFraction: 0.2,
+		Mix: []MixEntry{
+			{Engine: "sim"},
+			{Engine: "palrt"},
+			{Engine: "pram", MaxN: 1 << 12},
+		},
+		Shards:  4,
+		Workers: 4,
+	},
+}
+
+// Builtins returns the named scenario catalogue, sorted by name. Every
+// entry is a deep copy (Mix included); mutating it does not affect the
+// catalogue.
+func Builtins() []Spec {
+	out := make([]Spec, 0, len(builtins))
+	for _, s := range builtins {
+		out = append(out, deepCopy(s))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Builtin returns a deep copy of the named built-in scenario.
+func Builtin(name string) (Spec, bool) {
+	for _, s := range builtins {
+		if s.Name == name {
+			return deepCopy(s), true
+		}
+	}
+	return Spec{}, false
+}
+
+// deepCopy detaches a spec from the catalogue's backing arrays so
+// callers can customize it (shrink Jobs, retarget Shards, edit Mix)
+// without corrupting the shared catalogue.
+func deepCopy(s Spec) Spec {
+	s.Mix = append([]MixEntry(nil), s.Mix...)
+	return s
+}

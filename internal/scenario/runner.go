@@ -1,0 +1,187 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lopram/internal/jobqueue"
+	"lopram/internal/stats"
+	"lopram/internal/workload"
+)
+
+// Report is the outcome of one scenario replay. Counter fields are deltas
+// across the run (valid on a shared live queue); the latency summaries
+// come from the queue's metric rings, so on a queue that served other
+// traffic they include that traffic's samples too — replay against a
+// fresh queue (QueueConfig) when the percentiles must be scenario-only.
+type Report struct {
+	Scenario string        `json:"scenario"`
+	Jobs     int           `json:"jobs"`     // submissions issued
+	Rejected int64         `json:"rejected"` // refused by admission control
+	Failures int           `json:"failures"` // jobs that ran and failed (incl. deadlines)
+	Elapsed  time.Duration `json:"elapsed"`
+	// JobsPerSec is issued jobs over elapsed wall time.
+	JobsPerSec float64 `json:"jobs_per_sec"`
+
+	Executed  int64 `json:"executed"`
+	CacheHits int64 `json:"cache_hits"`
+	Coalesced int64 `json:"coalesced"`
+	Timeouts  int64 `json:"timeouts"`
+	Steals    int64 `json:"steals"`
+	// HitRate is the served-without-execution fraction over this run's
+	// traffic: (cache hits + coalesced) / (those + cache misses).
+	HitRate float64 `json:"hit_rate"`
+
+	// PerClass carries each priority class's latency percentiles — the
+	// acceptance signal for priority scheduling (interactive p99 staying
+	// flat under batch pressure).
+	PerClass map[jobqueue.Class]jobqueue.ClassStats `json:"per_class"`
+	PerShard []jobqueue.ShardStats                  `json:"per_shard,omitempty"`
+	Wall     stats.Summary                          `json:"wall_ms"`
+	Wait     stats.Summary                          `json:"wait_ms"`
+}
+
+// Run replays the scenario against q: expands the deterministic job
+// stream, submits it under the declared arrival process, waits for every
+// admitted job, and reports. Job-level failures (deadlines, admission
+// rejections) are reported, not errors; an error means the replay itself
+// could not proceed (invalid spec, closed queue, cancelled context).
+func Run(ctx context.Context, q *jobqueue.Queue, s Spec) (Report, error) {
+	// Validate fills the defaults (arrival mode, client window, seed
+	// space) into this copy — the arrival logic below depends on them,
+	// not just Stream.
+	if err := s.Validate(); err != nil {
+		return Report{}, err
+	}
+	stream, err := Stream(s)
+	if err != nil {
+		return Report{}, err
+	}
+	before := q.Snapshot()
+	// Arrival gaps come from their own stream so the job mix stays
+	// byte-identical between open and closed replays of one spec.
+	gapRNG := workload.NewRNG(s.Seed ^ 0x9e3779b97f4a7c15)
+
+	start := time.Now()
+	report := Report{Scenario: s.Name}
+	// Closed-loop window: a counting semaphore of Clients slots, each
+	// released by whichever job finishes next — any completion triggers
+	// the next submission, so a slow head-of-line job occupies one slot,
+	// not the whole window. (Open arrival ignores the window: that is
+	// the point of open-loop load.)
+	window := make(chan struct{}, s.Clients)
+	var failures atomic.Int64
+	var waiters sync.WaitGroup
+	watch := func(job *jobqueue.Job) {
+		defer waiters.Done()
+		if _, err := job.Wait(ctx); err != nil && ctx.Err() == nil {
+			failures.Add(1)
+		}
+		if s.Arrival == ArrivalClosed {
+			<-window
+		}
+	}
+
+	for _, spec := range stream {
+		if err := ctx.Err(); err != nil {
+			waiters.Wait()
+			return report, err
+		}
+		if s.Arrival == ArrivalOpen {
+			gap := workload.ExpSpacing(gapRNG, s.RatePerSec)
+			select {
+			case <-time.After(gap):
+			case <-ctx.Done():
+				waiters.Wait()
+				return report, ctx.Err()
+			}
+		} else {
+			select {
+			case window <- struct{}{}:
+			case <-ctx.Done():
+				waiters.Wait()
+				return report, ctx.Err()
+			}
+		}
+		job, err := q.Submit(spec)
+		switch {
+		case errors.Is(err, jobqueue.ErrQueueFull):
+			report.Rejected++
+			report.Jobs++
+			if s.Arrival == ArrivalClosed {
+				<-window
+			}
+			continue
+		case err != nil:
+			waiters.Wait()
+			return report, fmt.Errorf("scenario %s: submitting %s: %w", s.Name, spec, err)
+		}
+		report.Jobs++
+		waiters.Add(1)
+		go watch(job)
+	}
+	waiters.Wait()
+	if err := ctx.Err(); err != nil {
+		return report, err
+	}
+	report.Failures = int(failures.Load())
+	report.Elapsed = time.Since(start)
+	if secs := report.Elapsed.Seconds(); secs > 0 {
+		report.JobsPerSec = float64(report.Jobs) / secs
+	}
+
+	after := q.Snapshot()
+	report.Executed = (after.Completed + after.Failed) - (before.Completed + before.Failed)
+	report.CacheHits = after.CacheHits - before.CacheHits
+	report.Coalesced = after.Coalesced - before.Coalesced
+	report.Timeouts = after.Timeouts - before.Timeouts
+	report.Steals = after.Steals - before.Steals
+	served := report.CacheHits + report.Coalesced
+	if total := served + (after.CacheMisses - before.CacheMisses); total > 0 {
+		report.HitRate = float64(served) / float64(total)
+	}
+	report.PerClass = after.PerClass
+	report.PerShard = after.PerShard
+	report.Wall = after.Wall
+	report.Wait = after.Wait
+	return report, nil
+}
+
+// WriteText renders the report as the human-readable serving summary
+// lopramd prints in -scenario mode.
+func (r Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "scenario %s: %d jobs in %v (%.1f jobs/sec)\n",
+		r.Scenario, r.Jobs, r.Elapsed.Round(time.Millisecond), r.JobsPerSec)
+	fmt.Fprintf(w, "  executed %d · cache hits %d · coalesced %d · hit rate %.0f%% · rejected %d · failures %d · timeouts %d · steals %d\n",
+		r.Executed, r.CacheHits, r.Coalesced, 100*r.HitRate, r.Rejected, r.Failures, r.Timeouts, r.Steals)
+	fmt.Fprintf(w, "  exec latency ms: p50 %.2f · p95 %.2f · p99 %.2f · max %.2f\n",
+		r.Wall.P50, r.Wall.P95, r.Wall.P99, r.Wall.Max)
+	fmt.Fprintf(w, "  queue wait ms:   p50 %.2f · p95 %.2f · p99 %.2f · max %.2f\n",
+		r.Wait.P50, r.Wait.P95, r.Wait.P99, r.Wait.Max)
+	classes := make([]jobqueue.Class, 0, len(r.PerClass))
+	for class := range r.PerClass {
+		classes = append(classes, class)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	for _, class := range classes {
+		cs := r.PerClass[class]
+		if cs.Submitted == 0 && cs.Wall.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  class %-12s submitted %-5d wall ms p50 %.2f p95 %.2f p99 %.2f · wait ms p50 %.2f p95 %.2f p99 %.2f\n",
+			class, cs.Submitted, cs.Wall.P50, cs.Wall.P95, cs.Wall.P99, cs.Wait.P50, cs.Wait.P95, cs.Wait.P99)
+	}
+	if len(r.PerShard) > 1 {
+		fmt.Fprintf(w, "  shards:")
+		for _, st := range r.PerShard {
+			fmt.Fprintf(w, " [%d] exec %d steal %d", st.Shard, st.Executed, st.Stolen)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,227 @@
+package scenario
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"lopram/internal/core"
+	"lopram/internal/jobqueue"
+)
+
+// TestBuiltinsValidateAndExpand: every catalogue entry is a complete,
+// valid spec whose stream expands to exactly Jobs admissible job specs.
+func TestBuiltinsValidateAndExpand(t *testing.T) {
+	all := Builtins()
+	if len(all) < 6 {
+		t.Fatalf("catalogue has %d scenarios, want >= 6", len(all))
+	}
+	seen := make(map[string]bool)
+	for _, sp := range all {
+		if seen[sp.Name] {
+			t.Errorf("duplicate scenario name %q", sp.Name)
+		}
+		seen[sp.Name] = true
+		if sp.Description == "" {
+			t.Errorf("%s: missing description", sp.Name)
+		}
+		stream, err := Stream(sp)
+		if err != nil {
+			t.Errorf("%s: %v", sp.Name, err)
+			continue
+		}
+		if len(stream) != sp.Jobs {
+			t.Errorf("%s: stream has %d jobs, want %d", sp.Name, len(stream), sp.Jobs)
+		}
+		for _, js := range stream {
+			if err := core.ValidateSpec(js.Algorithm, js.Engine, js.N, js.P); err != nil {
+				t.Errorf("%s: generated inadmissible spec %v: %v", sp.Name, js, err)
+				break
+			}
+			if js.Priority != jobqueue.ClassInteractive && js.Priority != jobqueue.ClassBatch {
+				t.Errorf("%s: generated spec without a class: %v", sp.Name, js)
+				break
+			}
+		}
+		if _, ok := Builtin(sp.Name); !ok {
+			t.Errorf("Builtin(%q) not found", sp.Name)
+		}
+	}
+	if _, ok := Builtin("no-such-scenario"); ok {
+		t.Error("Builtin returned an unknown scenario")
+	}
+}
+
+// TestStreamDeterminism: the stream is a pure function of the spec.
+func TestStreamDeterminism(t *testing.T) {
+	for _, sp := range Builtins() {
+		a, err := Stream(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Stream(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: two expansions of one spec diverged", sp.Name)
+		}
+		sp.Seed++
+		c, err := Stream(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reflect.DeepEqual(a, c) {
+			t.Errorf("%s: changing the seed did not change the stream", sp.Name)
+		}
+	}
+}
+
+// TestValidateRejects: malformed specs fail fast with telling errors.
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		want string
+	}{
+		{Spec{Jobs: 10}, "missing name"},
+		{Spec{Name: "x"}, "jobs must be positive"},
+		{Spec{Name: "x", Jobs: 1, Arrival: "fractal"}, "unknown arrival"},
+		{Spec{Name: "x", Jobs: 1, Arrival: ArrivalOpen}, "rate_per_sec"},
+		{Spec{Name: "x", Jobs: 1, DupFraction: 1.5}, "dup_fraction"},
+		{Spec{Name: "x", Jobs: 1, BatchFraction: -1}, "batch_fraction"},
+		{Spec{Name: "x", Jobs: 1, Mix: []MixEntry{{Algorithm: "nope"}}}, "unknown algorithm"},
+		{Spec{Name: "x", Jobs: 1, Mix: []MixEntry{{Engine: "gpu"}}}, "unknown engine"},
+		{Spec{Name: "x", Jobs: 1, Mix: []MixEntry{{Algorithm: "quicksort", Engine: "sim"}}}, "does not run on"},
+		{Spec{Name: "x", Jobs: 1, Mix: []MixEntry{{Priority: "vip"}}}, "unknown priority"},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Validate(%+v) = %v, want error containing %q", c.spec, err, c.want)
+		}
+	}
+}
+
+// replay runs the named builtin on a fresh queue shaped by QueueConfig,
+// shrunk to jobs submissions (0 keeps the builtin's count) so the test
+// suite exercises the full machinery without the CLI-sized run times.
+func replay(t *testing.T, name string, jobs int) Report {
+	t.Helper()
+	sp, ok := Builtin(name)
+	if !ok {
+		t.Fatalf("no builtin %q", name)
+	}
+	if jobs > 0 {
+		sp.Jobs = jobs
+	}
+	q := jobqueue.New(QueueConfig(sp))
+	defer q.Close()
+	rep, err := Run(context.Background(), q, sp)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return rep
+}
+
+// TestReplayDeterminism is the acceptance test for scenario replays: the
+// same seed on a fresh queue yields the same job count, execution count
+// and cache hit rate — timing may move, the traffic may not.
+func TestReplayDeterminism(t *testing.T) {
+	a := replay(t, "cache-friendly-repeat", 150)
+	b := replay(t, "cache-friendly-repeat", 150)
+	if a.Jobs != b.Jobs || a.Jobs != 150 {
+		t.Errorf("job counts diverged: %d vs %d (want 150)", a.Jobs, b.Jobs)
+	}
+	if a.Executed != b.Executed {
+		t.Errorf("executed diverged: %d vs %d", a.Executed, b.Executed)
+	}
+	if a.HitRate != b.HitRate {
+		t.Errorf("hit rate diverged: %v vs %v", a.HitRate, b.HitRate)
+	}
+	// 75% declared duplicates over a 2-value seed space: the replay must
+	// be overwhelmingly served without execution.
+	if a.HitRate < 0.5 {
+		t.Errorf("hit rate %.2f, want >= 0.5 for the repeat-heavy scenario", a.HitRate)
+	}
+	// The closed-loop window guarantees that duplicates referencing
+	// positions older than the window find a settled, cached result —
+	// actual cache hits, not just in-flight coalesces. (Regression: an
+	// unvalidated arrival mode once turned the window off and every
+	// duplicate coalesced.)
+	if a.CacheHits == 0 {
+		t.Error("no cache hits: the closed-loop window is not holding submissions back")
+	}
+	if a.Failures != 0 || a.Rejected != 0 {
+		t.Errorf("failures=%d rejected=%d, want 0", a.Failures, a.Rejected)
+	}
+}
+
+// TestUniformSmallReplay: the smoke scenario completes cleanly on its
+// declared 4-shard queue and fills the per-class and per-shard report.
+func TestUniformSmallReplay(t *testing.T) {
+	rep := replay(t, "uniform-small", 60)
+	if rep.Jobs != 60 || rep.Failures != 0 || rep.Rejected != 0 {
+		t.Fatalf("jobs=%d failures=%d rejected=%d, want 60/0/0", rep.Jobs, rep.Failures, rep.Rejected)
+	}
+	if rep.Executed == 0 || rep.Executed > 60 {
+		t.Errorf("executed = %d, want in (0, 60]", rep.Executed)
+	}
+	if len(rep.PerShard) != 4 {
+		t.Errorf("report covers %d shards, want 4", len(rep.PerShard))
+	}
+	cs, ok := rep.PerClass[jobqueue.ClassInteractive]
+	if !ok || cs.Wall.Count == 0 {
+		t.Errorf("interactive class summary missing or empty: %+v", rep.PerClass)
+	}
+	var sb strings.Builder
+	rep.WriteText(&sb)
+	for _, want := range []string{"uniform-small", "p99", "class interactive", "shards:"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("report text missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+// TestOpenArrival: a small open-loop Poisson replay issues every job on
+// its schedule and terminates.
+func TestOpenArrival(t *testing.T) {
+	sp := Spec{
+		Name:       "open-probe",
+		Seed:       11,
+		Jobs:       40,
+		Arrival:    ArrivalOpen,
+		RatePerSec: 4000,
+		Mix:        []MixEntry{{Algorithm: "reduce", Engine: "sim", MaxN: 256}},
+	}
+	q := jobqueue.New(QueueConfig(sp))
+	defer q.Close()
+	rep, err := Run(context.Background(), q, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs != 40 {
+		t.Errorf("jobs = %d, want 40", rep.Jobs)
+	}
+	if rep.Elapsed <= 0 {
+		t.Error("no elapsed time recorded")
+	}
+}
+
+// TestRunCancellation: a cancelled context stops the replay promptly with
+// the context's error.
+func TestRunCancellation(t *testing.T) {
+	sp, _ := Builtin("uniform-small")
+	q := jobqueue.New(QueueConfig(sp))
+	defer q.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := Run(ctx, q, sp); err == nil {
+		t.Fatal("cancelled replay reported no error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled replay took %v to return", elapsed)
+	}
+}

@@ -1,0 +1,8 @@
+// Package stats is the statistical toolkit shared by the experiment
+// suite and the serving layer: least-squares log-log slope fitting (to
+// estimate the empirical exponent of a measured growth curve and compare
+// it with a theorem's predicted exponent), speedup aggregation, and the
+// percentile summaries (Percentile, Summarize, Summary) that
+// internal/jobqueue's latency metrics and every scenario report are
+// built from.
+package stats

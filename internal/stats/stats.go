@@ -1,7 +1,3 @@
-// Package stats provides the small statistical toolkit the experiment suite
-// needs: least-squares log-log slope fitting (to estimate the empirical
-// exponent of a measured growth curve and compare it with a theorem's
-// predicted exponent), speedup aggregation, and summary statistics.
 package stats
 
 import (

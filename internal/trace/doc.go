@@ -1,0 +1,8 @@
+// Package trace renders simulator traces and report tables: the
+// execution-tree snapshots of Figure 1 (node labels and colours at a
+// chosen time step), per-processor Gantt charts of which pal-thread held
+// which processor when, and the aligned text/Markdown tables
+// (trace.Table) every experiment report and serving summary prints.
+// Everything renders to plain strings, so the same artifacts appear in
+// test logs, CLI output and Markdown reports unchanged.
+package trace

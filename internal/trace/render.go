@@ -1,6 +1,3 @@
-// Package trace renders simulator traces: the execution-tree snapshots of
-// Figure 1 (node labels and colours at a chosen time step), per-processor
-// Gantt charts, and aligned text tables for the experiment reports.
 package trace
 
 import (

@@ -1,0 +1,21 @@
+package workload
+
+import (
+	"math"
+	"time"
+)
+
+// ExpSpacing returns one exponentially distributed inter-arrival gap for
+// an open-loop Poisson arrival process with the given mean rate (events
+// per second): the time to wait before the next arrival. Drawing every
+// gap from the same RNG stream makes a whole arrival schedule
+// reproducible from one seed. It panics if ratePerSec is not positive.
+func ExpSpacing(r *RNG, ratePerSec float64) time.Duration {
+	if ratePerSec <= 0 {
+		panic("workload: ExpSpacing requires a positive rate")
+	}
+	// Inverse-CDF sampling; 1-Float64() keeps the argument of Log away
+	// from zero (Float64 is in [0,1)).
+	gap := -math.Log(1-r.Float64()) / ratePerSec
+	return time.Duration(gap * float64(time.Second))
+}

@@ -1,0 +1,17 @@
+// Package workload synthesizes deterministic traffic: every input an
+// experiment, benchmark, test or load scenario consumes is derived from
+// an explicit splitmix64 stream (RNG), so each run is reproducible
+// bit-for-bit across runs and machines without importing math/rand.
+//
+// Three layers build on the stream:
+//
+//   - Input generators (Ints, Floats, String, RelatedStrings, Points,
+//     Matrix, ChainDims, Weights, …) produce the concrete problem
+//     instances the algorithm catalogue runs on.
+//   - Mix primitives (Choice, LogUniform) turn "a mixed workload" into a
+//     concrete deterministic stream of job parameters: weighted
+//     categorical choice for which algorithm/engine, log-uniform sizing
+//     for how big — the shape real request traffic has.
+//   - Arrival primitives (ExpSpacing) schedule when jobs arrive, giving
+//     internal/scenario its reproducible open-loop Poisson streams.
+package workload

@@ -1,7 +1,3 @@
-// Package workload provides deterministic input generators for the LoPRAM
-// experiment suite. All generators are driven by an explicit splitmix64
-// stream so that every experiment, test and benchmark is reproducible
-// bit-for-bit across runs and machines without importing math/rand.
 package workload
 
 import "math/bits"
