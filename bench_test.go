@@ -616,6 +616,80 @@ func BenchmarkJobQueueThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkJobQueueClasses measures dispatch throughput under the
+// deficit-weighted-round-robin class discipline across a (classes,
+// shards) matrix: the default 2-class strict/weighted set vs a 4-class
+// all-weighted set, with four concurrent submitters spraying jobs
+// round-robin across every class. It prices the DWRR bookkeeping and the
+// per-class admission lanes next to BenchmarkJobQueueThroughput's
+// default-class numbers; cmd/benchgate gates both via
+// BENCH_BASELINE.json.
+func BenchmarkJobQueueClasses(b *testing.B) {
+	classSets := map[int]jobqueue.ClassSet{
+		2: nil, // the default strict-interactive/batch pair
+		4: {
+			{Name: "gold", Weight: 8},
+			{Name: "silver", Weight: 4},
+			{Name: "bronze", Weight: 2},
+			{Name: "scavenger", Weight: 1},
+		},
+	}
+	var seed atomic.Uint64
+	for _, c := range []struct{ classes, shards int }{
+		{2, 1}, {2, 4}, {4, 1}, {4, 4},
+	} {
+		b.Run(fmt.Sprintf("classes=%d/shards=%d", c.classes, c.shards), func(b *testing.B) {
+			set := classSets[c.classes]
+			q := jobqueue.New(jobqueue.Config{
+				Workers: 4, Shards: c.shards,
+				QueueDepth: 8192, CacheSize: -1,
+				Classes: set,
+			})
+			defer q.Close()
+			names := make([]jobqueue.Class, 0, c.classes)
+			for _, cs := range q.Classes() {
+				names = append(names, cs.Name)
+			}
+			const batch = 64
+			const submitters = 4
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for s := 0; s < submitters; s++ {
+					wg.Add(1)
+					go func(s int) {
+						defer wg.Done()
+						jobs := make([]*jobqueue.Job, 0, batch/submitters)
+						for j := 0; j < batch/submitters; j++ {
+							job, err := q.Submit(jobqueue.Spec{
+								Algorithm: "reduce", N: 256, P: 4,
+								Engine: core.EngineSim, Seed: seed.Add(1),
+								Priority: names[(s+j)%len(names)],
+							})
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							jobs = append(jobs, job)
+						}
+						for _, job := range jobs {
+							if _, err := job.Wait(context.Background()); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(s)
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N*batch)/secs, "jobs/sec")
+			}
+		})
+	}
+}
+
 // ---- palrt work-stealing scheduler matrix ----
 //
 // BenchmarkPalrt{Spawn,Steal,DandC,DP} sweep processor count and task grain

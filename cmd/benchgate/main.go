@@ -4,20 +4,23 @@
 // throughput regressed beyond the tolerance — a benchstat-style comparison
 // with a pass/fail verdict instead of a table.
 //
-// Gate a bench run (fails on >20% ops/sec regression by default):
+// Gate a bench run (fails on >20% ops/sec regression by default; the
+// default -match gates both dispatch matrices, BenchmarkJobQueueThroughput
+// and BenchmarkJobQueueClasses):
 //
-//	go test -run='^$' -bench=BenchmarkJobQueueThroughput -count=3 . | \
+//	go test -run='^$' -bench=BenchmarkJobQueue -count=3 . | \
 //	    go run ./cmd/benchgate -baseline BENCH_BASELINE.json
 //
 // Refresh the baseline on the machine class that runs the gate:
 //
-//	go test -run='^$' -bench=BenchmarkJobQueueThroughput -count=3 . | \
+//	go test -run='^$' -bench=BenchmarkJobQueue -count=3 . | \
 //	    go run ./cmd/benchgate -baseline BENCH_BASELINE.json -update
 //
 // Same-machine A/B (immune to machine-class skew — CI uses this for pull
-// requests, benching the merge-base in a worktree and the head in place):
+// requests, benching the merge-base in a worktree and the head in place;
+// benchmarks missing from the baseline run are reported, not gated):
 //
-//	go test -run='^$' -bench=BenchmarkJobQueueThroughput -count=3 . > head.txt   # on HEAD
+//	go test -run='^$' -bench=BenchmarkJobQueue -count=3 . > head.txt   # on HEAD
 //	go run ./cmd/benchgate -baseline-bench base.txt < head.txt
 //
 // With -count > 1 the gate scores each benchmark by its best run (max
@@ -80,7 +83,7 @@ func main() {
 	var (
 		baselinePath  = flag.String("baseline", "BENCH_BASELINE.json", "baseline file to compare against (or write with -update)")
 		baselineBench = flag.String("baseline-bench", "", "compare against raw `go test -bench` output in this file instead of the JSON baseline — for same-machine A/B runs (e.g. merge-base vs head in one CI job)")
-		match         = flag.String("match", "BenchmarkJobQueueThroughput", "only gate benchmarks whose name contains this substring; others are reported informationally")
+		match         = flag.String("match", "BenchmarkJobQueue", "only gate benchmarks whose name contains this substring (default covers the Throughput and Classes dispatch matrices); others are reported informationally")
 		tolerance     = flag.Float64("tolerance", 0.20, "maximum allowed fractional ops/sec regression before failing")
 		update        = flag.Bool("update", false, "write the observed numbers as the new baseline instead of gating")
 	)

@@ -6,14 +6,18 @@
 // ARCHITECTURE.md for the layer diagram and docs/API.md for the full
 // HTTP reference.
 //
-// Serve mode (default):
+// Serve mode (default). -classes replaces the default interactive/batch
+// priority pair with an arbitrary weighted class set (strict classes
+// drain first; weighted classes share dequeues in proportion to weight):
 //
 //	lopramd -addr :8080 -workers 8 -shards 4
+//	lopramd -classes gold:strict:1,silver:2:0.5,bronze:1:0.25
 //
 //	POST /v1/jobs               {"algorithm":"mergesort","n":65536,"engine":"sim","seed":7}
 //	GET  /v1/jobs/{id}          job status + result; ?wait=1 blocks until done
 //	GET  /v1/jobs?limit=50      recent jobs, newest first
 //	GET  /v1/algorithms         the catalogue: algorithm → supported engines
+//	GET  /v1/classes            the configured priority-class set (name, weight, quota)
 //	GET  /v1/scenarios          the built-in load-scenario catalogue
 //	GET  /v1/scenarios/{name}   one scenario's full declarative spec
 //	GET  /v1/metrics            serving statistics (per-class latency
@@ -63,8 +67,9 @@ func main() {
 		addr       = flag.String("addr", ":8080", "serve mode: HTTP listen address")
 		workers    = flag.Int("workers", 0, "total worker count across shards (0 = one per hardware core)")
 		shards     = flag.Int("shards", 0, "queue shards (0 = 1; placement is by spec-key hash)")
-		queueDepth = flag.Int("queue-depth", 1024, "interactive-class admission capacity across all shards (batch rides in an extra -batch-share lane on top)")
-		batchShare = flag.Float64("batch-share", 0.5, "size of the batch class's own admission lane, as a fraction of -queue-depth")
+		queueDepth = flag.Int("queue-depth", 1024, "base admission capacity across all shards (each priority class rides in its own quota×depth lane)")
+		batchShare = flag.Float64("batch-share", 0.5, "admission quota of the default class set's batch lane, as a fraction of -queue-depth (ignored when -classes is set)")
+		classesCSV = flag.String("classes", "", `priority classes as name:weight[:quota],... — weight "strict" or an integer (dequeue share), quota in (0,1] (admission lane fraction, default 1); empty keeps the default interactive:strict:1,batch:1:<batch-share>`)
 		cacheSize  = flag.Int("cache", 512, "LRU result cache entries across all shards (-1 disables)")
 		timeout    = flag.Duration("timeout", 60*time.Second, "default per-job deadline")
 		batch      = flag.Int("batch", 0, "batch mode: run this many synthetic jobs and exit")
@@ -85,6 +90,14 @@ func main() {
 		BatchShare:     *batchShare,
 		CacheSize:      *cacheSize,
 		DefaultTimeout: *timeout,
+	}
+	if *classesCSV != "" {
+		classes, err := jobqueue.ParseClassSet(*classesCSV)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lopramd: -classes: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Classes = classes
 	}
 
 	switch {
@@ -167,6 +180,11 @@ func runScenario(flagCfg jobqueue.Config, setFlags map[string]bool, nameOrPath s
 	if setFlags["batch-share"] {
 		cfg.BatchShare = flagCfg.BatchShare
 	}
+	if setFlags["classes"] {
+		// Explicit flags win over the scenario's own class set; a mix
+		// pinned to classes the override lacks fails loudly at submit.
+		cfg.Classes = flagCfg.Classes
+	}
 	if setFlags["cache"] {
 		cfg.CacheSize = flagCfg.CacheSize
 	}
@@ -191,7 +209,29 @@ func runScenario(flagCfg jobqueue.Config, setFlags map[string]bool, nameOrPath s
 func serve(cfg jobqueue.Config, addr string) error {
 	q := jobqueue.New(cfg)
 	defer q.Close()
+	mux := newMux(q)
 
+	srv := &http.Server{Addr: addr, Handler: mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("lopramd: serving on %s (%d workers)", addr, q.Snapshot().Workers)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case <-stop:
+		log.Printf("lopramd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}
+}
+
+// newMux builds the daemon's HTTP surface over one queue. Split from
+// serve so the handler set is testable without binding a listener.
+func newMux(q *jobqueue.Queue) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var spec jobqueue.Spec
@@ -201,10 +241,11 @@ func serve(cfg jobqueue.Config, addr string) error {
 		}
 		job, err := q.Submit(spec)
 		if err != nil {
+			// Invalid specs — jobqueue.ErrUnknownClass included, whose
+			// message lists the valid class names — are the client's
+			// fault (400); only saturation and shutdown are 503s.
 			status := http.StatusBadRequest
-			if errors.Is(err, jobqueue.ErrQueueFull) {
-				status = http.StatusServiceUnavailable
-			} else if errors.Is(err, jobqueue.ErrClosed) {
+			if errors.Is(err, jobqueue.ErrQueueFull) || errors.Is(err, jobqueue.ErrClosed) {
 				status = http.StatusServiceUnavailable
 			}
 			httpError(w, status, err.Error())
@@ -247,6 +288,9 @@ func serve(cfg jobqueue.Config, addr string) error {
 	mux.HandleFunc("GET /v1/algorithms", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, catalogueView())
 	})
+	mux.HandleFunc("GET /v1/classes", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, q.Classes())
+	})
 	mux.HandleFunc("GET /v1/scenarios", func(w http.ResponseWriter, _ *http.Request) {
 		var out []map[string]any
 		for _, sp := range scenario.Builtins() {
@@ -273,23 +317,7 @@ func serve(cfg jobqueue.Config, addr string) error {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-
-	srv := &http.Server{Addr: addr, Handler: mux}
-	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("lopramd: serving on %s (%d workers)", addr, q.Snapshot().Workers)
-
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	select {
-	case err := <-errCh:
-		return err
-	case <-stop:
-		log.Printf("lopramd: shutting down")
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		defer cancel()
-		return srv.Shutdown(ctx)
-	}
+	return mux
 }
 
 func catalogueView() []map[string]any {

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"lopram/internal/jobqueue"
+)
+
+func testServer(t *testing.T, cfg jobqueue.Config) (*httptest.Server, *jobqueue.Queue) {
+	t.Helper()
+	q := jobqueue.New(cfg)
+	t.Cleanup(q.Close)
+	srv := httptest.NewServer(newMux(q))
+	t.Cleanup(srv.Close)
+	return srv, q
+}
+
+// TestSubmitUnknownPriorityHTTP is the HTTP-layer regression test for
+// unknown priority classes: 400, never silently mapped, with the valid
+// class list in the error body.
+func TestSubmitUnknownPriorityHTTP(t *testing.T) {
+	srv, _ := testServer(t, jobqueue.Config{Workers: 1})
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"algorithm":"reduce","n":64,"p":2,"engine":"sim","priority":"carrier-pigeon"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"carrier-pigeon", "valid classes", "interactive", "batch"} {
+		if !strings.Contains(body.Error, want) {
+			t.Errorf("error body %q missing %q", body.Error, want)
+		}
+	}
+}
+
+// TestClassesEndpoint: GET /v1/classes serves the configured set in
+// dequeue order, default and custom.
+func TestClassesEndpoint(t *testing.T) {
+	srv, _ := testServer(t, jobqueue.Config{Workers: 1, Classes: jobqueue.ClassSet{
+		{Name: "gold", Weight: jobqueue.WeightStrict},
+		{Name: "silver", Weight: 2, Quota: 0.5},
+	}})
+	resp, err := http.Get(srv.URL + "/v1/classes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var classes jobqueue.ClassSet
+	if err := json.NewDecoder(resp.Body).Decode(&classes); err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 2 || classes[0].Name != "gold" || classes[1].Weight != 2 || classes[1].Quota != 0.5 {
+		t.Fatalf("classes = %+v, want the configured gold/silver set", classes)
+	}
+
+	// A submit naming a configured custom class is accepted; the old
+	// default names are now rejected.
+	ok, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"algorithm":"reduce","n":64,"p":2,"engine":"sim","priority":"silver"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok.Body.Close()
+	if ok.StatusCode != http.StatusAccepted && ok.StatusCode != http.StatusOK {
+		t.Fatalf("silver submit status = %d, want 202/200", ok.StatusCode)
+	}
+	bad, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"algorithm":"reduce","n":64,"p":2,"engine":"sim","priority":"interactive"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("interactive submit against custom set: status = %d, want 400", bad.StatusCode)
+	}
+}
+
+// TestMetricsCarryClasses: /v1/metrics includes the class set and the
+// per-class stat split keyed by the configured names.
+func TestMetricsCarryClasses(t *testing.T) {
+	srv, _ := testServer(t, jobqueue.Config{Workers: 1})
+	resp, err := http.Get(srv.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m struct {
+		Classes  jobqueue.ClassSet          `json:"classes"`
+		PerClass map[string]json.RawMessage `json:"per_class"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Classes) != 2 || m.Classes[0].Name != jobqueue.ClassInteractive {
+		t.Errorf("metrics classes = %+v, want the default set", m.Classes)
+	}
+	if _, ok := m.PerClass["interactive"]; !ok {
+		t.Errorf("per_class missing interactive: %v", m.PerClass)
+	}
+}

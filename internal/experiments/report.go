@@ -1,6 +1,7 @@
 // Package experiments implements the reproduction suite: one function per
 // experiment of EXPERIMENTS.md (E1–E18) plus the design-choice ablations
-// (A1–A5, A5 being the serving-layer scenario/sharding ablation). Each
+// (A1–A6; A5 is the serving-layer scenario/sharding ablation, A6 the
+// weighted-priority-class starvation-bound ablation). Each
 // returns a Report with the regenerated table and a Check verdict
 // comparing the measured shape against the paper's claim, so both
 // cmd/lopram-bench and the test suite consume the same code path.
@@ -57,12 +58,12 @@ func (r Report) String() string {
 }
 
 // SuiteIDs returns the ids of the full suite in canonical order:
-// E1–E18 then the ablations A1–A5.
+// E1–E18 then the ablations A1–A6.
 func SuiteIDs() []string {
 	return []string{
 		"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
 		"E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18",
-		"A1", "A2", "A3", "A4", "A5",
+		"A1", "A2", "A3", "A4", "A5", "A6",
 	}
 }
 
@@ -103,6 +104,7 @@ func ByID(id string, quick bool) (Report, bool) {
 		"A3":  A3,
 		"A4":  A4,
 		"A5":  func() Report { return A5(quick) },
+		"A6":  func() Report { return A6(quick) },
 	}
 	f, ok := funcs[strings.ToUpper(id)]
 	if !ok {

@@ -1,0 +1,240 @@
+package jobqueue
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Class is a job's priority class, identified by name. The class set a
+// queue serves is runtime configuration (Config.Classes): an ordered list
+// of named classes, each with a dequeue weight and an admission quota.
+// Admission control, run-queue order and latency accounting are all per
+// class.
+type Class string
+
+const (
+	// ClassInteractive is the latency-sensitive class of the default
+	// class set and the default for specs that do not set a priority.
+	ClassInteractive Class = "interactive"
+	// ClassBatch is the throughput class of the default class set:
+	// admitted only into its configured quota of each shard's queue depth
+	// and drained only when no interactive work waits anywhere.
+	ClassBatch Class = "batch"
+)
+
+// WeightStrict marks a class as strict-priority: workers drain it (in
+// class-set order relative to other strict classes) before considering
+// any weighted class, so it can starve everything below it. The default
+// class set uses it for interactive — the degenerate "weights [∞, 1]"
+// configuration that reproduces the original two-class behavior.
+const WeightStrict = 0
+
+// MaxClasses bounds the size of a class set. Sixteen is far above any
+// realistic traffic taxonomy and keeps per-worker scheduling state tiny.
+const MaxClasses = 16
+
+// ErrUnknownClass reports that a submitted spec named a priority class
+// the queue's class set does not contain. The error string lists the
+// valid class names.
+var ErrUnknownClass = errors.New("jobqueue: unknown priority class")
+
+// ClassSpec configures one priority class of a queue's class set.
+type ClassSpec struct {
+	// Name identifies the class; Spec.Priority selects it by this name.
+	Name Class `json:"name"`
+	// Weight is the class's share of worker dequeues under contention.
+	// Weighted classes (Weight >= 1) are drained deficit-weighted
+	// round-robin: with every class backlogged, each worker starts
+	// Weight jobs of this class per round, so class throughput is
+	// proportional to weight and no weighted class starves.
+	// WeightStrict (0) removes the class from the round-robin entirely:
+	// it is drained ahead of every weighted class whenever it has work.
+	Weight int `json:"weight"`
+	// Quota sizes the class's admission lane as a fraction of each
+	// shard's base queue depth (Config.QueueDepth / Config.Shards), in
+	// (0, 1]; 0 selects 1.0. Every class keeps at least one slot. Lanes
+	// are independent, so a flood in one class can never crowd another
+	// class out of admission.
+	Quota float64 `json:"quota"`
+}
+
+// ClassSet is an ordered priority-class configuration. Order matters
+// twice: strict classes are drained in set order, and the first class is
+// the default for specs that do not name a priority (func jobs run there
+// too).
+type ClassSet []ClassSpec
+
+// DefaultClasses returns the two-class set the queue uses when
+// Config.Classes is empty: strict-priority interactive over weight-1
+// batch confined to a batchShare admission quota. batchShare outside
+// (0, 1] selects 0.5. This reproduces the original hard-coded
+// interactive/batch behavior exactly.
+func DefaultClasses(batchShare float64) ClassSet {
+	if batchShare <= 0 || batchShare > 1 {
+		batchShare = 0.5
+	}
+	return ClassSet{
+		{Name: ClassInteractive, Weight: WeightStrict, Quota: 1},
+		{Name: ClassBatch, Weight: 1, Quota: batchShare},
+	}
+}
+
+// Validate checks the set: 1..MaxClasses classes, unique well-formed
+// names, non-negative weights, quotas in [0, 1] (0 meaning "default to
+// 1"). It does not mutate the set; New applies the quota default.
+func (cs ClassSet) Validate() error {
+	if len(cs) == 0 {
+		return errors.New("jobqueue: class set is empty")
+	}
+	if len(cs) > MaxClasses {
+		return fmt.Errorf("jobqueue: %d classes exceeds the limit of %d", len(cs), MaxClasses)
+	}
+	seen := make(map[Class]bool, len(cs))
+	for i, c := range cs {
+		if c.Name == "" {
+			return fmt.Errorf("jobqueue: class %d has no name", i)
+		}
+		if strings.ContainsAny(string(c.Name), ":, \t\n") {
+			return fmt.Errorf("jobqueue: class name %q contains a separator character", c.Name)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("jobqueue: duplicate class name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Weight < 0 {
+			return fmt.Errorf("jobqueue: class %q has negative weight %d", c.Name, c.Weight)
+		}
+		if c.Quota < 0 || c.Quota > 1 {
+			return fmt.Errorf("jobqueue: class %q quota %v outside [0, 1]", c.Name, c.Quota)
+		}
+	}
+	return nil
+}
+
+// Index returns the position of the named class in the set.
+func (cs ClassSet) Index(name Class) (int, bool) {
+	for i, c := range cs {
+		if c.Name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Names returns the class names in set order, as a comma-separated list —
+// the "valid classes" clause of rejection errors.
+func (cs ClassSet) Names() string {
+	names := make([]string, len(cs))
+	for i, c := range cs {
+		names[i] = string(c.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+// String renders the set in the -classes flag syntax
+// ("name:weight:quota,..." with "strict" for WeightStrict).
+func (cs ClassSet) String() string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		w := strconv.Itoa(c.Weight)
+		if c.Weight == WeightStrict {
+			w = "strict"
+		}
+		q := c.Quota
+		if q == 0 {
+			q = 1
+		}
+		parts[i] = fmt.Sprintf("%s:%s:%g", c.Name, w, q)
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseClassSet parses the -classes flag syntax: comma-separated
+// "name:weight" or "name:weight:quota" entries, where weight is a
+// non-negative integer or the literal "strict" (WeightStrict) and quota
+// is a fraction in (0, 1] defaulting to 1. The parsed set is validated.
+func ParseClassSet(s string) (ClassSet, error) {
+	var cs ClassSet
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		fields := strings.Split(entry, ":")
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("jobqueue: class entry %q: want name:weight or name:weight:quota", entry)
+		}
+		spec := ClassSpec{Name: Class(strings.TrimSpace(fields[0]))}
+		w := strings.TrimSpace(fields[1])
+		if w == "strict" {
+			spec.Weight = WeightStrict
+		} else {
+			n, err := strconv.Atoi(w)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("jobqueue: class %q: weight %q is not \"strict\" or a non-negative integer", spec.Name, w)
+			}
+			spec.Weight = n
+		}
+		if len(fields) == 3 {
+			q, err := strconv.ParseFloat(strings.TrimSpace(fields[2]), 64)
+			if err != nil || q <= 0 || q > 1 {
+				return nil, fmt.Errorf("jobqueue: class %q: quota %q outside (0, 1]", spec.Name, fields[2])
+			}
+			spec.Quota = q
+		}
+		cs = append(cs, spec)
+	}
+	if err := cs.Validate(); err != nil {
+		return nil, err
+	}
+	return cs, nil
+}
+
+// classSet is the queue's resolved view of its ClassSet: quota defaults
+// applied, name→index map built, and the strict/weighted partition (both
+// in set order) precomputed for the worker dequeue loop.
+type classSet struct {
+	specs    []ClassSpec
+	index    map[Class]int
+	strict   []int // classes drained ahead of the round-robin, in set order
+	weighted []int // classes drained deficit-weighted round-robin, in set order
+}
+
+// resolveClasses validates and normalizes a ClassSet into its resolved
+// form. A nil/empty set resolves to DefaultClasses(batchShare).
+func resolveClasses(cs ClassSet, batchShare float64) (classSet, error) {
+	if len(cs) == 0 {
+		cs = DefaultClasses(batchShare)
+	}
+	if err := cs.Validate(); err != nil {
+		return classSet{}, err
+	}
+	r := classSet{
+		specs: append([]ClassSpec(nil), cs...),
+		index: make(map[Class]int, len(cs)),
+	}
+	for i := range r.specs {
+		if r.specs[i].Quota == 0 {
+			r.specs[i].Quota = 1
+		}
+		r.index[r.specs[i].Name] = i
+		if r.specs[i].Weight == WeightStrict {
+			r.strict = append(r.strict, i)
+		} else {
+			r.weighted = append(r.weighted, i)
+		}
+	}
+	return r, nil
+}
+
+// laneDepth sizes class c's admission lane on a shard with the given
+// base depth: Quota × depth, at least one slot.
+func (cs *classSet) laneDepth(c, depth int) int {
+	d := int(cs.specs[c].Quota * float64(depth))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}

@@ -26,15 +26,27 @@
 //
 // # Priority classes
 //
-// Every job carries a Class: ClassInteractive (the default) or
-// ClassBatch. Admission control is per class: the interactive class owns
-// each shard's full queue depth, while the batch class rides in its own
-// smaller lane (Config.BatchShare of that depth) on top, so a flood in
-// either class cannot crowd the other out of admission. Workers dequeue
-// with strict class priority across the whole queue — no batch job
-// starts anywhere while an interactive job waits anywhere — and latency
-// percentiles are kept per class so a serving report can show the two
-// populations separately.
+// Every job carries a Class, drawn from the queue's runtime class set
+// (Config.Classes): an ordered list of named classes, each with a
+// dequeue weight and an admission quota. Admission control is per
+// class: each class rides in its own lane of Quota × shard depth, so a
+// flood in one class cannot crowd another out of admission. Dequeue
+// order is the class set's discipline, applied queue-wide: strict
+// classes (WeightStrict) drain first in set order, and the weighted
+// classes share the remaining dequeues deficit-weighted round-robin —
+// per worker, each round starts Weight jobs of every backlogged
+// weighted class, so class throughput under saturation is proportional
+// to weight and no weighted class starves. Latency percentiles and
+// admission counters are kept per class so a serving report can show
+// the populations separately.
+//
+// The default set, DefaultClasses, is strict interactive (jobs without
+// a Priority, and all func jobs, run there) over weight-1 batch with a
+// BatchShare admission quota — the degenerate "weights [∞, 1]"
+// configuration, which reproduces the original hard-coded two-class
+// behavior exactly: no batch job starts anywhere while an interactive
+// job waits anywhere. A spec naming a class outside the set is refused
+// at submit time with ErrUnknownClass.
 //
 // # Lineage
 //

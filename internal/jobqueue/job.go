@@ -49,44 +49,6 @@ func (s Status) MarshalJSON() ([]byte, error) {
 	return []byte(fmt.Sprintf("%q", s.String())), nil
 }
 
-// Class is a job's priority class. Admission control, run-queue order
-// and latency accounting are all per class: interactive traffic is
-// admitted into a shard's full queue depth and drained first, batch
-// traffic is confined to the Config.BatchShare slice and drained when no
-// interactive work waits.
-type Class string
-
-const (
-	// ClassInteractive is the latency-sensitive class and the default
-	// for specs that do not set a priority.
-	ClassInteractive Class = "interactive"
-	// ClassBatch is the throughput class: admitted only into its
-	// configured share of each shard's queue depth and run after
-	// interactive work.
-	ClassBatch Class = "batch"
-)
-
-// The class indices used for per-class arrays; classes maps them back.
-const (
-	classInteractive = iota
-	classBatch
-	numClasses
-)
-
-var classes = [numClasses]Class{ClassInteractive, ClassBatch}
-
-// classIndex maps a Class to its array index; ok is false for unknown
-// classes.
-func classIndex(c Class) (int, bool) {
-	switch c {
-	case ClassInteractive:
-		return classInteractive, true
-	case ClassBatch:
-		return classBatch, true
-	}
-	return 0, false
-}
-
 // Spec describes one simulation job: run algorithm Algorithm at input size
 // N with P processors on Engine, inputs derived from Seed.
 type Spec struct {
@@ -95,9 +57,10 @@ type Spec struct {
 	P         int         `json:"p,omitempty"` // 0 → core.ProcsFor(N)
 	Engine    core.Engine `json:"engine"`
 	Seed      uint64      `json:"seed"`
-	// Priority selects the job's class; empty means ClassInteractive.
-	// The class does not affect the result, so it is not part of the
-	// cache key: a batch run's cached result serves interactive dups.
+	// Priority selects the job's class by name; empty means the class
+	// set's first (default) class. The class does not affect the result,
+	// so it is not part of the cache key: a batch run's cached result
+	// serves interactive dups.
 	Priority Class `json:"priority,omitempty"`
 	// Timeout caps the job's execution time; 0 selects the queue's
 	// default. Serialized as nanoseconds.
@@ -152,7 +115,7 @@ type Job struct {
 
 	fn        func(ctx context.Context) error // func jobs only
 	submitted time.Time
-	// class is the priority class index (classInteractive/classBatch).
+	// class is the priority class's index into the queue's class set.
 	// The home shard is not stored: it is encoded in ID's low shardBits.
 	class int
 

@@ -47,13 +47,13 @@ type Config struct {
 	// identical specs always land on the same shard. Default 1 (the
 	// pre-sharding single-queue behavior); capped at MaxShards.
 	Shards int
-	// QueueDepth is the interactive class's admission capacity: the
-	// bound on admitted-but-not-started interactive jobs across the
-	// whole queue, sliced evenly per shard. The batch class rides in a
-	// separate lane of BatchShare×QueueDepth on top (total pending is
-	// therefore bounded by (1+BatchShare)×QueueDepth), so neither class
-	// can consume the other's admission slots. Submissions beyond a
-	// shard's class slice fail fast with ErrQueueFull. Default 1024.
+	// QueueDepth is the base admission capacity: the bound on
+	// admitted-but-not-started jobs of a full-quota class across the
+	// whole queue, sliced evenly per shard. Each priority class rides in
+	// its own lane of Quota×QueueDepth on top of the others (total
+	// pending is therefore bounded by Σ quotas × QueueDepth), so no
+	// class can consume another's admission slots. Submissions beyond a
+	// shard's class lane fail fast with ErrQueueFull. Default 1024.
 	QueueDepth int
 	// CacheSize is the total LRU result-cache capacity in entries,
 	// divided evenly among shards. Default 512; negative disables
@@ -65,13 +65,22 @@ type Config struct {
 	// Retain bounds how many terminal jobs stay queryable by ID, divided
 	// evenly among shards. Default 4096.
 	Retain int
-	// BatchShare sizes the batch class's own admission lane as a
-	// fraction of each shard's interactive depth; the interactive class
-	// always keeps its full depth to itself. Admission control applies
-	// it per shard and per class, so a batch flood cannot crowd
-	// interactive work out (and vice versa). Default 0.5; values are
-	// clamped to (0, 1] and every shard keeps at least one batch slot.
+	// BatchShare sizes the batch class's admission quota in the default
+	// class set, as a fraction of each shard's base depth; the
+	// interactive class always keeps its full depth to itself. Default
+	// 0.5; values are clamped to (0, 1] and every shard keeps at least
+	// one batch slot. Ignored when Classes is set — put the quota on the
+	// batch class's ClassSpec instead.
 	BatchShare float64
+	// Classes is the priority-class set the queue serves: an ordered
+	// list of named classes, each with a dequeue weight (WeightStrict
+	// for strict priority, >= 1 for a deficit-weighted round-robin
+	// share) and an admission quota. Empty selects
+	// DefaultClasses(BatchShare) — strict interactive over weight-1
+	// batch, the original two-class behavior. New panics if the set
+	// fails (ClassSet).Validate; parse user input with ParseClassSet to
+	// reject it gracefully first.
+	Classes ClassSet
 }
 
 func (c Config) withDefaults() Config {
@@ -115,6 +124,7 @@ func perShard(total, shards int) int {
 // methods are safe for concurrent use.
 type Queue struct {
 	cfg     Config
+	classes classSet
 	shards  []*shard
 	nextSeq atomic.Uint64
 	// kick wakes one idle worker when any shard enqueues a job, so
@@ -147,8 +157,8 @@ type Queue struct {
 	timeouts   atomic.Int64
 	pending    atomic.Int64
 	running    atomic.Int64
-	abandonedG atomic.Int64 // live abandoned runs (gauge)
-	perClass   [numClasses]classCounters
+	abandonedG atomic.Int64    // live abandoned runs (gauge)
+	perClass   []classCounters // indexed by class-set position
 
 	// Memoized merged latency summaries — see Snapshot.
 	sumMu sync.Mutex
@@ -163,17 +173,25 @@ type classCounters struct {
 	rejected  atomic.Int64
 }
 
-// New returns a running queue.
+// New returns a running queue. It panics if Config.Classes fails
+// (ClassSet).Validate — an invalid class set is a configuration
+// programming error; validate user-supplied sets first.
 func New(cfg Config) *Queue {
 	cfg = cfg.withDefaults()
+	classes, err := resolveClasses(cfg.Classes, cfg.BatchShare)
+	if err != nil {
+		panic(err)
+	}
 	q := &Queue{
-		cfg:  cfg,
-		kick: make(chan struct{}, 1),
+		cfg:      cfg,
+		classes:  classes,
+		perClass: make([]classCounters, len(classes.specs)),
+		kick:     make(chan struct{}, 1),
 	}
 	depth := perShard(cfg.QueueDepth, cfg.Shards)
-	batchDepth := int(cfg.BatchShare * float64(depth))
-	if batchDepth < 1 {
-		batchDepth = 1
+	depths := make([]int, len(classes.specs))
+	for c := range depths {
+		depths[c] = classes.laneDepth(c, depth)
 	}
 	cacheCap := 0
 	if cfg.CacheSize > 0 {
@@ -181,7 +199,7 @@ func New(cfg Config) *Queue {
 	}
 	retain := perShard(cfg.Retain, cfg.Shards)
 	for i := 0; i < cfg.Shards; i++ {
-		q.shards = append(q.shards, newShard(i, depth, batchDepth, cacheCap, retain))
+		q.shards = append(q.shards, newShard(i, depths, cacheCap, retain))
 	}
 	if cfg.Workers < cfg.Shards {
 		cfg.Workers = cfg.Shards // every shard gets at least one worker
@@ -223,6 +241,12 @@ func (q *Queue) Close() {
 	q.orphans.Wait()
 }
 
+// Classes returns the queue's resolved class set in dequeue order, quota
+// defaults applied — the configuration lopramd serves at /v1/classes.
+func (q *Queue) Classes() ClassSet {
+	return append(ClassSet(nil), q.classes.specs...)
+}
+
 // ShardOf reports which shard the spec would be placed on — the shard its
 // cache key hashes to. Placement is deterministic: equal keys always map
 // to the same shard of a queue with the same shard count.
@@ -249,17 +273,17 @@ func (q *Queue) Submit(spec Spec) (*Job, error) {
 		spec.P = core.ProcsFor(spec.N)
 	}
 	if spec.Priority == "" {
-		spec.Priority = ClassInteractive
+		spec.Priority = q.classes.specs[0].Name
 	}
 	if err := core.ValidateSpec(spec.Algorithm, spec.Engine, spec.N, spec.P); err != nil {
 		q.rejected.Add(1)
 		return nil, fmt.Errorf("jobqueue: invalid spec: %w", err)
 	}
-	class, ok := classIndex(spec.Priority)
+	class, ok := q.classes.index[spec.Priority]
 	if !ok {
 		q.rejected.Add(1)
-		return nil, fmt.Errorf("jobqueue: invalid spec: unknown priority %q (want %q or %q)",
-			spec.Priority, ClassInteractive, ClassBatch)
+		return nil, fmt.Errorf("%w %q (valid classes: %s)",
+			ErrUnknownClass, spec.Priority, ClassSet(q.classes.specs).Names())
 	}
 	key := spec.key()
 	s := q.shards[int(key.hash()%uint64(len(q.shards)))]
@@ -305,9 +329,9 @@ func (q *Queue) Submit(spec Spec) (*Job, error) {
 // SubmitFunc enqueues an arbitrary work item on the same pools, subject
 // to the same admission control and deadlines but bypassing spec
 // validation, coalescing and the result cache. Placement hashes the name,
-// so equal names share a shard; the job runs in the interactive class.
-// The experiment suite uses it to run E1–E18 through the queue as a load
-// test.
+// so equal names share a shard; the job runs in the class set's first
+// (default) class. The experiment suite uses it to run E1–E18 through
+// the queue as a load test.
 func (q *Queue) SubmitFunc(name string, fn func(ctx context.Context) error) (*Job, error) {
 	if fn == nil {
 		return nil, fmt.Errorf("jobqueue: nil func for %q", name)

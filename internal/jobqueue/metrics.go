@@ -121,8 +121,11 @@ type Metrics struct {
 	Wall stats.Summary `json:"wall_ms"`
 	Wait stats.Summary `json:"wait_ms"`
 
-	// PerClass splits the traffic by priority class (keys "interactive"
-	// and "batch"), each with its own latency percentiles.
+	// Classes is the queue's configured class set in dequeue order
+	// (name, weight, quota) — the key space of PerClass.
+	Classes ClassSet `json:"classes"`
+	// PerClass splits the traffic by priority class name, each with its
+	// own latency percentiles.
 	PerClass map[Class]ClassStats `json:"per_class"`
 	// PerShard is the per-shard placement/execution/steal breakdown,
 	// indexed by shard.
@@ -144,8 +147,8 @@ type summaryCache struct {
 	valid     bool
 	wall      stats.Summary
 	wait      stats.Summary
-	classWall [numClasses]stats.Summary
-	classWait [numClasses]stats.Summary
+	classWall []stats.Summary // indexed by class-set position
+	classWait []stats.Summary
 }
 
 // Snapshot returns current metrics, merged across shards. HitRate counts
@@ -176,6 +179,9 @@ func (q *Queue) Snapshot() Metrics {
 		m.HitRate = float64(served) / float64(total)
 	}
 	m.Scheduler = palrt.GlobalStats()
+
+	numClasses := len(q.classes.specs)
+	m.Classes = q.Classes()
 
 	// Pass 1, under each shard's lock in turn: O(1) gauges, the ring
 	// generations, and the per-algorithm aggregates.
@@ -221,7 +227,8 @@ func (q *Queue) Snapshot() Metrics {
 	q.sumMu.Lock()
 	if !q.sums.valid || q.sums.gen != gen {
 		var wall, wait []float64
-		var classWall, classWait [numClasses][]float64
+		classWall := make([][]float64, numClasses)
+		classWait := make([][]float64, numClasses)
 		for _, s := range q.shards {
 			s.mu.Lock()
 			wall = s.wall.appendTo(wall)
@@ -234,6 +241,8 @@ func (q *Queue) Snapshot() Metrics {
 		}
 		q.sums.wall = stats.Summarize(wall)
 		q.sums.wait = stats.Summarize(wait)
+		q.sums.classWall = make([]stats.Summary, numClasses)
+		q.sums.classWait = make([]stats.Summary, numClasses)
 		for c := 0; c < numClasses; c++ {
 			q.sums.classWall[c] = stats.Summarize(classWall[c])
 			q.sums.classWait[c] = stats.Summarize(classWait[c])
@@ -244,7 +253,7 @@ func (q *Queue) Snapshot() Metrics {
 	m.Wall, m.Wait = q.sums.wall, q.sums.wait
 	m.PerClass = make(map[Class]ClassStats, numClasses)
 	for c := 0; c < numClasses; c++ {
-		m.PerClass[classes[c]] = ClassStats{
+		m.PerClass[q.classes.specs[c].Name] = ClassStats{
 			Submitted: q.perClass[c].submitted.Load(),
 			Completed: q.perClass[c].completed.Load(),
 			Failed:    q.perClass[c].failed.Load(),

@@ -25,8 +25,9 @@ const stealPoll = 10 * time.Millisecond
 type shard struct {
 	idx int
 	// runq holds the admitted-but-not-started jobs, one bounded FIFO per
-	// priority class. Workers drain the interactive queue first.
-	runq [numClasses]chan *Job
+	// priority class, indexed by class-set position. Workers drain
+	// strict classes first, then the weighted classes round-robin.
+	runq []chan *Job
 
 	mu        sync.Mutex
 	closed    bool
@@ -34,11 +35,11 @@ type shard struct {
 	retained  []uint64 // submission order, for retention eviction
 	inflight  map[Key]*Job
 	cache     *lru
-	limit     int                    // retention bound for this shard
-	wall      sampleRing             // recent execution latencies (ms)
-	wait      sampleRing             // recent queueing latencies (ms)
-	classWall [numClasses]sampleRing // same, split by priority class
-	classWait [numClasses]sampleRing
+	limit     int          // retention bound for this shard
+	wall      sampleRing   // recent execution latencies (ms)
+	wait      sampleRing   // recent queueing latencies (ms)
+	classWall []sampleRing // same, split by priority class (set order)
+	classWait []sampleRing
 	perAlgo   map[string]*algoAggregate // keyed by algorithm (or func-job name)
 
 	pending  atomic.Int64 // jobs admitted here, not yet started
@@ -46,17 +47,21 @@ type shard struct {
 	stolen   atomic.Int64 // jobs this shard's workers took from other shards
 }
 
-func newShard(idx, depth, batchDepth, cacheCap, retain int) *shard {
+func newShard(idx int, depths []int, cacheCap, retain int) *shard {
 	s := &shard{
-		idx:      idx,
-		byID:     make(map[uint64]*Job),
-		inflight: make(map[Key]*Job),
-		cache:    newLRU(cacheCap),
-		limit:    retain,
-		perAlgo:  make(map[string]*algoAggregate),
+		idx:       idx,
+		runq:      make([]chan *Job, len(depths)),
+		byID:      make(map[uint64]*Job),
+		inflight:  make(map[Key]*Job),
+		cache:     newLRU(cacheCap),
+		limit:     retain,
+		classWall: make([]sampleRing, len(depths)),
+		classWait: make([]sampleRing, len(depths)),
+		perAlgo:   make(map[string]*algoAggregate),
 	}
-	s.runq[classInteractive] = make(chan *Job, depth)
-	s.runq[classBatch] = make(chan *Job, batchDepth)
+	for c, depth := range depths {
+		s.runq[c] = make(chan *Job, depth)
+	}
 	return s
 }
 
@@ -111,68 +116,133 @@ func putUint64LE(buf *[8]byte, v uint64) {
 
 // ---- the worker loop ----
 
-// worker is the run loop of one pool worker homed on shard s. Dequeue
-// order is strict class priority across the whole queue: the home
-// shard's interactive queue, every other shard's interactive queue (a
-// steal), then and only then the batch queues in the same home-first
-// order — so no batch job starts anywhere while an interactive job
-// waits anywhere. When nothing is runnable the worker blocks on its
-// home interactive queue plus the queue-wide kick (every enqueue, batch
-// included, publishes a kick), with a slow fallback poll; batch pickup
-// rides the kick path rather than the blocking select so a wakeup
-// always re-checks interactive work first. Exits once the home queues
+// worker is the run loop of one pool worker homed on shard home. Each
+// probe of a class spans the whole queue — the home shard's queue first,
+// then every other shard's queue of the same class (a steal) — so class
+// order is global, not per shard. The order itself is the class set's
+// dequeue discipline:
+//
+//   - Strict classes (WeightStrict) are probed first, in set order, and
+//     re-probed before every dequeue, so no weighted job starts anywhere
+//     while a strict job waits anywhere. With the default class set this
+//     is exactly the original behavior: interactive always before batch.
+//   - Weighted classes share the remaining dequeues deficit-weighted
+//     round-robin: each worker keeps a per-class credit balance,
+//     replenished by Weight when every balance is spent; a dequeue costs
+//     one credit, and a class found empty forfeits its remaining credits
+//     for the round (work-conserving — an idle class never banks credit).
+//     Under sustained all-class load each round starts Weight jobs per
+//     class, so class throughput is proportional to weight and every
+//     weighted class keeps making progress.
+//
+// When nothing is runnable the worker blocks on the home lane of the
+// highest-priority strict class (the set's first class when every class
+// is weighted) plus the queue-wide kick (every enqueue, every class,
+// publishes a kick), with a slow fallback poll; every other class rides
+// the kick path rather than the blocking select so a wakeup always
+// re-runs the full class discipline — a direct hand-off is only ever
+// taken for the class nothing may outrank. Exits once the home queues
 // are closed and drained and a final sweep finds nothing.
 func (q *Queue) worker(home *shard) {
 	defer q.workers.Done()
-	hi, lo := home.runq[classInteractive], home.runq[classBatch]
+	cs := &q.classes
+	open := make([]bool, len(cs.specs)) // home lanes not yet closed
+	for c := range open {
+		open[c] = true
+	}
+	homeOpen := len(open)
+	credits := make([]int, len(cs.specs))
+	rot := 0 // rotation offset into cs.weighted: the class being served
+	// blockClass is the one home lane the idle blocking select may
+	// dequeue directly: the highest-priority strict class, whose direct
+	// hand-off can never invert the dequeue discipline. Every other
+	// class rides the kick, which re-runs the full discipline. An
+	// all-weighted set blocks on its first class — credit-free, which
+	// is sound because the select is only reached with every weighted
+	// credit at zero (the DWRR passes forfeit on empty), so the hand-off
+	// fires from a fully drained round.
+	blockClass := 0
+	if len(cs.strict) > 0 {
+		blockClass = cs.strict[0]
+	}
 	timer := time.NewTimer(stealPoll)
 	defer timer.Stop()
+
+	// tryClass probes one class queue-wide: the home lane (non-blocking,
+	// marking it on close), then the other shards' lanes.
+	tryClass := func(c int) (*shard, *Job) {
+		if open[c] {
+			select {
+			case job, ok := <-home.runq[c]:
+				if !ok {
+					open[c] = false
+					homeOpen--
+				} else {
+					return home, job
+				}
+			default:
+			}
+		}
+		return q.trySteal(home, c)
+	}
+
 	for {
-		if hi != nil {
-			select {
-			case job, ok := <-hi:
-				if !ok {
-					hi = nil
-					continue
-				}
-				// Chain the wakeup before going busy: this worker may
-				// hold the only kick token while another shard's job
-				// (its own kick dropped at capacity 1) waits for a
-				// sweep.
-				q.kickWorkers()
-				q.runJob(home, job)
-				continue
-			default:
+		var owner *shard
+		var job *Job
+		for _, c := range cs.strict {
+			if owner, job = tryClass(c); job != nil {
+				break
 			}
 		}
-		if owner, job := q.trySteal(home, classInteractive); job != nil {
-			// Chain the wakeup: if more work is stealable, another idle
-			// worker should find it while this one is busy running.
+		// Two DWRR passes: pass one may find only creditless backlogged
+		// classes (credit-holders all empty, forfeiting to zero); the
+		// second pass then replenishes and probes every weighted class,
+		// so job == nil afterwards means all of them were truly empty.
+		for pass := 0; pass < 2 && job == nil && len(cs.weighted) > 0; pass++ {
+			spent := true
+			for _, c := range cs.weighted {
+				if credits[c] > 0 {
+					spent = false
+					break
+				}
+			}
+			if spent {
+				for _, c := range cs.weighted {
+					credits[c] = cs.specs[c].Weight
+				}
+			}
+			for i := 0; i < len(cs.weighted) && job == nil; i++ {
+				w := (rot + i) % len(cs.weighted)
+				c := cs.weighted[w]
+				if credits[c] <= 0 {
+					continue
+				}
+				if owner, job = tryClass(c); job != nil {
+					credits[c]--
+					rot = w // keep serving this class until its credit drains
+					if credits[c] == 0 {
+						rot = (w + 1) % len(cs.weighted) // quantum spent: move on
+					}
+				} else {
+					credits[c] = 0 // found empty: forfeit the round's remainder
+				}
+			}
+		}
+		if job != nil {
+			// Chain the wakeup before going busy: this worker may hold
+			// the only kick token while another shard's job (its own
+			// kick dropped at capacity 1) waits for a sweep.
 			q.kickWorkers()
 			q.runJob(owner, job)
 			continue
 		}
-		if lo != nil {
-			select {
-			case job, ok := <-lo:
-				if !ok {
-					lo = nil
-					continue
-				}
-				q.kickWorkers()
-				q.runJob(home, job)
-				continue
-			default:
-			}
-		}
-		if owner, job := q.trySteal(home, classBatch); job != nil {
-			q.kickWorkers()
-			q.runJob(owner, job)
-			continue
-		}
-		if hi == nil && lo == nil {
+		if homeOpen == 0 {
 			// Closed, drained, and nothing left to steal.
 			return
+		}
+		var homeBlock chan *Job // nil (never ready) once closed
+		if open[blockClass] {
+			homeBlock = home.runq[blockClass]
 		}
 		if !timer.Stop() {
 			select {
@@ -182,9 +252,10 @@ func (q *Queue) worker(home *shard) {
 		}
 		timer.Reset(stealPoll)
 		select {
-		case job, ok := <-hi:
+		case job, ok := <-homeBlock:
 			if !ok {
-				hi = nil
+				open[blockClass] = false
+				homeOpen--
 				continue
 			}
 			q.kickWorkers()

@@ -88,6 +88,41 @@ var builtins = []Spec{
 		Workers: 2,
 	},
 	{
+		Name:            "ramp-surge",
+		Description:     "An open-loop launch surge: the Poisson arrival rate ramps linearly from a 100/s trickle to 2000/s over 1.5s while the job mix stays small. Probes how per-class admission lanes and work stealing absorb a rate change instead of a steady state.",
+		Seed:            7,
+		Jobs:            150,
+		Arrival:         ArrivalRamp,
+		RampStartPerSec: 100,
+		RatePerSec:      2000,
+		RampDuration:    1500 * time.Millisecond,
+		DupFraction:     0.2,
+		Mix: []MixEntry{
+			{Engine: "sim", MaxN: 96},
+			{Engine: "palrt", MaxN: 128},
+		},
+		Shards:  2,
+		Workers: 4,
+	},
+	{
+		Name:             "diurnal-wave",
+		Description:      "A compressed day/night cycle: open-loop arrivals oscillate ±70% around 600/s with a 150ms period, so the replay crosses two full peaks and troughs. The batch fraction rides along, probing how the weighted dequeue treats a tidal backlog.",
+		Seed:             8,
+		Jobs:             180,
+		Arrival:          ArrivalDiurnal,
+		RatePerSec:       600,
+		DiurnalAmplitude: 0.7,
+		DiurnalPeriod:    150 * time.Millisecond,
+		DupFraction:      0.15,
+		BatchFraction:    0.3,
+		Mix: []MixEntry{
+			{Engine: "sim", MaxN: 96},
+			{Engine: "palrt", MaxN: 128},
+		},
+		Shards:  2,
+		Workers: 4,
+	},
+	{
 		Name:        "all-engines-sweep",
 		Description: "The whole catalogue across all three engines, pram baseline included, at defaulted sizes — the coverage scenario that exercises every (algorithm, engine) dispatch path in one replay.",
 		Seed:        6,
@@ -127,9 +162,10 @@ func Builtin(name string) (Spec, bool) {
 }
 
 // deepCopy detaches a spec from the catalogue's backing arrays so
-// callers can customize it (shrink Jobs, retarget Shards, edit Mix)
-// without corrupting the shared catalogue.
+// callers can customize it (shrink Jobs, retarget Shards, edit Mix or
+// Classes) without corrupting the shared catalogue.
 func deepCopy(s Spec) Spec {
 	s.Mix = append([]MixEntry(nil), s.Mix...)
+	s.Classes = append(jobqueue.ClassSet(nil), s.Classes...)
 	return s
 }

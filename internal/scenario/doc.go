@@ -1,19 +1,22 @@
 // Package scenario turns "hit the serving system with realistic traffic"
 // into a declarative, reproducible artifact. A Spec names an arrival
-// process (closed-loop client population or open-loop Poisson stream), a
-// weighted algorithm/engine/size mix, a duplicate fraction, a priority
-// split and a target queue shape; Stream expands it into the exact
-// deterministic job sequence it denotes; and Run replays that sequence
-// against a live jobqueue.Queue, returning a Report with per-priority-
-// class latency percentiles, throughput, hit rate and per-shard steal
-// counts.
+// process (closed-loop client population, or an open-loop Poisson stream
+// at a constant, linearly ramping, or diurnally oscillating rate), a
+// weighted algorithm/engine/size mix, a duplicate fraction, a
+// priority-class set with per-entry class pinning, and a target queue
+// shape; Stream expands it into the exact deterministic job sequence it
+// denotes; and Run replays that sequence against a live jobqueue.Queue,
+// returning a Report with per-priority-class latency percentiles,
+// throughput, hit rate and per-shard steal counts.
 //
 // Everything downstream of the seed is deterministic: the same Spec
-// always expands to the same jobs with the same cache-key population, so
-// two replays on fresh queues report the same job count and hit rate —
+// always expands to the same jobs with the same cache-key population
+// (and, for the open-loop arrivals, the same arrival schedule), so two
+// replays on fresh queues report the same job count and hit rate —
 // which is what makes scenarios usable as regression probes, not just
 // demos. Builtins returns the named scenario catalogue (uniform-small,
 // heavy-tail, cache-friendly-repeat, deadline-storm,
-// priority-inversion-probe, all-engines-sweep); cmd/lopramd replays them
-// with -scenario and serves the catalogue at /v1/scenarios.
+// priority-inversion-probe, ramp-surge, diurnal-wave,
+// all-engines-sweep); cmd/lopramd replays them with -scenario and serves
+// the catalogue at /v1/scenarios.
 package scenario

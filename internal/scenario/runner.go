@@ -70,6 +70,23 @@ func Run(ctx context.Context, q *jobqueue.Queue, s Spec) (Report, error) {
 
 	start := time.Now()
 	report := Report{Scenario: s.Name}
+	// sched is the cumulative scheduled arrival time of the open-loop
+	// variants. Rate shaping (ramp, diurnal) evaluates the instantaneous
+	// rate at the *scheduled* clock, not the wall clock, so the arrival
+	// schedule — like the job stream — is a pure function of the spec.
+	var sched time.Duration
+	nextGap := func() time.Duration {
+		rate := s.RatePerSec
+		switch s.Arrival {
+		case ArrivalRamp:
+			rate = workload.RampRate(sched, s.RampDuration, s.RampStartPerSec, s.RatePerSec)
+		case ArrivalDiurnal:
+			rate = workload.DiurnalRate(sched, s.DiurnalPeriod, s.RatePerSec, s.DiurnalAmplitude)
+		}
+		gap := workload.ExpSpacing(gapRNG, rate)
+		sched += gap
+		return gap
+	}
 	// Closed-loop window: a counting semaphore of Clients slots, each
 	// released by whichever job finishes next — any completion triggers
 	// the next submission, so a slow head-of-line job occupies one slot,
@@ -93,10 +110,9 @@ func Run(ctx context.Context, q *jobqueue.Queue, s Spec) (Report, error) {
 			waiters.Wait()
 			return report, err
 		}
-		if s.Arrival == ArrivalOpen {
-			gap := workload.ExpSpacing(gapRNG, s.RatePerSec)
+		if s.Arrival != ArrivalClosed {
 			select {
-			case <-time.After(gap):
+			case <-time.After(nextGap()):
 			case <-ctx.Done():
 				waiters.Wait()
 				return report, ctx.Err()

@@ -21,6 +21,16 @@ const (
 	// so an underprovisioned queue visibly rejects or queues up — the
 	// shape real external traffic has.
 	ArrivalOpen = "open"
+	// ArrivalRamp is an open-loop Poisson stream whose rate ramps
+	// linearly from RampStartPerSec to RatePerSec over RampDuration and
+	// then holds — the launch-surge (or, ramping down, the drain) shape
+	// that probes how admission and stealing absorb a rate change.
+	ArrivalRamp = "ramp"
+	// ArrivalDiurnal is an open-loop Poisson stream whose rate
+	// oscillates sinusoidally around RatePerSec with relative amplitude
+	// DiurnalAmplitude and period DiurnalPeriod — a compressed
+	// day/night traffic cycle.
+	ArrivalDiurnal = "diurnal"
 )
 
 // Spec declares one load scenario. The zero values of most fields select
@@ -36,11 +46,25 @@ type Spec struct {
 	Seed uint64 `json:"seed"`
 	// Jobs is the total number of submissions to issue.
 	Jobs int `json:"jobs"`
-	// Arrival selects the arrival process: ArrivalClosed (default) or
-	// ArrivalOpen.
+	// Arrival selects the arrival process: ArrivalClosed (default),
+	// ArrivalOpen, ArrivalRamp or ArrivalDiurnal.
 	Arrival string `json:"arrival,omitempty"`
-	// RatePerSec is the mean Poisson arrival rate for ArrivalOpen.
+	// RatePerSec is the mean Poisson arrival rate for the open-loop
+	// arrivals: the constant rate (ArrivalOpen), the post-ramp rate
+	// (ArrivalRamp), or the cycle's base rate (ArrivalDiurnal).
 	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// RampStartPerSec is ArrivalRamp's initial rate; the rate moves
+	// linearly from here to RatePerSec over RampDuration. Must be
+	// positive (start a surge from a trickle, not from zero).
+	RampStartPerSec float64 `json:"ramp_start_per_sec,omitempty"`
+	// RampDuration is how long ArrivalRamp takes to reach RatePerSec.
+	RampDuration time.Duration `json:"ramp_duration_ns,omitempty"`
+	// DiurnalAmplitude is ArrivalDiurnal's relative swing in [0, 1):
+	// the rate peaks at RatePerSec×(1+amplitude) and troughs at
+	// RatePerSec×(1−amplitude). Default 0.5.
+	DiurnalAmplitude float64 `json:"diurnal_amplitude,omitempty"`
+	// DiurnalPeriod is ArrivalDiurnal's cycle length.
+	DiurnalPeriod time.Duration `json:"diurnal_period_ns,omitempty"`
 	// Clients is the closed-loop population size (in-flight window) for
 	// ArrivalClosed. Default 16.
 	Clients int `json:"clients,omitempty"`
@@ -63,6 +87,11 @@ type Spec struct {
 	// catalogue: every algorithm on every engine it supports, uniformly
 	// weighted.
 	Mix []MixEntry `json:"mix,omitempty"`
+	// Classes is the priority-class set the scenario's queue should
+	// serve; empty means the default interactive/batch pair. Mix-entry
+	// Priority pins and BatchFraction are validated against this set at
+	// expansion, and QueueConfig passes it to the queue it shapes.
+	Classes jobqueue.ClassSet `json:"classes,omitempty"`
 	// Shards and Workers are the queue shape the scenario wants when the
 	// harness builds a queue for it (QueueConfig); 0 defers to the
 	// harness's own configuration.
@@ -117,12 +146,32 @@ func (s *Spec) Validate() error {
 	switch s.Arrival {
 	case "":
 		s.Arrival = ArrivalClosed
-	case ArrivalClosed, ArrivalOpen:
+	case ArrivalClosed, ArrivalOpen, ArrivalRamp, ArrivalDiurnal:
 	default:
-		return fmt.Errorf("scenario %s: unknown arrival %q (want %q or %q)", s.Name, s.Arrival, ArrivalClosed, ArrivalOpen)
+		return fmt.Errorf("scenario %s: unknown arrival %q (want %q, %q, %q or %q)",
+			s.Name, s.Arrival, ArrivalClosed, ArrivalOpen, ArrivalRamp, ArrivalDiurnal)
 	}
-	if s.Arrival == ArrivalOpen && s.RatePerSec <= 0 {
-		return fmt.Errorf("scenario %s: open arrival needs rate_per_sec > 0", s.Name)
+	if s.Arrival != ArrivalClosed && s.RatePerSec <= 0 {
+		return fmt.Errorf("scenario %s: %s arrival needs rate_per_sec > 0", s.Name, s.Arrival)
+	}
+	if s.Arrival == ArrivalRamp {
+		if s.RampStartPerSec <= 0 {
+			return fmt.Errorf("scenario %s: ramp arrival needs ramp_start_per_sec > 0", s.Name)
+		}
+		if s.RampDuration <= 0 {
+			return fmt.Errorf("scenario %s: ramp arrival needs ramp_duration_ns > 0", s.Name)
+		}
+	}
+	if s.Arrival == ArrivalDiurnal {
+		if s.DiurnalAmplitude == 0 {
+			s.DiurnalAmplitude = 0.5
+		}
+		if s.DiurnalAmplitude < 0 || s.DiurnalAmplitude >= 1 {
+			return fmt.Errorf("scenario %s: diurnal_amplitude %v outside [0, 1)", s.Name, s.DiurnalAmplitude)
+		}
+		if s.DiurnalPeriod <= 0 {
+			return fmt.Errorf("scenario %s: diurnal arrival needs diurnal_period_ns > 0", s.Name)
+		}
 	}
 	if s.Clients <= 0 {
 		s.Clients = 16
@@ -132,6 +181,18 @@ func (s *Spec) Validate() error {
 	}
 	if s.BatchFraction < 0 || s.BatchFraction > 1 {
 		return fmt.Errorf("scenario %s: batch_fraction %v outside [0, 1]", s.Name, s.BatchFraction)
+	}
+	if len(s.Classes) > 0 {
+		if err := s.Classes.Validate(); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+	}
+	classes := s.classSet()
+	if s.BatchFraction > 0 {
+		if _, ok := classes.Index(jobqueue.ClassBatch); !ok {
+			return fmt.Errorf("scenario %s: batch_fraction %v needs a %q class in the set (have: %s)",
+				s.Name, s.BatchFraction, jobqueue.ClassBatch, classes.Names())
+		}
 	}
 	if s.SeedSpace == 0 {
 		s.SeedSpace = 8
@@ -148,14 +209,26 @@ func (s *Spec) Validate() error {
 		if e.Weight < 0 {
 			return fmt.Errorf("scenario %s: mix[%d]: negative weight", s.Name, i)
 		}
-		if e.Priority != "" && e.Priority != jobqueue.ClassInteractive && e.Priority != jobqueue.ClassBatch {
-			return fmt.Errorf("scenario %s: mix[%d]: unknown priority %q", s.Name, i, e.Priority)
+		if e.Priority != "" {
+			if _, ok := classes.Index(e.Priority); !ok {
+				return fmt.Errorf("scenario %s: mix[%d]: unknown priority %q (valid classes: %s)",
+					s.Name, i, e.Priority, classes.Names())
+			}
 		}
 	}
 	if _, err := s.pairs(); err != nil {
 		return err
 	}
 	return nil
+}
+
+// classSet is the effective priority-class set: the spec's own, or the
+// queue default when none is declared.
+func (s *Spec) classSet() jobqueue.ClassSet {
+	if len(s.Classes) > 0 {
+		return s.Classes
+	}
+	return jobqueue.DefaultClasses(0)
 }
 
 // pairs expands the mix into concrete weighted (algorithm, engine)
@@ -228,6 +301,10 @@ func Stream(s Spec) ([]jobqueue.Spec, error) {
 	for i, p := range pairs {
 		weights[i] = p.weight
 	}
+	// Unpinned entries default to the class set's first class, with the
+	// BatchFraction roll (always drawn, so streams are byte-identical
+	// across class configurations) diverting into the batch class.
+	defaultClass := s.classSet()[0].Name
 	r := workload.NewRNG(s.Seed)
 	specs := make([]jobqueue.Spec, 0, s.Jobs)
 	for len(specs) < s.Jobs {
@@ -239,7 +316,7 @@ func Stream(s Spec) ([]jobqueue.Spec, error) {
 		p := pairs[workload.Choice(r, weights)]
 		class := p.priority
 		if class == "" {
-			class = jobqueue.ClassInteractive
+			class = defaultClass
 			if r.Float64() < s.BatchFraction {
 				class = jobqueue.ClassBatch
 			}
@@ -272,6 +349,9 @@ func QueueConfig(s Spec) jobqueue.Config {
 	cfg := jobqueue.Config{
 		Workers: s.Workers,
 		Shards:  s.Shards,
+		// The scenario's own class set (validated by Validate); nil
+		// keeps the queue's default interactive/batch pair.
+		Classes: append(jobqueue.ClassSet(nil), s.Classes...),
 		// The queue slices the cache evenly per shard but key hashing
 		// need not be even, so give every shard a full Jobs-sized slice:
 		// then no shard can evict a key the scenario will re-request,

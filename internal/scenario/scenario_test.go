@@ -95,6 +95,15 @@ func TestValidateRejects(t *testing.T) {
 		{Spec{Name: "x", Jobs: 1, Mix: []MixEntry{{Engine: "gpu"}}}, "unknown engine"},
 		{Spec{Name: "x", Jobs: 1, Mix: []MixEntry{{Algorithm: "quicksort", Engine: "sim"}}}, "does not run on"},
 		{Spec{Name: "x", Jobs: 1, Mix: []MixEntry{{Priority: "vip"}}}, "unknown priority"},
+		{Spec{Name: "x", Jobs: 1, Arrival: ArrivalRamp, RatePerSec: 100}, "ramp_start_per_sec"},
+		{Spec{Name: "x", Jobs: 1, Arrival: ArrivalRamp, RatePerSec: 100, RampStartPerSec: 10}, "ramp_duration_ns"},
+		{Spec{Name: "x", Jobs: 1, Arrival: ArrivalRamp, RampStartPerSec: 10, RampDuration: time.Second}, "rate_per_sec"},
+		{Spec{Name: "x", Jobs: 1, Arrival: ArrivalDiurnal, RatePerSec: 100}, "diurnal_period_ns"},
+		{Spec{Name: "x", Jobs: 1, Arrival: ArrivalDiurnal, RatePerSec: 100, DiurnalPeriod: time.Second, DiurnalAmplitude: 1.5}, "diurnal_amplitude"},
+		{Spec{Name: "x", Jobs: 1, Classes: jobqueue.ClassSet{{Name: "a", Weight: 1}, {Name: "a", Weight: 1}}}, "duplicate"},
+		{Spec{Name: "x", Jobs: 1, BatchFraction: 0.5, Classes: jobqueue.ClassSet{{Name: "gold", Weight: 1}}}, "needs a \"batch\" class"},
+		{Spec{Name: "x", Jobs: 1, Classes: jobqueue.ClassSet{{Name: "gold", Weight: 1}},
+			Mix: []MixEntry{{Priority: jobqueue.ClassBatch}}}, "unknown priority"},
 	}
 	for _, c := range cases {
 		err := c.spec.Validate()
@@ -206,6 +215,100 @@ func TestOpenArrival(t *testing.T) {
 	}
 	if rep.Elapsed <= 0 {
 		t.Error("no elapsed time recorded")
+	}
+}
+
+// TestShapedArrivalReplays: the ramp and diurnal builtins issue every
+// job on their shaped schedules and terminate cleanly; the stream (and so
+// the class mix) is identical to a closed replay of the same spec.
+func TestShapedArrivalReplays(t *testing.T) {
+	for _, name := range []string{"ramp-surge", "diurnal-wave"} {
+		sp, ok := Builtin(name)
+		if !ok {
+			t.Fatalf("no builtin %q", name)
+		}
+		sp.Jobs = 40
+		// Compress the shapes so the test replays in well under a second
+		// while still sweeping the whole rate range.
+		switch sp.Arrival {
+		case ArrivalRamp:
+			sp.RampDuration = 100 * time.Millisecond
+		case ArrivalDiurnal:
+			sp.DiurnalPeriod = 50 * time.Millisecond
+		}
+		q := jobqueue.New(QueueConfig(sp))
+		rep, err := Run(context.Background(), q, sp)
+		q.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.Jobs != 40 {
+			t.Errorf("%s: jobs = %d, want 40", name, rep.Jobs)
+		}
+		if rep.Failures != 0 {
+			t.Errorf("%s: %d failures", name, rep.Failures)
+		}
+		if rep.Elapsed <= 0 {
+			t.Errorf("%s: no elapsed time", name)
+		}
+	}
+}
+
+// TestCustomClassSetReplay: a scenario can declare its own class set;
+// pinned entries land in it and the per-class report is keyed by the
+// custom names.
+func TestCustomClassSetReplay(t *testing.T) {
+	sp := Spec{
+		Name: "three-tier",
+		Seed: 21,
+		Jobs: 45,
+		Classes: jobqueue.ClassSet{
+			{Name: "gold", Weight: 4},
+			{Name: "silver", Weight: 2},
+			{Name: "bronze", Weight: 1, Quota: 0.5},
+		},
+		Mix: []MixEntry{
+			{Algorithm: "reduce", Engine: "sim", MaxN: 128, Priority: "gold"},
+			{Algorithm: "reduce", Engine: "palrt", MaxN: 128, Priority: "silver"},
+			{Algorithm: "mergesort", Engine: "sim", MaxN: 128, Priority: "bronze"},
+		},
+		Workers: 2,
+	}
+	stream, err := Stream(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, js := range stream {
+		switch js.Priority {
+		case "gold", "silver", "bronze":
+		default:
+			t.Fatalf("stream produced class %q outside the declared set", js.Priority)
+		}
+	}
+	q := jobqueue.New(QueueConfig(sp))
+	defer q.Close()
+	rep, err := Run(context.Background(), q, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures != 0 || rep.Rejected != 0 {
+		t.Fatalf("failures=%d rejected=%d, want 0/0", rep.Failures, rep.Rejected)
+	}
+	var submitted int64
+	for _, name := range []jobqueue.Class{"gold", "silver", "bronze"} {
+		submitted += rep.PerClass[name].Submitted
+	}
+	if submitted == 0 {
+		t.Errorf("per-class report empty for the custom set: %+v", rep.PerClass)
+	}
+	// An unpinned entry defaults to the set's first class.
+	sp.Mix = []MixEntry{{Algorithm: "reduce", Engine: "sim", MaxN: 128}}
+	stream, err = Stream(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream[0].Priority != "gold" {
+		t.Errorf("unpinned entry got class %q, want the default gold", stream[0].Priority)
 	}
 }
 

@@ -19,3 +19,47 @@ func ExpSpacing(r *RNG, ratePerSec float64) time.Duration {
 	gap := -math.Log(1-r.Float64()) / ratePerSec
 	return time.Duration(gap * float64(time.Second))
 }
+
+// RampRate is the instantaneous arrival rate at elapsed time t of a
+// linear ramp from startPerSec to endPerSec over duration; past the
+// ramp the rate holds at endPerSec. Feeding it into ExpSpacing gap by
+// gap (rate held constant across each gap) yields a reproducible
+// piecewise approximation of a non-homogeneous Poisson ramp — the
+// traffic surge (or drain, when startPerSec > endPerSec) shape. It
+// panics unless both rates are positive and duration is positive.
+func RampRate(t, duration time.Duration, startPerSec, endPerSec float64) float64 {
+	if startPerSec <= 0 || endPerSec <= 0 {
+		panic("workload: RampRate requires positive rates")
+	}
+	if duration <= 0 {
+		panic("workload: RampRate requires a positive duration")
+	}
+	if t >= duration {
+		return endPerSec
+	}
+	frac := float64(t) / float64(duration)
+	if frac < 0 {
+		frac = 0
+	}
+	return startPerSec + (endPerSec-startPerSec)*frac
+}
+
+// DiurnalRate is the instantaneous arrival rate at elapsed time t of a
+// sinusoidal day/night cycle: basePerSec scaled by
+// 1 + amplitude·sin(2πt/period), so the rate peaks at base·(1+amplitude)
+// and troughs at base·(1−amplitude) once per period. amplitude must be
+// in [0, 1) so the rate stays positive. It panics on a non-positive
+// base or period or an out-of-range amplitude.
+func DiurnalRate(t, period time.Duration, basePerSec, amplitude float64) float64 {
+	if basePerSec <= 0 {
+		panic("workload: DiurnalRate requires a positive base rate")
+	}
+	if period <= 0 {
+		panic("workload: DiurnalRate requires a positive period")
+	}
+	if amplitude < 0 || amplitude >= 1 {
+		panic("workload: DiurnalRate amplitude outside [0, 1)")
+	}
+	phase := 2 * math.Pi * float64(t) / float64(period)
+	return basePerSec * (1 + amplitude*math.Sin(phase))
+}

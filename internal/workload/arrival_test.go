@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestExpSpacingMeanAndDeterminism(t *testing.T) {
+	r := NewRNG(7)
+	const rate = 1000.0
+	var total time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		g := ExpSpacing(r, rate)
+		if g < 0 {
+			t.Fatalf("negative gap %v", g)
+		}
+		total += g
+	}
+	mean := total.Seconds() / n
+	if math.Abs(mean-1/rate) > 0.1/rate {
+		t.Errorf("mean gap %v, want ~%v", mean, 1/rate)
+	}
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if ExpSpacing(a, rate) != ExpSpacing(b, rate) {
+			t.Fatal("same seed produced different gap streams")
+		}
+	}
+}
+
+func TestRampRate(t *testing.T) {
+	d := time.Second
+	if got := RampRate(0, d, 100, 900); got != 100 {
+		t.Errorf("rate at t=0 is %v, want 100", got)
+	}
+	if got := RampRate(d/2, d, 100, 900); math.Abs(got-500) > 1e-9 {
+		t.Errorf("rate at midpoint is %v, want 500", got)
+	}
+	for _, tt := range []time.Duration{d, 2 * d} {
+		if got := RampRate(tt, d, 100, 900); got != 900 {
+			t.Errorf("rate at t=%v is %v, want to hold at 900", tt, got)
+		}
+	}
+	// A ramp down interpolates the same way.
+	if got := RampRate(d/4, d, 800, 400); math.Abs(got-700) > 1e-9 {
+		t.Errorf("ramp-down rate at t/4 is %v, want 700", got)
+	}
+	for _, f := range []func(){
+		func() { RampRate(0, d, 0, 900) },
+		func() { RampRate(0, d, 100, -1) },
+		func() { RampRate(0, 0, 100, 900) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid RampRate arguments did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDiurnalRate(t *testing.T) {
+	p := time.Second
+	if got := DiurnalRate(0, p, 500, 0.8); math.Abs(got-500) > 1e-9 {
+		t.Errorf("rate at phase 0 is %v, want the base 500", got)
+	}
+	if got := DiurnalRate(p/4, p, 500, 0.8); math.Abs(got-900) > 1e-6 {
+		t.Errorf("peak rate is %v, want 900", got)
+	}
+	if got := DiurnalRate(3*p/4, p, 500, 0.8); math.Abs(got-100) > 1e-6 {
+		t.Errorf("trough rate is %v, want 100", got)
+	}
+	// The rate never goes non-positive for amplitude < 1.
+	for i := 0; i < 100; i++ {
+		if got := DiurnalRate(time.Duration(i)*p/100, p, 500, 0.99); got <= 0 {
+			t.Fatalf("rate %v at step %d, want > 0", got, i)
+		}
+	}
+	for _, f := range []func(){
+		func() { DiurnalRate(0, p, 0, 0.5) },
+		func() { DiurnalRate(0, 0, 500, 0.5) },
+		func() { DiurnalRate(0, p, 500, 1) },
+		func() { DiurnalRate(0, p, 500, -0.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid DiurnalRate arguments did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

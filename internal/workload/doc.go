@@ -12,6 +12,8 @@
 //     concrete deterministic stream of job parameters: weighted
 //     categorical choice for which algorithm/engine, log-uniform sizing
 //     for how big — the shape real request traffic has.
-//   - Arrival primitives (ExpSpacing) schedule when jobs arrive, giving
-//     internal/scenario its reproducible open-loop Poisson streams.
+//   - Arrival primitives (ExpSpacing, with RampRate and DiurnalRate
+//     shaping the instantaneous rate) schedule when jobs arrive, giving
+//     internal/scenario its reproducible open-loop Poisson streams and
+//     their ramping and day/night-cycle variants.
 package workload
