@@ -690,6 +690,89 @@ func BenchmarkJobQueueClasses(b *testing.B) {
 	}
 }
 
+// BenchmarkJobQueueResize prices the epoch-based placement table's
+// steady state: dispatch throughput on a 4-shard table reached by a live
+// 1→4 resize (carried-over rings and retention, re-dealt workers; the
+// result cache is disabled so every job executes, as in the other
+// dispatch matrices) against a queue cold-started at 4 shards. The two must be within noise
+// of each other — a resized table is a first-class table, not a degraded
+// one; cmd/benchgate gates both via BENCH_BASELINE.json. The resize
+// itself happens outside the timed region: what is measured is what the
+// table leaves behind.
+func BenchmarkJobQueueResize(b *testing.B) {
+	var seed atomic.Uint64
+	run := func(b *testing.B, q *jobqueue.Queue) {
+		const batch = 64
+		const submitters = 4
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for s := 0; s < submitters; s++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					jobs := make([]*jobqueue.Job, 0, batch/submitters)
+					for j := 0; j < batch/submitters; j++ {
+						job, err := q.Submit(jobqueue.Spec{
+							Algorithm: "reduce", N: 256, P: 4,
+							Engine: core.EngineSim, Seed: seed.Add(1),
+						})
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						jobs = append(jobs, job)
+					}
+					for _, job := range jobs {
+						if _, err := job.Wait(context.Background()); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		}
+		b.StopTimer()
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(b.N*batch)/secs, "jobs/sec")
+		}
+	}
+	b.Run("table=cold4", func(b *testing.B) {
+		q := jobqueue.New(jobqueue.Config{
+			Workers: 4, Shards: 4,
+			QueueDepth: 8192, CacheSize: -1,
+		})
+		defer q.Close()
+		run(b, q)
+	})
+	b.Run("table=resized1to4", func(b *testing.B) {
+		q := jobqueue.New(jobqueue.Config{
+			Workers: 4, Shards: 1,
+			QueueDepth: 8192, CacheSize: -1,
+		})
+		defer q.Close()
+		// Warm the 1-shard table so the resize migrates real state
+		// (retention entries and latency samples).
+		for w := 0; w < 64; w++ {
+			job, err := q.Submit(jobqueue.Spec{
+				Algorithm: "reduce", N: 256, P: 4,
+				Engine: core.EngineSim, Seed: seed.Add(1),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := job.Wait(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := q.Resize(4); err != nil {
+			b.Fatal(err)
+		}
+		run(b, q)
+	})
+}
+
 // ---- palrt work-stealing scheduler matrix ----
 //
 // BenchmarkPalrt{Spawn,Steal,DandC,DP} sweep processor count and task grain

@@ -8,19 +8,27 @@
 //
 // Serve mode (default). -classes replaces the default interactive/batch
 // priority pair with an arbitrary weighted class set (strict classes
-// drain first; weighted classes share dequeues in proportion to weight):
+// drain first; weighted classes share dequeues in proportion to weight);
+// -shards is only the starting shard count — the placement table resizes
+// live via POST /v1/resize, or continuously when -autoscale enables the
+// contention-driven controller:
 //
 //	lopramd -addr :8080 -workers 8 -shards 4
 //	lopramd -classes gold:strict:1,silver:2:0.5,bronze:1:0.25
+//	lopramd -autoscale 1:8            # grow/shrink shards between 1 and 8
+//	lopramd -autoscale 1:8:100ms:4:0.5
 //
 //	POST /v1/jobs               {"algorithm":"mergesort","n":65536,"engine":"sim","seed":7}
 //	GET  /v1/jobs/{id}          job status + result; ?wait=1 blocks until done
 //	GET  /v1/jobs?limit=50      recent jobs, newest first
+//	POST /v1/resize             {"shards":4} — live placement-table resize
 //	GET  /v1/algorithms         the catalogue: algorithm → supported engines
-//	GET  /v1/classes            the configured priority-class set (name, weight, quota)
+//	GET  /v1/classes            the configured priority-class set
+//	                            (name, weight, quota, default deadline)
 //	GET  /v1/scenarios          the built-in load-scenario catalogue
 //	GET  /v1/scenarios/{name}   one scenario's full declarative spec
-//	GET  /v1/metrics            serving statistics (per-class latency
+//	GET  /v1/metrics            serving statistics (placement epoch,
+//	                            per-shard table, per-class latency
 //	                            percentiles, hit rate, per-shard steals,
 //	                            palrt work-stealing scheduler counters)
 //	GET  /healthz               liveness
@@ -76,6 +84,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "batch mode: workload seed")
 		dup        = flag.Float64("dup", 0.3, "batch mode: fraction of jobs that duplicate an earlier spec (exercises the cache)")
 		algos      = flag.String("algorithms", "", "batch mode: comma-separated algorithm subset (default: full catalogue)")
+		autoscaleS = flag.String("autoscale", "", `serve mode: contention-driven shard autoscaling as min:max[:interval[:high[:low]]] (e.g. "1:8" or "1:8:250ms:4:0.5"); empty keeps the shard count fixed unless POST /v1/resize moves it`)
 		scenarioID = flag.String("scenario", "", "scenario mode: replay a built-in scenario by name, or a JSON spec file by path, and exit")
 		listScen   = flag.Bool("list-scenarios", false, "print the built-in scenario catalogue and exit")
 	)
@@ -98,6 +107,14 @@ func main() {
 			os.Exit(2)
 		}
 		cfg.Classes = classes
+	}
+	if *autoscaleS != "" {
+		auto, err := parseAutoscale(*autoscaleS)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lopramd: -autoscale: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Autoscale = auto
 	}
 
 	switch {
@@ -130,6 +147,41 @@ func arrivalOf(sp scenario.Spec) string {
 		return scenario.ArrivalClosed
 	}
 	return sp.Arrival
+}
+
+// parseAutoscale parses the -autoscale flag: "min:max" with optional
+// ":interval" (a Go duration) and ":high:low" contention thresholds, all
+// defaulting as documented on jobqueue.AutoscaleConfig.
+func parseAutoscale(s string) (*jobqueue.AutoscaleConfig, error) {
+	fields := strings.Split(s, ":")
+	if len(fields) < 2 || len(fields) > 5 || len(fields) == 4 {
+		return nil, fmt.Errorf("%q: want min:max[:interval[:high:low]]", s)
+	}
+	var cfg jobqueue.AutoscaleConfig
+	var err error
+	if cfg.Min, err = strconv.Atoi(strings.TrimSpace(fields[0])); err != nil {
+		return nil, fmt.Errorf("min %q is not an integer", fields[0])
+	}
+	if cfg.Max, err = strconv.Atoi(strings.TrimSpace(fields[1])); err != nil {
+		return nil, fmt.Errorf("max %q is not an integer", fields[1])
+	}
+	if len(fields) >= 3 {
+		if cfg.Interval, err = time.ParseDuration(strings.TrimSpace(fields[2])); err != nil {
+			return nil, fmt.Errorf("interval %q is not a duration", fields[2])
+		}
+	}
+	if len(fields) == 5 {
+		if cfg.ImbalanceHigh, err = strconv.ParseFloat(strings.TrimSpace(fields[3]), 64); err != nil {
+			return nil, fmt.Errorf("high threshold %q is not a number", fields[3])
+		}
+		if cfg.ImbalanceLow, err = strconv.ParseFloat(strings.TrimSpace(fields[4]), 64); err != nil {
+			return nil, fmt.Errorf("low threshold %q is not a number", fields[4])
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &cfg, nil
 }
 
 // ---- scenario mode ----
@@ -284,6 +336,30 @@ func newMux(q *jobqueue.Queue) *http.ServeMux {
 			}
 		}
 		writeJSON(w, http.StatusOK, q.Jobs(limit))
+	})
+	mux.HandleFunc("POST /v1/resize", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Shards int `json:"shards"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+			return
+		}
+		epoch, err := q.Resize(req.Shards)
+		if err != nil {
+			// Out-of-bounds targets are the client's fault (400); only
+			// shutdown is a 503.
+			status := http.StatusBadRequest
+			if errors.Is(err, jobqueue.ErrClosed) {
+				status = http.StatusServiceUnavailable
+			}
+			httpError(w, status, err.Error())
+			return
+		}
+		// Report the count this resize produced, not a re-read of the
+		// live queue — under -autoscale the controller may already have
+		// moved the table again, and epoch/shards must pair up.
+		writeJSON(w, http.StatusOK, map[string]any{"epoch": epoch, "shards": req.Shards})
 	})
 	mux.HandleFunc("GET /v1/algorithms", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, catalogueView())

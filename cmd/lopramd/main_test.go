@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"lopram/internal/jobqueue"
 )
@@ -112,5 +113,85 @@ func TestMetricsCarryClasses(t *testing.T) {
 	}
 	if _, ok := m.PerClass["interactive"]; !ok {
 		t.Errorf("per_class missing interactive: %v", m.PerClass)
+	}
+}
+
+// TestResizeEndpoint: POST /v1/resize swaps the placement table live,
+// reports the new epoch, and /v1/metrics reflects it; malformed and
+// out-of-bounds targets are 400s.
+func TestResizeEndpoint(t *testing.T) {
+	srv, q := testServer(t, jobqueue.Config{Workers: 2, Shards: 1})
+	resp, err := http.Post(srv.URL+"/v1/resize", "application/json", strings.NewReader(`{"shards":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var body struct {
+		Epoch  uint64 `json:"epoch"`
+		Shards int    `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Epoch != 2 || body.Shards != 4 {
+		t.Fatalf("resize response = %+v, want epoch 2 / 4 shards", body)
+	}
+	if q.NumShards() != 4 {
+		t.Fatalf("queue has %d shards after resize, want 4", q.NumShards())
+	}
+
+	mresp, err := http.Get(srv.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var m struct {
+		Epoch    uint64                `json:"epoch"`
+		Shards   int                   `json:"shards"`
+		PerShard []jobqueue.ShardStats `json:"per_shard"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch != 2 || m.Shards != 4 || len(m.PerShard) != 4 {
+		t.Errorf("metrics = epoch %d shards %d per_shard %d, want 2/4/4", m.Epoch, m.Shards, len(m.PerShard))
+	}
+
+	for _, bad := range []string{`{"shards":0}`, `{"shards":1000}`, `not json`} {
+		resp, err := http.Post(srv.URL+"/v1/resize", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("resize %q: status = %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestParseAutoscale: the -autoscale flag syntax, defaults and rejects.
+func TestParseAutoscale(t *testing.T) {
+	cfg, err := parseAutoscale("1:8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Min != 1 || cfg.Max != 8 || cfg.Interval != 0 {
+		t.Errorf("parseAutoscale(1:8) = %+v", cfg)
+	}
+	cfg, err = parseAutoscale("2:16:100ms:4:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Min != 2 || cfg.Max != 16 || cfg.Interval != 100*time.Millisecond ||
+		cfg.ImbalanceHigh != 4 || cfg.ImbalanceLow != 0.5 {
+		t.Errorf("parseAutoscale(full) = %+v", cfg)
+	}
+	for _, bad := range []string{"", "3", "a:b", "1:8:fast", "8:1", "1:8:1s:2", "1:8:1s:0.5:4", "1:8:1s:4:0.5:x"} {
+		if _, err := parseAutoscale(bad); err == nil {
+			t.Errorf("parseAutoscale(%q) accepted, want error", bad)
+		}
 	}
 }

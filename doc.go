@@ -34,7 +34,7 @@
 //   - internal/workload   — deterministic input, traffic-mix and arrival
 //     generators
 //   - internal/stats      — fitting, speedup and latency-summary toolkit
-//   - internal/experiments— the E1–E18 + A1–A5 reproduction suite
+//   - internal/experiments— the E1–E18 + A1–A7 reproduction suite
 //
 // See README.md for a guided tour, ARCHITECTURE.md for the serving-stack
 // layer map. The benchmarks in bench_test.go regenerate every table and

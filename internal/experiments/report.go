@@ -1,7 +1,8 @@
 // Package experiments implements the reproduction suite: one function per
 // experiment of EXPERIMENTS.md (E1–E18) plus the design-choice ablations
-// (A1–A6; A5 is the serving-layer scenario/sharding ablation, A6 the
-// weighted-priority-class starvation-bound ablation). Each
+// (A1–A7; A5 is the serving-layer scenario/sharding ablation, A6 the
+// weighted-priority-class starvation-bound ablation, A7 the live
+// shard-resize invariance ablation). Each
 // returns a Report with the regenerated table and a Check verdict
 // comparing the measured shape against the paper's claim, so both
 // cmd/lopram-bench and the test suite consume the same code path.
@@ -58,12 +59,12 @@ func (r Report) String() string {
 }
 
 // SuiteIDs returns the ids of the full suite in canonical order:
-// E1–E18 then the ablations A1–A6.
+// E1–E18 then the ablations A1–A7.
 func SuiteIDs() []string {
 	return []string{
 		"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
 		"E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18",
-		"A1", "A2", "A3", "A4", "A5", "A6",
+		"A1", "A2", "A3", "A4", "A5", "A6", "A7",
 	}
 }
 
@@ -105,6 +106,7 @@ func ByID(id string, quick bool) (Report, bool) {
 		"A4":  A4,
 		"A5":  func() Report { return A5(quick) },
 		"A6":  func() Report { return A6(quick) },
+		"A7":  func() Report { return A7(quick) },
 	}
 	f, ok := funcs[strings.ToUpper(id)]
 	if !ok {

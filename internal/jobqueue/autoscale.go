@@ -1,0 +1,160 @@
+package jobqueue
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// AutoscaleConfig opts the queue into contention-driven shard
+// autoscaling: a controller goroutine samples the queue every Interval
+// and resizes the placement table between Min and Max shards from the
+// observed contention, so one binary serves a laptop and a big box
+// without hand-tuning -shards — the LoPRAM stance (optimal speedup at a
+// low, varying degree of parallelism, no per-machine p) applied to the
+// serving layer.
+//
+// The controller's signal is the contention score sampled each tick:
+//
+//	score = pending jobs per shard + stolen/executed ratio of the tick
+//
+// Queue depth is demand the current table is not absorbing; the steal
+// fraction (per-shard Executed vs Stolen imbalance, from the same
+// counters Metrics.PerShard reports) is placement skew — keys piling
+// onto few shards while the rest stay idle enough to steal. A score at
+// or above ImbalanceHigh doubles the shard count (capped at Max); a
+// score at or below ImbalanceLow on two consecutive ticks halves it
+// (floored at Min) — the two thresholds plus the two-tick shrink
+// hysteresis keep the controller from flapping on bursty traffic.
+type AutoscaleConfig struct {
+	// Min and Max bound the shard count the controller (and any manual
+	// Resize while autoscaling is configured) may choose. Min defaults
+	// to 1; Max defaults to the host's core count (at least Min), capped
+	// at MaxShards.
+	Min int `json:"min"`
+	Max int `json:"max"`
+	// Interval is the controller's sampling period. Default 250ms.
+	Interval time.Duration `json:"interval_ns"`
+	// ImbalanceHigh is the contention score at which the shard count
+	// doubles. Default 4 (four queued jobs per shard, or equivalent
+	// steal pressure).
+	ImbalanceHigh float64 `json:"imbalance_high"`
+	// ImbalanceLow is the contention score at or below which two
+	// consecutive ticks halve the shard count. Default 0.5.
+	ImbalanceLow float64 `json:"imbalance_low"`
+}
+
+// withDefaults fills the zero fields with the documented defaults.
+func (a AutoscaleConfig) withDefaults() AutoscaleConfig {
+	if a.Min <= 0 {
+		a.Min = 1
+	}
+	if a.Max <= 0 {
+		a.Max = runtime.GOMAXPROCS(0)
+		if a.Max < a.Min {
+			a.Max = a.Min
+		}
+	}
+	if a.Max > MaxShards {
+		a.Max = MaxShards
+	}
+	if a.Interval <= 0 {
+		a.Interval = 250 * time.Millisecond
+	}
+	if a.ImbalanceHigh == 0 {
+		a.ImbalanceHigh = 4
+	}
+	if a.ImbalanceLow == 0 {
+		a.ImbalanceLow = 0.5
+	}
+	return a
+}
+
+// Validate checks the configuration after defaulting: ordered bounds
+// within [1, MaxShards] and ordered positive thresholds. New panics on an
+// invalid config (like an invalid ClassSet); validate user input first.
+func (a AutoscaleConfig) Validate() error {
+	a = a.withDefaults()
+	if a.Min < 1 || a.Max > MaxShards || a.Min > a.Max {
+		return fmt.Errorf("jobqueue: autoscale bounds [%d, %d] outside 1 <= min <= max <= %d", a.Min, a.Max, MaxShards)
+	}
+	if a.ImbalanceLow <= 0 || a.ImbalanceHigh <= a.ImbalanceLow {
+		return fmt.Errorf("jobqueue: autoscale thresholds high=%g low=%g need high > low > 0", a.ImbalanceHigh, a.ImbalanceLow)
+	}
+	return nil
+}
+
+// execStolenTotals sums the executed/stolen counters across the retired
+// history and the live shards of one coherent table (retiredTotals).
+func (q *Queue) execStolenTotals() (exec, stolen int64) {
+	p, exec, stolen := q.retiredTotals()
+	for _, s := range p.shards {
+		exec += s.executed.Load()
+		stolen += s.stolen.Load()
+	}
+	return exec, stolen
+}
+
+// autoscaleLoop is the controller goroutine started by New when
+// Config.Autoscale is set; Close stops it before tearing the queue down.
+func (q *Queue) autoscaleLoop(cfg AutoscaleConfig) {
+	defer q.scalerWG.Done()
+	tick := time.NewTicker(cfg.Interval)
+	defer tick.Stop()
+	prevExec, prevStolen := q.execStolenTotals()
+	lowTicks := 0
+	for {
+		select {
+		case <-q.stopScaler:
+			return
+		case <-tick.C:
+		}
+		n := len(q.place.Load().shards)
+		// A starting shard count outside [Min, Max] (New does not bound
+		// Config.Shards by the autoscale config) would otherwise wedge
+		// the controller: every halved/doubled target it proposes is
+		// rejected by Resize's bounds check. Normalize into the bounds
+		// first; from there the score logic takes over.
+		if n > cfg.Max || n < cfg.Min {
+			target := n
+			if target > cfg.Max {
+				target = cfg.Max
+			}
+			if target < cfg.Min {
+				target = cfg.Min
+			}
+			_, _ = q.Resize(target)
+			continue
+		}
+		exec, stolen := q.execStolenTotals()
+		dExec, dStolen := exec-prevExec, stolen-prevStolen
+		prevExec, prevStolen = exec, stolen
+		score := float64(q.pending.Load()) / float64(n)
+		if dExec > 0 && dStolen > 0 {
+			score += float64(dStolen) / float64(dExec)
+		}
+		switch {
+		case score >= cfg.ImbalanceHigh && n < cfg.Max:
+			lowTicks = 0
+			target := n * 2
+			if target > cfg.Max {
+				target = cfg.Max
+			}
+			// A racing Close can fail the resize; the loop exits on the
+			// stop channel next iteration either way.
+			_, _ = q.Resize(target)
+		case score <= cfg.ImbalanceLow && n > cfg.Min:
+			lowTicks++
+			if lowTicks >= 2 {
+				lowTicks = 0
+				target := n / 2
+				if target < cfg.Min {
+					target = cfg.Min
+				}
+				_, _ = q.Resize(target)
+			}
+		default:
+			lowTicks = 0
+		}
+	}
+}

@@ -54,3 +54,14 @@ func (c *lru) put(key Key, res Result) {
 
 // len returns the number of cached results.
 func (c *lru) len() int { return c.order.Len() }
+
+// each visits every cached entry, least recently used first, so copying
+// entries into another cache in visit order preserves the recency order.
+// Resize uses it to re-hash a retiring shard's results onto the new
+// placement table.
+func (c *lru) each(fn func(Key, Result)) {
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*lruEntry)
+		fn(e.key, e.res)
+	}
+}

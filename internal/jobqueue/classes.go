@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Class is a job's priority class, identified by name. The class set a
@@ -58,6 +59,12 @@ type ClassSpec struct {
 	// are independent, so a flood in one class can never crowd another
 	// class out of admission.
 	Quota float64 `json:"quota"`
+	// DefaultDeadline is the per-job execution deadline applied at
+	// submit time to jobs of this class whose spec carries no Timeout of
+	// its own; 0 (the default) defers to Config.DefaultTimeout. It lets
+	// a latency-sensitive class fail fast while batch traffic keeps the
+	// queue-wide default, without every submitter stamping timeouts.
+	DefaultDeadline time.Duration `json:"default_deadline_ns,omitempty"`
 }
 
 // ClassSet is an ordered priority-class configuration. Order matters
@@ -109,6 +116,9 @@ func (cs ClassSet) Validate() error {
 		if c.Quota < 0 || c.Quota > 1 {
 			return fmt.Errorf("jobqueue: class %q quota %v outside [0, 1]", c.Name, c.Quota)
 		}
+		if c.DefaultDeadline < 0 {
+			return fmt.Errorf("jobqueue: class %q has negative default deadline %v", c.Name, c.DefaultDeadline)
+		}
 	}
 	return nil
 }
@@ -134,7 +144,8 @@ func (cs ClassSet) Names() string {
 }
 
 // String renders the set in the -classes flag syntax
-// ("name:weight:quota,..." with "strict" for WeightStrict).
+// ("name:weight:quota[:deadline],..." with "strict" for WeightStrict;
+// the deadline segment appears only when a class sets one).
 func (cs ClassSet) String() string {
 	parts := make([]string, len(cs))
 	for i, c := range cs {
@@ -147,14 +158,19 @@ func (cs ClassSet) String() string {
 			q = 1
 		}
 		parts[i] = fmt.Sprintf("%s:%s:%g", c.Name, w, q)
+		if c.DefaultDeadline > 0 {
+			parts[i] += ":" + c.DefaultDeadline.String()
+		}
 	}
 	return strings.Join(parts, ",")
 }
 
 // ParseClassSet parses the -classes flag syntax: comma-separated
-// "name:weight" or "name:weight:quota" entries, where weight is a
-// non-negative integer or the literal "strict" (WeightStrict) and quota
-// is a fraction in (0, 1] defaulting to 1. The parsed set is validated.
+// "name:weight[:quota[:deadline]]" entries, where weight is a
+// non-negative integer or the literal "strict" (WeightStrict), quota is
+// a fraction in (0, 1] defaulting to 1, and deadline — the class's
+// per-job default execution deadline — is a Go duration ("250ms", "1m")
+// defaulting to none. The parsed set is validated.
 func ParseClassSet(s string) (ClassSet, error) {
 	var cs ClassSet
 	for _, entry := range strings.Split(s, ",") {
@@ -163,8 +179,8 @@ func ParseClassSet(s string) (ClassSet, error) {
 			continue
 		}
 		fields := strings.Split(entry, ":")
-		if len(fields) < 2 || len(fields) > 3 {
-			return nil, fmt.Errorf("jobqueue: class entry %q: want name:weight or name:weight:quota", entry)
+		if len(fields) < 2 || len(fields) > 4 {
+			return nil, fmt.Errorf("jobqueue: class entry %q: want name:weight[:quota[:deadline]]", entry)
 		}
 		spec := ClassSpec{Name: Class(strings.TrimSpace(fields[0]))}
 		w := strings.TrimSpace(fields[1])
@@ -177,12 +193,19 @@ func ParseClassSet(s string) (ClassSet, error) {
 			}
 			spec.Weight = n
 		}
-		if len(fields) == 3 {
+		if len(fields) >= 3 {
 			q, err := strconv.ParseFloat(strings.TrimSpace(fields[2]), 64)
 			if err != nil || q <= 0 || q > 1 {
 				return nil, fmt.Errorf("jobqueue: class %q: quota %q outside (0, 1]", spec.Name, fields[2])
 			}
 			spec.Quota = q
+		}
+		if len(fields) == 4 {
+			d, err := time.ParseDuration(strings.TrimSpace(fields[3]))
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("jobqueue: class %q: deadline %q is not a positive duration", spec.Name, fields[3])
+			}
+			spec.DefaultDeadline = d
 		}
 		cs = append(cs, spec)
 	}

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"lopram/internal/core"
 )
 
 func TestClassSetValidate(t *testing.T) {
@@ -411,5 +413,79 @@ func TestAllStrictClasses(t *testing.T) {
 		if c != want {
 			t.Fatalf("start %d is %s, want %s (order %v)", i, c, want, order)
 		}
+	}
+}
+
+// TestParseClassSetDeadline: the optional fourth field is the class's
+// default per-job deadline, round-tripping through String.
+func TestParseClassSetDeadline(t *testing.T) {
+	cs, err := ParseClassSet("rt:strict:1:250ms,bulk:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs[0].DefaultDeadline != 250*time.Millisecond {
+		t.Errorf("rt deadline = %v, want 250ms", cs[0].DefaultDeadline)
+	}
+	if cs[1].DefaultDeadline != 0 {
+		t.Errorf("bulk deadline = %v, want none", cs[1].DefaultDeadline)
+	}
+	if s := cs.String(); !strings.Contains(s, "250ms") {
+		t.Errorf("String() = %q, want the deadline rendered", s)
+	}
+	if rt, err := ParseClassSet(cs.String()); err != nil || rt[0].DefaultDeadline != 250*time.Millisecond {
+		t.Errorf("round trip of %q: %v, %+v", cs.String(), err, rt)
+	}
+	for _, bad := range []string{"rt:1:1:banana", "rt:1:1:-5ms", "rt:1:1:0s", "rt:1:1:1ms:x"} {
+		if _, err := ParseClassSet(bad); err == nil {
+			t.Errorf("ParseClassSet(%q) accepted, want error", bad)
+		}
+	}
+	if err := (ClassSet{{Name: "x", Weight: 1, DefaultDeadline: -time.Second}}).Validate(); err == nil {
+		t.Error("negative DefaultDeadline passed Validate")
+	}
+}
+
+// TestClassDefaultDeadlineApplied: a submit without a spec timeout
+// inherits its class's default deadline; an explicit spec timeout wins;
+// classes without a default leave the queue-wide timeout in force.
+func TestClassDefaultDeadlineApplied(t *testing.T) {
+	q := New(Config{Workers: 1, Classes: ClassSet{
+		{Name: "rt", Weight: WeightStrict, DefaultDeadline: 123 * time.Millisecond},
+		{Name: "bulk", Weight: 1},
+	}})
+	defer q.Close()
+
+	seed := uint64(0)
+	submit := func(class Class, timeout time.Duration) *Job {
+		t.Helper()
+		seed++ // distinct keys: equal keys would coalesce across classes
+		job, err := q.Submit(Spec{Algorithm: "reduce", N: 64, P: 2, Engine: core.EngineSim,
+			Seed: seed, Priority: class, Timeout: timeout})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return job
+	}
+	if job := submit("rt", 0); job.Spec.Timeout != 123*time.Millisecond {
+		t.Errorf("rt job timeout = %v, want the class default 123ms", job.Spec.Timeout)
+	}
+	if job := submit("rt", time.Minute); job.Spec.Timeout != time.Minute {
+		t.Errorf("explicit timeout = %v, want the spec's own 1m", job.Spec.Timeout)
+	}
+	if job := submit("bulk", 0); job.Spec.Timeout != 0 {
+		t.Errorf("bulk job timeout = %v, want 0 (queue default applies at run time)", job.Spec.Timeout)
+	}
+	// The deadline actually binds: a class whose default is far below the
+	// service time fails its jobs with DeadlineExceeded.
+	qd := New(Config{Workers: 1, Classes: ClassSet{
+		{Name: "doomed", Weight: 1, DefaultDeadline: time.Nanosecond},
+	}})
+	defer qd.Close()
+	job, err := qd.Submit(Spec{Algorithm: "mergesort", N: 4096, Engine: core.EngineSim, Seed: 3, Priority: "doomed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Wait(context.Background()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want DeadlineExceeded via the class default", err)
 	}
 }

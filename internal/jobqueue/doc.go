@@ -6,16 +6,28 @@
 // completed results in per-shard LRU caches, and aggregate serving
 // statistics into one merged snapshot.
 //
-// # Sharding
+// # Sharding and elasticity
 //
 // A Queue built with Config.Shards = N splits every mutable structure N
 // ways: run queues, worker pools, in-flight coalescing maps, result
-// caches, latency rings and per-algorithm aggregates. A job is placed on
-// the shard selected by an FNV-1a hash of its cache Key (func jobs hash
-// their name), so identical specs always meet on the same shard — the
-// invariant coalescing and result caching depend on. No lock is global:
-// heavy mixed traffic contends only within a shard, and Snapshot merges
-// the shards' views after the fact.
+// caches, latency rings and per-algorithm aggregates. Shard addressing
+// lives in one place — an immutable, epoch-versioned placement table
+// swapped atomically — and a job is placed on the shard selected by an
+// FNV-1a hash of its cache Key against the current table (func jobs hash
+// their name), so identical specs always meet on the same shard of an
+// epoch — the invariant coalescing and result caching depend on. No lock
+// is global: heavy mixed traffic contends only within a shard, and
+// Snapshot merges the shards' views after the fact.
+//
+// The shard count is not fixed at creation: Resize swaps in a table of a
+// different size, migrating cached results, coalescing entries, queued
+// jobs and latency samples with their keys while running jobs finish and
+// settle through the new table, so no job is lost, re-executed or
+// mis-cached across the swap. Config.Autoscale opts into a controller
+// that calls Resize from observed contention (queue depth per shard plus
+// steal pressure), growing and shrinking the table between its bounds —
+// one binary serving a laptop and a big box without hand-tuning the
+// shard count, the LoPRAM stance on p applied to the serving layer.
 //
 // Idle shards do not sit out: a worker whose own shard has no runnable
 // job sweeps the other shards' run queues (interactive class first) and

@@ -27,10 +27,10 @@ var (
 )
 
 const (
-	// shardBits is how many low bits of a job ID encode its home shard.
+	// shardBits is how many low bits of a job ID encode its birth shard.
 	shardBits = 6
-	// MaxShards bounds Config.Shards: shard indices must fit in the
-	// shardBits low bits of every job ID.
+	// MaxShards bounds Config.Shards and Resize targets: shard indices
+	// must fit in the shardBits low bits of every job ID.
 	MaxShards = 1 << shardBits
 )
 
@@ -40,12 +40,15 @@ type Config struct {
 	// jobs executing concurrently. Defaults to the host's core count —
 	// one dispatch worker per hardware core, mirroring the machine
 	// model's fixed p. Each shard gets at least one worker, so the
-	// effective total is max(Workers, Shards).
+	// effective total is max(Workers, Shards) — and a Resize past the
+	// worker count grows the pool to keep that invariant.
 	Workers int
-	// Shards is the number of independent queue shards (run queue +
-	// worker pool + cache + metric rings). Placement is by key hash, so
-	// identical specs always land on the same shard. Default 1 (the
-	// pre-sharding single-queue behavior); capped at MaxShards.
+	// Shards is the initial number of independent queue shards (run
+	// queue + worker pool + cache + metric rings). Placement is by key
+	// hash against the current placement table, so identical specs
+	// always land on the same shard of an epoch. Default 1; capped at
+	// MaxShards. The count can change at runtime via Resize or the
+	// autoscaler; state migrates with the keys.
 	Shards int
 	// QueueDepth is the base admission capacity: the bound on
 	// admitted-but-not-started jobs of a full-quota class across the
@@ -59,8 +62,8 @@ type Config struct {
 	// divided evenly among shards. Default 512; negative disables
 	// caching.
 	CacheSize int
-	// DefaultTimeout caps each job's execution when its spec does not
-	// set one. Default 60s.
+	// DefaultTimeout caps each job's execution when neither its spec nor
+	// its priority class sets a deadline. Default 60s.
 	DefaultTimeout time.Duration
 	// Retain bounds how many terminal jobs stay queryable by ID, divided
 	// evenly among shards. Default 4096.
@@ -81,6 +84,12 @@ type Config struct {
 	// fails (ClassSet).Validate; parse user input with ParseClassSet to
 	// reject it gracefully first.
 	Classes ClassSet
+	// Autoscale opts the queue into contention-driven shard autoscaling:
+	// a controller resizes the placement table between the configured
+	// bounds from observed queue depth and steal pressure. Nil (the
+	// default) keeps the shard count fixed unless Resize is called
+	// explicitly. New panics if the config fails Validate.
+	Autoscale *AutoscaleConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -125,26 +134,42 @@ func perShard(total, shards int) int {
 type Queue struct {
 	cfg     Config
 	classes classSet
-	shards  []*shard
+	// place is the current epoch's placement table — the one authority
+	// on shard addressing. Swapped atomically by Resize; readers load it
+	// once per operation and retry if they catch a shard mid-retirement.
+	place   atomic.Pointer[placement]
 	nextSeq atomic.Uint64
 	// kick wakes one idle worker when any shard enqueues a job, so
 	// cross-shard stealing reacts immediately instead of waiting for the
 	// fallback poll. Capacity 1: a pending kick means some worker will
 	// sweep every shard, which discovers all stealable work.
-	kick chan struct{}
-	// detach is the orphan budget: a worker may abandon a deadline-blown
-	// run (leaving it to finish in the background) only while a slot is
-	// free, so hostile timeout traffic cannot accumulate unbounded
-	// concurrent runs. With the budget exhausted the worker waits for
-	// its run to finish — backpressure instead of runaway concurrency.
-	detach chan struct{}
-
+	kick    chan struct{}
 	closeMu sync.Mutex
 	closed  bool
 
+	// resizeMu serializes Resize against itself and against Close, so a
+	// placement swap and a shutdown can never interleave their shard
+	// retirement.
+	resizeMu sync.Mutex
+	// retiredShards keeps the most recent generation of shards swapped
+	// out by a resize: their executed/stolen counters stay part of the
+	// queue totals (a worker that raced the swap may still increment
+	// them), so Metrics.Steals and the autoscaler's deltas remain
+	// monotonic across epochs. The next resize folds them into the
+	// aggregate counters below, so the list is bounded by one table's
+	// width, not by resize count; the heavy per-shard state is freed at
+	// migration either way.
+	retiredMu     sync.Mutex
+	retiredShards []*shard
+	retiredExec   atomic.Int64
+	retiredStolen atomic.Int64
+
 	workers      sync.WaitGroup
-	totalWorkers int
+	totalWorkers int // guarded by resizeMu after New; snapshot in placement.workers
 	orphans      sync.WaitGroup
+
+	stopScaler chan struct{}
+	scalerWG   sync.WaitGroup
 
 	// Counters (atomics: hot path, read by Snapshot without any lock).
 	submitted  atomic.Int64
@@ -174,13 +199,21 @@ type classCounters struct {
 }
 
 // New returns a running queue. It panics if Config.Classes fails
-// (ClassSet).Validate — an invalid class set is a configuration
-// programming error; validate user-supplied sets first.
+// (ClassSet).Validate or Config.Autoscale fails Validate — an invalid
+// class set or autoscale config is a configuration programming error;
+// validate user-supplied input first.
 func New(cfg Config) *Queue {
 	cfg = cfg.withDefaults()
 	classes, err := resolveClasses(cfg.Classes, cfg.BatchShare)
 	if err != nil {
 		panic(err)
+	}
+	if cfg.Autoscale != nil {
+		if err := cfg.Autoscale.Validate(); err != nil {
+			panic(err)
+		}
+		a := cfg.Autoscale.withDefaults()
+		cfg.Autoscale = &a
 	}
 	q := &Queue{
 		cfg:      cfg,
@@ -198,23 +231,37 @@ func New(cfg Config) *Queue {
 		cacheCap = perShard(cfg.CacheSize, cfg.Shards)
 	}
 	retain := perShard(cfg.Retain, cfg.Shards)
+	shards := make([]*shard, cfg.Shards)
 	for i := 0; i < cfg.Shards; i++ {
-		q.shards = append(q.shards, newShard(i, depths, cacheCap, retain))
+		shards[i] = newShard(i, depths, nil, cacheCap, retain)
 	}
 	if cfg.Workers < cfg.Shards {
 		cfg.Workers = cfg.Shards // every shard gets at least one worker
 	}
 	q.totalWorkers = cfg.Workers
-	q.detach = make(chan struct{}, 2*q.totalWorkers)
+	q.place.Store(&placement{epoch: 1, workers: cfg.Workers, shards: shards})
 	q.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
-		go q.worker(q.shards[i%cfg.Shards]) // dealt round-robin
+		go q.worker(i) // homes dealt fair-share over the current table
+	}
+	if cfg.Autoscale != nil {
+		q.stopScaler = make(chan struct{})
+		q.scalerWG.Add(1)
+		go q.autoscaleLoop(*cfg.Autoscale)
 	}
 	return q
 }
 
+// isClosed reports whether Close has begun.
+func (q *Queue) isClosed() bool {
+	q.closeMu.Lock()
+	defer q.closeMu.Unlock()
+	return q.closed
+}
+
 // Close stops admission, drains already-admitted jobs, and waits for all
-// workers (and any deadline-abandoned runs) to finish.
+// workers (and any deadline-abandoned runs) to finish. The autoscaler, if
+// any, is stopped first so no resize can race the teardown.
 func (q *Queue) Close() {
 	q.closeMu.Lock()
 	if q.closed {
@@ -223,20 +270,28 @@ func (q *Queue) Close() {
 	}
 	q.closed = true
 	q.closeMu.Unlock()
-	// Stop admission on every shard before closing any run queue: a
-	// Submit holding a shard lock finishes its send before the flag
+	if q.stopScaler != nil {
+		close(q.stopScaler)
+		q.scalerWG.Wait()
+	}
+	// Serialize against any in-flight Resize, then tear down the current
+	// table: stop admission on every shard before closing any run queue
+	// (a Submit holding a shard lock finishes its send before the flag
 	// flips, and later Submits see the flag — no send on a closed
-	// channel either way.
-	for _, s := range q.shards {
+	// channel either way).
+	q.resizeMu.Lock()
+	p := q.place.Load()
+	for _, s := range p.shards {
 		s.mu.Lock()
 		s.closed = true
 		s.mu.Unlock()
 	}
-	for _, s := range q.shards {
+	for _, s := range p.shards {
 		for _, ch := range s.runq {
 			close(ch)
 		}
 	}
+	q.resizeMu.Unlock()
 	q.workers.Wait()
 	q.orphans.Wait()
 }
@@ -247,25 +302,29 @@ func (q *Queue) Classes() ClassSet {
 	return append(ClassSet(nil), q.classes.specs...)
 }
 
-// ShardOf reports which shard the spec would be placed on — the shard its
-// cache key hashes to. Placement is deterministic: equal keys always map
-// to the same shard of a queue with the same shard count.
+// ShardOf reports which shard the spec would be placed on under the
+// current placement epoch — the shard its cache key hashes to. Placement
+// is deterministic per epoch: equal keys always map to the same shard of
+// any queue at the same shard count.
 func (q *Queue) ShardOf(spec Spec) int {
-	return int(spec.key().hash() % uint64(len(q.shards)))
+	return q.place.Load().shardFor(spec.key()).idx
 }
 
 // newID allocates the next job ID for a job homed on shard idx: a global
 // sequence number in the high bits (IDs stay submission-ordered across
-// shards) and the home shard in the low shardBits (Get routes by them).
+// shards) and the birth shard in the low shardBits (Get routes by them,
+// modulo the current shard count after resizes).
 func (q *Queue) newID(idx int) uint64 {
 	return q.nextSeq.Add(1)<<shardBits | uint64(idx)
 }
 
 // Submit validates, admission-controls and enqueues an algorithm job on
-// the shard its key hashes to. Duplicate requests are served without
-// re-execution: a spec whose key is already in flight returns the
-// in-flight job (coalescing), and one whose result is cached returns an
-// already-completed job.
+// the shard its key hashes to under the current placement epoch.
+// Duplicate requests are served without re-execution: a spec whose key is
+// already in flight returns the in-flight job (coalescing), and one whose
+// result is cached returns an already-completed job — guarantees that
+// hold across live resizes, because the coalescing entries and cached
+// results migrate with the keys.
 func (q *Queue) Submit(spec Spec) (*Job, error) {
 	if spec.P == 0 && spec.N >= 1 {
 		// Freeze the model-default processor count into the spec so the
@@ -285,77 +344,105 @@ func (q *Queue) Submit(spec Spec) (*Job, error) {
 		return nil, fmt.Errorf("%w %q (valid classes: %s)",
 			ErrUnknownClass, spec.Priority, ClassSet(q.classes.specs).Names())
 	}
-	key := spec.key()
-	s := q.shards[int(key.hash()%uint64(len(q.shards)))]
-	now := time.Now()
-
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		q.rejected.Add(1)
-		q.perClass[class].rejected.Add(1)
-		return nil, ErrClosed
+	if spec.Timeout == 0 {
+		// The class's default deadline applies when the spec carries
+		// none; zero for both defers to Config.DefaultTimeout at run
+		// time. Timeout is not part of the cache key.
+		spec.Timeout = q.classes.specs[class].DefaultDeadline
 	}
-	if res, ok := s.cache.get(key); ok {
+	key := spec.key()
+	for {
+		s := q.place.Load().shardFor(key)
+		now := time.Now()
+		s.mu.Lock()
+		if s.retired {
+			// A resize is migrating this shard's keys; follow them.
+			s.mu.Unlock()
+			retryPlacement()
+			continue
+		}
+		if s.closed {
+			s.mu.Unlock()
+			q.rejected.Add(1)
+			q.perClass[class].rejected.Add(1)
+			return nil, ErrClosed
+		}
+		if res, ok := s.cache.get(key); ok {
+			job := newJob(q.newID(s.idx), spec.String(), spec, nil, now)
+			job.class = class
+			s.insertLocked(job)
+			s.mu.Unlock()
+			q.cacheHits.Add(1)
+			q.submitted.Add(1)
+			q.perClass[class].submitted.Add(1)
+			// Cached serves are near-instant and skip the latency samples;
+			// Wall in the result reports the original run's cost.
+			job.completeCached(res, now)
+			return job, nil
+		}
+		if dup, ok := s.inflight[key]; ok {
+			s.mu.Unlock()
+			q.coalesced.Add(1)
+			return dup, nil
+		}
+		q.cacheMiss.Add(1)
 		job := newJob(q.newID(s.idx), spec.String(), spec, nil, now)
 		job.class = class
-		s.insertLocked(job)
+		if err := q.enqueueLocked(s, job, key); err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
 		s.mu.Unlock()
-		q.cacheHits.Add(1)
-		q.submitted.Add(1)
-		q.perClass[class].submitted.Add(1)
-		// Cached serves are near-instant and skip the latency samples;
-		// Wall in the result reports the original run's cost.
-		job.completeCached(res, now)
+		q.kickWorkers()
 		return job, nil
 	}
-	if dup, ok := s.inflight[key]; ok {
-		s.mu.Unlock()
-		q.coalesced.Add(1)
-		return dup, nil
-	}
-	q.cacheMiss.Add(1)
-	job := newJob(q.newID(s.idx), spec.String(), spec, nil, now)
-	job.class = class
-	if err := q.enqueueLocked(s, job, key); err != nil {
-		s.mu.Unlock()
-		return nil, err
-	}
-	s.mu.Unlock()
-	q.kickWorkers()
-	return job, nil
 }
 
 // SubmitFunc enqueues an arbitrary work item on the same pools, subject
 // to the same admission control and deadlines but bypassing spec
-// validation, coalescing and the result cache. Placement hashes the name,
-// so equal names share a shard; the job runs in the class set's first
-// (default) class. The experiment suite uses it to run E1–E18 through
-// the queue as a load test.
+// validation, coalescing and the result cache. Placement hashes the name
+// against the current placement table, so equal names share a shard; the
+// job runs in the class set's first (default) class. The experiment suite
+// uses it to run E1–E18 through the queue as a load test.
 func (q *Queue) SubmitFunc(name string, fn func(ctx context.Context) error) (*Job, error) {
 	if fn == nil {
 		return nil, fmt.Errorf("jobqueue: nil func for %q", name)
 	}
-	s := q.shards[int(hashString(name)%uint64(len(q.shards)))]
-	s.mu.Lock()
-	if s.closed {
+	for {
+		s := q.place.Load().shardForName(name)
+		s.mu.Lock()
+		if s.retired {
+			s.mu.Unlock()
+			retryPlacement()
+			continue
+		}
+		if s.closed {
+			s.mu.Unlock()
+			q.rejected.Add(1)
+			return nil, ErrClosed
+		}
+		job := newJob(q.newID(s.idx), name, Spec{}, fn, time.Now())
+		if err := q.enqueueLocked(s, job, Key{}); err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
 		s.mu.Unlock()
-		q.rejected.Add(1)
-		return nil, ErrClosed
+		q.kickWorkers()
+		return job, nil
 	}
-	job := newJob(q.newID(s.idx), name, Spec{}, fn, time.Now())
-	if err := q.enqueueLocked(s, job, Key{}); err != nil {
-		s.mu.Unlock()
-		return nil, err
-	}
-	s.mu.Unlock()
-	q.kickWorkers()
-	return job, nil
 }
 
 // enqueueLocked admits a job to its class's run queue on shard s; the
-// caller holds s.mu.
+// caller holds s.mu. The admission bound is the lane counter, not the
+// channel (which a resize may have sized larger to hold a migrated
+// backlog); the non-blocking send is a backstop that cannot fire while
+// the counter invariant holds.
 func (q *Queue) enqueueLocked(s *shard, job *Job, key Key) error {
+	if s.laneUsed[job.class].Load() >= int64(s.laneDepths[job.class]) {
+		q.rejected.Add(1)
+		q.perClass[job.class].rejected.Add(1)
+		return ErrQueueFull
+	}
 	select {
 	case s.runq[job.class] <- job:
 	default:
@@ -363,6 +450,7 @@ func (q *Queue) enqueueLocked(s *shard, job *Job, key Key) error {
 		q.perClass[job.class].rejected.Add(1)
 		return ErrQueueFull
 	}
+	s.laneUsed[job.class].Add(1)
 	s.insertLocked(job)
 	if job.fn == nil {
 		s.inflight[key] = job
@@ -383,40 +471,55 @@ func (q *Queue) kickWorkers() {
 	}
 }
 
-// Get returns the job with the given ID, if still retained.
+// Get returns the job with the given ID, if still retained. The route —
+// the ID's birth-shard bits modulo the current shard count — is the same
+// rule resizes migrate retention entries by, so IDs stay resolvable
+// across epochs.
 func (q *Queue) Get(id uint64) (*Job, bool) {
-	idx := int(id & (MaxShards - 1))
-	if idx >= len(q.shards) {
-		return nil, false
+	for {
+		s := q.place.Load().shardForID(id)
+		s.mu.Lock()
+		if s.retired {
+			s.mu.Unlock()
+			retryPlacement()
+			continue
+		}
+		j, ok := s.byID[id]
+		s.mu.Unlock()
+		return j, ok
 	}
-	s := q.shards[idx]
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	j, ok := s.byID[id]
-	return j, ok
 }
 
 // Jobs returns views of the most recent jobs across all shards, newest
 // first, up to limit (limit <= 0 means all retained).
 func (q *Queue) Jobs(limit int) []View {
-	var views []View
-	for _, s := range q.shards {
-		s.mu.Lock()
-		for i := len(s.retained) - 1; i >= 0; i-- {
-			if limit > 0 && i < len(s.retained)-limit {
-				break // deeper entries cannot make the newest-limit cut
+retry:
+	for {
+		p := q.place.Load()
+		var views []View
+		for _, s := range p.shards {
+			s.mu.Lock()
+			if s.retired {
+				s.mu.Unlock()
+				retryPlacement()
+				continue retry
 			}
-			if j, ok := s.byID[s.retained[i]]; ok {
-				views = append(views, j.View())
+			for i := len(s.retained) - 1; i >= 0; i-- {
+				if limit > 0 && i < len(s.retained)-limit {
+					break // deeper entries cannot make the newest-limit cut
+				}
+				if j, ok := s.byID[s.retained[i]]; ok {
+					views = append(views, j.View())
+				}
 			}
+			s.mu.Unlock()
 		}
-		s.mu.Unlock()
+		// IDs carry the global submission sequence in their high bits, so
+		// sorting by ID descending is newest-first across shards.
+		sort.Slice(views, func(i, j int) bool { return views[i].ID > views[j].ID })
+		if limit > 0 && len(views) > limit {
+			views = views[:limit]
+		}
+		return views
 	}
-	// IDs carry the global submission sequence in their high bits, so
-	// sorting by ID descending is newest-first across shards.
-	sort.Slice(views, func(i, j int) bool { return views[i].ID > views[j].ID })
-	if limit > 0 && len(views) > limit {
-		views = views[:limit]
-	}
-	return views
 }

@@ -96,11 +96,19 @@ type ShardStats struct {
 // Metrics is a point-in-time snapshot of the queue's serving statistics,
 // merged across all shards.
 type Metrics struct {
-	Workers    int   `json:"workers"`
-	Shards     int   `json:"shards"`
-	QueueDepth int   `json:"queue_depth"`
-	Pending    int64 `json:"pending"`
-	Running    int64 `json:"running"`
+	Workers int `json:"workers"`
+	Shards  int `json:"shards"`
+	// Epoch is the placement-table generation: 1 at queue creation, +1
+	// per live resize. Placement (which shard serves which key) is
+	// deterministic within an epoch; PerShard describes the current
+	// epoch's table.
+	Epoch uint64 `json:"epoch"`
+	// Autoscale echoes the shard-autoscaler configuration (bounds,
+	// interval, thresholds) when the controller is enabled.
+	Autoscale  *AutoscaleConfig `json:"autoscale,omitempty"`
+	QueueDepth int              `json:"queue_depth"`
+	Pending    int64            `json:"pending"`
+	Running    int64            `json:"running"`
 
 	Submitted int64 `json:"submitted"`
 	Completed int64 `json:"completed"`
@@ -139,10 +147,14 @@ type Metrics struct {
 	PerAlgorithm map[string]AlgoStats `json:"per_algorithm,omitempty"`
 }
 
-// summaryCache memoizes the merged latency summaries by the sum of all
-// ring generations: a /metrics poll of an idle queue reuses the previous
-// sort instead of re-sorting up to Shards×maxLatencySamples samples.
+// summaryCache memoizes the merged latency summaries by placement epoch
+// and the sum of all ring generations: a /metrics poll of an idle queue
+// reuses the previous sort instead of re-sorting up to
+// Shards×maxLatencySamples samples, and a resize (which re-deals the
+// samples onto a fresh table, resetting the generations) always
+// invalidates.
 type summaryCache struct {
+	epoch     uint64
 	gen       uint64
 	valid     bool
 	wall      stats.Summary
@@ -151,16 +163,47 @@ type summaryCache struct {
 	classWait []stats.Summary
 }
 
+// copyAutoscale detaches the autoscale config echoed in Metrics from the
+// queue's live configuration, so mutating a snapshot cannot reconfigure
+// the controller's bounds.
+func copyAutoscale(a *AutoscaleConfig) *AutoscaleConfig {
+	if a == nil {
+		return nil
+	}
+	c := *a
+	return &c
+}
+
 // Snapshot returns current metrics, merged across shards. HitRate counts
 // both cache hits and in-flight coalesces as served-without-execution.
 // Each shard's lock is held only for O(1) reads and sample copy-out; the
-// percentile sorts run outside all shard locks and are memoized by ring
-// generation, so a metrics poll can never stall workers on an O(n log n)
-// sort held under a queue lock.
+// percentile sorts run outside all shard locks and are memoized by
+// placement epoch + ring generation, so a metrics poll can never stall
+// workers on an O(n log n) sort held under a queue lock. A snapshot that
+// catches a live resize mid-swap retries against the new table, so it
+// always describes one coherent epoch; Steals folds in the totals of
+// shards retired by earlier resizes.
 func (q *Queue) Snapshot() Metrics {
+	for {
+		if m, ok := q.snapshotOnce(); ok {
+			return m
+		}
+		retryPlacement()
+	}
+}
+
+// snapshotOnce attempts one coherent snapshot of the current placement
+// table; ok is false if a shard was caught mid-retirement. The table
+// comes from retiredTotals, paired with the retired steal history, so
+// Steals never loses a generation to an in-flight resize and stays
+// monotonic.
+func (q *Queue) snapshotOnce() (Metrics, bool) {
+	p, _, retiredSteals := q.retiredTotals()
 	m := Metrics{
-		Workers:     q.totalWorkers,
-		Shards:      len(q.shards),
+		Workers:     p.workers,
+		Shards:      len(p.shards),
+		Epoch:       p.epoch,
+		Autoscale:   copyAutoscale(q.cfg.Autoscale),
 		QueueDepth:  q.cfg.QueueDepth,
 		Pending:     q.pending.Load(),
 		Running:     q.running.Load(),
@@ -183,12 +226,20 @@ func (q *Queue) Snapshot() Metrics {
 	numClasses := len(q.classes.specs)
 	m.Classes = q.Classes()
 
+	// Steal history of shards retired by earlier resizes stays part of
+	// the queue totals, so Steals is monotonic across epochs.
+	m.Steals += retiredSteals
+
 	// Pass 1, under each shard's lock in turn: O(1) gauges, the ring
 	// generations, and the per-algorithm aggregates.
 	var gen uint64
 	m.PerAlgorithm = make(map[string]AlgoStats)
-	for _, s := range q.shards {
+	for _, s := range p.shards {
 		s.mu.Lock()
+		if s.retired {
+			s.mu.Unlock()
+			return Metrics{}, false
+		}
 		gen += s.wall.gen + s.wait.gen
 		for c := 0; c < numClasses; c++ {
 			gen += s.classWall[c].gen + s.classWait[c].gen
@@ -221,16 +272,21 @@ func (q *Queue) Snapshot() Metrics {
 		m.PerAlgorithm[name] = as
 	}
 
-	// Pass 2: the latency summaries, memoized by total ring generation.
+	// Pass 2: the latency summaries, memoized by epoch + ring generation.
 	// Recomputing copies samples under each shard lock but sorts outside
 	// all of them.
 	q.sumMu.Lock()
-	if !q.sums.valid || q.sums.gen != gen {
+	if !q.sums.valid || q.sums.gen != gen || q.sums.epoch != p.epoch {
 		var wall, wait []float64
 		classWall := make([][]float64, numClasses)
 		classWait := make([][]float64, numClasses)
-		for _, s := range q.shards {
+		for _, s := range p.shards {
 			s.mu.Lock()
+			if s.retired {
+				s.mu.Unlock()
+				q.sumMu.Unlock()
+				return Metrics{}, false
+			}
 			wall = s.wall.appendTo(wall)
 			wait = s.wait.appendTo(wait)
 			for c := 0; c < numClasses; c++ {
@@ -248,6 +304,7 @@ func (q *Queue) Snapshot() Metrics {
 			q.sums.classWait[c] = stats.Summarize(classWait[c])
 		}
 		q.sums.gen = gen
+		q.sums.epoch = p.epoch
 		q.sums.valid = true
 	}
 	m.Wall, m.Wait = q.sums.wall, q.sums.wait
@@ -263,5 +320,5 @@ func (q *Queue) Snapshot() Metrics {
 		}
 	}
 	q.sumMu.Unlock()
-	return m
+	return m, true
 }

@@ -14,7 +14,9 @@ import (
 // stealPoll is the fallback interval at which an idle worker re-sweeps
 // the other shards for stealable work. The enqueue-time kick is the fast
 // wake path; the poll only covers kick loss under pathological timing,
-// so it can be slow enough to cost nothing on an idle queue.
+// so it can be slow enough to cost nothing on an idle queue. It also
+// bounds how long an idle worker can sit on a superseded placement table
+// before re-homing.
 const stealPoll = 10 * time.Millisecond
 
 // shard is one independent slice of the queue: its own run queues (one
@@ -29,8 +31,22 @@ type shard struct {
 	// strict classes first, then the weighted classes round-robin.
 	runq []chan *Job
 
-	mu        sync.Mutex
-	closed    bool
+	// laneDepths is each class lane's admission bound and laneUsed its
+	// current admitted-but-not-started count. Admission is enforced by
+	// the counter, not by channel capacity: a resize sizes the new
+	// channels base depth + migrated backlog so migration can never be
+	// refused, but laneUsed starts at the migrated count, so the
+	// *admission* bound stays the configured depth across epochs.
+	laneDepths []int
+	laneUsed   []atomic.Int64
+
+	mu     sync.Mutex
+	closed bool
+	// retired marks a shard swapped out of the placement table by a
+	// resize: its keyed state has migrated (or is migrating) to the new
+	// table. Writers and readers that catch the flag reload the table
+	// and retry; only the executed/stolen counters stay meaningful.
+	retired   bool
 	byID      map[uint64]*Job
 	retained  []uint64 // submission order, for retention eviction
 	inflight  map[Key]*Job
@@ -47,20 +63,28 @@ type shard struct {
 	stolen   atomic.Int64 // jobs this shard's workers took from other shards
 }
 
-func newShard(idx int, depths []int, cacheCap, retain int) *shard {
+// newShard builds one shard: depths are the per-class admission bounds,
+// caps the per-class channel capacities (>= depths; nil means equal —
+// only Resize passes larger caps, to hold a migrated backlog).
+func newShard(idx int, depths, caps []int, cacheCap, retain int) *shard {
 	s := &shard{
-		idx:       idx,
-		runq:      make([]chan *Job, len(depths)),
-		byID:      make(map[uint64]*Job),
-		inflight:  make(map[Key]*Job),
-		cache:     newLRU(cacheCap),
-		limit:     retain,
-		classWall: make([]sampleRing, len(depths)),
-		classWait: make([]sampleRing, len(depths)),
-		perAlgo:   make(map[string]*algoAggregate),
+		idx:        idx,
+		runq:       make([]chan *Job, len(depths)),
+		laneDepths: append([]int(nil), depths...),
+		laneUsed:   make([]atomic.Int64, len(depths)),
+		byID:       make(map[uint64]*Job),
+		inflight:   make(map[Key]*Job),
+		cache:      newLRU(cacheCap),
+		limit:      retain,
+		classWall:  make([]sampleRing, len(depths)),
+		classWait:  make([]sampleRing, len(depths)),
+		perAlgo:    make(map[string]*algoAggregate),
 	}
-	for c, depth := range depths {
-		s.runq[c] = make(chan *Job, depth)
+	if caps == nil {
+		caps = depths
+	}
+	for c, cap := range caps {
+		s.runq[c] = make(chan *Job, cap)
 	}
 	return s
 }
@@ -70,17 +94,7 @@ func newShard(idx int, depths []int, cacheCap, retain int) *shard {
 func (s *shard) insertLocked(job *Job) {
 	s.byID[job.ID] = job
 	s.retained = append(s.retained, job.ID)
-	for len(s.retained) > s.limit {
-		id := s.retained[0]
-		old := s.byID[id]
-		if old != nil {
-			if st := old.Status(); st != StatusDone && st != StatusFailed {
-				break // oldest job still in flight; retention resumes later
-			}
-			delete(s.byID, id)
-		}
-		s.retained = s.retained[1:]
-	}
+	s.trimRetention()
 }
 
 // ---- placement hashing ----
@@ -116,24 +130,53 @@ func putUint64LE(buf *[8]byte, v uint64) {
 
 // ---- the worker loop ----
 
-// worker is the run loop of one pool worker homed on shard home. Each
-// probe of a class spans the whole queue — the home shard's queue first,
-// then every other shard's queue of the same class (a steal) — so class
-// order is global, not per shard. The order itself is the class set's
-// dequeue discipline:
+// worker is the run loop of one pool worker, identified by its stable
+// index into the pool. The worker's home shard is a function of the
+// current placement table (workerHome: fair-share dealing, per-shard
+// worker counts within one of each other); when a resize supersedes the
+// table the worker re-homes against the new one and continues. Credits
+// and rotation — the worker's DWRR fairness state — survive re-homing,
+// so a resize does not reset the dequeue discipline mid-round.
+func (q *Queue) worker(idx int) {
+	defer q.workers.Done()
+	credits := make([]int, len(q.classes.specs))
+	rot := 0
+	timer := time.NewTimer(stealPoll)
+	defer timer.Stop()
+	for {
+		p := q.place.Load()
+		if q.runEpoch(idx, p, credits, &rot, timer) {
+			return
+		}
+	}
+}
+
+// runEpoch runs the dequeue discipline against one placement table until
+// the table is superseded by a resize (false: the caller re-homes) or the
+// queue is closed and drained (true: the worker exits).
+//
+// Each probe of a class spans the whole table — the home shard's queue
+// first, then every other shard's queue of the same class (a steal) — so
+// class order is global, not per shard, and an idle shard's sweep for
+// stealable work follows the same preference order its own dequeue
+// discipline would serve next. The order itself:
 //
 //   - Strict classes (WeightStrict) are probed first, in set order, and
 //     re-probed before every dequeue, so no weighted job starts anywhere
-//     while a strict job waits anywhere. With the default class set this
-//     is exactly the original behavior: interactive always before batch.
+//     while a strict job waits anywhere — stolen work included: a thief
+//     always takes a waiting strict job over any weighted one. With the
+//     default class set this is exactly the original behavior:
+//     interactive always before batch.
 //   - Weighted classes share the remaining dequeues deficit-weighted
 //     round-robin: each worker keeps a per-class credit balance,
 //     replenished by Weight when every balance is spent; a dequeue costs
 //     one credit, and a class found empty forfeits its remaining credits
 //     for the round (work-conserving — an idle class never banks credit).
-//     Under sustained all-class load each round starts Weight jobs per
-//     class, so class throughput is proportional to weight and every
-//     weighted class keeps making progress.
+//     The steal sweep prefers the classes holding credit (the class the
+//     thief is about to serve), falling back to the replenished scan
+//     order on the second pass. Under sustained all-class load each round
+//     starts Weight jobs per class, so class throughput is proportional
+//     to weight and every weighted class keeps making progress.
 //
 // When nothing is runnable the worker blocks on the home lane of the
 // highest-priority strict class (the set's first class when every class
@@ -141,18 +184,18 @@ func putUint64LE(buf *[8]byte, v uint64) {
 // publishes a kick), with a slow fallback poll; every other class rides
 // the kick path rather than the blocking select so a wakeup always
 // re-runs the full class discipline — a direct hand-off is only ever
-// taken for the class nothing may outrank. Exits once the home queues
-// are closed and drained and a final sweep finds nothing.
-func (q *Queue) worker(home *shard) {
-	defer q.workers.Done()
+// taken for the class nothing may outrank. Returns once the home lanes
+// are closed and drained and a final sweep finds nothing: if the table
+// is current that means shutdown; otherwise a resize closed the old
+// lanes and the worker re-homes.
+func (q *Queue) runEpoch(idx int, p *placement, credits []int, rot *int, timer *time.Timer) bool {
 	cs := &q.classes
+	home := p.shards[workerHome(idx, len(p.shards), p.workers)]
 	open := make([]bool, len(cs.specs)) // home lanes not yet closed
 	for c := range open {
 		open[c] = true
 	}
 	homeOpen := len(open)
-	credits := make([]int, len(cs.specs))
-	rot := 0 // rotation offset into cs.weighted: the class being served
 	// blockClass is the one home lane the idle blocking select may
 	// dequeue directly: the highest-priority strict class, whose direct
 	// hand-off can never invert the dequeue discipline. Every other
@@ -165,8 +208,6 @@ func (q *Queue) worker(home *shard) {
 	if len(cs.strict) > 0 {
 		blockClass = cs.strict[0]
 	}
-	timer := time.NewTimer(stealPoll)
-	defer timer.Stop()
 
 	// tryClass probes one class queue-wide: the home lane (non-blocking,
 	// marking it on close), then the other shards' lanes.
@@ -183,10 +224,13 @@ func (q *Queue) worker(home *shard) {
 			default:
 			}
 		}
-		return q.trySteal(home, c)
+		return q.trySteal(p, home, c)
 	}
 
 	for {
+		if q.place.Load() != p {
+			return false // table superseded: re-home
+		}
 		var owner *shard
 		var job *Job
 		for _, c := range cs.strict {
@@ -212,16 +256,16 @@ func (q *Queue) worker(home *shard) {
 				}
 			}
 			for i := 0; i < len(cs.weighted) && job == nil; i++ {
-				w := (rot + i) % len(cs.weighted)
+				w := (*rot + i) % len(cs.weighted)
 				c := cs.weighted[w]
 				if credits[c] <= 0 {
 					continue
 				}
 				if owner, job = tryClass(c); job != nil {
 					credits[c]--
-					rot = w // keep serving this class until its credit drains
+					*rot = w // keep serving this class until its credit drains
 					if credits[c] == 0 {
-						rot = (w + 1) % len(cs.weighted) // quantum spent: move on
+						*rot = (w + 1) % len(cs.weighted) // quantum spent: move on
 					}
 				} else {
 					credits[c] = 0 // found empty: forfeit the round's remainder
@@ -237,8 +281,10 @@ func (q *Queue) worker(home *shard) {
 			continue
 		}
 		if homeOpen == 0 {
-			// Closed, drained, and nothing left to steal.
-			return
+			// Home lanes closed, drained, and nothing left to steal. A
+			// resize closes lanes only after publishing a new table, so
+			// an unchanged table means shutdown.
+			return q.place.Load() == p
 		}
 		var homeBlock chan *Job // nil (never ready) once closed
 		if open[blockClass] {
@@ -268,11 +314,12 @@ func (q *Queue) worker(home *shard) {
 
 // trySteal sweeps the other shards' run queues of one class in rotor
 // order from the thief's index and claims the first waiting job. Returns
-// the job's home shard so settle updates the right cache and rings.
-func (q *Queue) trySteal(thief *shard, class int) (*shard, *Job) {
-	n := len(q.shards)
+// the shard the job was dequeued from so the run's execution accounting
+// lands there.
+func (q *Queue) trySteal(p *placement, thief *shard, class int) (*shard, *Job) {
+	n := len(p.shards)
 	for off := 1; off < n; off++ {
-		t := q.shards[(thief.idx+off)%n]
+		t := p.shards[(thief.idx+off)%n]
 		select {
 		case job, ok := <-t.runq[class]:
 			if ok {
@@ -287,16 +334,17 @@ func (q *Queue) trySteal(thief *shard, class int) (*shard, *Job) {
 
 // ---- job execution ----
 
-// runJob executes one job under its deadline; owner is the job's home
-// shard (not necessarily the running worker's). The engine run itself is
-// not preemptible (an activated job "remains active just like a standard
-// thread"), so a blown deadline fails the job immediately; the worker
-// then either abandons the run to finish in the background (its result
-// dropped) if the orphan budget allows, or waits it out to bound total
-// concurrency.
+// runJob executes one job under its deadline; owner is the shard the job
+// was dequeued from (not necessarily the running worker's home). The
+// engine run itself is not preemptible (an activated job "remains active
+// just like a standard thread"), so a blown deadline fails the job
+// immediately; the worker then either abandons the run to finish in the
+// background (its result dropped) if the orphan budget allows, or waits
+// it out to bound total concurrency.
 func (q *Queue) runJob(owner *shard, job *Job) {
 	q.pending.Add(-1)
 	owner.pending.Add(-1)
+	owner.laneUsed[job.class].Add(-1)
 	owner.executed.Add(1)
 	start := time.Now()
 	if !job.markRunning(start) {
@@ -330,7 +378,7 @@ func (q *Queue) runJob(owner *shard, job *Job) {
 		// Loses against the worker's deadline finish when the job was
 		// abandoned; the computed result is dropped.
 		if job.markFinished(res, err, time.Now()) {
-			q.settle(owner, job, res, err, start)
+			q.settle(job, res, err, start)
 			job.signalDone()
 		}
 	}()
@@ -344,21 +392,38 @@ func (q *Queue) runJob(owner *shard, job *Job) {
 			return
 		}
 		q.timeouts.Add(1)
-		q.settle(owner, job, Result{}, err, start)
+		q.settle(job, Result{}, err, start)
 		job.signalDone()
-		select {
-		case q.detach <- struct{}{}:
-			// Budget available: abandon the run and free this worker. A
+		// The orphan budget: a worker may abandon a deadline-blown run
+		// (leaving it to finish in the background) only while fewer than
+		// 2× the current pool's runs are already abandoned, so hostile
+		// timeout traffic cannot accumulate unbounded concurrent runs.
+		// The abandoned gauge doubles as the budget counter — claimed by
+		// CAS so a budget-exhausted worker never inflates the gauge even
+		// transiently — and the limit reads the live table, so a pool
+		// grown by Resize keeps its per-worker abandonment headroom.
+		limit := int64(2 * q.place.Load().workers)
+		abandoned := false
+		for {
+			cur := q.abandonedG.Load()
+			if cur >= limit {
+				break
+			}
+			if q.abandonedG.CompareAndSwap(cur, cur+1) {
+				abandoned = true
+				break
+			}
+		}
+		if abandoned {
+			// Budget claimed: abandon the run and free this worker. A
 			// watcher returns the slot when the run drains.
-			q.abandonedG.Add(1)
 			q.orphans.Add(1)
 			go func() {
 				defer q.orphans.Done()
 				<-runnerDone
-				<-q.detach
 				q.abandonedG.Add(-1)
 			}()
-		default:
+		} else {
 			// Orphan budget exhausted: hold this worker until the run
 			// completes so deadline abuse cannot stack up unbounded
 			// concurrent runs.
@@ -367,34 +432,17 @@ func (q *Queue) runJob(owner *shard, job *Job) {
 	}
 }
 
-// settle updates cache, inflight tracking and aggregates on the job's
-// home shard after it reaches a terminal state.
-func (q *Queue) settle(owner *shard, job *Job, res Result, err error, start time.Time) {
+// settle updates cache, inflight tracking, latency rings and aggregates
+// on the job's home shard after it reaches a terminal state. The home is
+// resolved against the *current* placement table, not the shard the job
+// was dequeued from: a live resize may have migrated the key's cache and
+// coalescing entry while the job ran, and this lookup is the forwarding
+// entry that makes the result land where duplicates will look for it. A
+// shard caught mid-retirement is retried until the new table is
+// published, so a settle can never write into a shard whose state has
+// already been carried off.
+func (q *Queue) settle(job *Job, res Result, err error, start time.Time) {
 	wall := time.Since(start)
-	owner.mu.Lock()
-	if job.fn == nil {
-		key := job.Spec.key()
-		if owner.inflight[key] == job {
-			delete(owner.inflight, key)
-		}
-		if err == nil {
-			owner.cache.put(key, res)
-		}
-	}
-	owner.mu.Unlock()
-	if err != nil {
-		q.failed.Add(1)
-		q.perClass[job.class].failed.Add(1)
-	} else {
-		q.completed.Add(1)
-		q.perClass[job.class].completed.Add(1)
-	}
-	q.recordDone(owner, job, wall, err != nil)
-}
-
-// recordDone folds one terminal job into its home shard's latency rings
-// (whole-shard and per-class) and per-algorithm aggregates.
-func (q *Queue) recordDone(owner *shard, job *Job, wall time.Duration, failed bool) {
 	name := job.Spec.Algorithm
 	if name == "" {
 		name = job.Name
@@ -407,20 +455,53 @@ func (q *Queue) recordDone(owner *shard, job *Job, wall time.Duration, failed bo
 	}
 	job.mu.Unlock()
 
-	owner.mu.Lock()
-	defer owner.mu.Unlock()
-	owner.wall.add(wallMS)
-	owner.wait.add(waitMS)
-	owner.classWall[job.class].add(wallMS)
-	owner.classWait[job.class].add(waitMS)
-	agg := owner.perAlgo[name]
-	if agg == nil {
-		agg = &algoAggregate{}
-		owner.perAlgo[name] = agg
+	var key Key
+	if job.fn == nil {
+		key = job.Spec.key()
 	}
-	agg.count++
-	if failed {
-		agg.failed++
+	for {
+		var home *shard
+		if job.fn == nil {
+			home = q.place.Load().shardFor(key)
+		} else {
+			home = q.place.Load().shardForName(job.Name)
+		}
+		home.mu.Lock()
+		if home.retired {
+			home.mu.Unlock()
+			retryPlacement()
+			continue
+		}
+		if job.fn == nil {
+			if home.inflight[key] == job {
+				delete(home.inflight, key)
+			}
+			if err == nil {
+				home.cache.put(key, res)
+			}
+		}
+		home.wall.add(wallMS)
+		home.wait.add(waitMS)
+		home.classWall[job.class].add(wallMS)
+		home.classWait[job.class].add(waitMS)
+		agg := home.perAlgo[name]
+		if agg == nil {
+			agg = &algoAggregate{}
+			home.perAlgo[name] = agg
+		}
+		agg.count++
+		if err != nil {
+			agg.failed++
+		}
+		agg.totalWallMS += wallMS
+		home.mu.Unlock()
+		break
 	}
-	agg.totalWallMS += wallMS
+	if err != nil {
+		q.failed.Add(1)
+		q.perClass[job.class].failed.Add(1)
+	} else {
+		q.completed.Add(1)
+		q.perClass[job.class].completed.Add(1)
+	}
 }

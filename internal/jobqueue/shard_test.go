@@ -309,3 +309,91 @@ func TestShardedEndToEnd(t *testing.T) {
 		t.Errorf("per-shard executed sums to %d, want %d", executed, m.Completed+m.Failed)
 	}
 }
+
+// pinnedSpecs returns count distinct reduce/sim specs of size n whose
+// keys all hash to the given shard of a shards-way table, in the given
+// priority class. Distinct n per class keeps the keys disjoint (Priority
+// is not part of the key, so equal keys would coalesce across classes).
+func pinnedSpecs(shard, shards, count, n int, class Class) []Spec {
+	specs := make([]Spec, 0, count)
+	for seed := uint64(0); len(specs) < count; seed++ {
+		spec := Spec{Algorithm: "reduce", N: n, P: 2, Engine: core.EngineSim, Seed: seed, Priority: class}
+		if int(spec.key().hash()%uint64(shards)) == shard {
+			specs = append(specs, spec)
+		}
+	}
+	return specs
+}
+
+// TestStolenWorkStrictClassFirst is the class-aware steal regression
+// test: a backlog of batch and interactive jobs pinned to one shard is
+// drained by workers sweeping from elsewhere, and the sweep must follow
+// the dequeue discipline — every strict (interactive) job starts before
+// any weighted (batch) job, whether it was served from the home lane or
+// stolen across shards.
+func TestStolenWorkStrictClassFirst(t *testing.T) {
+	q := New(Config{Workers: 2, Shards: 2, QueueDepth: 64, CacheSize: -1})
+	defer q.Close()
+
+	// Hold both workers so the pinned backlog accumulates unserved; the
+	// blockers hash to shard 0 so shard 1's executed count stays the
+	// spec jobs'.
+	release := make(chan struct{})
+	for _, name := range pinnedNames(0, 2, 2) {
+		if _, err := q.SubmitFunc(name, func(context.Context) error { <-release; return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for q.Snapshot().Running != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("workers never picked up the blockers")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Batch first into shard 1's lanes, interactive after — submission
+	// order must not leak into dequeue order.
+	var jobs []*Job
+	for _, spec := range pinnedSpecs(1, 2, 3, 96, ClassBatch) {
+		job, err := q.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, job)
+	}
+	for _, spec := range pinnedSpecs(1, 2, 3, 128, ClassInteractive) {
+		job, err := q.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, job)
+	}
+	close(release)
+
+	lastInteractive, firstBatch := time.Time{}, time.Time{}
+	for _, j := range jobs {
+		if _, err := j.Wait(context.Background()); err != nil {
+			t.Fatalf("%s: %v", j.Name, err)
+		}
+		j.mu.Lock()
+		switch j.Spec.Priority {
+		case ClassInteractive:
+			if j.started.After(lastInteractive) {
+				lastInteractive = j.started
+			}
+		case ClassBatch:
+			if firstBatch.IsZero() || j.started.Before(firstBatch) {
+				firstBatch = j.started
+			}
+		}
+		j.mu.Unlock()
+	}
+	if firstBatch.Before(lastInteractive) {
+		t.Errorf("a batch job started at %v before the last interactive start %v: the sweep ignored strict priority", firstBatch, lastInteractive)
+	}
+	m := q.Snapshot()
+	if m.PerShard[1].Executed != 6 {
+		t.Errorf("pinned shard executed %d, want 6", m.PerShard[1].Executed)
+	}
+}

@@ -123,6 +123,25 @@ var builtins = []Spec{
 		Workers: 4,
 	},
 	{
+		Name:        "mid-run-resize",
+		Description: "Live elasticity probe: a duplicate-heavy closed-loop mix starts on one shard, grows to four a third of the way in, then shrinks to two — asserting that no job is lost, duplicated or served a stale cache entry across live placement swaps. Executed count and hit rate must match a fixed-shard replay of the same stream.",
+		Seed:        9,
+		Jobs:        240,
+		Clients:     16,
+		DupFraction: 0.35,
+		SeedSpace:   4,
+		Mix: []MixEntry{
+			{Engine: "sim", MaxN: 96},
+			{Engine: "palrt", MaxN: 128},
+		},
+		Shards:  1,
+		Workers: 4,
+		Resizes: []ResizeAt{
+			{AtJob: 80, Shards: 4},
+			{AtJob: 160, Shards: 2},
+		},
+	},
+	{
 		Name:        "all-engines-sweep",
 		Description: "The whole catalogue across all three engines, pram baseline included, at defaulted sizes — the coverage scenario that exercises every (algorithm, engine) dispatch path in one replay.",
 		Seed:        6,

@@ -3,8 +3,9 @@
 // process (closed-loop client population, or an open-loop Poisson stream
 // at a constant, linearly ramping, or diurnally oscillating rate), a
 // weighted algorithm/engine/size mix, a duplicate fraction, a
-// priority-class set with per-entry class pinning, and a target queue
-// shape; Stream expands it into the exact deterministic job sequence it
+// priority-class set with per-entry class pinning, a target queue
+// shape, and an optional schedule of live shard resizes at stream
+// offsets; Stream expands it into the exact deterministic job sequence it
 // denotes; and Run replays that sequence against a live jobqueue.Queue,
 // returning a Report with per-priority-class latency percentiles,
 // throughput, hit rate and per-shard steal counts.
@@ -16,7 +17,7 @@
 // which is what makes scenarios usable as regression probes, not just
 // demos. Builtins returns the named scenario catalogue (uniform-small,
 // heavy-tail, cache-friendly-repeat, deadline-storm,
-// priority-inversion-probe, ramp-surge, diurnal-wave,
+// priority-inversion-probe, ramp-surge, diurnal-wave, mid-run-resize,
 // all-engines-sweep); cmd/lopramd replays them with -scenario and serves
 // the catalogue at /v1/scenarios.
 package scenario

@@ -29,6 +29,13 @@ type Report struct {
 	// JobsPerSec is issued jobs over elapsed wall time.
 	JobsPerSec float64 `json:"jobs_per_sec"`
 
+	// Resizes counts the scheduled live resizes applied during the
+	// replay; Epoch is the queue's placement epoch after it (creation is
+	// epoch 1 and each applied resize adds one, so on a fresh queue
+	// Epoch = 1 + Resizes + any autoscaler activity).
+	Resizes int    `json:"resizes,omitempty"`
+	Epoch   uint64 `json:"epoch,omitempty"`
+
 	Executed  int64 `json:"executed"`
 	CacheHits int64 `json:"cache_hits"`
 	Coalesced int64 `json:"coalesced"`
@@ -105,10 +112,23 @@ func Run(ctx context.Context, q *jobqueue.Queue, s Spec) (Report, error) {
 		}
 	}
 
-	for _, spec := range stream {
+	nextResize := 0
+	for i, spec := range stream {
 		if err := ctx.Err(); err != nil {
 			waiters.Wait()
 			return report, err
+		}
+		// Scheduled live resizes fire at their stream offset, before the
+		// submission: the traffic is identical either way, only the
+		// placement table moves under it.
+		for nextResize < len(s.Resizes) && s.Resizes[nextResize].AtJob == i {
+			if _, err := q.Resize(s.Resizes[nextResize].Shards); err != nil {
+				waiters.Wait()
+				return report, fmt.Errorf("scenario %s: resize to %d shards at job %d: %w",
+					s.Name, s.Resizes[nextResize].Shards, i, err)
+			}
+			report.Resizes++
+			nextResize++
 		}
 		if s.Arrival != ArrivalClosed {
 			select {
@@ -166,6 +186,7 @@ func Run(ctx context.Context, q *jobqueue.Queue, s Spec) (Report, error) {
 	report.PerShard = after.PerShard
 	report.Wall = after.Wall
 	report.Wait = after.Wait
+	report.Epoch = after.Epoch
 	return report, nil
 }
 
@@ -174,6 +195,9 @@ func Run(ctx context.Context, q *jobqueue.Queue, s Spec) (Report, error) {
 func (r Report) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "scenario %s: %d jobs in %v (%.1f jobs/sec)\n",
 		r.Scenario, r.Jobs, r.Elapsed.Round(time.Millisecond), r.JobsPerSec)
+	if r.Resizes > 0 {
+		fmt.Fprintf(w, "  live resizes: %d (placement epoch %d at finish)\n", r.Resizes, r.Epoch)
+	}
 	fmt.Fprintf(w, "  executed %d · cache hits %d · coalesced %d · hit rate %.0f%% · rejected %d · failures %d · timeouts %d · steals %d\n",
 		r.Executed, r.CacheHits, r.Coalesced, 100*r.HitRate, r.Rejected, r.Failures, r.Timeouts, r.Steals)
 	fmt.Fprintf(w, "  exec latency ms: p50 %.2f · p95 %.2f · p99 %.2f · max %.2f\n",

@@ -97,6 +97,24 @@ type Spec struct {
 	// harness's own configuration.
 	Shards  int `json:"shards,omitempty"`
 	Workers int `json:"workers,omitempty"`
+	// Resizes schedules live placement-table changes during the replay:
+	// each entry resizes the queue to Shards shards immediately before
+	// the submission at stream offset AtJob. Entries must be ordered by
+	// AtJob. Because the job stream is independent of the shard count,
+	// a resized replay submits byte-identical traffic — only placement
+	// moves — which is what lets the replay assert that no job is lost,
+	// duplicated or mis-cached across a live resize.
+	Resizes []ResizeAt `json:"resizes,omitempty"`
+}
+
+// ResizeAt is one scheduled live resize inside a scenario replay.
+type ResizeAt struct {
+	// AtJob is the 0-based submission offset before which the resize
+	// fires; it must lie in [0, Spec.Jobs).
+	AtJob int `json:"at_job"`
+	// Shards is the placement-table size to resize to, in
+	// [1, jobqueue.MaxShards].
+	Shards int `json:"shards"`
 }
 
 // MixEntry is one weighted slice of a scenario's traffic. Empty Algorithm
@@ -196,6 +214,17 @@ func (s *Spec) Validate() error {
 	}
 	if s.SeedSpace == 0 {
 		s.SeedSpace = 8
+	}
+	for i, r := range s.Resizes {
+		if r.AtJob < 0 || r.AtJob >= s.Jobs {
+			return fmt.Errorf("scenario %s: resizes[%d]: at_job %d outside [0, %d)", s.Name, i, r.AtJob, s.Jobs)
+		}
+		if r.Shards < 1 || r.Shards > jobqueue.MaxShards {
+			return fmt.Errorf("scenario %s: resizes[%d]: %d shards outside [1, %d]", s.Name, i, r.Shards, jobqueue.MaxShards)
+		}
+		if i > 0 && r.AtJob < s.Resizes[i-1].AtJob {
+			return fmt.Errorf("scenario %s: resizes[%d]: at_job %d out of order (previous %d)", s.Name, i, r.AtJob, s.Resizes[i-1].AtJob)
+		}
 	}
 	for i, e := range s.Mix {
 		if e.Algorithm != "" && core.EnginesFor(e.Algorithm) == nil {
@@ -342,9 +371,16 @@ func QueueConfig(s Spec) jobqueue.Config {
 	// Fill defaults (notably Clients) so the depth math below sees the
 	// same numbers Run will; an invalid spec is Run's error to report.
 	_ = s.Validate()
+	// The cache never-evicts guarantee must hold at every shard count
+	// the replay passes through: size it for the widest table.
 	shards := s.Shards
 	if shards < 1 {
 		shards = 1
+	}
+	for _, r := range s.Resizes {
+		if r.Shards > shards {
+			shards = r.Shards
+		}
 	}
 	cfg := jobqueue.Config{
 		Workers: s.Workers,

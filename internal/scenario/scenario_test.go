@@ -328,3 +328,104 @@ func TestRunCancellation(t *testing.T) {
 		t.Fatalf("cancelled replay took %v to return", elapsed)
 	}
 }
+
+// TestValidateRejectsResizes: malformed resize schedules fail fast.
+func TestValidateRejectsResizes(t *testing.T) {
+	cases := []struct {
+		resizes []ResizeAt
+		want    string
+	}{
+		{[]ResizeAt{{AtJob: -1, Shards: 2}}, "at_job"},
+		{[]ResizeAt{{AtJob: 10, Shards: 2}}, "at_job"},
+		{[]ResizeAt{{AtJob: 1, Shards: 0}}, "shards"},
+		{[]ResizeAt{{AtJob: 1, Shards: jobqueue.MaxShards + 1}}, "shards"},
+		{[]ResizeAt{{AtJob: 5, Shards: 2}, {AtJob: 1, Shards: 4}}, "out of order"},
+	}
+	for _, c := range cases {
+		sp := Spec{Name: "x", Jobs: 10, Resizes: c.resizes}
+		err := sp.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Validate(resizes=%v) = %v, want error containing %q", c.resizes, err, c.want)
+		}
+	}
+}
+
+// streamKeys counts the distinct result-cache identities in a stream.
+// Priority and Timeout are not part of the identity; P is derived
+// deterministically from N when unset, so (algorithm, n, engine, seed)
+// is exact for scenario-generated specs.
+func streamKeys(stream []jobqueue.Spec) int {
+	type key struct {
+		algo   string
+		n      int
+		engine string
+		seed   uint64
+	}
+	seen := make(map[key]bool)
+	for _, js := range stream {
+		seen[key{js.Algorithm, js.N, string(js.Engine), js.Seed}] = true
+	}
+	return len(seen)
+}
+
+// TestMidRunResizeReplay is the acceptance test for live elasticity: the
+// builtin replays its full stream across a 1→4→2 resize sequence and no
+// job may be lost (every submission accounted), duplicated (every
+// distinct key executes exactly once) or mis-cached (every duplicate is
+// served without execution); the post-resize report is deterministic and
+// matches a fixed-shard replay of the identical stream.
+func TestMidRunResizeReplay(t *testing.T) {
+	sp, ok := Builtin("mid-run-resize")
+	if !ok {
+		t.Fatal("no builtin mid-run-resize")
+	}
+	stream, err := Stream(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := int64(streamKeys(stream))
+
+	a := replay(t, "mid-run-resize", 0)
+	if a.Jobs != sp.Jobs || a.Failures != 0 || a.Rejected != 0 {
+		t.Fatalf("jobs=%d failures=%d rejected=%d, want %d/0/0 (no job lost)", a.Jobs, a.Failures, a.Rejected, sp.Jobs)
+	}
+	if a.Resizes != 2 || a.Epoch != 3 {
+		t.Errorf("resizes=%d epoch=%d, want 2 applied resizes ending at epoch 3", a.Resizes, a.Epoch)
+	}
+	if a.Executed != distinct {
+		t.Errorf("executed = %d, want %d (each distinct key exactly once across all epochs)", a.Executed, distinct)
+	}
+	if served := a.CacheHits + a.Coalesced; served != int64(sp.Jobs)-distinct {
+		t.Errorf("hits+coalesced = %d, want %d (every duplicate served without execution)", served, int64(sp.Jobs)-distinct)
+	}
+	if len(a.PerShard) != 2 {
+		t.Errorf("final per-shard table has %d entries, want 2", len(a.PerShard))
+	}
+
+	// Deterministic across replays, and equal in traffic accounting to a
+	// fixed-shard replay of the byte-identical stream.
+	b := replay(t, "mid-run-resize", 0)
+	if a.Executed != b.Executed || a.HitRate != b.HitRate {
+		t.Errorf("replays diverged: executed %d vs %d, hit rate %v vs %v", a.Executed, b.Executed, a.HitRate, b.HitRate)
+	}
+	fixed := sp
+	fixed.Resizes = nil
+	fixed.Shards = 2
+	q := jobqueue.New(QueueConfig(fixed))
+	defer q.Close()
+	c, err := Run(context.Background(), q, fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Executed != a.Executed || c.HitRate != a.HitRate {
+		t.Errorf("resized replay changed the traffic: executed %d (fixed %d), hit rate %v (fixed %v)",
+			a.Executed, c.Executed, a.HitRate, c.HitRate)
+	}
+
+	// The report renders the resize line.
+	var sb strings.Builder
+	a.WriteText(&sb)
+	if !strings.Contains(sb.String(), "live resizes: 2") {
+		t.Errorf("report text missing the resize line:\n%s", sb.String())
+	}
+}
