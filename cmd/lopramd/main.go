@@ -27,11 +27,24 @@
 //	                            (name, weight, quota, default deadline)
 //	GET  /v1/scenarios          the built-in load-scenario catalogue
 //	GET  /v1/scenarios/{name}   one scenario's full declarative spec
+//	POST /v1/scenarios/{name}/run  execute a builtin against a sandboxed
+//	                            queue, streaming NDJSON progress +
+//	                            final report (?trace=1 adds per-job
+//	                            completion records, ?jobs=N caps the
+//	                            stream, ?progress_ms=N the interval)
+//	POST /v1/scenarios/run      the same for a posted scenario spec
 //	GET  /v1/metrics            serving statistics (placement epoch,
 //	                            per-shard table, per-class latency
 //	                            percentiles, hit rate, per-shard steals,
 //	                            palrt work-stealing scheduler counters)
 //	GET  /healthz               liveness
+//
+// -trace-out attaches the flight recorder in serve or scenario mode:
+// every job the queue settles or refuses appends one JSONL completion
+// record (see internal/jobtrace) to the file, and cmd/tracediff
+// compares two such traces as a replay A/B gate:
+//
+//	lopramd -scenario cache-friendly-repeat -trace-out head.jsonl
 //
 // Scenario mode replays a declarative load scenario (a built-in name or a
 // JSON spec file) through a fresh queue and prints the serving report
@@ -54,6 +67,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -61,11 +75,13 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"lopram/internal/core"
 	"lopram/internal/jobqueue"
+	"lopram/internal/jobtrace"
 	"lopram/internal/scenario"
 	"lopram/internal/workload"
 )
@@ -87,6 +103,7 @@ func main() {
 		autoscaleS = flag.String("autoscale", "", `serve mode: contention-driven shard autoscaling as min:max[:interval[:high[:low]]] (e.g. "1:8" or "1:8:250ms:4:0.5"); empty keeps the shard count fixed unless POST /v1/resize moves it`)
 		scenarioID = flag.String("scenario", "", "scenario mode: replay a built-in scenario by name, or a JSON spec file by path, and exit")
 		listScen   = flag.Bool("list-scenarios", false, "print the built-in scenario catalogue and exit")
+		traceOut   = flag.String("trace-out", "", "attach the flight recorder and write one JSONL completion record per job to this file (serve and scenario modes)")
 	)
 	flag.Parse()
 	setFlags := make(map[string]bool)
@@ -116,6 +133,30 @@ func main() {
 		}
 		cfg.Autoscale = auto
 	}
+	// closeTrace flushes and closes the -trace-out file; called after
+	// the queue is closed (the mode helpers close it on return), which
+	// is when the recorder has drained every record into the writer.
+	closeTrace := func() {}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lopramd: -trace-out: %v\n", err)
+			os.Exit(2)
+		}
+		tw := jobtrace.NewWriter(f)
+		cfg.TraceSink = tw
+		closeTrace = func() {
+			err := tw.Flush()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lopramd: writing trace %s: %v\n", *traceOut, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "lopramd: trace: %d records -> %s\n", tw.Count(), *traceOut)
+		}
+	}
 
 	switch {
 	case *listScen:
@@ -128,15 +169,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "lopramd: %v\n", err)
 			os.Exit(1)
 		}
+		closeTrace()
 		return
 	case *batch > 0:
 		if err := runBatch(cfg, *batch, *seed, *dup, *algos); err != nil {
 			fmt.Fprintf(os.Stderr, "lopramd: %v\n", err)
 			os.Exit(1)
 		}
+		closeTrace()
 		return
 	}
-	if err := serve(cfg, *addr); err != nil {
+	err := serve(cfg, *addr)
+	closeTrace()
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "lopramd: %v\n", err)
 		os.Exit(1)
 	}
@@ -220,6 +265,10 @@ func runScenario(flagCfg jobqueue.Config, setFlags map[string]bool, nameOrPath s
 		return err
 	}
 	cfg := scenario.QueueConfig(sp)
+	// The flight recorder rides along whatever queue shape wins: the
+	// -trace-out sink is not a shape flag, it always applies.
+	cfg.TraceSink = flagCfg.TraceSink
+	cfg.TraceBuffer = flagCfg.TraceBuffer
 	if setFlags["workers"] {
 		cfg.Workers = flagCfg.Workers
 	}
@@ -368,7 +417,9 @@ func newMux(q *jobqueue.Queue) *http.ServeMux {
 		writeJSON(w, http.StatusOK, q.Classes())
 	})
 	mux.HandleFunc("GET /v1/scenarios", func(w http.ResponseWriter, _ *http.Request) {
-		var out []map[string]any
+		// Initialized non-nil so an empty catalogue encodes as [] and
+		// clients can always range over the response.
+		out := []map[string]any{}
 		for _, sp := range scenario.Builtins() {
 			out = append(out, map[string]any{
 				"name":        sp.Name,
@@ -387,6 +438,27 @@ func newMux(q *jobqueue.Queue) *http.ServeMux {
 		}
 		writeJSON(w, http.StatusOK, sp)
 	})
+	// Scenario runs execute against their own sandboxed queue (sized by
+	// scenario.QueueConfig), never the serving queue q, so a load test
+	// cannot evict the daemon's cache or occupy its admission lanes. One
+	// at a time: a second concurrent run gets 409.
+	scenarioSem := make(chan struct{}, 1)
+	mux.HandleFunc("POST /v1/scenarios/{name}/run", func(w http.ResponseWriter, r *http.Request) {
+		sp, ok := scenario.Builtin(r.PathValue("name"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such scenario (GET /v1/scenarios lists the catalogue)")
+			return
+		}
+		streamScenarioRun(w, r, sp, scenarioSem)
+	})
+	mux.HandleFunc("POST /v1/scenarios/run", func(w http.ResponseWriter, r *http.Request) {
+		var sp scenario.Spec
+		if err := json.NewDecoder(r.Body).Decode(&sp); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+			return
+		}
+		streamScenarioRun(w, r, sp, scenarioSem)
+	})
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, q.Snapshot())
 	})
@@ -397,7 +469,8 @@ func newMux(q *jobqueue.Queue) *http.ServeMux {
 }
 
 func catalogueView() []map[string]any {
-	var out []map[string]any
+	// Initialized non-nil so an empty catalogue encodes as [], not null.
+	out := []map[string]any{}
 	for _, name := range core.Algorithms() {
 		engines := core.EnginesFor(name)
 		maxN := make(map[string]int, len(engines))
@@ -411,6 +484,110 @@ func catalogueView() []map[string]any {
 		})
 	}
 	return out
+}
+
+// ---- scenarios as a service ----
+
+// scenarioEvent is one NDJSON line of a streamed scenario run: exactly
+// one of the fields is set. Progress lines arrive periodically, record
+// lines (with ?trace=1) as jobs settle, and the stream ends with one
+// report (success) or error line.
+type scenarioEvent struct {
+	Progress *scenario.Progress `json:"progress,omitempty"`
+	Record   *jobtrace.Record   `json:"record,omitempty"`
+	Report   *scenario.Report   `json:"report,omitempty"`
+	Error    string             `json:"error,omitempty"`
+}
+
+// ndjsonStream serializes concurrent event writers (the progress
+// goroutine, the recorder flusher, the handler) onto one connection,
+// flushing after every line so clients see events as they happen.
+type ndjsonStream struct {
+	mu sync.Mutex
+	w  io.Writer
+	fl http.Flusher
+}
+
+func (s *ndjsonStream) send(ev scenarioEvent) {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	data = append(data, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = s.w.Write(data)
+	if s.fl != nil {
+		s.fl.Flush()
+	}
+}
+
+// streamScenarioRun executes sp against a fresh sandboxed queue and
+// streams NDJSON events until the final report. Query parameters:
+// ?jobs=N caps the stream length, ?progress_ms=N sets the progress
+// interval (default 500), ?trace=1 additionally streams every
+// completion record. sem bounds concurrent runs; a run that cannot
+// acquire it is refused with 409.
+func streamScenarioRun(w http.ResponseWriter, r *http.Request, sp scenario.Spec, sem chan struct{}) {
+	if v := r.URL.Query().Get("jobs"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			httpError(w, http.StatusBadRequest, "jobs must be a positive integer")
+			return
+		}
+		if n < sp.Jobs {
+			sp.Jobs = n
+		}
+	}
+	every := 500 * time.Millisecond
+	if v := r.URL.Query().Get("progress_ms"); v != "" {
+		ms, err := strconv.Atoi(v)
+		if err != nil || ms <= 0 {
+			httpError(w, http.StatusBadRequest, "progress_ms must be a positive integer")
+			return
+		}
+		every = time.Duration(ms) * time.Millisecond
+	}
+	if err := sp.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	select {
+	case sem <- struct{}{}:
+		defer func() { <-sem }()
+	default:
+		httpError(w, http.StatusConflict, "a scenario run is already in progress; retry when it finishes")
+		return
+	}
+
+	stream := &ndjsonStream{w: w}
+	if fl, ok := w.(http.Flusher); ok {
+		stream.fl = fl
+	}
+	cfg := scenario.QueueConfig(sp)
+	if r.URL.Query().Get("trace") != "" {
+		cfg.TraceSink = jobtrace.SinkFunc(func(rec jobtrace.Record) {
+			stream.send(scenarioEvent{Record: &rec})
+		})
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+
+	sandbox := jobqueue.New(cfg)
+	rep, err := scenario.RunWith(r.Context(), sandbox, sp, scenario.RunOptions{
+		ProgressEvery: every,
+		Progress: func(p scenario.Progress) {
+			stream.send(scenarioEvent{Progress: &p})
+		},
+	})
+	// Close drains the flight recorder, so with ?trace=1 every record
+	// line lands before the final report line.
+	sandbox.Close()
+	if err != nil {
+		stream.send(scenarioEvent{Error: err.Error()})
+		return
+	}
+	stream.send(scenarioEvent{Report: &rep})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"lopram/internal/jobqueue"
+)
+
+// TestCatalogueEndpointsEncodeArrays: GET /v1/scenarios and
+// /v1/algorithms must encode as JSON arrays even when empty — a nil
+// slice marshals to null and breaks strict clients.
+func TestCatalogueEndpointsEncodeArrays(t *testing.T) {
+	srv, _ := testServer(t, jobqueue.Config{Workers: 1})
+	for _, path := range []string{"/v1/scenarios", "/v1/algorithms"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+		trimmed := bytes.TrimSpace(body)
+		if len(trimmed) == 0 || trimmed[0] != '[' {
+			t.Errorf("GET %s body is not array-typed: %.80s", path, trimmed)
+		}
+		var out []map[string]any
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Errorf("GET %s: %v", path, err)
+		}
+	}
+}
+
+// scenarioEventLine mirrors the one-of NDJSON event shape for decoding
+// in tests.
+type scenarioEventLine struct {
+	Progress *json.RawMessage `json:"progress"`
+	Record   *json.RawMessage `json:"record"`
+	Report   *json.RawMessage `json:"report"`
+	Error    string           `json:"error"`
+}
+
+// TestScenarioRunStreams: POST /v1/scenarios/run with a posted spec and
+// ?trace=1 streams NDJSON with one record event per submission and
+// exactly one final report event.
+func TestScenarioRunStreams(t *testing.T) {
+	srv, _ := testServer(t, jobqueue.Config{Workers: 1})
+	spec := `{"name":"post-test","seed":11,"jobs":24,"clients":4,"dup_fraction":0.5,"seed_space":2,
+		"mix":[{"engine":"sim","max_n":64}],"shards":1,"workers":2}`
+	resp, err := http.Post(srv.URL+"/v1/scenarios/run?trace=1&progress_ms=5", "application/json",
+		strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d, want 200: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type %q, want application/x-ndjson", ct)
+	}
+	var records, reports, progress int
+	var lastLine string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		lastLine = line
+		var ev scenarioEventLine
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		switch {
+		case ev.Error != "":
+			t.Fatalf("stream reported error: %s", ev.Error)
+		case ev.Record != nil:
+			records++
+		case ev.Report != nil:
+			reports++
+		case ev.Progress != nil:
+			progress++
+		default:
+			t.Fatalf("event with no payload: %s", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if records != 24 {
+		t.Errorf("streamed %d record events, want one per submission (24)", records)
+	}
+	if reports != 1 {
+		t.Errorf("streamed %d report events, want exactly 1", reports)
+	}
+	if progress == 0 {
+		t.Error("no progress events at a 5ms interval")
+	}
+	var last scenarioEventLine
+	if err := json.Unmarshal([]byte(lastLine), &last); err != nil || last.Report == nil {
+		t.Errorf("final stream line is not the report: %s", lastLine)
+	}
+}
+
+// TestScenarioRunBuiltinCapsJobs: POST /v1/scenarios/{name}/run honours
+// ?jobs as a cap on the builtin's stream length.
+func TestScenarioRunBuiltinCapsJobs(t *testing.T) {
+	srv, _ := testServer(t, jobqueue.Config{Workers: 1})
+	resp, err := http.Post(srv.URL+"/v1/scenarios/cache-friendly-repeat/run?jobs=10&trace=1&progress_ms=5",
+		"application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d, want 200: %s", resp.StatusCode, body)
+	}
+	var records int
+	var reportSeen bool
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		var ev scenarioEventLine
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Text(), err)
+		}
+		if ev.Record != nil {
+			records++
+		}
+		if ev.Report != nil {
+			reportSeen = true
+			var rep struct {
+				Jobs int `json:"jobs"`
+			}
+			if err := json.Unmarshal(*ev.Report, &rep); err != nil {
+				t.Fatal(err)
+			}
+			if rep.Jobs != 10 {
+				t.Errorf("report jobs %d, want capped 10", rep.Jobs)
+			}
+		}
+	}
+	if records != 10 {
+		t.Errorf("%d record events, want 10", records)
+	}
+	if !reportSeen {
+		t.Error("no report event")
+	}
+}
+
+// TestScenarioRunUnknownName: a name outside the catalogue is 404 with
+// a JSON error, before any stream starts.
+func TestScenarioRunUnknownName(t *testing.T) {
+	srv, _ := testServer(t, jobqueue.Config{Workers: 1})
+	resp, err := http.Post(srv.URL+"/v1/scenarios/nope/run", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestScenarioRunInvalidSpec: a posted spec that fails validation is
+// 400, not a stream that errors midway.
+func TestScenarioRunInvalidSpec(t *testing.T) {
+	srv, _ := testServer(t, jobqueue.Config{Workers: 1})
+	resp, err := http.Post(srv.URL+"/v1/scenarios/run", "application/json",
+		strings.NewReader(`{"name":"broken","jobs":-4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+	}
+}

@@ -1,0 +1,82 @@
+// Command tracediff joins two JSONL completion traces (the flight
+// recorder's output — lopramd -trace-out, or /v1/scenarios/{name}/run
+// with ?trace=1) job-by-job and reports per-class and per-shard deltas
+// in wait, run, hit rate, steal rate and placement. It exits non-zero
+// when a configured threshold is violated — benchgate lifted from
+// benchmarks to scenario replays, wired into CI as the replay A/B gate
+// against the merge base:
+//
+//	go run ./cmd/lopramd -scenario cache-friendly-repeat -trace-out head.jsonl
+//	(cd $(git merge-base ...) && go run ./cmd/lopramd -scenario cache-friendly-repeat -trace-out base.jsonl)
+//	tracediff -max-hit-delta 2 -max-wait-p99 0.25 base.jsonl head.jsonl
+//
+// Records join by deterministic job key (spec string) plus submission
+// sequence: the k-th submission of a key in the base trace pairs with
+// the k-th in the head trace, so traces of one scenario stream always
+// join completely, whatever order completions landed in. A submission
+// multiset mismatch (a key appearing more often in one trace) always
+// fails; rate and latency deltas fail only past their thresholds, and a
+// latency gate also requires the regression to exceed an absolute
+// millisecond floor so microsecond-scale noise cannot flake CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"lopram/internal/jobtrace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable streams and exit code, for tests.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracediff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var th jobtrace.Thresholds
+	fs.Float64Var(&th.HitRatePoints, "max-hit-delta", 2,
+		"fail when |hit-rate delta| exceeds this many percentage points (0 disables)")
+	fs.Float64Var(&th.WaitP99Frac, "max-wait-p99", 0.25,
+		"fail when p99 queue wait regresses by more than this fraction (0 disables)")
+	fs.Float64Var(&th.WaitFloorMS, "wait-floor-ms", 5,
+		"absolute noise floor for the wait gate: regressions smaller than this many ms never fail")
+	fs.Float64Var(&th.RunP99Frac, "max-run-p99", 0,
+		"fail when p99 execution latency regresses by more than this fraction (0 disables)")
+	fs.Float64Var(&th.RunFloorMS, "run-floor-ms", 5,
+		"absolute noise floor for the run gate, in ms")
+	fs.Float64Var(&th.StealRatePoints, "max-steal-delta", 0,
+		"fail when |steal-rate delta| exceeds this many percentage points (0 disables)")
+	fs.Float64Var(&th.PlacementFrac, "max-placement-moved", 0,
+		"fail when more than this fraction of matched jobs changed submit shard (0 disables)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: tracediff [flags] base.jsonl head.jsonl\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	base, err := jobtrace.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "tracediff: %v\n", err)
+		return 2
+	}
+	head, err := jobtrace.ReadFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "tracediff: %v\n", err)
+		return 2
+	}
+	d := jobtrace.Diff(base, head, th)
+	d.WriteText(stdout)
+	if d.Failed() {
+		return 1
+	}
+	return 0
+}

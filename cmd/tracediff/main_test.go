@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lopram/internal/jobqueue"
+	"lopram/internal/jobtrace"
+	"lopram/internal/scenario"
+)
+
+// traceTo replays a builtin scenario with the flight recorder writing
+// JSONL to path — the same pipeline lopramd -trace-out drives.
+func traceTo(t *testing.T, name, path string) {
+	t.Helper()
+	sp, ok := scenario.Builtin(name)
+	if !ok {
+		t.Fatalf("builtin %s missing", name)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw := jobtrace.NewWriter(f)
+	cfg := scenario.QueueConfig(sp)
+	cfg.TraceSink = tw
+	q := jobqueue.New(cfg)
+	if _, err := scenario.Run(context.Background(), q, sp); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	q.Close()
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSameBuildSameSeedPasses is the acceptance check: two traces of
+// one scenario from one build at one seed must join completely and
+// show zero structural deltas, so the default gate passes. The wait
+// floor is raised the way the CI invocation raises it — latency jitter
+// on a small scenario is machine noise, not a regression.
+func TestSameBuildSameSeedPasses(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.jsonl")
+	head := filepath.Join(dir, "head.jsonl")
+	traceTo(t, "cache-friendly-repeat", base)
+	traceTo(t, "cache-friendly-repeat", head)
+
+	var out, errOut bytes.Buffer
+	code := run([]string{"-wait-floor-ms", "1000", "-run-floor-ms", "1000", base, head}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	text := out.String()
+	for _, want := range []string{"joined 300 pairs", "unmatched A 0, B 0", "PASS"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report lacks %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestUnmatchedSubmissionFails: a head trace with an extra submission
+// of some key is a changed workload, which fails regardless of
+// thresholds.
+func TestUnmatchedSubmissionFails(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.jsonl")
+	head := filepath.Join(dir, "head.jsonl")
+	traceTo(t, "cache-friendly-repeat", base)
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimRight(data, "\n"), []byte("\n"))
+	data = append(data, lines[0]...)
+	data = append(data, '\n')
+	if err := os.WriteFile(head, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut bytes.Buffer
+	code := run([]string{"-wait-floor-ms", "1000", "-run-floor-ms", "1000", base, head}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Errorf("report lacks FAIL line:\n%s", out.String())
+	}
+}
+
+// TestBadUsage: flag errors and missing files exit 2, distinct from a
+// threshold failure.
+func TestBadUsage(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"only-one.jsonl"}, &out, &errOut); code != 2 {
+		t.Fatalf("one positional arg: exit %d, want 2", code)
+	}
+	if code := run([]string{"/nonexistent/a.jsonl", "/nonexistent/b.jsonl"}, &out, &errOut); code != 2 {
+		t.Fatalf("missing files: exit %d, want 2", code)
+	}
+}

@@ -119,6 +119,18 @@ type Job struct {
 	// The home shard is not stored: it is encoded in ID's low shardBits.
 	class int
 
+	// Flight-recorder fields. submitShard/submitEpoch/laneDepth are
+	// written before the job is published to its run queue and
+	// execShard/stealFrom by the executing worker before it spawns the
+	// runner; settle (which runs after the run finishes) is the only
+	// reader, so the channel send and goroutine creation order them
+	// without a lock.
+	submitShard int
+	submitEpoch uint64
+	laneDepth   int
+	execShard   int
+	stealFrom   int
+
 	mu       sync.Mutex
 	status   Status
 	result   Result
@@ -129,7 +141,8 @@ type Job struct {
 }
 
 func newJob(id uint64, name string, spec Spec, fn func(ctx context.Context) error, now time.Time) *Job {
-	return &Job{ID: id, Name: name, Spec: spec, fn: fn, submitted: now, done: make(chan struct{})}
+	return &Job{ID: id, Name: name, Spec: spec, fn: fn, submitted: now,
+		execShard: -1, stealFrom: -1, done: make(chan struct{})}
 }
 
 // Status returns the job's current state.

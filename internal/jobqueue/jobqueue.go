@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"lopram/internal/core"
+	"lopram/internal/jobtrace"
 )
 
 // Errors returned by Submit and Result.
@@ -90,6 +91,19 @@ type Config struct {
 	// default) keeps the shard count fixed unless Resize is called
 	// explicitly. New panics if the config fails Validate.
 	Autoscale *AutoscaleConfig
+	// TraceSink attaches a flight recorder: every submission the queue
+	// settles (executed, cache hit, coalesced) or refuses (class lane
+	// full) emits one jobtrace.Record through a bounded ring to this
+	// sink. Nil (the default) disables the recorder entirely — the hot
+	// paths then skip record construction, so tracing costs nothing
+	// when off. The queue never closes the sink; Close drains the ring
+	// first, so once it returns the sink holds every non-dropped record
+	// (see TraceStats).
+	TraceSink jobtrace.Sink
+	// TraceBuffer is the recorder ring's capacity in records; a full
+	// ring drops records (counted in TraceStats / Metrics) rather than
+	// block the queue. Default 4096.
+	TraceBuffer int
 }
 
 func (c Config) withDefaults() Config {
@@ -171,6 +185,12 @@ type Queue struct {
 	stopScaler chan struct{}
 	scalerWG   sync.WaitGroup
 
+	// rec is the flight recorder, nil unless Config.TraceSink is set.
+	// Fixed at New: every emission site is behind a nil check, so the
+	// untraced hot path costs one predictable branch and zero
+	// allocations.
+	rec *recorder
+
 	// Counters (atomics: hot path, read by Snapshot without any lock).
 	submitted  atomic.Int64
 	completed  atomic.Int64
@@ -220,6 +240,9 @@ func New(cfg Config) *Queue {
 		classes:  classes,
 		perClass: make([]classCounters, len(classes.specs)),
 		kick:     make(chan struct{}, 1),
+	}
+	if cfg.TraceSink != nil {
+		q.rec = newRecorder(cfg.TraceSink, cfg.TraceBuffer)
 	}
 	depth := perShard(cfg.QueueDepth, cfg.Shards)
 	depths := make([]int, len(classes.specs))
@@ -294,6 +317,11 @@ func (q *Queue) Close() {
 	q.resizeMu.Unlock()
 	q.workers.Wait()
 	q.orphans.Wait()
+	if q.rec != nil {
+		// Every settle has run by now; drain the recorder so the sink
+		// holds the complete trace before Close returns.
+		q.rec.close()
+	}
 }
 
 // Classes returns the queue's resolved class set in dequeue order, quota
@@ -352,7 +380,8 @@ func (q *Queue) Submit(spec Spec) (*Job, error) {
 	}
 	key := spec.key()
 	for {
-		s := q.place.Load().shardFor(key)
+		p := q.place.Load()
+		s := p.shardFor(key)
 		now := time.Now()
 		s.mu.Lock()
 		if s.retired {
@@ -378,18 +407,35 @@ func (q *Queue) Submit(spec Spec) (*Job, error) {
 			// Cached serves are near-instant and skip the latency samples;
 			// Wall in the result reports the original run's cost.
 			job.completeCached(res, now)
+			if q.rec != nil {
+				q.recordServed(q.baseRecord(job), jobtrace.DispositionHit, s.idx, p.epoch)
+			}
 			return job, nil
 		}
 		if dup, ok := s.inflight[key]; ok {
 			s.mu.Unlock()
 			q.coalesced.Add(1)
+			if q.rec != nil {
+				// The record describes this submission — its own class
+				// and arrival — served by the in-flight job's ID.
+				rec := q.baseRecord(dup)
+				rec.ID = dup.ID
+				rec.Class = string(q.classes.specs[class].Name)
+				rec.SubmitNS = now.UnixNano()
+				q.recordServed(rec, jobtrace.DispositionCoalesce, s.idx, p.epoch)
+			}
 			return dup, nil
 		}
 		q.cacheMiss.Add(1)
 		job := newJob(q.newID(s.idx), spec.String(), spec, nil, now)
 		job.class = class
+		job.submitShard = s.idx
+		job.submitEpoch = p.epoch
 		if err := q.enqueueLocked(s, job, key); err != nil {
 			s.mu.Unlock()
+			if q.rec != nil && errors.Is(err, ErrQueueFull) {
+				q.recordRejected(job, s.idx, p.epoch, s.laneDepths[class])
+			}
 			return nil, err
 		}
 		s.mu.Unlock()
@@ -409,7 +455,8 @@ func (q *Queue) SubmitFunc(name string, fn func(ctx context.Context) error) (*Jo
 		return nil, fmt.Errorf("jobqueue: nil func for %q", name)
 	}
 	for {
-		s := q.place.Load().shardForName(name)
+		p := q.place.Load()
+		s := p.shardForName(name)
 		s.mu.Lock()
 		if s.retired {
 			s.mu.Unlock()
@@ -422,8 +469,13 @@ func (q *Queue) SubmitFunc(name string, fn func(ctx context.Context) error) (*Jo
 			return nil, ErrClosed
 		}
 		job := newJob(q.newID(s.idx), name, Spec{}, fn, time.Now())
+		job.submitShard = s.idx
+		job.submitEpoch = p.epoch
 		if err := q.enqueueLocked(s, job, Key{}); err != nil {
 			s.mu.Unlock()
+			if q.rec != nil && errors.Is(err, ErrQueueFull) {
+				q.recordRejected(job, s.idx, p.epoch, s.laneDepths[job.class])
+			}
 			return nil, err
 		}
 		s.mu.Unlock()
@@ -438,11 +490,15 @@ func (q *Queue) SubmitFunc(name string, fn func(ctx context.Context) error) (*Jo
 // backlog); the non-blocking send is a backstop that cannot fire while
 // the counter invariant holds.
 func (q *Queue) enqueueLocked(s *shard, job *Job, key Key) error {
-	if s.laneUsed[job.class].Load() >= int64(s.laneDepths[job.class]) {
+	used := s.laneUsed[job.class].Load()
+	if used >= int64(s.laneDepths[job.class]) {
 		q.rejected.Add(1)
 		q.perClass[job.class].rejected.Add(1)
 		return ErrQueueFull
 	}
+	// The admitted-ahead count at admission, kept for the flight
+	// recorder's completion record.
+	job.laneDepth = int(used)
 	select {
 	case s.runq[job.class] <- job:
 	default:

@@ -139,6 +139,13 @@ type Metrics struct {
 	// indexed by shard.
 	PerShard []ShardStats `json:"per_shard,omitempty"`
 
+	// TraceRecords and TraceDropped are the flight recorder's totals:
+	// completion records emitted, and the subset dropped because the
+	// recorder ring was full (sink too slow) or shutdown had begun.
+	// Zero when no Config.TraceSink is attached.
+	TraceRecords int64 `json:"trace_records,omitempty"`
+	TraceDropped int64 `json:"trace_dropped,omitempty"`
+
 	// Scheduler is the palrt work-stealing runtime's process-wide
 	// spawn/steal/inline breakdown: how the goroutine engine behind every
 	// EnginePalrt job scheduled its pal-threads.
@@ -222,6 +229,7 @@ func (q *Queue) snapshotOnce() (Metrics, bool) {
 		m.HitRate = float64(served) / float64(total)
 	}
 	m.Scheduler = palrt.GlobalStats()
+	m.TraceRecords, m.TraceDropped = q.TraceStats()
 
 	numClasses := len(q.classes.specs)
 	m.Classes = q.Classes()

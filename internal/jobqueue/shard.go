@@ -277,7 +277,7 @@ func (q *Queue) runEpoch(idx int, p *placement, credits []int, rot *int, timer *
 			// the only kick token while another shard's job (its own
 			// kick dropped at capacity 1) waits for a sweep.
 			q.kickWorkers()
-			q.runJob(owner, job)
+			q.runJob(owner, home.idx, job)
 			continue
 		}
 		if homeOpen == 0 {
@@ -305,7 +305,7 @@ func (q *Queue) runEpoch(idx int, p *placement, credits []int, rot *int, timer *
 				continue
 			}
 			q.kickWorkers()
-			q.runJob(home, job)
+			q.runJob(home, home.idx, job)
 		case <-q.kick:
 		case <-timer.C:
 		}
@@ -335,17 +335,25 @@ func (q *Queue) trySteal(p *placement, thief *shard, class int) (*shard, *Job) {
 // ---- job execution ----
 
 // runJob executes one job under its deadline; owner is the shard the job
-// was dequeued from (not necessarily the running worker's home). The
-// engine run itself is not preemptible (an activated job "remains active
-// just like a standard thread"), so a blown deadline fails the job
-// immediately; the worker then either abandons the run to finish in the
-// background (its result dropped) if the orphan budget allows, or waits
-// it out to bound total concurrency.
-func (q *Queue) runJob(owner *shard, job *Job) {
+// was dequeued from and homeIdx the running worker's home shard (they
+// differ when the job was stolen). The engine run itself is not
+// preemptible (an activated job "remains active just like a standard
+// thread"), so a blown deadline fails the job immediately; the worker
+// then either abandons the run to finish in the background (its result
+// dropped) if the orphan budget allows, or waits it out to bound total
+// concurrency.
+func (q *Queue) runJob(owner *shard, homeIdx int, job *Job) {
 	q.pending.Add(-1)
 	owner.pending.Add(-1)
 	owner.laneUsed[job.class].Add(-1)
 	owner.executed.Add(1)
+	// Written before the runner goroutine exists and before any settle
+	// can run; read only at settle. A steal is a run by a worker homed
+	// elsewhere: the origin is the shard the job was dequeued from.
+	job.execShard = homeIdx
+	if owner.idx != homeIdx {
+		job.stealFrom = owner.idx
+	}
 	start := time.Now()
 	if !job.markRunning(start) {
 		return
@@ -459,13 +467,16 @@ func (q *Queue) settle(job *Job, res Result, err error, start time.Time) {
 	if job.fn == nil {
 		key = job.Spec.key()
 	}
+	var settleEpoch uint64
 	for {
+		p := q.place.Load()
 		var home *shard
 		if job.fn == nil {
-			home = q.place.Load().shardFor(key)
+			home = p.shardFor(key)
 		} else {
-			home = q.place.Load().shardForName(job.Name)
+			home = p.shardForName(job.Name)
 		}
+		settleEpoch = p.epoch
 		home.mu.Lock()
 		if home.retired {
 			home.mu.Unlock()
@@ -503,5 +514,8 @@ func (q *Queue) settle(job *Job, res Result, err error, start time.Time) {
 	} else {
 		q.completed.Add(1)
 		q.perClass[job.class].completed.Add(1)
+	}
+	if q.rec != nil {
+		q.recordExecuted(job, res, err, settleEpoch)
 	}
 }

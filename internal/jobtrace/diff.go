@@ -1,0 +1,354 @@
+package jobtrace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"lopram/internal/stats"
+	"lopram/internal/trace"
+)
+
+// Thresholds gates a Diff: a zero field disables that check. Unmatched
+// jobs (a key submitted more often in one trace than the other) always
+// fail — two replays of one scenario stream must contain the same
+// submission multiset regardless of build.
+type Thresholds struct {
+	// HitRatePoints is the allowed |hit-rate delta| in percentage
+	// points (hit rate = submissions served without executing over all
+	// non-rejected submissions).
+	HitRatePoints float64
+	// WaitP99Frac is the allowed fractional regression of the p99 queue
+	// wait (B over A); WaitFloorMS is an absolute noise floor — a
+	// regression smaller than it in milliseconds never fails, so
+	// microsecond-scale waits cannot flake the gate.
+	WaitP99Frac float64
+	WaitFloorMS float64
+	// RunP99Frac and RunFloorMS gate the p99 execution latency the same
+	// way.
+	RunP99Frac float64
+	RunFloorMS float64
+	// StealRatePoints is the allowed |steal-rate delta| in percentage
+	// points (stolen executed records over executed records).
+	StealRatePoints float64
+	// PlacementFrac is the allowed fraction of matched pairs whose
+	// submit shard differs between the traces.
+	PlacementFrac float64
+}
+
+// Side aggregates one trace (or one class's slice of it).
+type Side struct {
+	Jobs     int `json:"jobs"`
+	Executed int `json:"executed"`
+	Hits     int `json:"hits"`
+	Coalesce int `json:"coalesce"`
+	Rejected int `json:"rejected"`
+	Failed   int `json:"failed"`
+	Timeouts int `json:"timeouts"`
+	Stolen   int `json:"stolen"`
+	// HitRate is (hits+coalesce)/(jobs-rejected); StealRate is
+	// stolen/executed.
+	HitRate   float64 `json:"hit_rate"`
+	StealRate float64 `json:"steal_rate"`
+	// Wait/Run percentiles are over executed records only, in ms.
+	WaitP50 float64 `json:"wait_p50"`
+	WaitP99 float64 `json:"wait_p99"`
+	RunP50  float64 `json:"run_p50"`
+	RunP99  float64 `json:"run_p99"`
+}
+
+func sideOf(recs []Record) Side {
+	var s Side
+	var waits, runs []float64
+	for _, r := range recs {
+		s.Jobs++
+		switch r.Disposition {
+		case DispositionExecuted:
+			s.Executed++
+			waits = append(waits, r.WaitMS)
+			runs = append(runs, r.RunMS)
+			if r.StealOrigin >= 0 {
+				s.Stolen++
+			}
+			switch r.Outcome {
+			case OutcomeTimeout:
+				s.Timeouts++
+				s.Failed++
+			case OutcomeError:
+				s.Failed++
+			}
+		case DispositionHit:
+			s.Hits++
+		case DispositionCoalesce:
+			s.Coalesce++
+		case DispositionRejected:
+			s.Rejected++
+		}
+	}
+	if served := s.Jobs - s.Rejected; served > 0 {
+		s.HitRate = float64(s.Hits+s.Coalesce) / float64(served)
+	}
+	if s.Executed > 0 {
+		s.StealRate = float64(s.Stolen) / float64(s.Executed)
+	}
+	ws, rs := stats.Summarize(waits), stats.Summarize(runs)
+	s.WaitP50, s.WaitP99 = ws.P50, ws.P99
+	s.RunP50, s.RunP99 = rs.P50, rs.P99
+	return s
+}
+
+// ClassDelta is one priority class's pair of aggregates.
+type ClassDelta struct {
+	Class string `json:"class"`
+	A     Side   `json:"a"`
+	B     Side   `json:"b"`
+}
+
+// ShardDelta compares one submit-shard's share of the placement.
+type ShardDelta struct {
+	Shard int `json:"shard"`
+	// JobsA/JobsB count submissions placed on the shard; RunsA/RunsB
+	// count executed records whose run was dequeued from it.
+	JobsA, JobsB int
+	RunsA, RunsB int
+}
+
+// DiffReport is the job-by-job comparison of two traces.
+type DiffReport struct {
+	A, B Side
+	// Classes and Shards split the comparison; both are sorted.
+	Classes []ClassDelta
+	Shards  []ShardDelta
+	// UnmatchedA/UnmatchedB count submissions of a key beyond the other
+	// trace's count for that key; MatchedPairs is the joined rest.
+	UnmatchedA, UnmatchedB int
+	MatchedPairs           int
+	// ExecMismatchKeys counts keys whose executed-record count differs
+	// — a per-key caching/coalescing behavior change. Informational:
+	// the aggregate shows up in the hit-rate delta, which is what the
+	// threshold gates.
+	ExecMismatchKeys int
+	// PlacementMoved counts matched pairs whose submit shard differs.
+	PlacementMoved int
+	// Violations lists every threshold the comparison failed; empty
+	// means the gate passes.
+	Violations []string
+}
+
+// Failed reports whether any threshold was violated.
+func (d *DiffReport) Failed() bool { return len(d.Violations) > 0 }
+
+// Diff joins two traces job-by-job — records group by deterministic
+// key, each group sorts by submission order (SubmitNS, then ID, then
+// Seq), and the k-th submission of a key in A pairs with the k-th in B
+// — then compares the aggregate, per-class and per-shard views against
+// the thresholds.
+func Diff(a, b []Record, th Thresholds) DiffReport {
+	d := DiffReport{A: sideOf(a), B: sideOf(b)}
+
+	groupA, groupB := groupByKey(a), groupByKey(b)
+	for key, ga := range groupA {
+		gb := groupB[key]
+		n := len(ga)
+		if len(gb) < n {
+			n = len(gb)
+		}
+		d.UnmatchedA += len(ga) - n
+		d.UnmatchedB += len(gb) - n
+		d.MatchedPairs += n
+		execA, execB := 0, 0
+		for _, r := range ga {
+			if r.Executed() {
+				execA++
+			}
+		}
+		for _, r := range gb {
+			if r.Executed() {
+				execB++
+			}
+		}
+		if execA != execB {
+			d.ExecMismatchKeys++
+		}
+		for i := 0; i < n; i++ {
+			if ga[i].SubmitShard != gb[i].SubmitShard {
+				d.PlacementMoved++
+			}
+		}
+	}
+	for key, gb := range groupB {
+		if _, ok := groupA[key]; !ok {
+			d.UnmatchedB += len(gb)
+		}
+	}
+
+	d.Classes = classDeltas(a, b)
+	d.Shards = shardDeltas(a, b)
+	d.Violations = violations(&d, th)
+	return d
+}
+
+func groupByKey(recs []Record) map[string][]Record {
+	groups := make(map[string][]Record)
+	for _, r := range recs {
+		groups[r.Key] = append(groups[r.Key], r)
+	}
+	for _, g := range groups {
+		sort.Slice(g, func(i, j int) bool {
+			if g[i].SubmitNS != g[j].SubmitNS {
+				return g[i].SubmitNS < g[j].SubmitNS
+			}
+			if g[i].ID != g[j].ID {
+				return g[i].ID < g[j].ID
+			}
+			return g[i].Seq < g[j].Seq
+		})
+	}
+	return groups
+}
+
+func classDeltas(a, b []Record) []ClassDelta {
+	byClass := func(recs []Record) map[string][]Record {
+		m := make(map[string][]Record)
+		for _, r := range recs {
+			m[r.Class] = append(m[r.Class], r)
+		}
+		return m
+	}
+	ca, cb := byClass(a), byClass(b)
+	names := make(map[string]bool)
+	for c := range ca {
+		names[c] = true
+	}
+	for c := range cb {
+		names[c] = true
+	}
+	var out []ClassDelta
+	for c := range names {
+		out = append(out, ClassDelta{Class: c, A: sideOf(ca[c]), B: sideOf(cb[c])})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}
+
+func shardDeltas(a, b []Record) []ShardDelta {
+	m := make(map[int]*ShardDelta)
+	at := func(idx int) *ShardDelta {
+		sd := m[idx]
+		if sd == nil {
+			sd = &ShardDelta{Shard: idx}
+			m[idx] = sd
+		}
+		return sd
+	}
+	for _, r := range a {
+		at(r.SubmitShard).JobsA++
+		if r.Executed() && r.ExecShard >= 0 {
+			at(r.ExecShard).RunsA++
+		}
+	}
+	for _, r := range b {
+		at(r.SubmitShard).JobsB++
+		if r.Executed() && r.ExecShard >= 0 {
+			at(r.ExecShard).RunsB++
+		}
+	}
+	out := make([]ShardDelta, 0, len(m))
+	for _, sd := range m {
+		out = append(out, *sd)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Shard < out[j].Shard })
+	return out
+}
+
+func violations(d *DiffReport, th Thresholds) []string {
+	var v []string
+	if d.UnmatchedA > 0 || d.UnmatchedB > 0 {
+		v = append(v, fmt.Sprintf("traces do not contain the same submissions: %d only in A, %d only in B",
+			d.UnmatchedA, d.UnmatchedB))
+	}
+	if th.HitRatePoints > 0 {
+		if delta := math.Abs(d.B.HitRate-d.A.HitRate) * 100; delta > th.HitRatePoints {
+			v = append(v, fmt.Sprintf("hit-rate delta %.2f points exceeds %.2f (A %.1f%% → B %.1f%%)",
+				delta, th.HitRatePoints, 100*d.A.HitRate, 100*d.B.HitRate))
+		}
+	}
+	if th.StealRatePoints > 0 {
+		if delta := math.Abs(d.B.StealRate-d.A.StealRate) * 100; delta > th.StealRatePoints {
+			v = append(v, fmt.Sprintf("steal-rate delta %.2f points exceeds %.2f (A %.1f%% → B %.1f%%)",
+				delta, th.StealRatePoints, 100*d.A.StealRate, 100*d.B.StealRate))
+		}
+	}
+	if msg := latencyRegression("p99 wait", d.A.WaitP99, d.B.WaitP99, th.WaitP99Frac, th.WaitFloorMS); msg != "" {
+		v = append(v, msg)
+	}
+	if msg := latencyRegression("p99 run", d.A.RunP99, d.B.RunP99, th.RunP99Frac, th.RunFloorMS); msg != "" {
+		v = append(v, msg)
+	}
+	if th.PlacementFrac > 0 && d.MatchedPairs > 0 {
+		if frac := float64(d.PlacementMoved) / float64(d.MatchedPairs); frac > th.PlacementFrac {
+			v = append(v, fmt.Sprintf("placement moved for %.1f%% of matched jobs, exceeds %.1f%% (%d of %d)",
+				100*frac, 100*th.PlacementFrac, d.PlacementMoved, d.MatchedPairs))
+		}
+	}
+	return v
+}
+
+// latencyRegression reports a violation when b regresses past a by more
+// than frac AND by more than floorMS in absolute terms; empty when frac
+// is 0 (disabled) or the regression is within bounds.
+func latencyRegression(what string, a, b, frac, floorMS float64) string {
+	if frac <= 0 {
+		return ""
+	}
+	if b <= a*(1+frac) || b-a <= floorMS {
+		return ""
+	}
+	return fmt.Sprintf("%s regressed %.0f%% (A %.3fms → B %.3fms), exceeds %.0f%% (+%.3fms floor)",
+		what, 100*(b/a-1), a, b, 100*frac, floorMS)
+}
+
+// WriteText renders the comparison as the human-readable report
+// cmd/tracediff prints: totals, then the per-class and per-shard
+// tables, then any violations.
+func (d *DiffReport) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "trace A: %d jobs (%d executed, %d hit, %d coalesce, %d rejected, %d failed) · trace B: %d jobs (%d executed, %d hit, %d coalesce, %d rejected, %d failed)\n",
+		d.A.Jobs, d.A.Executed, d.A.Hits, d.A.Coalesce, d.A.Rejected, d.A.Failed,
+		d.B.Jobs, d.B.Executed, d.B.Hits, d.B.Coalesce, d.B.Rejected, d.B.Failed)
+	fmt.Fprintf(w, "joined %d pairs by key+sequence · unmatched A %d, B %d · exec-count mismatch on %d keys · placement moved %d\n",
+		d.MatchedPairs, d.UnmatchedA, d.UnmatchedB, d.ExecMismatchKeys, d.PlacementMoved)
+	fmt.Fprintf(w, "hit rate %.1f%% → %.1f%% · steal rate %.1f%% → %.1f%% · p99 wait %.3fms → %.3fms · p99 run %.3fms → %.3fms\n",
+		100*d.A.HitRate, 100*d.B.HitRate, 100*d.A.StealRate, 100*d.B.StealRate,
+		d.A.WaitP99, d.B.WaitP99, d.A.RunP99, d.B.RunP99)
+	if len(d.Classes) > 0 {
+		tb := trace.NewTable("class", "jobs A/B", "hit% A/B", "steal% A/B",
+			"wait p50 A/B", "wait p99 A/B", "run p99 A/B")
+		for _, c := range d.Classes {
+			tb.AddRow(c.Class,
+				fmt.Sprintf("%d/%d", c.A.Jobs, c.B.Jobs),
+				fmt.Sprintf("%.1f/%.1f", 100*c.A.HitRate, 100*c.B.HitRate),
+				fmt.Sprintf("%.1f/%.1f", 100*c.A.StealRate, 100*c.B.StealRate),
+				fmt.Sprintf("%.2f/%.2f", c.A.WaitP50, c.B.WaitP50),
+				fmt.Sprintf("%.2f/%.2f", c.A.WaitP99, c.B.WaitP99),
+				fmt.Sprintf("%.2f/%.2f", c.A.RunP99, c.B.RunP99))
+		}
+		fmt.Fprint(w, tb.String())
+	}
+	if len(d.Shards) > 1 {
+		tb := trace.NewTable("shard", "placed A/B", "ran A/B")
+		for _, s := range d.Shards {
+			tb.AddRow(s.Shard,
+				fmt.Sprintf("%d/%d", s.JobsA, s.JobsB),
+				fmt.Sprintf("%d/%d", s.RunsA, s.RunsB))
+		}
+		fmt.Fprint(w, tb.String())
+	}
+	if len(d.Violations) == 0 {
+		fmt.Fprintln(w, "PASS: no threshold violations")
+		return
+	}
+	for _, msg := range d.Violations {
+		fmt.Fprintf(w, "FAIL: %s\n", msg)
+	}
+}

@@ -1,0 +1,165 @@
+package jobtrace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// rec builds a minimal executed record for diff tests.
+func rec(key string, occurrence int64, disposition string, shard int, waitMS float64) Record {
+	r := Record{
+		Key:         key,
+		Class:       "interactive",
+		Disposition: disposition,
+		SubmitShard: shard,
+		ExecShard:   -1,
+		StealOrigin: -1,
+		SubmitNS:    occurrence, // submission order within the key group
+		WaitMS:      waitMS,
+	}
+	if disposition == DispositionExecuted {
+		r.ExecShard = shard
+		r.Outcome = OutcomeOK
+		r.RunMS = 1
+	}
+	return r
+}
+
+func TestDiffIdenticalTracesPass(t *testing.T) {
+	a := []Record{
+		rec("k1", 1, DispositionExecuted, 0, 10),
+		rec("k1", 2, DispositionHit, 1, 0),
+		rec("k2", 1, DispositionExecuted, 1, 20),
+	}
+	th := Thresholds{HitRatePoints: 2, WaitP99Frac: 0.25, WaitFloorMS: 5}
+	d := Diff(a, a, th)
+	if d.Failed() {
+		t.Fatalf("self-diff failed: %v", d.Violations)
+	}
+	if d.MatchedPairs != 3 || d.UnmatchedA != 0 || d.UnmatchedB != 0 {
+		t.Fatalf("matched %d, unmatched %d/%d, want 3 and 0/0", d.MatchedPairs, d.UnmatchedA, d.UnmatchedB)
+	}
+}
+
+func TestDiffUnmatchedAlwaysFails(t *testing.T) {
+	a := []Record{rec("k1", 1, DispositionExecuted, 0, 1)}
+	b := []Record{
+		rec("k1", 1, DispositionExecuted, 0, 1),
+		rec("k1", 2, DispositionHit, 0, 0),
+		rec("k2", 1, DispositionExecuted, 0, 1),
+	}
+	d := Diff(a, b, Thresholds{}) // every threshold disabled
+	if !d.Failed() {
+		t.Fatal("extra submissions in B must fail with all thresholds off")
+	}
+	if d.UnmatchedB != 2 {
+		t.Fatalf("UnmatchedB = %d, want 2 (one extra k1, one unknown k2)", d.UnmatchedB)
+	}
+}
+
+func TestDiffHitRateGate(t *testing.T) {
+	// A: 2 of 4 served without execution; B: 1 of 4 — a 25-point move.
+	a := []Record{
+		rec("k1", 1, DispositionExecuted, 0, 1),
+		rec("k1", 2, DispositionHit, 0, 0),
+		rec("k2", 1, DispositionExecuted, 0, 1),
+		rec("k2", 2, DispositionCoalesce, 0, 0),
+	}
+	b := []Record{
+		rec("k1", 1, DispositionExecuted, 0, 1),
+		rec("k1", 2, DispositionHit, 0, 0),
+		rec("k2", 1, DispositionExecuted, 0, 1),
+		rec("k2", 2, DispositionExecuted, 0, 1),
+	}
+	d := Diff(a, b, Thresholds{HitRatePoints: 2})
+	if !d.Failed() {
+		t.Fatal("a 25-point hit-rate drop must violate a 2-point threshold")
+	}
+	if !strings.Contains(strings.Join(d.Violations, "\n"), "hit-rate") {
+		t.Fatalf("violations lack hit-rate message: %v", d.Violations)
+	}
+	if d.ExecMismatchKeys != 1 {
+		t.Fatalf("ExecMismatchKeys = %d, want 1 (k2 executes twice in B)", d.ExecMismatchKeys)
+	}
+	if wide := Diff(a, b, Thresholds{HitRatePoints: 30}); wide.Failed() {
+		t.Fatal("a 30-point allowance must absorb a 25-point move")
+	}
+}
+
+func TestLatencyGateNeedsFractionAndFloor(t *testing.T) {
+	mk := func(wait float64) []Record {
+		return []Record{rec("k1", 1, DispositionExecuted, 0, wait)}
+	}
+	th := Thresholds{WaitP99Frac: 0.25, WaitFloorMS: 100}
+	// +50% but only +2ms: under the floor, passes.
+	if d := Diff(mk(4), mk(6), th); d.Failed() {
+		t.Fatalf("2ms regression must stay under the 100ms floor: %v", d.Violations)
+	}
+	// +150ms but only +15%: under the fraction, passes.
+	if d := Diff(mk(1000), mk(1150), th); d.Failed() {
+		t.Fatalf("15%% regression must stay under the 25%% fraction: %v", d.Violations)
+	}
+	// +50% and +150ms: both exceeded, fails.
+	if d := Diff(mk(300), mk(450), th); !d.Failed() {
+		t.Fatal("a regression past both fraction and floor must fail")
+	}
+	// Gate disabled: any regression passes.
+	if d := Diff(mk(1), mk(1000), Thresholds{}); d.Failed() {
+		t.Fatalf("disabled gate must not fail: %v", d.Violations)
+	}
+}
+
+func TestDiffPlacementGate(t *testing.T) {
+	a := []Record{
+		rec("k1", 1, DispositionExecuted, 0, 1),
+		rec("k2", 1, DispositionExecuted, 1, 1),
+	}
+	b := []Record{
+		rec("k1", 1, DispositionExecuted, 1, 1), // moved shard
+		rec("k2", 1, DispositionExecuted, 1, 1),
+	}
+	d := Diff(a, b, Thresholds{PlacementFrac: 0.25})
+	if d.PlacementMoved != 1 {
+		t.Fatalf("PlacementMoved = %d, want 1", d.PlacementMoved)
+	}
+	if !d.Failed() {
+		t.Fatal("half the jobs moving shard must violate a 25% placement threshold")
+	}
+	if wide := Diff(a, b, Thresholds{PlacementFrac: 0.75}); wide.Failed() {
+		t.Fatal("a 75% allowance must absorb one of two jobs moving")
+	}
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	in := []Record{
+		rec("mergesort/n=64/p=2/sim/seed=1", 1, DispositionExecuted, 0, 3.5),
+		rec("mergesort/n=64/p=2/sim/seed=1", 2, DispositionHit, 0, 0),
+	}
+	in[0].Seq, in[1].Seq = 1, 2
+	for _, r := range in {
+		w.Record(r)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", w.Count())
+	}
+	out, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] != in[0] || out[1] != in[1] {
+		t.Fatalf("round trip mismatch:\nin:  %+v\nout: %+v", in, out)
+	}
+}
+
+func TestReadAllRejectsMalformedLine(t *testing.T) {
+	_, err := ReadAll(strings.NewReader("{\"seq\":1}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want a line-2 parse error, got %v", err)
+	}
+}

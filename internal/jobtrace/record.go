@@ -1,0 +1,125 @@
+// Package jobtrace defines the flight recorder's completion-record
+// schema and the sinks it flows through: every job a jobqueue.Queue
+// finishes (or refuses) emits one Record describing what actually
+// happened to it — where it was placed, which shard ran it, under which
+// placement epochs, how long it queued and ran, and how it was served
+// (executed, cache hit, coalesced, rejected). Records are written as
+// JSONL by Writer, captured in memory by MemorySink, read back by
+// ReadAll, and compared build-to-build by Diff (the replay A/B gate
+// behind cmd/tracediff).
+package jobtrace
+
+// Dispositions: how a submission was served. Every submission the queue
+// accepts or refuses produces exactly one record with one of these.
+const (
+	// DispositionExecuted marks a job that ran on a worker (successfully
+	// or not — see Outcome).
+	DispositionExecuted = "executed"
+	// DispositionHit marks a submission served from the result cache
+	// without executing.
+	DispositionHit = "hit"
+	// DispositionCoalesce marks a submission merged onto an identical
+	// in-flight job; the run it joined emits its own executed record.
+	DispositionCoalesce = "coalesce"
+	// DispositionRejected marks a submission refused by admission
+	// control (its class lane was full).
+	DispositionRejected = "rejected"
+)
+
+// Outcomes of an executed record.
+const (
+	// OutcomeOK means the run completed successfully.
+	OutcomeOK = "ok"
+	// OutcomeTimeout means the run blew its deadline and was failed
+	// (and possibly abandoned to finish in the background).
+	OutcomeTimeout = "timeout"
+	// OutcomeError means the run returned an error.
+	OutcomeError = "error"
+)
+
+// SchedCounters is the palrt work-stealing scheduler's breakdown for one
+// run: pal-threads handed to the global pool, taken from other workers'
+// deques, and inlined on the spawning worker. Present only on executed
+// records of EnginePalrt jobs.
+type SchedCounters struct {
+	Spawned int64 `json:"spawned"`
+	Stolen  int64 `json:"stolen"`
+	Inlined int64 `json:"inlined"`
+}
+
+// Record is one job's completion record — the unit the flight recorder
+// emits. Identity fields (Key, Algorithm..Seed, Class) are deterministic
+// functions of the submitted spec; placement and timing fields describe
+// what this run of this build actually did, so they differ between
+// replays and are exactly what tracediff compares.
+type Record struct {
+	// Seq is the recorder's emission sequence number, assigned in the
+	// order records were offered to the ring (1-based). A gap in the
+	// delivered sequence identifies a dropped record.
+	Seq uint64 `json:"seq"`
+	// ID is the queue-assigned job ID. For coalesced submissions it is
+	// the ID of the in-flight job the submission merged onto.
+	ID uint64 `json:"id"`
+	// Key is the job's deterministic identity: Spec.String() for
+	// algorithm jobs ("algo/n=…/p=…/engine/seed=…"), the caller's name
+	// for func jobs. Equal keys mean equal results; tracediff joins
+	// traces on it.
+	Key string `json:"key"`
+
+	Algorithm string `json:"algorithm,omitempty"`
+	Engine    string `json:"engine,omitempty"`
+	N         int    `json:"n,omitempty"`
+	P         int    `json:"p,omitempty"`
+	Seed      uint64 `json:"seed"`
+
+	// Class is the priority class the submission resolved to.
+	Class string `json:"class"`
+	// Disposition is how the submission was served (Disposition*).
+	Disposition string `json:"disposition"`
+	// Outcome is the executed run's result (Outcome*); empty for
+	// non-executed dispositions except hit/coalesce, which report "ok".
+	Outcome string `json:"outcome,omitempty"`
+	// Error carries the failure message of a failed run.
+	Error string `json:"error,omitempty"`
+
+	// SubmitShard is the shard the submission hashed to under the
+	// placement table at submit; ExecShard is the home shard of the
+	// worker that ran the job (-1 when it never ran).
+	SubmitShard int `json:"submit_shard"`
+	ExecShard   int `json:"exec_shard"`
+	// StealOrigin is the shard a stolen job was dequeued from, -1 when
+	// the job ran on a worker homed to the shard that queued it.
+	StealOrigin int `json:"steal_origin"`
+	// EpochSubmit and EpochSettle are the placement-table epochs at
+	// admission and at settle; they differ when a live resize moved the
+	// table while the job was in flight.
+	EpochSubmit uint64 `json:"epoch_submit"`
+	EpochSettle uint64 `json:"epoch_settle"`
+	// LaneDepth is how many admitted-but-not-started jobs of the same
+	// class were already in the shard's lane when this one was admitted
+	// (for rejected records: the lane bound it hit).
+	LaneDepth int `json:"lane_depth"`
+
+	// SubmitNS/StartNS/FinishNS are wall-clock Unix timestamps in
+	// nanoseconds; Start/Finish are zero for never-started submissions.
+	SubmitNS int64 `json:"submit_ns"`
+	StartNS  int64 `json:"start_ns,omitempty"`
+	FinishNS int64 `json:"finish_ns,omitempty"`
+	// WaitMS is queueing latency (submit → start), RunMS execution
+	// latency (start → finish), both in milliseconds.
+	WaitMS float64 `json:"wait_ms"`
+	RunMS  float64 `json:"run_ms"`
+
+	// Sched is the palrt scheduler's counters for this run; nil for
+	// non-palrt engines and non-executed dispositions.
+	Sched *SchedCounters `json:"sched,omitempty"`
+}
+
+// Executed reports whether the record describes a run on a worker.
+func (r Record) Executed() bool { return r.Disposition == DispositionExecuted }
+
+// Dup reports whether the submission was served without executing — a
+// cache hit or an in-flight coalesce.
+func (r Record) Dup() bool {
+	return r.Disposition == DispositionHit || r.Disposition == DispositionCoalesce
+}

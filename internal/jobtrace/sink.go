@@ -1,0 +1,156 @@
+package jobtrace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Sink receives completion records from a queue's flight recorder.
+// Record is called from the recorder's single flusher goroutine, one
+// record at a time, so a Sink needs no internal ordering — but it must
+// be safe against calls from that goroutine while the owner reads
+// whatever the sink accumulates. A slow sink does not block the queue:
+// the recorder's bounded ring drops (and counts) records instead.
+type Sink interface {
+	Record(Record)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Record)
+
+// Record calls f(r).
+func (f SinkFunc) Record(r Record) { f(r) }
+
+// MemorySink accumulates records in memory — the test sink. The zero
+// value is ready to use.
+type MemorySink struct {
+	mu   sync.Mutex
+	recs []Record
+}
+
+// Record appends r.
+func (m *MemorySink) Record(r Record) {
+	m.mu.Lock()
+	m.recs = append(m.recs, r)
+	m.mu.Unlock()
+}
+
+// Records returns a copy of everything recorded so far.
+func (m *MemorySink) Records() []Record {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Record(nil), m.recs...)
+}
+
+// Len returns how many records have been recorded.
+func (m *MemorySink) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.recs)
+}
+
+// Writer is the JSONL sink: one JSON-encoded record per line, buffered.
+// The queue never closes its sink — the owner that opened the
+// underlying file calls Flush (and closes the file) after the queue is
+// closed, which is when the recorder has drained.
+type Writer struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	n   int64
+	err error
+}
+
+// NewWriter returns a JSONL writer over w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriter(w)}
+}
+
+// Record encodes r as one JSON line. Encoding or write errors are
+// sticky: the first one is kept (see Err) and later records are
+// silently discarded, so a bad disk never panics the recorder.
+func (w *Writer) Record(r Record) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		w.err = err
+		return
+	}
+	data = append(data, '\n')
+	if _, err := w.bw.Write(data); err != nil {
+		w.err = err
+		return
+	}
+	w.n++
+}
+
+// Flush writes out the buffer and returns the first error seen, if any.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.bw.Flush(); err != nil && w.err == nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// Count returns how many records were successfully encoded.
+func (w *Writer) Count() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
+
+// Err returns the first encoding or write error, if any.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// ReadAll parses a JSONL trace. Blank lines are skipped; a malformed
+// line fails with its line number.
+func ReadAll(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		data := bytes.TrimSpace(sc.Bytes())
+		if len(data) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return nil, fmt.Errorf("jobtrace: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadFile parses the JSONL trace at path.
+func ReadFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := ReadAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}

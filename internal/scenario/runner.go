@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"lopram/internal/jobqueue"
 	"lopram/internal/stats"
+	"lopram/internal/trace"
 	"lopram/internal/workload"
 )
 
@@ -54,12 +56,45 @@ type Report struct {
 	Wait     stats.Summary                          `json:"wait_ms"`
 }
 
+// Progress is one periodic snapshot of a replay in flight, delivered to
+// RunOptions.Progress — the payload behind lopramd's NDJSON streaming.
+type Progress struct {
+	Scenario string `json:"scenario"`
+	// Total is the stream length; Submitted counts submissions issued
+	// so far (rejections included), Done the submissions that reached a
+	// terminal state, Rejected the admission refusals.
+	Total     int     `json:"total"`
+	Submitted int     `json:"submitted"`
+	Done      int     `json:"done"`
+	Rejected  int64   `json:"rejected"`
+	Resizes   int     `json:"resizes,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// RunOptions customizes a replay. The zero value reproduces Run.
+type RunOptions struct {
+	// Progress, when set, is called with a periodic snapshot of the
+	// replay from a dedicated goroutine; the final call happens before
+	// RunWith returns. It must be safe to call concurrently with the
+	// submitting goroutines' work but is never called concurrently with
+	// itself.
+	Progress func(Progress)
+	// ProgressEvery is the snapshot interval; default 500ms.
+	ProgressEvery time.Duration
+}
+
 // Run replays the scenario against q: expands the deterministic job
 // stream, submits it under the declared arrival process, waits for every
 // admitted job, and reports. Job-level failures (deadlines, admission
 // rejections) are reported, not errors; an error means the replay itself
 // could not proceed (invalid spec, closed queue, cancelled context).
 func Run(ctx context.Context, q *jobqueue.Queue, s Spec) (Report, error) {
+	return RunWith(ctx, q, s, RunOptions{})
+}
+
+// RunWith is Run with progress reporting: opts.Progress receives
+// periodic snapshots of the replay while it runs.
+func RunWith(ctx context.Context, q *jobqueue.Queue, s Spec, opts RunOptions) (Report, error) {
 	// Validate fills the defaults (arrival mode, client window, seed
 	// space) into this copy — the arrival logic below depends on them,
 	// not just Stream.
@@ -77,6 +112,54 @@ func Run(ctx context.Context, q *jobqueue.Queue, s Spec) (Report, error) {
 
 	start := time.Now()
 	report := Report{Scenario: s.Name}
+	// The live counters are atomics so the progress goroutine can read
+	// them mid-replay; fill copies them into the report before any
+	// return.
+	var submitted, done, rejected, resizes atomic.Int64
+	fill := func() {
+		report.Jobs = int(submitted.Load())
+		report.Rejected = rejected.Load()
+		report.Resizes = int(resizes.Load())
+	}
+	if opts.Progress != nil {
+		snap := func() Progress {
+			return Progress{
+				Scenario:  s.Name,
+				Total:     len(stream),
+				Submitted: int(submitted.Load()),
+				Done:      int(done.Load()),
+				Rejected:  rejected.Load(),
+				Resizes:   int(resizes.Load()),
+				ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+			}
+		}
+		every := opts.ProgressEvery
+		if every <= 0 {
+			every = 500 * time.Millisecond
+		}
+		stopProg := make(chan struct{})
+		progDone := make(chan struct{})
+		go func() {
+			defer close(progDone)
+			ticker := time.NewTicker(every)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					opts.Progress(snap())
+				case <-stopProg:
+					opts.Progress(snap())
+					return
+				}
+			}
+		}()
+		// Synchronous shutdown: the final snapshot is delivered before
+		// RunWith returns, and never after.
+		defer func() {
+			close(stopProg)
+			<-progDone
+		}()
+	}
 	// sched is the cumulative scheduled arrival time of the open-loop
 	// variants. Rate shaping (ramp, diurnal) evaluates the instantaneous
 	// rate at the *scheduled* clock, not the wall clock, so the arrival
@@ -107,6 +190,7 @@ func Run(ctx context.Context, q *jobqueue.Queue, s Spec) (Report, error) {
 		if _, err := job.Wait(ctx); err != nil && ctx.Err() == nil {
 			failures.Add(1)
 		}
+		done.Add(1)
 		if s.Arrival == ArrivalClosed {
 			<-window
 		}
@@ -116,6 +200,7 @@ func Run(ctx context.Context, q *jobqueue.Queue, s Spec) (Report, error) {
 	for i, spec := range stream {
 		if err := ctx.Err(); err != nil {
 			waiters.Wait()
+			fill()
 			return report, err
 		}
 		// Scheduled live resizes fire at their stream offset, before the
@@ -124,10 +209,11 @@ func Run(ctx context.Context, q *jobqueue.Queue, s Spec) (Report, error) {
 		for nextResize < len(s.Resizes) && s.Resizes[nextResize].AtJob == i {
 			if _, err := q.Resize(s.Resizes[nextResize].Shards); err != nil {
 				waiters.Wait()
+				fill()
 				return report, fmt.Errorf("scenario %s: resize to %d shards at job %d: %w",
 					s.Name, s.Resizes[nextResize].Shards, i, err)
 			}
-			report.Resizes++
+			resizes.Add(1)
 			nextResize++
 		}
 		if s.Arrival != ArrivalClosed {
@@ -135,6 +221,7 @@ func Run(ctx context.Context, q *jobqueue.Queue, s Spec) (Report, error) {
 			case <-time.After(nextGap()):
 			case <-ctx.Done():
 				waiters.Wait()
+				fill()
 				return report, ctx.Err()
 			}
 		} else {
@@ -142,27 +229,30 @@ func Run(ctx context.Context, q *jobqueue.Queue, s Spec) (Report, error) {
 			case window <- struct{}{}:
 			case <-ctx.Done():
 				waiters.Wait()
+				fill()
 				return report, ctx.Err()
 			}
 		}
 		job, err := q.Submit(spec)
 		switch {
 		case errors.Is(err, jobqueue.ErrQueueFull):
-			report.Rejected++
-			report.Jobs++
+			rejected.Add(1)
+			submitted.Add(1)
 			if s.Arrival == ArrivalClosed {
 				<-window
 			}
 			continue
 		case err != nil:
 			waiters.Wait()
+			fill()
 			return report, fmt.Errorf("scenario %s: submitting %s: %w", s.Name, spec, err)
 		}
-		report.Jobs++
+		submitted.Add(1)
 		waiters.Add(1)
 		go watch(job)
 	}
 	waiters.Wait()
+	fill()
 	if err := ctx.Err(); err != nil {
 		return report, err
 	}
@@ -209,13 +299,25 @@ func (r Report) WriteText(w io.Writer) {
 		classes = append(classes, class)
 	}
 	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	// The per-class block is a trace.Table so column widths come from
+	// the data — class names of any length stay aligned.
+	tb := trace.NewTable("class", "submitted",
+		"wall p50", "wall p95", "wall p99", "wait p50", "wait p95", "wait p99")
+	rows := 0
 	for _, class := range classes {
 		cs := r.PerClass[class]
 		if cs.Submitted == 0 && cs.Wall.Count == 0 {
 			continue
 		}
-		fmt.Fprintf(w, "  class %-12s submitted %-5d wall ms p50 %.2f p95 %.2f p99 %.2f · wait ms p50 %.2f p95 %.2f p99 %.2f\n",
-			class, cs.Submitted, cs.Wall.P50, cs.Wall.P95, cs.Wall.P99, cs.Wait.P50, cs.Wait.P95, cs.Wait.P99)
+		tb.AddRow(string(class), cs.Submitted,
+			fmt.Sprintf("%.2f", cs.Wall.P50), fmt.Sprintf("%.2f", cs.Wall.P95), fmt.Sprintf("%.2f", cs.Wall.P99),
+			fmt.Sprintf("%.2f", cs.Wait.P50), fmt.Sprintf("%.2f", cs.Wait.P95), fmt.Sprintf("%.2f", cs.Wait.P99))
+		rows++
+	}
+	if rows > 0 {
+		for _, line := range strings.Split(strings.TrimRight(tb.String(), "\n"), "\n") {
+			fmt.Fprintf(w, "  %s\n", line)
+		}
 	}
 	if len(r.PerShard) > 1 {
 		fmt.Fprintf(w, "  shards:")

@@ -9,6 +9,7 @@ import (
 
 	"lopram/internal/core"
 	"lopram/internal/jobqueue"
+	"lopram/internal/stats"
 )
 
 // TestBuiltinsValidateAndExpand: every catalogue entry is a complete,
@@ -186,10 +187,43 @@ func TestUniformSmallReplay(t *testing.T) {
 	}
 	var sb strings.Builder
 	rep.WriteText(&sb)
-	for _, want := range []string{"uniform-small", "p99", "class interactive", "shards:"} {
+	for _, want := range []string{"uniform-small", "p99", "| interactive ", "shards:"} {
 		if !strings.Contains(sb.String(), want) {
 			t.Errorf("report text missing %q:\n%s", want, sb.String())
 		}
+	}
+}
+
+// TestWriteTextAlignsLongClassNames: the per-class block computes its
+// column widths from the data, so a class name longer than the old
+// fixed 12-char field keeps every table line the same width.
+func TestWriteTextAlignsLongClassNames(t *testing.T) {
+	rep := Report{
+		Scenario: "alignment-probe",
+		PerClass: map[jobqueue.Class]jobqueue.ClassStats{
+			"interactive-latency-sensitive-tier": {Submitted: 7, Wall: stats.Summary{Count: 7, P50: 1.5}},
+			"b":                                  {Submitted: 31234, Wall: stats.Summary{Count: 3, P50: 120.25}},
+		},
+	}
+	var sb strings.Builder
+	rep.WriteText(&sb)
+	var widths []int
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "|") {
+			widths = append(widths, len([]rune(line)))
+		}
+	}
+	if len(widths) != 4 { // header, rule, two class rows
+		t.Fatalf("expected 4 table lines, got %d:\n%s", len(widths), sb.String())
+	}
+	for _, w := range widths {
+		if w != widths[0] {
+			t.Errorf("table lines have unequal widths %v:\n%s", widths, sb.String())
+			break
+		}
+	}
+	if !strings.Contains(sb.String(), "interactive-latency-sensitive-tier") {
+		t.Errorf("long class name missing from report:\n%s", sb.String())
 	}
 }
 

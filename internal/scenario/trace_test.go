@@ -1,0 +1,232 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"lopram/internal/jobqueue"
+	"lopram/internal/jobtrace"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden trace projections")
+
+// traceScenario replays a builtin with a JSONL trace writer attached
+// and returns the parsed records plus the queue's trace stats.
+func traceScenario(t *testing.T, name string) (Report, []jobtrace.Record, int64, int64) {
+	t.Helper()
+	sp, ok := Builtin(name)
+	if !ok {
+		t.Fatalf("builtin %s missing", name)
+	}
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw := jobtrace.NewWriter(f)
+	cfg := QueueConfig(sp)
+	cfg.TraceSink = tw
+	q := jobqueue.New(cfg)
+	rep, err := Run(context.Background(), q, sp)
+	q.Close()
+	if err != nil {
+		t.Fatalf("replay %s: %v", name, err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatalf("flushing trace: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := jobtrace.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading trace back: %v", err)
+	}
+	emitted, dropped := q.TraceStats()
+	return rep, recs, emitted, dropped
+}
+
+// canonicalDisposition collapses the timing-dependent hit/coalesce
+// split: whether a duplicate found its original already cached or
+// still in flight depends on scheduling, but that it was served
+// without execution does not.
+func canonicalDisposition(d string) string {
+	if d == jobtrace.DispositionHit || d == jobtrace.DispositionCoalesce {
+		return "dup"
+	}
+	return d
+}
+
+// TestTraceGoldenCacheFriendlyRepeat pins down the JSONL schema and the
+// deterministic projection of a complete trace of the
+// cache-friendly-repeat builtin at its fixed seed: record cardinality,
+// the field set every record carries, and the sorted multiset of
+// (disposition, class, key) — everything about the trace that must not
+// depend on scheduling — are compared against a committed golden file.
+// Regenerate with: go test ./internal/scenario -run Golden -update
+func TestTraceGoldenCacheFriendlyRepeat(t *testing.T) {
+	_, recs, emitted, dropped := traceScenario(t, "cache-friendly-repeat")
+	if dropped != 0 {
+		t.Fatalf("%d records dropped; the default ring must hold a 300-job scenario", dropped)
+	}
+	if emitted != 300 || len(recs) != 300 {
+		t.Fatalf("emitted %d, read back %d records, want exactly one per submission (300)", emitted, len(recs))
+	}
+
+	// Schema stability: every record must carry the core identity and
+	// placement fields under their wire names, and executed records the
+	// timing fields too. A rename or deletion breaks replay tooling.
+	for i, r := range recs {
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(b, &m); err != nil {
+			t.Fatal(err)
+		}
+		required := []string{"seq", "id", "key", "seed", "class", "disposition",
+			"submit_shard", "exec_shard", "steal_origin", "epoch_submit", "epoch_settle",
+			"lane_depth", "submit_ns", "wait_ms", "run_ms"}
+		if r.Disposition == jobtrace.DispositionExecuted {
+			required = append(required, "start_ns", "finish_ns", "outcome")
+		}
+		for _, key := range required {
+			if _, ok := m[key]; !ok {
+				t.Fatalf("record %d (%s) lacks wire field %q: %s", i, r.Disposition, key, b)
+			}
+		}
+	}
+
+	// Seq must be a dense 1..N sequence: with zero drops the emission
+	// counter and the sink stream see the same records.
+	seqs := make([]int, 0, len(recs))
+	for _, r := range recs {
+		seqs = append(seqs, int(r.Seq))
+	}
+	sort.Ints(seqs)
+	for i, s := range seqs {
+		if s != i+1 {
+			t.Fatalf("seq gap: position %d holds %d", i, s)
+		}
+	}
+
+	lines := make([]string, 0, len(recs))
+	for _, r := range recs {
+		lines = append(lines, fmt.Sprintf("%s %s %s", canonicalDisposition(r.Disposition), r.Class, r.Key))
+	}
+	sort.Strings(lines)
+	got := strings.Join(lines, "\n") + "\n"
+
+	golden := filepath.Join("testdata", "cache-friendly-repeat.trace.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("trace projection drifted from %s (regenerate with -update if intended)", golden)
+		gl := strings.Split(got, "\n")
+		wl := strings.Split(string(want), "\n")
+		for i := 0; i < len(gl) || i < len(wl); i++ {
+			var g, w string
+			if i < len(gl) {
+				g = gl[i]
+			}
+			if i < len(wl) {
+				w = wl[i]
+			}
+			if g != w {
+				t.Fatalf("first divergence at line %d:\n  got:  %s\n  want: %s", i+1, g, w)
+			}
+		}
+	}
+}
+
+// TestTraceMidRunResizeEpochs replays the mid-run-resize builtin
+// (1 -> 4 -> 2 shards) with the recorder attached and asserts every
+// record's placement story is coherent across the live swaps: settle
+// epoch never precedes submit epoch, every epoch is one the replay
+// actually reached, the submit shard fits the submit epoch's table
+// width, each key executes exactly once, and duplicates settle as
+// hit or coalesce — never rejected, never re-executed.
+func TestTraceMidRunResizeEpochs(t *testing.T) {
+	rep, recs, emitted, dropped := traceScenario(t, "mid-run-resize")
+	if dropped != 0 {
+		t.Fatalf("%d records dropped", dropped)
+	}
+	if emitted != 240 || len(recs) != 240 {
+		t.Fatalf("emitted %d, read %d, want one record per submission (240)", emitted, len(recs))
+	}
+	if rep.Resizes != 2 {
+		t.Fatalf("replay applied %d resizes, want 2", rep.Resizes)
+	}
+
+	// Epoch 1 is creation (1 shard); the scheduled resizes to 4 and 2
+	// shards produce epochs 2 and 3. The autoscaler is off under
+	// QueueConfig, so no other epoch can appear.
+	widths := map[uint64]int{1: 1, 2: 4, 3: 2}
+	execPerKey := make(map[string]int)
+	dups := 0
+	for _, r := range recs {
+		if r.EpochSettle < r.EpochSubmit {
+			t.Errorf("record %s settled at epoch %d before its submit epoch %d", r.Key, r.EpochSettle, r.EpochSubmit)
+		}
+		for _, ep := range []uint64{r.EpochSubmit, r.EpochSettle} {
+			if _, ok := widths[ep]; !ok {
+				t.Errorf("record %s carries epoch %d, outside the replay's 1..3", r.Key, ep)
+			}
+		}
+		if w := widths[r.EpochSubmit]; r.SubmitShard < 0 || r.SubmitShard >= w {
+			t.Errorf("record %s submit shard %d outside epoch %d's %d-shard table", r.Key, r.SubmitShard, r.EpochSubmit, w)
+		}
+		switch r.Disposition {
+		case jobtrace.DispositionExecuted:
+			execPerKey[r.Key]++
+			// The exec shard is resolved when the run starts, which may be
+			// an epoch earlier than the settle — it only has to fit the
+			// widest table the replay ever had.
+			if r.ExecShard < 0 || r.ExecShard >= 4 {
+				t.Errorf("record %s exec shard %d outside any placement the replay reached", r.Key, r.ExecShard)
+			}
+		case jobtrace.DispositionHit, jobtrace.DispositionCoalesce:
+			dups++
+		default:
+			t.Errorf("record %s disposition %q: a dup-only closed-loop replay must not reject", r.Key, r.Disposition)
+		}
+	}
+	for key, n := range execPerKey {
+		if n != 1 {
+			t.Errorf("key %s executed %d times across the resizes, want exactly once", key, n)
+		}
+	}
+	// Every duplicate's key must trace back to an execution.
+	for _, r := range recs {
+		if r.Disposition == jobtrace.DispositionExecuted {
+			continue
+		}
+		if execPerKey[r.Key] == 0 {
+			t.Errorf("dup record %s has no executed record for its key", r.Key)
+		}
+	}
+	if int64(dups) != rep.CacheHits+rep.Coalesced {
+		t.Errorf("trace holds %d dup records, report says %d hits + %d coalesced", dups, rep.CacheHits, rep.Coalesced)
+	}
+	if int64(len(execPerKey)) != rep.Executed {
+		t.Errorf("trace holds %d executed keys, report says %d executions", len(execPerKey), rep.Executed)
+	}
+}
