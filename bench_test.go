@@ -773,6 +773,65 @@ func BenchmarkJobQueueResize(b *testing.B) {
 	})
 }
 
+// BenchmarkJobQueuePolicies prices the pluggable dequeue policies across
+// the (policy, shards) matrix with the same concurrent-submitter load as
+// BenchmarkJobQueueThroughput: policy=default must be within noise of
+// that benchmark's workers=4 rows (the native channel path is untouched
+// when the default policy is selected), while fcfs/sjf/edf pay the
+// ordered path's cross-shard scan — the documented price of a policy
+// that ranks the whole backlog; cmd/benchgate gates every cell via
+// BENCH_BASELINE.json.
+func BenchmarkJobQueuePolicies(b *testing.B) {
+	var seed atomic.Uint64
+	for _, policy := range []string{"default", "fcfs", "sjf", "edf"} {
+		for _, shards := range []int{1, 4} {
+			b.Run(fmt.Sprintf("policy=%s/shards=%d", policy, shards), func(b *testing.B) {
+				q := jobqueue.New(jobqueue.Config{
+					Workers: 4, Shards: shards,
+					QueueDepth: 8192, CacheSize: -1,
+					Policies: jobqueue.Policies{Dequeue: policy},
+				})
+				defer q.Close()
+				const batch = 64
+				const submitters = 4
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var wg sync.WaitGroup
+					for s := 0; s < submitters; s++ {
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							jobs := make([]*jobqueue.Job, 0, batch/submitters)
+							for j := 0; j < batch/submitters; j++ {
+								job, err := q.Submit(jobqueue.Spec{
+									Algorithm: "reduce", N: 256, P: 4,
+									Engine: core.EngineSim, Seed: seed.Add(1),
+								})
+								if err != nil {
+									b.Error(err)
+									return
+								}
+								jobs = append(jobs, job)
+							}
+							for _, job := range jobs {
+								if _, err := job.Wait(context.Background()); err != nil {
+									b.Error(err)
+									return
+								}
+							}
+						}()
+					}
+					wg.Wait()
+				}
+				b.StopTimer()
+				if secs := b.Elapsed().Seconds(); secs > 0 {
+					b.ReportMetric(float64(b.N*batch)/secs, "jobs/sec")
+				}
+			})
+		}
+	}
+}
+
 // ---- palrt work-stealing scheduler matrix ----
 //
 // BenchmarkPalrt{Spawn,Steal,DandC,DP} sweep processor count and task grain

@@ -18,6 +18,12 @@
 //	lopramd -autoscale 1:8            # grow/shrink shards between 1 and 8
 //	lopramd -autoscale 1:8:100ms:4:0.5
 //
+// -dequeue-policy and -admission-policy swap the queue's decision layer
+// (default, fcfs, sjf, edf / default, token-bucket[:RATE[:BURST]]); the
+// defaults are byte-identical to the pre-policy daemon:
+//
+//	lopramd -dequeue-policy sjf -admission-policy token-bucket:64:16
+//
 //	POST /v1/jobs               {"algorithm":"mergesort","n":65536,"engine":"sim","seed":7}
 //	GET  /v1/jobs/{id}          job status + result; ?wait=1 blocks until done
 //	GET  /v1/jobs?limit=50      recent jobs, newest first
@@ -25,6 +31,8 @@
 //	GET  /v1/algorithms         the catalogue: algorithm → supported engines
 //	GET  /v1/classes            the configured priority-class set
 //	                            (name, weight, quota, default deadline)
+//	GET  /v1/policies           the active dequeue/admission policies and
+//	                            the available policy names
 //	GET  /v1/scenarios          the built-in load-scenario catalogue
 //	GET  /v1/scenarios/{name}   one scenario's full declarative spec
 //	POST /v1/scenarios/{name}/run  execute a builtin against a sandboxed
@@ -38,6 +46,9 @@
 //	                            percentiles, hit rate, per-shard steals,
 //	                            palrt work-stealing scheduler counters)
 //	GET  /healthz               liveness
+//
+// Every error response is the uniform JSON envelope {"error": <message>,
+// "code": <machine-readable code>} — see docs/API.md for the code table.
 //
 // -trace-out attaches the flight recorder in serve or scenario mode:
 // every job the queue settles or refuses appends one JSONL completion
@@ -101,6 +112,8 @@ func main() {
 		dup        = flag.Float64("dup", 0.3, "batch mode: fraction of jobs that duplicate an earlier spec (exercises the cache)")
 		algos      = flag.String("algorithms", "", "batch mode: comma-separated algorithm subset (default: full catalogue)")
 		autoscaleS = flag.String("autoscale", "", `serve mode: contention-driven shard autoscaling as min:max[:interval[:high[:low]]] (e.g. "1:8" or "1:8:250ms:4:0.5"); empty keeps the shard count fixed unless POST /v1/resize moves it`)
+		deqPolicy  = flag.String("dequeue-policy", "", `dequeue policy: default (strict-then-DWRR), fcfs, sjf (predicted-cost shortest job first) or edf (earliest deadline first); empty keeps the default`)
+		admPolicy  = flag.String("admission-policy", "", `admission policy: default (static lane quotas) or token-bucket[:RATE[:BURST]] (per-class rate limit + deadline-infeasibility shedding); empty keeps the default`)
 		scenarioID = flag.String("scenario", "", "scenario mode: replay a built-in scenario by name, or a JSON spec file by path, and exit")
 		listScen   = flag.Bool("list-scenarios", false, "print the built-in scenario catalogue and exit")
 		traceOut   = flag.String("trace-out", "", "attach the flight recorder and write one JSONL completion record per job to this file (serve and scenario modes)")
@@ -133,6 +146,17 @@ func main() {
 		}
 		cfg.Autoscale = auto
 	}
+	// Validate the policy names here so a typo is a clean exit-2 usage
+	// error listing the valid names, not a New panic later.
+	if _, err := jobqueue.ParseDequeuePolicy(*deqPolicy); err != nil {
+		fmt.Fprintf(os.Stderr, "lopramd: -dequeue-policy: %v\n", err)
+		os.Exit(2)
+	}
+	if _, err := jobqueue.ParseAdmissionPolicy(*admPolicy); err != nil {
+		fmt.Fprintf(os.Stderr, "lopramd: -admission-policy: %v\n", err)
+		os.Exit(2)
+	}
+	cfg.Policies = jobqueue.Policies{Dequeue: *deqPolicy, Admission: *admPolicy}
 	// closeTrace flushes and closes the -trace-out file; called after
 	// the queue is closed (the mode helpers close it on return), which
 	// is when the recorder has drained every record into the writer.
@@ -292,6 +316,12 @@ func runScenario(flagCfg jobqueue.Config, setFlags map[string]bool, nameOrPath s
 	if setFlags["timeout"] {
 		cfg.DefaultTimeout = flagCfg.DefaultTimeout
 	}
+	if setFlags["dequeue-policy"] {
+		cfg.Policies.Dequeue = flagCfg.Policies.Dequeue
+	}
+	if setFlags["admission-policy"] {
+		cfg.Policies.Admission = flagCfg.Policies.Admission
+	}
 	q := jobqueue.New(cfg)
 	defer q.Close()
 	rep, err := scenario.Run(context.Background(), q, sp)
@@ -337,19 +367,17 @@ func newMux(q *jobqueue.Queue) *http.ServeMux {
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var spec jobqueue.Spec
 		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+			writeErr(w, http.StatusBadRequest, codeBadRequest, fmt.Sprintf("bad request body: %v", err))
 			return
 		}
 		job, err := q.Submit(spec)
 		if err != nil {
 			// Invalid specs — jobqueue.ErrUnknownClass included, whose
 			// message lists the valid class names — are the client's
-			// fault (400); only saturation and shutdown are 503s.
-			status := http.StatusBadRequest
-			if errors.Is(err, jobqueue.ErrQueueFull) || errors.Is(err, jobqueue.ErrClosed) {
-				status = http.StatusServiceUnavailable
-			}
-			httpError(w, status, err.Error())
+			// fault (400); saturation/rate rejections are retryable 429s
+			// and only shutdown is a 503 (queueErr).
+			status, code := queueErr(err)
+			writeErr(w, status, code, err.Error())
 			return
 		}
 		status := http.StatusAccepted
@@ -361,12 +389,12 @@ func newMux(q *jobqueue.Queue) *http.ServeMux {
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "bad job id")
+			writeErr(w, http.StatusBadRequest, codeBadRequest, "bad job id")
 			return
 		}
 		job, ok := q.Get(id)
 		if !ok {
-			httpError(w, http.StatusNotFound, "no such job (it may have aged out)")
+			writeErr(w, http.StatusNotFound, codeNotFound, "no such job (it may have aged out)")
 			return
 		}
 		if r.URL.Query().Get("wait") != "" {
@@ -391,18 +419,15 @@ func newMux(q *jobqueue.Queue) *http.ServeMux {
 			Shards int `json:"shards"`
 		}
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+			writeErr(w, http.StatusBadRequest, codeBadRequest, fmt.Sprintf("bad request body: %v", err))
 			return
 		}
 		epoch, err := q.Resize(req.Shards)
 		if err != nil {
 			// Out-of-bounds targets are the client's fault (400); only
 			// shutdown is a 503.
-			status := http.StatusBadRequest
-			if errors.Is(err, jobqueue.ErrClosed) {
-				status = http.StatusServiceUnavailable
-			}
-			httpError(w, status, err.Error())
+			status, code := queueErr(err)
+			writeErr(w, status, code, err.Error())
 			return
 		}
 		// Report the count this resize produced, not a re-read of the
@@ -433,10 +458,19 @@ func newMux(q *jobqueue.Queue) *http.ServeMux {
 	mux.HandleFunc("GET /v1/scenarios/{name}", func(w http.ResponseWriter, r *http.Request) {
 		sp, ok := scenario.Builtin(r.PathValue("name"))
 		if !ok {
-			httpError(w, http.StatusNotFound, "no such scenario (GET /v1/scenarios lists the catalogue)")
+			writeErr(w, http.StatusNotFound, codeNotFound, "no such scenario (GET /v1/scenarios lists the catalogue)")
 			return
 		}
 		writeJSON(w, http.StatusOK, sp)
+	})
+	mux.HandleFunc("GET /v1/policies", func(w http.ResponseWriter, _ *http.Request) {
+		deq, adm := q.PolicyNames()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"dequeue":             deq,
+			"admission":           adm,
+			"available_dequeue":   jobqueue.DequeuePolicyNames(),
+			"available_admission": jobqueue.AdmissionPolicyNames(),
+		})
 	})
 	// Scenario runs execute against their own sandboxed queue (sized by
 	// scenario.QueueConfig), never the serving queue q, so a load test
@@ -446,7 +480,7 @@ func newMux(q *jobqueue.Queue) *http.ServeMux {
 	mux.HandleFunc("POST /v1/scenarios/{name}/run", func(w http.ResponseWriter, r *http.Request) {
 		sp, ok := scenario.Builtin(r.PathValue("name"))
 		if !ok {
-			httpError(w, http.StatusNotFound, "no such scenario (GET /v1/scenarios lists the catalogue)")
+			writeErr(w, http.StatusNotFound, codeNotFound, "no such scenario (GET /v1/scenarios lists the catalogue)")
 			return
 		}
 		streamScenarioRun(w, r, sp, scenarioSem)
@@ -454,7 +488,7 @@ func newMux(q *jobqueue.Queue) *http.ServeMux {
 	mux.HandleFunc("POST /v1/scenarios/run", func(w http.ResponseWriter, r *http.Request) {
 		var sp scenario.Spec
 		if err := json.NewDecoder(r.Body).Decode(&sp); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+			writeErr(w, http.StatusBadRequest, codeBadRequest, fmt.Sprintf("bad request body: %v", err))
 			return
 		}
 		streamScenarioRun(w, r, sp, scenarioSem)
@@ -532,7 +566,7 @@ func streamScenarioRun(w http.ResponseWriter, r *http.Request, sp scenario.Spec,
 	if v := r.URL.Query().Get("jobs"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n <= 0 {
-			httpError(w, http.StatusBadRequest, "jobs must be a positive integer")
+			writeErr(w, http.StatusBadRequest, codeBadRequest, "jobs must be a positive integer")
 			return
 		}
 		if n < sp.Jobs {
@@ -543,20 +577,23 @@ func streamScenarioRun(w http.ResponseWriter, r *http.Request, sp scenario.Spec,
 	if v := r.URL.Query().Get("progress_ms"); v != "" {
 		ms, err := strconv.Atoi(v)
 		if err != nil || ms <= 0 {
-			httpError(w, http.StatusBadRequest, "progress_ms must be a positive integer")
+			writeErr(w, http.StatusBadRequest, codeBadRequest, "progress_ms must be a positive integer")
 			return
 		}
 		every = time.Duration(ms) * time.Millisecond
 	}
 	if err := sp.Validate(); err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		// queueErr classifies validation failures too: an unknown policy
+		// name in a posted spec gets code "unknown_policy".
+		status, code := queueErr(err)
+		writeErr(w, status, code, err.Error())
 		return
 	}
 	select {
 	case sem <- struct{}{}:
 		defer func() { <-sem }()
 	default:
-		httpError(w, http.StatusConflict, "a scenario run is already in progress; retry when it finishes")
+		writeErr(w, http.StatusConflict, codeConflict, "a scenario run is already in progress; retry when it finishes")
 		return
 	}
 
@@ -598,8 +635,44 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func httpError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+// Machine-readable error codes carried in every error envelope, so
+// clients can branch without parsing messages. The human-readable
+// "error" field stays the place for details (valid names, limits).
+const (
+	codeBadRequest         = "bad_request"
+	codeUnknownClass       = "unknown_class"
+	codeUnknownPolicy      = "unknown_policy"
+	codeNotFound           = "not_found"
+	codeConflict           = "conflict"
+	codeQueueFull          = "queue_full"
+	codeDeadlineInfeasible = "deadline_infeasible"
+	codeUnavailable        = "unavailable"
+)
+
+// writeErr writes the daemon's uniform JSON error envelope:
+// {"error": <message>, "code": <machine-readable code>}.
+func writeErr(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg, "code": code})
+}
+
+// queueErr maps a queue/scenario error onto the envelope's status and
+// code: saturation and rate limits are retryable 429s, shutdown is a
+// 503, and everything else — unknown classes and policies included — is
+// the client's 400.
+func queueErr(err error) (status int, code string) {
+	switch {
+	case errors.Is(err, jobqueue.ErrDeadlineInfeasible):
+		return http.StatusTooManyRequests, codeDeadlineInfeasible
+	case errors.Is(err, jobqueue.ErrQueueFull):
+		return http.StatusTooManyRequests, codeQueueFull
+	case errors.Is(err, jobqueue.ErrClosed):
+		return http.StatusServiceUnavailable, codeUnavailable
+	case errors.Is(err, jobqueue.ErrUnknownClass):
+		return http.StatusBadRequest, codeUnknownClass
+	case errors.Is(err, jobqueue.ErrUnknownPolicy):
+		return http.StatusBadRequest, codeUnknownPolicy
+	}
+	return http.StatusBadRequest, codeBadRequest
 }
 
 // ---- batch mode ----

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -170,6 +173,216 @@ func TestResizeEndpoint(t *testing.T) {
 			t.Errorf("resize %q: status = %d, want 400", bad, resp.StatusCode)
 		}
 	}
+}
+
+// errEnvelope decodes the uniform JSON error envelope and fails the test
+// if either field is missing — every error response must carry both.
+func errEnvelope(t *testing.T, resp *http.Response) (msg, code string) {
+	t.Helper()
+	var body struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("error response is not the JSON envelope: %v", err)
+	}
+	if body.Error == "" || body.Code == "" {
+		t.Fatalf("error envelope incomplete: %+v", body)
+	}
+	return body.Error, body.Code
+}
+
+// TestErrorEnvelope: every error path answers with the uniform
+// {"error": ..., "code": ...} envelope, the right status, and the right
+// machine-readable code — the daemon's 400/404 surface in one table.
+func TestErrorEnvelope(t *testing.T) {
+	srv, _ := testServer(t, jobqueue.Config{Workers: 1})
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+		wantCode   string
+		wantInMsg  []string
+	}{
+		{name: "bad-job-body", method: "POST", path: "/v1/jobs", body: `{not json`,
+			wantStatus: 400, wantCode: "bad_request"},
+		{name: "unknown-class", method: "POST", path: "/v1/jobs",
+			body:       `{"algorithm":"reduce","n":64,"p":2,"engine":"sim","priority":"carrier-pigeon"}`,
+			wantStatus: 400, wantCode: "unknown_class",
+			wantInMsg: []string{"carrier-pigeon", "interactive", "batch"}},
+		{name: "bad-job-id", method: "GET", path: "/v1/jobs/not-a-number",
+			wantStatus: 400, wantCode: "bad_request"},
+		{name: "job-not-found", method: "GET", path: "/v1/jobs/999999999",
+			wantStatus: 404, wantCode: "not_found"},
+		{name: "scenario-not-found", method: "GET", path: "/v1/scenarios/no-such-scenario",
+			wantStatus: 404, wantCode: "not_found"},
+		{name: "scenario-run-not-found", method: "POST", path: "/v1/scenarios/no-such-scenario/run",
+			wantStatus: 404, wantCode: "not_found"},
+		{name: "bad-resize", method: "POST", path: "/v1/resize", body: `{"shards":0}`,
+			wantStatus: 400, wantCode: "bad_request"},
+		{name: "unknown-dequeue-policy", method: "POST", path: "/v1/scenarios/run",
+			body:       `{"name":"probe","jobs":1,"dequeue_policy":"wfq"}`,
+			wantStatus: 400, wantCode: "unknown_policy",
+			wantInMsg: []string{"wfq", "default", "fcfs", "sjf", "edf"}},
+		{name: "unknown-admission-policy", method: "POST", path: "/v1/scenarios/run",
+			body:       `{"name":"probe","jobs":1,"admission_policy":"leaky-bucket"}`,
+			wantStatus: 400, wantCode: "unknown_policy",
+			wantInMsg: []string{"leaky-bucket", "token-bucket"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.wantStatus)
+			}
+			msg, code := errEnvelope(t, resp)
+			if code != tc.wantCode {
+				t.Errorf("code = %q, want %q", code, tc.wantCode)
+			}
+			for _, want := range tc.wantInMsg {
+				if !strings.Contains(msg, want) {
+					t.Errorf("error %q missing %q", msg, want)
+				}
+			}
+		})
+	}
+}
+
+// TestQueueFullEnvelope: saturation is a retryable 429 with code
+// "queue_full", not a 503 — one worker blocked, a one-slot lane filled,
+// and the next submit refused.
+func TestQueueFullEnvelope(t *testing.T) {
+	srv, q := testServer(t, jobqueue.Config{Workers: 1, Shards: 1, QueueDepth: 1, CacheSize: -1})
+	gate := make(chan struct{})
+	defer close(gate)
+	var running sync.WaitGroup
+	running.Add(1)
+	if _, err := q.SubmitFunc("blocker", func(context.Context) error {
+		running.Done()
+		<-gate
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	running.Wait()
+
+	submit := func(seed int) *http.Response {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"algorithm":"reduce","n":64,"p":2,"engine":"sim","seed":%d}`, seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	first := submit(1)
+	first.Body.Close()
+	if first.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit status = %d, want 202", first.StatusCode)
+	}
+	second := submit(2)
+	defer second.Body.Close()
+	if second.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit into a full lane: status = %d, want 429", second.StatusCode)
+	}
+	if _, code := errEnvelope(t, second); code != "queue_full" {
+		t.Errorf("code = %q, want queue_full", code)
+	}
+}
+
+// TestScenarioRunConflict: a second concurrent scenario run is refused
+// with 409 and code "conflict" while the first still streams.
+func TestScenarioRunConflict(t *testing.T) {
+	srv, _ := testServer(t, jobqueue.Config{Workers: 1})
+	// A deliberately long run: one worker, one client, a hundred thousand
+	// distinct heavy jobs. It is cancelled via the request context as
+	// soon as the conflict is observed.
+	spec := `{"name":"hog","jobs":100000,"workers":1,"clients":1,"seed_space":1000000,
+		"mix":[{"algorithm":"mergesort","engine":"sim","min_n":65536,"max_n":65536}]}`
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "POST", srv.URL+"/v1/scenarios/run", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	// The handler writes the 200 header only after it holds the run slot,
+	// so once this response arrives the slot is provably occupied.
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first run status = %d, want 200", resp.StatusCode)
+	}
+
+	second, err := http.Post(srv.URL+"/v1/scenarios/run", "application/json",
+		strings.NewReader(`{"name":"probe","jobs":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Body.Close()
+	if second.StatusCode != http.StatusConflict {
+		t.Fatalf("concurrent run status = %d, want 409", second.StatusCode)
+	}
+	if _, code := errEnvelope(t, second); code != "conflict" {
+		t.Errorf("code = %q, want conflict", code)
+	}
+}
+
+// TestPoliciesEndpoint: GET /v1/policies reports the active pair and the
+// full registries, for the default and a non-default configuration.
+func TestPoliciesEndpoint(t *testing.T) {
+	get := func(t *testing.T, srv *httptest.Server) (body struct {
+		Dequeue            string   `json:"dequeue"`
+		Admission          string   `json:"admission"`
+		AvailableDequeue   []string `json:"available_dequeue"`
+		AvailableAdmission []string `json:"available_admission"`
+	}) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/v1/policies")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d, want 200", resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+	t.Run("default", func(t *testing.T) {
+		srv, _ := testServer(t, jobqueue.Config{Workers: 1})
+		got := get(t, srv)
+		if got.Dequeue != "default" || got.Admission != "default" {
+			t.Errorf("active policies = %q/%q, want default/default", got.Dequeue, got.Admission)
+		}
+		if len(got.AvailableDequeue) == 0 || len(got.AvailableAdmission) == 0 {
+			t.Errorf("registries missing: %+v", got)
+		}
+	})
+	t.Run("selected", func(t *testing.T) {
+		srv, _ := testServer(t, jobqueue.Config{Workers: 1,
+			Policies: jobqueue.Policies{Dequeue: "sjf", Admission: "token-bucket:64:16"}})
+		got := get(t, srv)
+		if got.Dequeue != "sjf" || got.Admission != "token-bucket" {
+			t.Errorf("active policies = %q/%q, want sjf/token-bucket", got.Dequeue, got.Admission)
+		}
+	})
 }
 
 // TestParseAutoscale: the -autoscale flag syntax, defaults and rejects.

@@ -1,8 +1,9 @@
 // Package experiments implements the reproduction suite: one function per
 // experiment of EXPERIMENTS.md (E1–E18) plus the design-choice ablations
-// (A1–A7; A5 is the serving-layer scenario/sharding ablation, A6 the
+// (A1–A8; A5 is the serving-layer scenario/sharding ablation, A6 the
 // weighted-priority-class starvation-bound ablation, A7 the live
-// shard-resize invariance ablation). Each
+// shard-resize invariance ablation, A8 the cost-model calibration the
+// predicted-cost scheduling policies rest on). Each
 // returns a Report with the regenerated table and a Check verdict
 // comparing the measured shape against the paper's claim, so both
 // cmd/lopram-bench and the test suite consume the same code path.
@@ -59,12 +60,12 @@ func (r Report) String() string {
 }
 
 // SuiteIDs returns the ids of the full suite in canonical order:
-// E1–E18 then the ablations A1–A7.
+// E1–E18 then the ablations A1–A8.
 func SuiteIDs() []string {
 	return []string{
 		"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
 		"E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18",
-		"A1", "A2", "A3", "A4", "A5", "A6", "A7",
+		"A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8",
 	}
 }
 
@@ -107,6 +108,7 @@ func ByID(id string, quick bool) (Report, bool) {
 		"A5":  func() Report { return A5(quick) },
 		"A6":  func() Report { return A6(quick) },
 		"A7":  func() Report { return A7(quick) },
+		"A8":  func() Report { return A8(quick) },
 	}
 	f, ok := funcs[strings.ToUpper(id)]
 	if !ok {

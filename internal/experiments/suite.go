@@ -11,7 +11,7 @@ import (
 // timing; QueueSuite runs them after the queue has drained so concurrent
 // experiments cannot distort their measurements. Everything else measures
 // deterministic simulated steps and parallelizes freely.
-var wallClock = map[string]bool{"E13": true}
+var wallClock = map[string]bool{"E13": true, "A8": true}
 
 // QueueSuite runs the full reproduction suite (SuiteIDs order) through a
 // job queue instead of sequentially: each experiment is one job dispatched

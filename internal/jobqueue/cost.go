@@ -1,0 +1,66 @@
+package jobqueue
+
+import (
+	"time"
+
+	"lopram/internal/jobcost"
+)
+
+// costCalibrator adapts the jobcost oracle to the queue: it prices specs
+// at Submit (units from the recurrence model, wall from the per-engine
+// calibrated scale) and learns the scale from settled executions. Only
+// built when a non-default policy is active, so the default wiring never
+// touches the cost path.
+type costCalibrator struct {
+	cal *jobcost.Calibrator
+}
+
+func newCostCalibrator() *costCalibrator {
+	return &costCalibrator{cal: jobcost.NewCalibrator()}
+}
+
+// estimate prices one algorithm spec. Func jobs and pairs outside the
+// model return a zero (unknown) estimate — policies must treat those as
+// unordered, not free.
+func (c *costCalibrator) estimate(spec Spec, p int) CostEstimate {
+	est := jobcost.Predict(spec.Algorithm, spec.Engine, spec.N, p)
+	if !est.Known {
+		return CostEstimate{}
+	}
+	return CostEstimate{
+		Known: true,
+		Units: est.Units,
+		Wall:  c.cal.Wall(spec.Engine, est.Units),
+	}
+}
+
+// observe feeds one executed job's measured wall time back into the
+// per-engine scale. Called from settle for successful, non-func runs.
+func (c *costCalibrator) observe(job *Job, wall time.Duration) {
+	if job.fn != nil || !job.cost.Known {
+		return
+	}
+	c.cal.Observe(job.Spec.Engine, job.cost.Units, wall)
+}
+
+// effectiveDeadline is the execution deadline the job will actually run
+// under: its spec's timeout (the class default is already stamped in at
+// Submit) or the queue-wide default.
+func (q *Queue) effectiveDeadline(job *Job) time.Duration {
+	if job.fn == nil && job.Spec.Timeout > 0 {
+		return job.Spec.Timeout
+	}
+	return q.cfg.DefaultTimeout
+}
+
+// policyView builds the read-only snapshot a DequeuePolicy orders by.
+func (q *Queue) policyView(job *Job) JobView {
+	return JobView{
+		ID:        job.ID,
+		Class:     job.class,
+		ClassName: q.classes.specs[job.class].Name,
+		Submitted: job.submitted,
+		Deadline:  q.effectiveDeadline(job),
+		Cost:      job.cost,
+	}
+}

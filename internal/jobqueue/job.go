@@ -131,6 +131,12 @@ type Job struct {
 	execShard   int
 	stealFrom   int
 
+	// cost is the Submit-time cost prediction, zero unless a non-default
+	// policy is active. Written before the job is published (same
+	// discipline as the flight-recorder fields above); read by policy
+	// views and the settle-time calibrator feed.
+	cost CostEstimate
+
 	mu       sync.Mutex
 	status   Status
 	result   Result

@@ -85,6 +85,13 @@ type Config struct {
 	// fails (ClassSet).Validate; parse user input with ParseClassSet to
 	// reject it gracefully first.
 	Classes ClassSet
+	// Policies selects the dequeue and admission policies. The zero
+	// value is the native default behavior (strict-then-DWRR dequeue,
+	// static lane-quota admission), byte-identical to a queue built
+	// before the policy layer existed. New panics on unknown policy
+	// names — validate user input with ParseDequeuePolicy /
+	// ParseAdmissionPolicy first.
+	Policies Policies
 	// Autoscale opts the queue into contention-driven shard autoscaling:
 	// a controller resizes the placement table between the configured
 	// bounds from observed queue depth and steal pressure. Nil (the
@@ -191,6 +198,17 @@ type Queue struct {
 	// allocations.
 	rec *recorder
 
+	// deq/adm are the resolved non-default policies, nil when the
+	// native path serves (the "default" policies resolve to nil, so the
+	// pre-policy hot paths run unchanged — no interface dispatch). Both
+	// are fixed at New. cal is the per-engine cost calibrator feeding
+	// CostEstimate.Wall, created only when a policy consumes cost.
+	deq     DequeuePolicy
+	adm     AdmissionPolicy
+	cal     *costCalibrator
+	deqName string
+	admName string
+
 	// Counters (atomics: hot path, read by Snapshot without any lock).
 	submitted  atomic.Int64
 	completed  atomic.Int64
@@ -219,12 +237,17 @@ type classCounters struct {
 }
 
 // New returns a running queue. It panics if Config.Classes fails
-// (ClassSet).Validate or Config.Autoscale fails Validate — an invalid
-// class set or autoscale config is a configuration programming error;
-// validate user-supplied input first.
+// (ClassSet).Validate, Config.Autoscale fails Validate, or
+// Config.Policies names an unknown policy — an invalid class set,
+// autoscale config or policy selection is a configuration programming
+// error; validate user-supplied input first.
 func New(cfg Config) *Queue {
 	cfg = cfg.withDefaults()
 	classes, err := resolveClasses(cfg.Classes, cfg.BatchShare)
+	if err != nil {
+		panic(err)
+	}
+	deq, adm, err := cfg.Policies.resolve()
 	if err != nil {
 		panic(err)
 	}
@@ -240,6 +263,22 @@ func New(cfg Config) *Queue {
 		classes:  classes,
 		perClass: make([]classCounters, len(classes.specs)),
 		kick:     make(chan struct{}, 1),
+		deq:      deq,
+		adm:      adm,
+		deqName:  "default",
+		admName:  "default",
+	}
+	if deq != nil {
+		q.deqName = deq.Name()
+	}
+	if adm != nil {
+		q.admName = adm.Name()
+	}
+	if deq != nil || adm != nil {
+		// Any non-default policy may consume cost predictions; the
+		// default path never builds them, so the pre-policy hot path
+		// stays untouched.
+		q.cal = newCostCalibrator()
 	}
 	if cfg.TraceSink != nil {
 		q.rec = newRecorder(cfg.TraceSink, cfg.TraceBuffer)
@@ -309,10 +348,20 @@ func (q *Queue) Close() {
 		s.closed = true
 		s.mu.Unlock()
 	}
-	for _, s := range p.shards {
-		for _, ch := range s.runq {
-			close(ch)
+	if q.deq == nil {
+		// Native path: closed channels are what unblock parked workers
+		// and mark lanes drained.
+		for _, s := range p.shards {
+			for _, ch := range s.runq {
+				close(ch)
+			}
 		}
+	} else {
+		// Ordered path: workers only ever receive under the shard lock
+		// (drain-pick-putback), so the channels are never closed — the
+		// closed flag plus a kick cascade retires the pool instead, and
+		// a putback can never hit a closed channel.
+		q.kickWorkers()
 	}
 	q.resizeMu.Unlock()
 	q.workers.Wait()
@@ -328,6 +377,13 @@ func (q *Queue) Close() {
 // defaults applied — the configuration lopramd serves at /v1/classes.
 func (q *Queue) Classes() ClassSet {
 	return append(ClassSet(nil), q.classes.specs...)
+}
+
+// PolicyNames reports the active dequeue and admission policy names
+// ("default" for the native paths) — the configuration lopramd serves
+// at /v1/policies.
+func (q *Queue) PolicyNames() (dequeue, admission string) {
+	return q.deqName, q.admName
 }
 
 // ShardOf reports which shard the spec would be placed on under the
@@ -379,6 +435,12 @@ func (q *Queue) Submit(spec Spec) (*Job, error) {
 		spec.Timeout = q.classes.specs[class].DefaultDeadline
 	}
 	key := spec.key()
+	var cost CostEstimate
+	if q.cal != nil {
+		// A policy consumes cost predictions: price the job once, up
+		// front (the estimate depends only on the spec).
+		cost = q.cal.estimate(spec, key.P)
+	}
 	for {
 		p := q.place.Load()
 		s := p.shardFor(key)
@@ -431,9 +493,10 @@ func (q *Queue) Submit(spec Spec) (*Job, error) {
 		job.class = class
 		job.submitShard = s.idx
 		job.submitEpoch = p.epoch
+		job.cost = cost
 		if err := q.enqueueLocked(s, job, key); err != nil {
 			s.mu.Unlock()
-			if q.rec != nil && errors.Is(err, ErrQueueFull) {
+			if q.rec != nil && (errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDeadlineInfeasible)) {
 				q.recordRejected(job, s.idx, p.epoch, s.laneDepths[class])
 			}
 			return nil, err
@@ -473,7 +536,7 @@ func (q *Queue) SubmitFunc(name string, fn func(ctx context.Context) error) (*Jo
 		job.submitEpoch = p.epoch
 		if err := q.enqueueLocked(s, job, Key{}); err != nil {
 			s.mu.Unlock()
-			if q.rec != nil && errors.Is(err, ErrQueueFull) {
+			if q.rec != nil && (errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDeadlineInfeasible)) {
 				q.recordRejected(job, s.idx, p.epoch, s.laneDepths[job.class])
 			}
 			return nil, err
@@ -495,6 +558,24 @@ func (q *Queue) enqueueLocked(s *shard, job *Job, key Key) error {
 		q.rejected.Add(1)
 		q.perClass[job.class].rejected.Add(1)
 		return ErrQueueFull
+	}
+	if q.adm != nil {
+		// The structural lane bound above always applies; the policy
+		// can only refuse further (rate limits, deadline sheds).
+		err := q.adm.Admit(AdmissionRequest{
+			Class:     job.class,
+			ClassName: q.classes.specs[job.class].Name,
+			LaneUsed:  int(used),
+			LaneDepth: s.laneDepths[job.class],
+			Deadline:  q.effectiveDeadline(job),
+			Cost:      job.cost,
+			Now:       job.submitted,
+		})
+		if err != nil {
+			q.rejected.Add(1)
+			q.perClass[job.class].rejected.Add(1)
+			return err
+		}
 	}
 	// The admitted-ahead count at admission, kept for the flight
 	// recorder's completion record.

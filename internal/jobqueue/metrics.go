@@ -79,6 +79,13 @@ type ClassStats struct {
 	Wait      stats.Summary `json:"wait_ms"`
 }
 
+// PolicyInfo names a queue's active decision policies — the dequeue
+// order and the admission rule (see Policies).
+type PolicyInfo struct {
+	Dequeue   string `json:"dequeue"`
+	Admission string `json:"admission"`
+}
+
 // ShardStats is one shard's view of the traffic. Executed counts runs of
 // jobs placed on this shard, whichever shard's worker ran them; Stolen
 // counts jobs this shard's workers claimed from other shards' run queues.
@@ -132,6 +139,9 @@ type Metrics struct {
 	// Classes is the queue's configured class set in dequeue order
 	// (name, weight, quota) — the key space of PerClass.
 	Classes ClassSet `json:"classes"`
+	// Policies names the active dequeue and admission policies
+	// ("default"/"default" for the native wiring).
+	Policies PolicyInfo `json:"policies"`
 	// PerClass splits the traffic by priority class name, each with its
 	// own latency percentiles.
 	PerClass map[Class]ClassStats `json:"per_class"`
@@ -233,6 +243,7 @@ func (q *Queue) snapshotOnce() (Metrics, bool) {
 
 	numClasses := len(q.classes.specs)
 	m.Classes = q.Classes()
+	m.Policies = PolicyInfo{Dequeue: q.deqName, Admission: q.admName}
 
 	// Steal history of shards retired by earlier resizes stays part of
 	// the queue totals, so Steals is monotonic across epochs.

@@ -1,0 +1,37 @@
+package jobqueue_test
+
+// The policytest conformance harness runs against every shipped policy;
+// external test package so the harness (which imports jobqueue) can be
+// exercised exactly the way a custom-policy author would use it.
+
+import (
+	"testing"
+
+	"lopram/internal/jobqueue"
+	"lopram/internal/jobqueue/policytest"
+)
+
+func TestDequeuePolicyConformance(t *testing.T) {
+	for _, name := range jobqueue.DequeuePolicyNames() {
+		p, err := jobqueue.ParseDequeuePolicy(name)
+		if err != nil {
+			t.Fatalf("ParseDequeuePolicy(%q): %v", name, err)
+		}
+		t.Run(name, func(t *testing.T) { policytest.RunDequeue(t, p) })
+	}
+}
+
+func TestAdmissionPolicyConformance(t *testing.T) {
+	for _, name := range jobqueue.AdmissionPolicyNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			policytest.RunAdmission(t, func() jobqueue.AdmissionPolicy {
+				p, err := jobqueue.ParseAdmissionPolicy(name)
+				if err != nil {
+					t.Fatalf("ParseAdmissionPolicy(%q): %v", name, err)
+				}
+				return p
+			})
+		})
+	}
+}

@@ -1,0 +1,224 @@
+package jobqueue
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"lopram/internal/core"
+)
+
+func TestParseDequeuePolicy(t *testing.T) {
+	for _, name := range DequeuePolicyNames() {
+		p, err := ParseDequeuePolicy(name)
+		if err != nil {
+			t.Fatalf("ParseDequeuePolicy(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("ParseDequeuePolicy(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if p, err := ParseDequeuePolicy(""); err != nil || p.Name() != "default" {
+		t.Errorf(`ParseDequeuePolicy("") = %v, %v; want the default policy`, p, err)
+	}
+	_, err := ParseDequeuePolicy("wfq")
+	if !errors.Is(err, ErrUnknownPolicy) {
+		t.Fatalf("ParseDequeuePolicy(wfq) error = %v, want ErrUnknownPolicy", err)
+	}
+	for _, name := range DequeuePolicyNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-policy error %q does not list valid name %q", err, name)
+		}
+	}
+}
+
+func TestParseAdmissionPolicy(t *testing.T) {
+	for _, name := range AdmissionPolicyNames() {
+		p, err := ParseAdmissionPolicy(name)
+		if err != nil {
+			t.Fatalf("ParseAdmissionPolicy(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("ParseAdmissionPolicy(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := ParseAdmissionPolicy("token-bucket:100"); err != nil {
+		t.Errorf("token-bucket:100: %v", err)
+	}
+	if _, err := ParseAdmissionPolicy("token-bucket:100:32"); err != nil {
+		t.Errorf("token-bucket:100:32: %v", err)
+	}
+	for _, bad := range []string{"token-bucket:zero", "token-bucket:-1", "token-bucket:10:0",
+		"token-bucket:10:8:extra", "default:5"} {
+		if _, err := ParseAdmissionPolicy(bad); err == nil {
+			t.Errorf("ParseAdmissionPolicy(%q) accepted", bad)
+		}
+	}
+	_, err := ParseAdmissionPolicy("leaky-bucket")
+	if !errors.Is(err, ErrUnknownPolicy) {
+		t.Fatalf("ParseAdmissionPolicy(leaky-bucket) error = %v, want ErrUnknownPolicy", err)
+	}
+	for _, name := range AdmissionPolicyNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-policy error %q does not list valid name %q", err, name)
+		}
+	}
+}
+
+func TestNewPanicsOnUnknownPolicy(t *testing.T) {
+	for _, cfg := range []Config{
+		{Policies: Policies{Dequeue: "wfq"}},
+		{Policies: Policies{Admission: "leaky-bucket"}},
+	} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("New(%+v) did not panic", cfg.Policies)
+					return
+				}
+				err, ok := r.(error)
+				if !ok || !errors.Is(err, ErrUnknownPolicy) {
+					t.Errorf("New(%+v) panicked with %v, want ErrUnknownPolicy", cfg.Policies, r)
+				}
+			}()
+			q := New(cfg)
+			q.Close()
+		}()
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	q := New(Config{Workers: 1})
+	if d, a := q.PolicyNames(); d != "default" || a != "default" {
+		t.Errorf("zero-config PolicyNames() = %q, %q", d, a)
+	}
+	q.Close()
+	q = New(Config{Workers: 1, Policies: Policies{Dequeue: "sjf", Admission: "token-bucket"}})
+	if d, a := q.PolicyNames(); d != "sjf" || a != "token-bucket" {
+		t.Errorf("PolicyNames() = %q, %q, want sjf, token-bucket", d, a)
+	}
+	if got := q.Snapshot().Policies; got.Dequeue != "sjf" || got.Admission != "token-bucket" {
+		t.Errorf("Snapshot().Policies = %+v", got)
+	}
+	q.Close()
+}
+
+func TestSJFBefore(t *testing.T) {
+	p := SJFDequeue{}
+	short := &JobView{ID: 2 << 6, Cost: CostEstimate{Known: true, Units: 10, Wall: time.Millisecond}}
+	long := &JobView{ID: 1 << 6, Cost: CostEstimate{Known: true, Units: 1e6, Wall: time.Second}}
+	unknown := &JobView{ID: 0 << 6, Cost: CostEstimate{}}
+	if !p.Before(short, long) || p.Before(long, short) {
+		t.Errorf("SJF does not order short before long")
+	}
+	if !p.Before(long, unknown) {
+		t.Errorf("SJF orders an unknown-cost job before a known-cost one")
+	}
+	unitsOnly := &JobView{ID: 3 << 6, Cost: CostEstimate{Known: true, Units: 5}}
+	if !p.Before(unitsOnly, unknown) {
+		t.Errorf("SJF ignores a units-only estimate")
+	}
+}
+
+func TestEDFBefore(t *testing.T) {
+	p := EDFDequeue{}
+	base := time.Now()
+	urgent := &JobView{ID: 2 << 6, Submitted: base, Deadline: 10 * time.Millisecond}
+	relaxed := &JobView{ID: 1 << 6, Submitted: base, Deadline: time.Minute}
+	none := &JobView{ID: 0 << 6, Submitted: base}
+	if !p.Before(urgent, relaxed) || p.Before(relaxed, urgent) {
+		t.Errorf("EDF does not order the earlier deadline first")
+	}
+	if !p.Before(relaxed, none) || p.Before(none, relaxed) {
+		t.Errorf("EDF does not order deadlined jobs before undeadlined ones")
+	}
+	// Earlier arrival with the same budget = earlier absolute deadline.
+	older := &JobView{ID: 3 << 6, Submitted: base.Add(-time.Second), Deadline: time.Minute}
+	if !p.Before(older, relaxed) {
+		t.Errorf("EDF ignores arrival time in the absolute deadline")
+	}
+}
+
+func TestTokenBucketDeadlineShed(t *testing.T) {
+	p := NewTokenBucketAdmission(1000, 100)
+	req := AdmissionRequest{
+		ClassName: "interactive", LaneDepth: 100, Deadline: time.Millisecond,
+		Cost: CostEstimate{Known: true, Units: 1e9, Wall: time.Second},
+		Now:  time.Now(),
+	}
+	err := p.Admit(req)
+	if !errors.Is(err, ErrDeadlineInfeasible) {
+		t.Fatalf("infeasible job admitted: %v", err)
+	}
+	// Unknown costs and absent deadlines must not shed.
+	req.Cost = CostEstimate{}
+	if err := p.Admit(req); err != nil {
+		t.Errorf("unknown-cost job shed: %v", err)
+	}
+	req.Cost = CostEstimate{Known: true, Units: 1e9, Wall: time.Second}
+	req.Deadline = 0
+	if err := p.Admit(req); err != nil {
+		t.Errorf("undeadlined job shed: %v", err)
+	}
+}
+
+func TestTokenBucketRate(t *testing.T) {
+	const burst = 8
+	p := NewTokenBucketAdmission(10, burst)
+	now := time.Now()
+	req := AdmissionRequest{ClassName: "interactive", LaneDepth: 1 << 20, Now: now}
+	for i := 0; i < burst; i++ {
+		if err := p.Admit(req); err != nil {
+			t.Fatalf("admit %d within burst: %v", i, err)
+		}
+	}
+	err := p.Admit(req)
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("admit past burst = %v, want ErrQueueFull", err)
+	}
+	// The rejection consumed nothing and the bucket refills with time:
+	// 10 tokens/sec → one token 100ms later.
+	req.Now = now.Add(150 * time.Millisecond)
+	if err := p.Admit(req); err != nil {
+		t.Fatalf("admit after refill: %v", err)
+	}
+	if err := p.Admit(req); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("second admit after one-token refill = %v, want ErrQueueFull", err)
+	}
+	// Buckets are per class.
+	other := AdmissionRequest{Class: 1, ClassName: "batch", LaneDepth: 1 << 20, Now: now}
+	if err := p.Admit(other); err != nil {
+		t.Fatalf("fresh class shares a drained bucket: %v", err)
+	}
+}
+
+func TestTokenBucketShedOnQueue(t *testing.T) {
+	// An end-to-end shed: predicted cost can never beat a 1ns deadline,
+	// so the queue rejects at submit with ErrDeadlineInfeasible and the
+	// scenario-facing counters see a rejection, not a timeout.
+	q := New(Config{Workers: 1, Policies: Policies{Admission: "token-bucket"}})
+	defer q.Close()
+	_, err := q.Submit(Spec{Algorithm: "mergesort", N: 1 << 16, P: 4, Engine: core.EnginePalrt,
+		Seed: 1, Timeout: time.Nanosecond})
+	if !errors.Is(err, ErrDeadlineInfeasible) {
+		t.Fatalf("Submit with 1ns deadline = %v, want ErrDeadlineInfeasible", err)
+	}
+	m := q.Snapshot()
+	if m.Rejected != 1 || m.PerClass[ClassInteractive].Rejected != 1 {
+		t.Errorf("shed not counted as rejection: total %d, class %d",
+			m.Rejected, m.PerClass[ClassInteractive].Rejected)
+	}
+	// A feasible job on the same queue still runs.
+	j, err := q.Submit(Spec{Algorithm: "reduce", N: 64, P: 2, Engine: core.EngineSim, Seed: 2})
+	if err != nil {
+		t.Fatalf("feasible submit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := j.Wait(ctx); err != nil {
+		t.Fatalf("feasible job failed: %v", err)
+	}
+}

@@ -1,0 +1,272 @@
+// Package policytest is the conformance harness for jobqueue decision
+// policies: a reusable test suite every DequeuePolicy and
+// AdmissionPolicy implementation — shipped or custom — must pass before
+// the queue can trust it. RunDequeue and RunAdmission check the
+// interface contracts the queue relies on (deterministic pure ordering,
+// strict-class priority, liveness, rejection idempotence) first against
+// synthetic fixtures and then against a live queue running the policy.
+package policytest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"lopram/internal/jobqueue"
+)
+
+// fixtureViews builds a diverse set of job views covering the dimensions
+// any shipped policy orders by: arrival, class, deadline (present and
+// absent), and cost (unknown, units-only, calibrated wall).
+func fixtureViews() []jobqueue.JobView {
+	base := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	return []jobqueue.JobView{
+		{ID: 1 << 6, Class: 0, ClassName: "interactive", Submitted: base,
+			Deadline: time.Second,
+			Cost:     jobqueue.CostEstimate{Known: true, Units: 100, Wall: 10 * time.Millisecond}},
+		{ID: 2 << 6, Class: 0, ClassName: "interactive", Submitted: base.Add(time.Millisecond),
+			Deadline: 100 * time.Millisecond,
+			Cost:     jobqueue.CostEstimate{Known: true, Units: 1e6, Wall: 80 * time.Millisecond}},
+		{ID: 3 << 6, Class: 1, ClassName: "batch", Submitted: base.Add(2 * time.Millisecond),
+			Deadline: time.Minute,
+			Cost:     jobqueue.CostEstimate{Known: true, Units: 50}},
+		{ID: 4 << 6, Class: 1, ClassName: "batch", Submitted: base.Add(3 * time.Millisecond),
+			Cost: jobqueue.CostEstimate{}},
+		{ID: 5 << 6, Class: 0, ClassName: "interactive", Submitted: base.Add(4 * time.Millisecond),
+			Deadline: time.Second,
+			Cost:     jobqueue.CostEstimate{Known: true, Units: 100, Wall: 10 * time.Millisecond}},
+		{ID: 6 << 6, Class: 1, ClassName: "batch", Submitted: base.Add(-time.Millisecond),
+			Deadline: 5 * time.Millisecond,
+			Cost:     jobqueue.CostEstimate{Known: true, Units: 3, Wall: time.Millisecond}},
+	}
+}
+
+// RunDequeue checks one DequeuePolicy against the conformance contract:
+//
+//   - Before is deterministic, irreflexive and antisymmetric over a
+//     fixture covering every dimension a policy may order by.
+//   - On a live queue running the policy: every admitted job completes
+//     below saturation (liveness), no job is invented (never dequeues
+//     from an empty queue — executed never exceeds submitted), and
+//     strict classes are never starved by weighted ones (every strict
+//     job starts before any weighted job queued behind the same blocked
+//     pool).
+//
+// The policy instance is used concurrently the way the queue uses it.
+func RunDequeue(t *testing.T, p jobqueue.DequeuePolicy) {
+	t.Helper()
+	if p.Name() == "" {
+		t.Fatalf("policy has an empty Name()")
+	}
+	views := fixtureViews()
+	t.Run("ordering-contract", func(t *testing.T) {
+		for i := range views {
+			for j := range views {
+				a, b := views[i], views[j]
+				first := p.Before(&a, &b)
+				for rep := 0; rep < 3; rep++ {
+					a2, b2 := views[i], views[j]
+					if got := p.Before(&a2, &b2); got != first {
+						t.Fatalf("Before(view %d, view %d) not deterministic: %v then %v", i, j, first, got)
+					}
+				}
+				if i == j && first {
+					t.Fatalf("Before(view %d, view %d): not irreflexive", i, j)
+				}
+				if first && p.Before(&b, &a) {
+					t.Fatalf("Before symmetric for views %d and %d: both orders report true", i, j)
+				}
+			}
+		}
+	})
+	t.Run("liveness", func(t *testing.T) {
+		q := jobqueue.New(jobqueue.Config{
+			Workers: 4, Shards: 2, QueueDepth: 4096, CacheSize: -1,
+			Policies: jobqueue.Policies{DequeuePolicy: p},
+		})
+		defer q.Close()
+		const n = 64
+		jobs := make([]*jobqueue.Job, 0, n)
+		for i := 0; i < n; i++ {
+			j, err := q.SubmitFunc(fmt.Sprintf("conf-%s-%d", p.Name(), i), func(context.Context) error { return nil })
+			if err != nil {
+				t.Fatalf("submit %d: %v", i, err)
+			}
+			jobs = append(jobs, j)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		for i, j := range jobs {
+			if _, err := j.Wait(ctx); err != nil {
+				t.Fatalf("job %d never completed below saturation: %v", i, err)
+			}
+		}
+		m := q.Snapshot()
+		if m.Completed+m.Failed > m.Submitted {
+			t.Fatalf("executed %d jobs but only %d were submitted: dequeued from an empty queue",
+				m.Completed+m.Failed, m.Submitted)
+		}
+	})
+	t.Run("strict-priority", func(t *testing.T) {
+		q := jobqueue.New(jobqueue.Config{
+			Workers: 1, Shards: 1, QueueDepth: 4096, CacheSize: -1,
+			Policies: jobqueue.Policies{DequeuePolicy: p},
+		})
+		defer q.Close()
+		release := blockWorkers(t, q, 1)
+		// Weighted (batch) jobs go in first so an arrival-order policy
+		// would run them first if the queue did not enforce the strict
+		// tier above the policy.
+		type started struct {
+			job   *jobqueue.Job
+			batch bool
+		}
+		var all []started
+		for i := 0; i < 6; i++ {
+			j, err := q.Submit(jobqueue.Spec{Algorithm: "reduce", N: 64, P: 2, Engine: "sim",
+				Seed: uint64(i), Priority: jobqueue.ClassBatch})
+			if err != nil {
+				t.Fatalf("submit weighted %d: %v", i, err)
+			}
+			all = append(all, started{j, true})
+		}
+		for i := 0; i < 6; i++ {
+			j, err := q.Submit(jobqueue.Spec{Algorithm: "reduce", N: 64, P: 2, Engine: "sim",
+				Seed: uint64(1000 + i), Priority: jobqueue.ClassInteractive})
+			if err != nil {
+				t.Fatalf("submit strict %d: %v", i, err)
+			}
+			all = append(all, started{j, false})
+		}
+		release()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		for _, s := range all {
+			if _, err := s.job.Wait(ctx); err != nil {
+				t.Fatalf("job %s never completed: %v", s.job.Name, err)
+			}
+		}
+		sort.SliceStable(all, func(i, j int) bool {
+			return all[i].job.View().Started.Before(all[j].job.View().Started)
+		})
+		seenBatch := false
+		for _, s := range all {
+			if s.batch {
+				seenBatch = true
+			} else if seenBatch {
+				t.Fatalf("strict job %s started after a weighted job: strict tier starved", s.job.Name)
+			}
+		}
+	})
+}
+
+// blockWorkers occupies every worker of q with a blocking func job
+// (waiting until all of them are running) and returns the function that
+// releases them — the window in which submitted jobs provably queue.
+// SubmitFunc jobs run in the class set's first class, which is strict in
+// the default set, so blockers cannot be queued behind the test jobs.
+func blockWorkers(t *testing.T, q *jobqueue.Queue, workers int) (release func()) {
+	t.Helper()
+	gate := make(chan struct{})
+	var running sync.WaitGroup
+	running.Add(workers)
+	for i := 0; i < workers; i++ {
+		if _, err := q.SubmitFunc(fmt.Sprintf("blocker-%d", i), func(context.Context) error {
+			running.Done()
+			<-gate
+			return nil
+		}); err != nil {
+			t.Fatalf("submit blocker %d: %v", i, err)
+		}
+	}
+	running.Wait()
+	return func() { close(gate) }
+}
+
+// RunAdmission checks one AdmissionPolicy against the conformance
+// contract:
+//
+//   - A fresh request with lane headroom is admitted.
+//   - A request at the structural lane bound is rejected with an error
+//     wrapping jobqueue.ErrQueueFull (policies may only be more
+//     restrictive than the bound, never admit past it).
+//   - Rejection is idempotent: retrying the identical rejected request
+//     at the same Now yields the identical decision — a rejecting Admit
+//     consumed no budget.
+//   - On a live queue running the policy, jobs submitted below the
+//     policy's limits complete (admission does not wedge the queue).
+//
+// newPolicy must return a fresh instance per call so stateful policies
+// (token buckets) start each check cold.
+func RunAdmission(t *testing.T, newPolicy func() jobqueue.AdmissionPolicy) {
+	t.Helper()
+	now := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	fresh := jobqueue.AdmissionRequest{
+		Class: 0, ClassName: "interactive", LaneUsed: 0, LaneDepth: 128,
+		Deadline: time.Minute,
+		Cost:     jobqueue.CostEstimate{Known: true, Units: 100, Wall: time.Millisecond},
+		Now:      now,
+	}
+	t.Run("admits-with-headroom", func(t *testing.T) {
+		p := newPolicy()
+		if p.Name() == "" {
+			t.Fatalf("policy has an empty Name()")
+		}
+		if err := p.Admit(fresh); err != nil {
+			t.Fatalf("fresh request with lane headroom rejected: %v", err)
+		}
+	})
+	t.Run("rejects-at-lane-bound", func(t *testing.T) {
+		p := newPolicy()
+		full := fresh
+		full.LaneUsed = full.LaneDepth
+		err := p.Admit(full)
+		if err == nil {
+			t.Fatalf("request at the lane bound admitted: policies must respect the structural bound")
+		}
+		if !errors.Is(err, jobqueue.ErrQueueFull) {
+			t.Fatalf("lane-bound rejection does not wrap ErrQueueFull: %v", err)
+		}
+	})
+	t.Run("rejection-idempotent", func(t *testing.T) {
+		p := newPolicy()
+		full := fresh
+		full.LaneUsed = full.LaneDepth
+		first := p.Admit(full)
+		for i := 0; i < 3; i++ {
+			err := p.Admit(full)
+			if (err == nil) != (first == nil) || !errors.Is(err, jobqueue.ErrQueueFull) {
+				t.Fatalf("retry %d of a rejected request decided differently: %v then %v", i, first, err)
+			}
+		}
+		// The rejections must not have consumed budget: the original
+		// admissible request still admits.
+		if err := p.Admit(fresh); err != nil {
+			t.Fatalf("admissible request rejected after rejected retries consumed budget: %v", err)
+		}
+	})
+	t.Run("queue-integration", func(t *testing.T) {
+		q := jobqueue.New(jobqueue.Config{
+			Workers: 2, Shards: 1, QueueDepth: 1024, CacheSize: -1,
+			Policies: jobqueue.Policies{AdmissionPolicy: newPolicy()},
+		})
+		defer q.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		// Sequential submits stay far below any shipped policy's rate
+		// and depth limits.
+		for i := 0; i < 16; i++ {
+			j, err := q.Submit(jobqueue.Spec{Algorithm: "reduce", N: 64, P: 2, Engine: "sim", Seed: uint64(i)})
+			if err != nil {
+				t.Fatalf("submit %d rejected below the policy's limits: %v", i, err)
+			}
+			if _, err := j.Wait(ctx); err != nil {
+				t.Fatalf("job %d never completed: %v", i, err)
+			}
+		}
+	})
+}

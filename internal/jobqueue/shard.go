@@ -139,10 +139,21 @@ func putUint64LE(buf *[8]byte, v uint64) {
 // so a resize does not reset the dequeue discipline mid-round.
 func (q *Queue) worker(idx int) {
 	defer q.workers.Done()
-	credits := make([]int, len(q.classes.specs))
-	rot := 0
 	timer := time.NewTimer(stealPoll)
 	defer timer.Stop()
+	if q.deq != nil {
+		// A non-default ordering policy replaces the whole native
+		// discipline below with the policy-ordered sweep; the native path
+		// runs untouched (and channel-blocking) when no policy is set.
+		for {
+			p := q.place.Load()
+			if q.runEpochOrdered(p, idx, timer) {
+				return
+			}
+		}
+	}
+	credits := make([]int, len(q.classes.specs))
+	rot := 0
 	for {
 		p := q.place.Load()
 		if q.runEpoch(idx, p, credits, &rot, timer) {
@@ -332,6 +343,138 @@ func (q *Queue) trySteal(p *placement, thief *shard, class int) (*shard, *Job) {
 	return nil, nil
 }
 
+// ---- the ordered worker loop (non-default DequeuePolicy) ----
+
+// runEpochOrdered is runEpoch's counterpart when a non-default
+// DequeuePolicy is active: instead of per-class FIFO channels consumed
+// in strict-then-DWRR order, every dequeue is a policy-ordered sweep of
+// the whole table (pickOrdered). Strict classes keep their absolute,
+// set-order priority; the policy orders jobs within each strict class
+// and across the pooled weighted tier (DWRR weights are not honored by
+// ordering policies — see DequeuePolicy). Returns true when the queue is
+// shut down and drained, false when the table was superseded by a resize
+// and the caller should re-home.
+//
+// Ordered workers never receive from a run-queue channel outside a
+// shard's lock and never block on one: idle workers park on the
+// queue-wide kick plus the fallback poll, and shutdown retires them via
+// the shards' closed flags and a kick cascade (Close does not close the
+// channels in this mode, so a sweep's putback can never hit a closed
+// channel).
+func (q *Queue) runEpochOrdered(p *placement, idx int, timer *time.Timer) bool {
+	home := p.shards[workerHome(idx, len(p.shards), p.workers)]
+	for {
+		if q.place.Load() != p {
+			return false // table superseded: re-home
+		}
+		owner, job, homeClosed, valid := q.pickOrdered(p, home)
+		if !valid {
+			// A shard is mid-retirement; the new table is about to be
+			// published (or already is — the loop head catches it).
+			retryPlacement()
+			continue
+		}
+		if job != nil {
+			q.kickWorkers()
+			q.runJob(owner, home.idx, job)
+			continue
+		}
+		if homeClosed {
+			// Home is closed and a full sweep — every shard, every class,
+			// under every shard lock — found nothing, so nothing admitted
+			// before the closed flag remains. Chain the kick so the other
+			// parked workers re-sweep and exit too.
+			q.kickWorkers()
+			return q.place.Load() == p
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(stealPoll)
+		select {
+		case <-q.kick:
+		case <-timer.C:
+		}
+	}
+}
+
+// pickOrdered selects the policy-best waiting job across the whole
+// table. It locks every shard in index order (Submit and Resize each
+// take one shard lock at a time, so the ascending multi-lock cannot
+// deadlock) and, tier by tier, drains each lane, keeps the best job by
+// q.deq.Before, and puts the rest back. The putback is safe because all
+// senders and receivers of these channels run under the shard locks this
+// sweep holds: the channel cannot be closed, filled, or reordered
+// underneath it, and a putback lands behind the bounded drain window so
+// it is never re-examined. valid is false when a shard was caught
+// mid-retirement (back out, nothing touched on it); homeClosed reports
+// the home shard's closed flag as observed under its lock.
+func (q *Queue) pickOrdered(p *placement, home *shard) (owner *shard, job *Job, homeClosed, valid bool) {
+	locked := 0
+	for _, s := range p.shards {
+		s.mu.Lock()
+		locked++
+		if s.retired {
+			for _, t := range p.shards[:locked] {
+				t.mu.Unlock()
+			}
+			return nil, nil, false, false
+		}
+	}
+	defer func() {
+		for _, s := range p.shards {
+			s.mu.Unlock()
+		}
+	}()
+	homeClosed = home.closed
+
+	pick := func(classes []int) (*shard, *Job) {
+		var bestS *shard
+		var best *Job
+		var bestView JobView
+		for _, s := range p.shards {
+			for _, c := range classes {
+				n := len(s.runq[c])
+				for i := 0; i < n; i++ {
+					j := <-s.runq[c]
+					if best == nil {
+						best, bestS, bestView = j, s, q.policyView(j)
+						continue
+					}
+					v := q.policyView(j)
+					if q.deq.Before(&v, &bestView) {
+						bestS.runq[best.class] <- best
+						best, bestS, bestView = j, s, v
+					} else {
+						s.runq[c] <- j
+					}
+				}
+			}
+		}
+		return bestS, best
+	}
+
+	cs := &q.classes
+	for _, c := range cs.strict {
+		if s, j := pick([]int{c}); j != nil {
+			owner, job = s, j
+			break
+		}
+	}
+	if job == nil && len(cs.weighted) > 0 {
+		owner, job = pick(cs.weighted)
+	}
+	if job != nil && owner != home {
+		// Same accounting as trySteal: a job dequeued from another shard
+		// counts as stolen by the worker's home.
+		home.stolen.Add(1)
+	}
+	return owner, job, homeClosed, true
+}
+
 // ---- job execution ----
 
 // runJob executes one job under its deadline; owner is the shard the job
@@ -507,6 +650,11 @@ func (q *Queue) settle(job *Job, res Result, err error, start time.Time) {
 		agg.totalWallMS += wallMS
 		home.mu.Unlock()
 		break
+	}
+	if err == nil && q.cal != nil {
+		// Feed the cost calibrator: predicted units vs measured wall, so
+		// later estimates (and deadline sheds) track this host.
+		q.cal.observe(job, wall)
 	}
 	if err != nil {
 		q.failed.Add(1)

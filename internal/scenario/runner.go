@@ -235,7 +235,10 @@ func RunWith(ctx context.Context, q *jobqueue.Queue, s Spec, opts RunOptions) (R
 		}
 		job, err := q.Submit(spec)
 		switch {
-		case errors.Is(err, jobqueue.ErrQueueFull):
+		// Admission refusals — lane quotas, rate limits (both wrap
+		// ErrQueueFull) and deadline-infeasibility sheds — are outcomes of
+		// the replay, not replay errors.
+		case errors.Is(err, jobqueue.ErrQueueFull), errors.Is(err, jobqueue.ErrDeadlineInfeasible):
 			rejected.Add(1)
 			submitted.Add(1)
 			if s.Arrival == ArrivalClosed {

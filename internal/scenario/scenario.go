@@ -97,6 +97,15 @@ type Spec struct {
 	// harness's own configuration.
 	Shards  int `json:"shards,omitempty"`
 	Workers int `json:"workers,omitempty"`
+	// DequeuePolicy and AdmissionPolicy select the queue's decision
+	// policies for the replay (jobqueue.DequeuePolicyNames /
+	// AdmissionPolicyNames list the valid values; admission accepts
+	// token-bucket[:RATE[:BURST]]). Empty means the native defaults. The
+	// policies shape the queue, never the job stream: Stream's output is
+	// policy-independent, which is what makes policy A/B replays of one
+	// scenario byte-comparable.
+	DequeuePolicy   string `json:"dequeue_policy,omitempty"`
+	AdmissionPolicy string `json:"admission_policy,omitempty"`
 	// Resizes schedules live placement-table changes during the replay:
 	// each entry resizes the queue to Shards shards immediately before
 	// the submission at stream offset AtJob. Entries must be ordered by
@@ -214,6 +223,12 @@ func (s *Spec) Validate() error {
 	}
 	if s.SeedSpace == 0 {
 		s.SeedSpace = 8
+	}
+	if _, err := jobqueue.ParseDequeuePolicy(s.DequeuePolicy); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	if _, err := jobqueue.ParseAdmissionPolicy(s.AdmissionPolicy); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
 	}
 	for i, r := range s.Resizes {
 		if r.AtJob < 0 || r.AtJob >= s.Jobs {
@@ -388,6 +403,9 @@ func QueueConfig(s Spec) jobqueue.Config {
 		// The scenario's own class set (validated by Validate); nil
 		// keeps the queue's default interactive/batch pair.
 		Classes: append(jobqueue.ClassSet(nil), s.Classes...),
+		// The scenario's decision policies; empty strings are the native
+		// defaults (Validate already vetted the names).
+		Policies: jobqueue.Policies{Dequeue: s.DequeuePolicy, Admission: s.AdmissionPolicy},
 		// The queue slices the cache evenly per shard but key hashing
 		// need not be even, so give every shard a full Jobs-sized slice:
 		// then no shard can evict a key the scenario will re-request,
