@@ -8,9 +8,20 @@
 //	lopram-bench -exp E5    # a single experiment
 //	lopram-bench -quick     # trimmed parameter sweeps
 //	lopram-bench -list      # list experiment ids and titles
+//
+// -scenario switches to scenario-replay mode: replay one load scenario
+// (a built-in name or a JSON spec file) against a fresh queue and print
+// the serving report — the driver behind ingest-path A/B runs.
+// -ingest single|batch overrides the spec's submit path and -batch-size
+// its batch group size, so one spec compares both paths:
+//
+//	lopram-bench -scenario cache-friendly-repeat -ingest single
+//	lopram-bench -scenario cache-friendly-repeat -ingest batch -batch-size 128
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +29,7 @@ import (
 
 	"lopram/internal/experiments"
 	"lopram/internal/jobqueue"
+	"lopram/internal/scenario"
 )
 
 func main() {
@@ -25,7 +37,22 @@ func main() {
 	quick := flag.Bool("quick", false, "trim parameter sweeps for a fast pass")
 	list := flag.Bool("list", false, "list experiment ids")
 	jobs := flag.Int("jobs", 0, "run the suite through the jobqueue dispatcher with this many workers (0 = sequential)")
+	scenarioID := flag.String("scenario", "", "scenario-replay mode: replay a built-in scenario by name, or a JSON spec file by path, and exit")
+	ingest := flag.String("ingest", "", `scenario-replay ingest override: "single" or "batch" (empty keeps the spec's own path)`)
+	batchSize := flag.Int("batch-size", 0, "scenario-replay batch-ingest group size (implies -ingest batch; 0 keeps the spec's own)")
 	flag.Parse()
+
+	if *scenarioID != "" {
+		if err := replayScenario(*scenarioID, *ingest, *batchSize); err != nil {
+			fmt.Fprintf(os.Stderr, "lopram-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *ingest != "" || *batchSize != 0 {
+		fmt.Fprintln(os.Stderr, "lopram-bench: -ingest/-batch-size need -scenario")
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, r := range experiments.All(true) {
@@ -72,4 +99,56 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("all %d experiments PASS\n", len(reports))
+}
+
+// replayScenario resolves the -scenario argument (built-in name first,
+// then JSON spec file), applies the -ingest/-batch-size overrides, and
+// replays it against a fresh queue shaped by scenario.QueueConfig.
+func replayScenario(nameOrPath, ingest string, batchSize int) error {
+	sp, ok := scenario.Builtin(nameOrPath)
+	if !ok {
+		data, err := os.ReadFile(nameOrPath)
+		if err != nil {
+			return fmt.Errorf("%q is neither a built-in scenario nor a readable spec file: %v", nameOrPath, err)
+		}
+		if err := json.Unmarshal(data, &sp); err != nil {
+			return fmt.Errorf("parsing scenario file %s: %w", nameOrPath, err)
+		}
+	}
+	if batchSize != 0 && ingest == "" {
+		ingest = scenario.IngestBatch
+	}
+	switch ingest {
+	case "":
+	case scenario.IngestSingle:
+		sp.Ingest, sp.BatchSize = scenario.IngestSingle, 0
+	case scenario.IngestBatch:
+		sp.Ingest = scenario.IngestBatch
+		if batchSize != 0 {
+			sp.BatchSize = batchSize
+		}
+	default:
+		return fmt.Errorf("unknown -ingest %q (want %q or %q)", ingest, scenario.IngestSingle, scenario.IngestBatch)
+	}
+	if err := sp.Validate(); err != nil {
+		return err
+	}
+	q := jobqueue.New(scenario.QueueConfig(sp))
+	defer q.Close()
+	rep, err := scenario.Run(context.Background(), q, sp)
+	if err != nil {
+		return err
+	}
+	rep.WriteText(os.Stdout)
+	m := q.Snapshot()
+	fmt.Printf("  queue: %d workers × %d shards · ingest %s\n", m.Workers, m.Shards, ingestOf(sp))
+	return nil
+}
+
+// ingestOf names the replay's effective ingest path for the summary line.
+func ingestOf(sp scenario.Spec) string {
+	if sp.Ingest == scenario.IngestBatch {
+		return fmt.Sprintf("%s×%d", scenario.IngestBatch, sp.BatchSize)
+	}
+	return scenario.IngestSingle
 }

@@ -25,6 +25,13 @@
 //	lopramd -dequeue-policy sjf -admission-policy token-bucket:64:16
 //
 //	POST /v1/jobs               {"algorithm":"mergesort","n":65536,"engine":"sim","seed":7}
+//	                            ?wait=1 blocks until the job settles
+//	POST /v1/jobs:batch         a JSON array of specs through the pooled
+//	                            batch ingest path; answers with one
+//	                            result array once every job settles
+//	POST /v1/jobs:stream        persistent NDJSON submit connection: one
+//	                            spec per line in, one indexed result
+//	                            line out (micro-batched)
 //	GET  /v1/jobs/{id}          job status + result; ?wait=1 blocks until done
 //	GET  /v1/jobs?limit=50      recent jobs, newest first
 //	POST /v1/resize             {"shards":4} — live placement-table resize
@@ -78,7 +85,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"net/http"
 	"os"
@@ -86,13 +92,13 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
 	"syscall"
 	"time"
 
 	"lopram/internal/core"
 	"lopram/internal/jobqueue"
 	"lopram/internal/jobtrace"
+	"lopram/internal/lopramhttp"
 	"lopram/internal/scenario"
 	"lopram/internal/workload"
 )
@@ -360,320 +366,10 @@ func serve(cfg jobqueue.Config, addr string) error {
 	}
 }
 
-// newMux builds the daemon's HTTP surface over one queue. Split from
-// serve so the handler set is testable without binding a listener.
-func newMux(q *jobqueue.Queue) *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		var spec jobqueue.Spec
-		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-			writeErr(w, http.StatusBadRequest, codeBadRequest, fmt.Sprintf("bad request body: %v", err))
-			return
-		}
-		job, err := q.Submit(spec)
-		if err != nil {
-			// Invalid specs — jobqueue.ErrUnknownClass included, whose
-			// message lists the valid class names — are the client's
-			// fault (400); saturation/rate rejections are retryable 429s
-			// and only shutdown is a 503 (queueErr).
-			status, code := queueErr(err)
-			writeErr(w, status, code, err.Error())
-			return
-		}
-		status := http.StatusAccepted
-		if job.Status() == jobqueue.StatusDone {
-			status = http.StatusOK // cache hit: complete on arrival
-		}
-		writeJSON(w, status, job.View())
-	})
-	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, codeBadRequest, "bad job id")
-			return
-		}
-		job, ok := q.Get(id)
-		if !ok {
-			writeErr(w, http.StatusNotFound, codeNotFound, "no such job (it may have aged out)")
-			return
-		}
-		if r.URL.Query().Get("wait") != "" {
-			ctx, cancel := context.WithTimeout(r.Context(), 5*time.Minute)
-			defer cancel()
-			// Result/error are reported through the view below.
-			_, _ = job.Wait(ctx)
-		}
-		writeJSON(w, http.StatusOK, job.View())
-	})
-	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		limit := 100
-		if s := r.URL.Query().Get("limit"); s != "" {
-			if v, err := strconv.Atoi(s); err == nil {
-				limit = v
-			}
-		}
-		writeJSON(w, http.StatusOK, q.Jobs(limit))
-	})
-	mux.HandleFunc("POST /v1/resize", func(w http.ResponseWriter, r *http.Request) {
-		var req struct {
-			Shards int `json:"shards"`
-		}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeErr(w, http.StatusBadRequest, codeBadRequest, fmt.Sprintf("bad request body: %v", err))
-			return
-		}
-		epoch, err := q.Resize(req.Shards)
-		if err != nil {
-			// Out-of-bounds targets are the client's fault (400); only
-			// shutdown is a 503.
-			status, code := queueErr(err)
-			writeErr(w, status, code, err.Error())
-			return
-		}
-		// Report the count this resize produced, not a re-read of the
-		// live queue — under -autoscale the controller may already have
-		// moved the table again, and epoch/shards must pair up.
-		writeJSON(w, http.StatusOK, map[string]any{"epoch": epoch, "shards": req.Shards})
-	})
-	mux.HandleFunc("GET /v1/algorithms", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, catalogueView())
-	})
-	mux.HandleFunc("GET /v1/classes", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, q.Classes())
-	})
-	mux.HandleFunc("GET /v1/scenarios", func(w http.ResponseWriter, _ *http.Request) {
-		// Initialized non-nil so an empty catalogue encodes as [] and
-		// clients can always range over the response.
-		out := []map[string]any{}
-		for _, sp := range scenario.Builtins() {
-			out = append(out, map[string]any{
-				"name":        sp.Name,
-				"description": sp.Description,
-				"jobs":        sp.Jobs,
-				"arrival":     arrivalOf(sp),
-			})
-		}
-		writeJSON(w, http.StatusOK, out)
-	})
-	mux.HandleFunc("GET /v1/scenarios/{name}", func(w http.ResponseWriter, r *http.Request) {
-		sp, ok := scenario.Builtin(r.PathValue("name"))
-		if !ok {
-			writeErr(w, http.StatusNotFound, codeNotFound, "no such scenario (GET /v1/scenarios lists the catalogue)")
-			return
-		}
-		writeJSON(w, http.StatusOK, sp)
-	})
-	mux.HandleFunc("GET /v1/policies", func(w http.ResponseWriter, _ *http.Request) {
-		deq, adm := q.PolicyNames()
-		writeJSON(w, http.StatusOK, map[string]any{
-			"dequeue":             deq,
-			"admission":           adm,
-			"available_dequeue":   jobqueue.DequeuePolicyNames(),
-			"available_admission": jobqueue.AdmissionPolicyNames(),
-		})
-	})
-	// Scenario runs execute against their own sandboxed queue (sized by
-	// scenario.QueueConfig), never the serving queue q, so a load test
-	// cannot evict the daemon's cache or occupy its admission lanes. One
-	// at a time: a second concurrent run gets 409.
-	scenarioSem := make(chan struct{}, 1)
-	mux.HandleFunc("POST /v1/scenarios/{name}/run", func(w http.ResponseWriter, r *http.Request) {
-		sp, ok := scenario.Builtin(r.PathValue("name"))
-		if !ok {
-			writeErr(w, http.StatusNotFound, codeNotFound, "no such scenario (GET /v1/scenarios lists the catalogue)")
-			return
-		}
-		streamScenarioRun(w, r, sp, scenarioSem)
-	})
-	mux.HandleFunc("POST /v1/scenarios/run", func(w http.ResponseWriter, r *http.Request) {
-		var sp scenario.Spec
-		if err := json.NewDecoder(r.Body).Decode(&sp); err != nil {
-			writeErr(w, http.StatusBadRequest, codeBadRequest, fmt.Sprintf("bad request body: %v", err))
-			return
-		}
-		streamScenarioRun(w, r, sp, scenarioSem)
-	})
-	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, q.Snapshot())
-	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
-	return mux
-}
-
-func catalogueView() []map[string]any {
-	// Initialized non-nil so an empty catalogue encodes as [], not null.
-	out := []map[string]any{}
-	for _, name := range core.Algorithms() {
-		engines := core.EnginesFor(name)
-		maxN := make(map[string]int, len(engines))
-		for _, e := range engines {
-			maxN[string(e)] = core.MaxN(name, e)
-		}
-		out = append(out, map[string]any{
-			"algorithm": name,
-			"engines":   engines,
-			"max_n":     maxN,
-		})
-	}
-	return out
-}
-
-// ---- scenarios as a service ----
-
-// scenarioEvent is one NDJSON line of a streamed scenario run: exactly
-// one of the fields is set. Progress lines arrive periodically, record
-// lines (with ?trace=1) as jobs settle, and the stream ends with one
-// report (success) or error line.
-type scenarioEvent struct {
-	Progress *scenario.Progress `json:"progress,omitempty"`
-	Record   *jobtrace.Record   `json:"record,omitempty"`
-	Report   *scenario.Report   `json:"report,omitempty"`
-	Error    string             `json:"error,omitempty"`
-}
-
-// ndjsonStream serializes concurrent event writers (the progress
-// goroutine, the recorder flusher, the handler) onto one connection,
-// flushing after every line so clients see events as they happen.
-type ndjsonStream struct {
-	mu sync.Mutex
-	w  io.Writer
-	fl http.Flusher
-}
-
-func (s *ndjsonStream) send(ev scenarioEvent) {
-	data, err := json.Marshal(ev)
-	if err != nil {
-		return
-	}
-	data = append(data, '\n')
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, _ = s.w.Write(data)
-	if s.fl != nil {
-		s.fl.Flush()
-	}
-}
-
-// streamScenarioRun executes sp against a fresh sandboxed queue and
-// streams NDJSON events until the final report. Query parameters:
-// ?jobs=N caps the stream length, ?progress_ms=N sets the progress
-// interval (default 500), ?trace=1 additionally streams every
-// completion record. sem bounds concurrent runs; a run that cannot
-// acquire it is refused with 409.
-func streamScenarioRun(w http.ResponseWriter, r *http.Request, sp scenario.Spec, sem chan struct{}) {
-	if v := r.URL.Query().Get("jobs"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n <= 0 {
-			writeErr(w, http.StatusBadRequest, codeBadRequest, "jobs must be a positive integer")
-			return
-		}
-		if n < sp.Jobs {
-			sp.Jobs = n
-		}
-	}
-	every := 500 * time.Millisecond
-	if v := r.URL.Query().Get("progress_ms"); v != "" {
-		ms, err := strconv.Atoi(v)
-		if err != nil || ms <= 0 {
-			writeErr(w, http.StatusBadRequest, codeBadRequest, "progress_ms must be a positive integer")
-			return
-		}
-		every = time.Duration(ms) * time.Millisecond
-	}
-	if err := sp.Validate(); err != nil {
-		// queueErr classifies validation failures too: an unknown policy
-		// name in a posted spec gets code "unknown_policy".
-		status, code := queueErr(err)
-		writeErr(w, status, code, err.Error())
-		return
-	}
-	select {
-	case sem <- struct{}{}:
-		defer func() { <-sem }()
-	default:
-		writeErr(w, http.StatusConflict, codeConflict, "a scenario run is already in progress; retry when it finishes")
-		return
-	}
-
-	stream := &ndjsonStream{w: w}
-	if fl, ok := w.(http.Flusher); ok {
-		stream.fl = fl
-	}
-	cfg := scenario.QueueConfig(sp)
-	if r.URL.Query().Get("trace") != "" {
-		cfg.TraceSink = jobtrace.SinkFunc(func(rec jobtrace.Record) {
-			stream.send(scenarioEvent{Record: &rec})
-		})
-	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
-
-	sandbox := jobqueue.New(cfg)
-	rep, err := scenario.RunWith(r.Context(), sandbox, sp, scenario.RunOptions{
-		ProgressEvery: every,
-		Progress: func(p scenario.Progress) {
-			stream.send(scenarioEvent{Progress: &p})
-		},
-	})
-	// Close drains the flight recorder, so with ?trace=1 every record
-	// line lands before the final report line.
-	sandbox.Close()
-	if err != nil {
-		stream.send(scenarioEvent{Error: err.Error()})
-		return
-	}
-	stream.send(scenarioEvent{Report: &rep})
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
-
-// Machine-readable error codes carried in every error envelope, so
-// clients can branch without parsing messages. The human-readable
-// "error" field stays the place for details (valid names, limits).
-const (
-	codeBadRequest         = "bad_request"
-	codeUnknownClass       = "unknown_class"
-	codeUnknownPolicy      = "unknown_policy"
-	codeNotFound           = "not_found"
-	codeConflict           = "conflict"
-	codeQueueFull          = "queue_full"
-	codeDeadlineInfeasible = "deadline_infeasible"
-	codeUnavailable        = "unavailable"
-)
-
-// writeErr writes the daemon's uniform JSON error envelope:
-// {"error": <message>, "code": <machine-readable code>}.
-func writeErr(w http.ResponseWriter, status int, code, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg, "code": code})
-}
-
-// queueErr maps a queue/scenario error onto the envelope's status and
-// code: saturation and rate limits are retryable 429s, shutdown is a
-// 503, and everything else — unknown classes and policies included — is
-// the client's 400.
-func queueErr(err error) (status int, code string) {
-	switch {
-	case errors.Is(err, jobqueue.ErrDeadlineInfeasible):
-		return http.StatusTooManyRequests, codeDeadlineInfeasible
-	case errors.Is(err, jobqueue.ErrQueueFull):
-		return http.StatusTooManyRequests, codeQueueFull
-	case errors.Is(err, jobqueue.ErrClosed):
-		return http.StatusServiceUnavailable, codeUnavailable
-	case errors.Is(err, jobqueue.ErrUnknownClass):
-		return http.StatusBadRequest, codeUnknownClass
-	case errors.Is(err, jobqueue.ErrUnknownPolicy):
-		return http.StatusBadRequest, codeUnknownPolicy
-	}
-	return http.StatusBadRequest, codeBadRequest
-}
+// newMux builds the daemon's HTTP surface over one queue: the handler
+// set lives in internal/lopramhttp so it is testable (and fuzzable)
+// without the daemon's flag plumbing or a bound listener.
+func newMux(q *jobqueue.Queue) *http.ServeMux { return lopramhttp.NewMux(q) }
 
 // ---- batch mode ----
 

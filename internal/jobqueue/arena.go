@@ -1,0 +1,282 @@
+package jobqueue
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lopram/internal/core"
+)
+
+// The frame arena: pooled Job and Batch frames for the batch-first ingest
+// path (modeled on palrt's task arena). A single Submit allocates a fresh
+// Job per call because the Job escapes to the caller for its whole
+// lifetime; a Batch submitter instead borrows frames from jobPool, reads
+// the outcomes, and hands every frame back with Release — so the
+// steady-state batch submit path allocates zero per job. Frames that
+// escape the batch lifecycle anyway (a single-Submit caller coalesced
+// onto one, or a deadline-abandoned run still holding one) are pinned and
+// left to the garbage collector instead of recycled.
+
+// jobPool recycles batch job frames. Frames produced here are marked
+// pooled: the ingest path skips ID retention for them (they are not
+// queryable via Get/Jobs — the batch owner holds the only reference) and
+// Release recycles them once the batch is settled.
+var jobPool = sync.Pool{
+	New: func() any { return &Job{pooled: true, execShard: -1, stealFrom: -1} },
+}
+
+// batchPool recycles Batch frames themselves, so a steady-state
+// submit–wait–release loop allocates nothing for the container either.
+var batchPool = sync.Pool{
+	New: func() any { return &Batch{donec: make(chan struct{}, 1)} },
+}
+
+// newFrame borrows a job frame from the arena.
+func newFrame(now time.Time) *Job {
+	j := jobPool.Get().(*Job)
+	j.submitted = now
+	j.execShard = -1
+	j.stealFrom = -1
+	return j
+}
+
+// release returns a settled frame to the arena. Frames that escaped —
+// pinned by a coalescing single Submit, or still referenced by an
+// abandoned run or a racing deadline loser (touches > 0) — are skipped
+// and left to the GC: recycling them would let the stale holder write
+// into the frame's next incarnation.
+func (j *Job) release() {
+	if j.pinned.Load() || j.touches.Load() != 0 {
+		return
+	}
+	j.ID = 0
+	j.Name = ""
+	j.Spec = Spec{}
+	j.fn = nil
+	j.submitted = time.Time{}
+	j.class = 0
+	j.submitShard = 0
+	j.submitEpoch = 0
+	j.laneDepth = 0
+	j.execShard = -1
+	j.stealFrom = -1
+	j.cost = CostEstimate{}
+	j.status = StatusQueued
+	j.result = Result{}
+	j.err = nil
+	j.started = time.Time{}
+	j.finished = time.Time{}
+	j.done = nil
+	j.signaled = false
+	j.notify = nil
+	j.chained = j.chained[:0]
+	jobPool.Put(j)
+}
+
+// Batch is a group of jobs submitted through the pooled, ring-published
+// ingest path: the zero-allocation counterpart of calling Submit in a
+// loop. Usage is submit → wait → read outcomes → release:
+//
+//	b := q.NewBatch()
+//	for _, spec := range specs {
+//		b.Submit(spec)
+//	}
+//	if err := b.Wait(ctx); err != nil { ... } // frames still in flight: skip Release
+//	for i := 0; i < b.Len(); i++ {
+//		res, err := b.Outcome(i)
+//		...
+//	}
+//	b.Release()
+//
+// A Batch is owned by one goroutine: its methods must not be called
+// concurrently (distinct Batches on distinct goroutines are fine — that
+// is the intended fan-in). Batch jobs get the same admission control,
+// coalescing and caching as single submissions, but are not retained for
+// Get/Jobs — the Batch itself is the only handle to their outcomes.
+type Batch struct {
+	q    *Queue
+	jobs []*Job
+	// pending counts submitted-but-not-terminal frames; donec carries the
+	// completion token: jobDone sends (non-blocking, capacity 1) when
+	// pending reaches zero, and Wait re-checks pending after every
+	// receive, so a stale token from an earlier cycle is harmless.
+	pending atomic.Int64
+	donec   chan struct{}
+}
+
+// NewBatch borrows a batch frame from the arena. Release returns it.
+func (q *Queue) NewBatch() *Batch {
+	b := batchPool.Get().(*Batch)
+	b.q = q
+	return b
+}
+
+// Len returns how many jobs have been submitted into the batch,
+// including ones refused at submission (their Outcome carries the error).
+func (b *Batch) Len() int { return len(b.jobs) }
+
+// Submit validates a spec and publishes a pooled frame for it on its home
+// shard's submit ring — without taking the shard lock on the fast path;
+// a shard worker (or, when the ring is full, this goroutine helping
+// drain) performs the admission, coalescing and cache steps. Every call
+// appends exactly one outcome slot, so index i of Outcome always pairs
+// with the i-th Submit; the returned error (validation failure, unknown
+// class, ErrQueueFull at help-drain, ErrClosed) is also what that slot's
+// Outcome reports. Note admission-control refusals normally surface
+// through Outcome, not this return value: the frame is published first
+// and admission happens at drain.
+func (b *Batch) Submit(spec Spec) error {
+	q := b.q
+	now := time.Now()
+	j := newFrame(now)
+	class, err := q.prepare(&spec)
+	j.Spec = spec
+	j.class = class
+	b.jobs = append(b.jobs, j)
+	if err != nil {
+		// Refused before entering the queue: the frame is terminal at
+		// birth and never acquires a pending count.
+		j.markFinished(Result{}, err, now)
+		j.signalDone()
+		return err
+	}
+	if q.cal != nil {
+		j.cost = q.cal.estimate(spec, spec.key().P)
+	}
+	j.notify = b
+	b.pending.Add(1)
+	key := spec.key()
+	for {
+		p := q.place.Load()
+		s := p.shardFor(key)
+		switch s.ring.publish(j) {
+		case ringOK:
+			q.kickWorkers()
+			return nil
+		case ringSealed:
+			// The shard left the table: a resize retired it (follow the
+			// keys to the new table) or shutdown closed it.
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				q.rejected.Add(1)
+				q.perClass[class].rejected.Add(1)
+				j.markFinished(Result{}, ErrClosed, now)
+				j.signalDone()
+				return ErrClosed
+			}
+			retryPlacement()
+		case ringFull:
+			// The drain side is saturated: help drain the backlog under
+			// the shard lock, then retry the publish. FIFO is preserved —
+			// the backlog is ingested before this frame republishes.
+			s.mu.Lock()
+			if s.retired {
+				s.mu.Unlock()
+				retryPlacement()
+				continue
+			}
+			if s.closed {
+				s.mu.Unlock()
+				q.rejected.Add(1)
+				q.perClass[class].rejected.Add(1)
+				j.markFinished(Result{}, ErrClosed, now)
+				j.signalDone()
+				return ErrClosed
+			}
+			q.drainRingLocked(p, s)
+			s.mu.Unlock()
+		}
+	}
+}
+
+// jobDone is the frame-side completion hook: signalDone calls it once per
+// frame whose notify points here.
+func (b *Batch) jobDone() {
+	if b.pending.Add(-1) == 0 {
+		select {
+		case b.donec <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Wait blocks until every submitted job is terminal or ctx expires. A nil
+// return means all outcomes are readable and Release is safe; on a ctx
+// error some frames are still in flight and the batch must NOT be
+// released (leak it to the GC — the arena refills itself).
+func (b *Batch) Wait(ctx context.Context) error {
+	for {
+		if b.pending.Load() <= 0 {
+			return nil
+		}
+		select {
+		case <-b.donec:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Outcome returns the i-th submitted job's result, with the same
+// semantics as Job.Result. Call only after Wait has returned nil.
+func (b *Batch) Outcome(i int) (Result, error) { return b.jobs[i].Result() }
+
+// ID returns the queue-assigned ID of the i-th submitted job (0 when the
+// job was refused before ingest). Call only after Wait has returned nil.
+func (b *Batch) ID(i int) uint64 { return b.jobs[i].ID }
+
+// Release returns every settled frame, and the batch itself, to the
+// arena. Call exactly once, only after Wait returned nil; the frames and
+// their outcomes must not be touched afterwards.
+func (b *Batch) Release() {
+	for i := range b.jobs {
+		b.jobs[i].release()
+		b.jobs[i] = nil
+	}
+	b.jobs = b.jobs[:0]
+	b.pending.Store(0)
+	select {
+	case <-b.donec: // drop a stale completion token
+	default:
+	}
+	b.q = nil
+	batchPool.Put(b)
+}
+
+// prepare is the submission-validation pipeline shared by Submit and
+// Batch.Submit: it resolves the spec's processor default, class and
+// deadline in place and returns the class index. On error the caller owns
+// the rejected counters' class slice being unknown — only the queue-wide
+// rejected counter is incremented here.
+func (q *Queue) prepare(spec *Spec) (int, error) {
+	if spec.P == 0 && spec.N >= 1 {
+		// Freeze the model-default processor count into the spec so the
+		// submitter sees the p the job actually runs with.
+		spec.P = core.ProcsFor(spec.N)
+	}
+	if spec.Priority == "" {
+		spec.Priority = q.classes.specs[0].Name
+	}
+	if err := core.ValidateSpec(spec.Algorithm, spec.Engine, spec.N, spec.P); err != nil {
+		q.rejected.Add(1)
+		return 0, fmt.Errorf("jobqueue: invalid spec: %w", err)
+	}
+	class, ok := q.classes.index[spec.Priority]
+	if !ok {
+		q.rejected.Add(1)
+		return 0, fmt.Errorf("%w %q (valid classes: %s)",
+			ErrUnknownClass, spec.Priority, ClassSet(q.classes.specs).Names())
+	}
+	if spec.Timeout == 0 {
+		// The class's default deadline applies when the spec carries
+		// none; zero for both defers to Config.DefaultTimeout at run
+		// time. Timeout is not part of the cache key.
+		spec.Timeout = q.classes.specs[class].DefaultDeadline
+	}
+	return class, nil
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lopram/internal/core"
@@ -137,13 +138,43 @@ type Job struct {
 	// views and the settle-time calibrator feed.
 	cost CostEstimate
 
+	// pooled marks a frame borrowed from the batch frame arena
+	// (Batch.Submit): the ingest path skips ID retention for it and
+	// Batch.Release recycles it. notify, set before the frame is
+	// published, is the owning Batch, told once when the frame turns
+	// terminal. Both are fixed for the frame's flight, so they need no
+	// lock.
+	pooled bool
+	notify *Batch
+	// pinned marks a pooled frame that escaped its batch lifecycle — a
+	// single Submit returned it as a coalesced duplicate — so release
+	// must leave it to the GC instead of recycling it under the escaped
+	// holder. Set under the home shard's lock while the frame is still
+	// in the inflight map, which orders the pin before any release (the
+	// frame cannot be terminal, let alone settled and released, while
+	// inflight still maps to it).
+	pinned atomic.Bool
+	// touches counts live references held by the execution machinery
+	// (the dequeuing worker and its runner goroutine): runJob sets it
+	// before the deadline race can fork and each side drops its count
+	// after its last access, so release recycles a frame only when no
+	// abandoned run or racing deadline loser can still write to it.
+	touches atomic.Int32
+
 	mu       sync.Mutex
 	status   Status
 	result   Result
 	err      error
 	started  time.Time
 	finished time.Time
+	// done is the completion channel, allocated lazily (doneChan) so the
+	// pooled submit path costs no allocation when nobody selects on the
+	// job; signaled records completion for waiters that arrive later.
+	// chained holds pooled frames coalesced onto this in-flight job;
+	// settle completes them with this job's outcome.
 	done     chan struct{}
+	signaled bool
+	chained  []*Job
 }
 
 func newJob(id uint64, name string, spec Spec, fn func(ctx context.Context) error, now time.Time) *Job {
@@ -159,13 +190,30 @@ func (j *Job) Status() Status {
 }
 
 // Done returns a channel closed when the job reaches a terminal state.
-func (j *Job) Done() <-chan struct{} { return j.done }
+func (j *Job) Done() <-chan struct{} { return j.doneChan() }
+
+// doneChan returns the completion channel, allocating it on first use.
+// Jobs built by newJob carry an eager channel; pooled batch frames defer
+// the allocation to here, so a batch that never selects on individual
+// jobs (Batch.Wait rides the batch token instead) pays nothing. A waiter
+// arriving after completion gets an already-closed channel.
+func (j *Job) doneChan() chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.done == nil {
+		j.done = make(chan struct{})
+		if j.signaled {
+			close(j.done)
+		}
+	}
+	return j.done
+}
 
 // Wait blocks until the job completes or ctx expires, then returns the
 // job's result.
 func (j *Job) Wait(ctx context.Context) (Result, error) {
 	select {
-	case <-j.done:
+	case <-j.doneChan():
 		return j.Result()
 	case <-ctx.Done():
 		return Result{}, ctx.Err()
@@ -225,9 +273,22 @@ func (j *Job) markFinished(res Result, err error, now time.Time) bool {
 	return true
 }
 
-// signalDone closes Done. Called exactly once, by the winner of
-// markFinished, after the queue has settled the job.
-func (j *Job) signalDone() { close(j.done) }
+// signalDone marks the job's completion visible: it closes the done
+// channel if one exists (later doneChan callers get a pre-closed one)
+// and notifies the owning Batch, if any. Called exactly once, by the
+// winner of markFinished, after the queue has settled the job.
+func (j *Job) signalDone() {
+	j.mu.Lock()
+	j.signaled = true
+	ch := j.done
+	j.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+	if j.notify != nil {
+		j.notify.jobDone()
+	}
+}
 
 // completeCached resolves a job immediately from a cached result. Used for
 // jobs that never enter the run queue.
@@ -239,7 +300,7 @@ func (j *Job) completeCached(res Result, now time.Time) {
 	j.started = now
 	j.finished = now
 	j.mu.Unlock()
-	close(j.done)
+	j.signalDone()
 }
 
 // View is the JSON-serializable snapshot of a job, served by lopramd's

@@ -10,7 +10,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"lopram/internal/core"
 	"lopram/internal/jobtrace"
 )
 
@@ -348,6 +347,18 @@ func (q *Queue) Close() {
 		s.closed = true
 		s.mu.Unlock()
 	}
+	// Seal the submit rings now that every shard refuses ingest: late
+	// batch publishers bounce off the seal and fail with ErrClosed, and
+	// any frame published before the seal is completed with ErrClosed
+	// here — no frame is silently dropped, so every Batch.Wait returns.
+	for _, s := range p.shards {
+		for _, j := range s.ring.seal() {
+			q.rejected.Add(1)
+			q.perClass[j.class].rejected.Add(1)
+			j.markFinished(Result{}, ErrClosed, time.Now())
+			j.signalDone()
+		}
+	}
 	if q.deq == nil {
 		// Native path: closed channels are what unblock parked workers
 		// and mark lanes drained.
@@ -410,29 +421,9 @@ func (q *Queue) newID(idx int) uint64 {
 // hold across live resizes, because the coalescing entries and cached
 // results migrate with the keys.
 func (q *Queue) Submit(spec Spec) (*Job, error) {
-	if spec.P == 0 && spec.N >= 1 {
-		// Freeze the model-default processor count into the spec so the
-		// submitter sees the p the job actually runs with.
-		spec.P = core.ProcsFor(spec.N)
-	}
-	if spec.Priority == "" {
-		spec.Priority = q.classes.specs[0].Name
-	}
-	if err := core.ValidateSpec(spec.Algorithm, spec.Engine, spec.N, spec.P); err != nil {
-		q.rejected.Add(1)
-		return nil, fmt.Errorf("jobqueue: invalid spec: %w", err)
-	}
-	class, ok := q.classes.index[spec.Priority]
-	if !ok {
-		q.rejected.Add(1)
-		return nil, fmt.Errorf("%w %q (valid classes: %s)",
-			ErrUnknownClass, spec.Priority, ClassSet(q.classes.specs).Names())
-	}
-	if spec.Timeout == 0 {
-		// The class's default deadline applies when the spec carries
-		// none; zero for both defers to Config.DefaultTimeout at run
-		// time. Timeout is not part of the cache key.
-		spec.Timeout = q.classes.specs[class].DefaultDeadline
+	class, err := q.prepare(&spec)
+	if err != nil {
+		return nil, err
 	}
 	key := spec.key()
 	var cost CostEstimate
@@ -475,6 +466,13 @@ func (q *Queue) Submit(spec Spec) (*Job, error) {
 			return job, nil
 		}
 		if dup, ok := s.inflight[key]; ok {
+			if dup.pooled {
+				// The pooled frame escapes its batch lifecycle: this
+				// caller holds it indefinitely, so it must never be
+				// recycled. Pinning under s.mu while the frame is still
+				// inflight orders the pin before any Release.
+				dup.pinned.Store(true)
+			}
 			s.mu.Unlock()
 			q.coalesced.Add(1)
 			if q.rec != nil {
@@ -588,7 +586,12 @@ func (q *Queue) enqueueLocked(s *shard, job *Job, key Key) error {
 		return ErrQueueFull
 	}
 	s.laneUsed[job.class].Add(1)
-	s.insertLocked(job)
+	if !job.pooled {
+		// Pooled batch frames are not retained for Get/Jobs: the batch
+		// owner holds the only handle, and retention would keep recycled
+		// frames reachable.
+		s.insertLocked(job)
+	}
 	if job.fn == nil {
 		s.inflight[key] = job
 	}
@@ -597,6 +600,112 @@ func (q *Queue) enqueueLocked(s *shard, job *Job, key Key) error {
 	q.pending.Add(1)
 	s.pending.Add(1)
 	return nil
+}
+
+// ingestLocked runs the admission pipeline of Submit for one
+// ring-published frame: ID assignment, cache lookup, coalescing, enqueue.
+// The caller either holds s.mu with the shard neither retired nor closed
+// (a draining worker or a help-draining Batch.Submit) or owns the shard
+// exclusively (Resize re-homing a sealed backlog onto an unpublished
+// table). The frame's spec was validated and defaulted at Batch.Submit;
+// failures here (admission control) turn the frame terminal in place.
+func (q *Queue) ingestLocked(s *shard, epoch uint64, j *Job) {
+	now := time.Now()
+	key := j.Spec.key()
+	j.ID = q.newID(s.idx)
+	j.submitShard = s.idx
+	j.submitEpoch = epoch
+	if q.rec != nil && j.Name == "" {
+		// Only a tracing queue pays for the rendered name; the untraced
+		// hot path keeps the frame allocation-free.
+		j.Name = j.Spec.String()
+	}
+	if res, ok := s.cache.get(key); ok {
+		q.cacheHits.Add(1)
+		q.submitted.Add(1)
+		q.perClass[j.class].submitted.Add(1)
+		if q.rec != nil {
+			// Record before completing: completeCached signals the
+			// owning batch, whose Release may recycle the frame while a
+			// later record construction would still be reading it.
+			q.recordServed(q.baseRecord(j), jobtrace.DispositionHit, s.idx, epoch)
+		}
+		j.completeCached(res, now)
+		return
+	}
+	if dup, ok := s.inflight[key]; ok {
+		q.coalesced.Add(1)
+		if q.rec != nil {
+			rec := q.baseRecord(dup)
+			rec.ID = dup.ID
+			rec.Class = string(q.classes.specs[j.class].Name)
+			rec.SubmitNS = now.UnixNano()
+			q.recordServed(rec, jobtrace.DispositionCoalesce, s.idx, epoch)
+		}
+		dup.mu.Lock()
+		if dup.status == StatusDone || dup.status == StatusFailed {
+			// The in-flight winner finished but has not settled yet (it
+			// is terminal while still in the map only inside the
+			// finish→settle window, and settle's chained drain may
+			// already have run): serve its outcome directly.
+			res, err := dup.result, dup.err
+			dup.mu.Unlock()
+			j.markFinished(res, err, now)
+			j.signalDone()
+			return
+		}
+		// Chain the frame onto the in-flight winner; settle completes it
+		// with the winner's outcome after the cache holds it.
+		dup.chained = append(dup.chained, j)
+		dup.mu.Unlock()
+		return
+	}
+	q.cacheMiss.Add(1)
+	if err := q.enqueueLocked(s, j, key); err != nil {
+		if q.rec != nil && (errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDeadlineInfeasible)) {
+			q.recordRejected(j, s.idx, epoch, s.laneDepths[j.class])
+		}
+		j.markFinished(Result{}, err, now)
+		j.signalDone()
+	}
+}
+
+// drainRingLocked ingests every frame currently published on s's submit
+// ring, bounded to one full lap so a concurrent publisher cannot pin the
+// drainer. The caller holds s.mu with the shard neither retired nor
+// closed (which is what excludes seal — the only other consumer).
+func (q *Queue) drainRingLocked(p *placement, s *shard) int {
+	n := 0
+	for range s.ring.slots {
+		j := s.ring.pop()
+		if j == nil {
+			break
+		}
+		q.ingestLocked(s, p.epoch, j)
+		n++
+	}
+	return n
+}
+
+// drainRing is the worker-side ring drain: a cheap lock-free emptiness
+// probe, then a locked drain. Backing off when the shard is retired or
+// closed leaves those rings to seal (Resize / Close), the sole consumer
+// once either flag is set.
+func (q *Queue) drainRing(p *placement, s *shard) int {
+	if s.ring.empty() {
+		return 0
+	}
+	s.mu.Lock()
+	if s.retired || s.closed {
+		s.mu.Unlock()
+		return 0
+	}
+	n := q.drainRingLocked(p, s)
+	s.mu.Unlock()
+	if n > 0 {
+		q.kickWorkers()
+	}
+	return n
 }
 
 // kickWorkers wakes one idle worker to sweep the shards for stealable

@@ -128,6 +128,18 @@ func (q *Queue) Resize(n int) (uint64, error) {
 		s.mu.Unlock()
 	}
 
+	// Seal the retired shards' submit rings. From here on batch
+	// publishers bounce off the seal and chase the new table; the frames
+	// already published re-home below — after the keyed state has
+	// migrated, so a re-homed frame still cache-hits and coalesces
+	// against the entries that moved with its key. The seal is safe to
+	// the single-consumer rule because the retired flag above fenced out
+	// any locked drain in progress.
+	var ringBacklog []*Job
+	for _, s := range old.shards {
+		ringBacklog = append(ringBacklog, s.ring.seal()...)
+	}
+
 	// Drain the admitted-but-unstarted backlog. Workers may race us for
 	// individual jobs — whoever receives one owns it, so nothing is lost
 	// or duplicated — and nothing new can be enqueued, so the drain
@@ -262,6 +274,18 @@ func (q *Queue) Resize(n int) (uint64, error) {
 				ns.laneUsed[c].Add(1)
 			}
 		}
+	}
+	// Re-home the sealed ring backlog through the full ingest pipeline on
+	// the new (still unpublished, so lock-free) shards: the frames were
+	// published but never admitted, so they go through cache, coalescing
+	// and admission control like any fresh arrival — after the migrated
+	// state and the re-enqueued backlog above, preserving their
+	// publish-order position behind the already-admitted jobs. No frame
+	// is lost: each is either admitted here or turned terminal by
+	// admission control (ErrQueueFull), exactly as if it had drained
+	// pre-resize.
+	for _, j := range ringBacklog {
+		q.ingestLocked(shards[shardIndexFor(j.Spec.key(), n)], old.epoch+1, j)
 	}
 
 	// A table wider than the worker pool would leave shards with no home

@@ -1,0 +1,147 @@
+package jobqueue
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// submitRingCap is each shard's submit-ring capacity in frames (a power
+// of two). Deep enough that a full ring means the drain side is saturated
+// — at which point the publisher help-drains under the shard lock rather
+// than spin — and shallow enough that a retired shard's sealed backlog
+// stays a bounded re-home cost.
+const submitRingCap = 1024
+
+// ringStatus is the outcome of one publish attempt.
+type ringStatus int
+
+const (
+	// ringOK: the frame is published and a drain will ingest it.
+	ringOK ringStatus = iota
+	// ringFull: every slot holds an unconsumed frame; the publisher
+	// should help-drain under the shard lock and retry.
+	ringFull
+	// ringSealed: the shard was retired by a resize or closed by
+	// shutdown; the publisher must re-resolve placement.
+	ringSealed
+)
+
+// ringSlot is one cell of the ring. seq is the Vyukov sequence number
+// that hands the slot back and forth between producers and the consumer:
+// a producer claiming position t may publish into the slot when seq == t
+// and marks the frame visible with seq = t+1; the consumer at position h
+// consumes when seq == h+1 and recycles the slot with seq = h+capacity.
+// job is plain (not atomic): the seq store/load pair orders it.
+type ringSlot struct {
+	seq atomic.Uint64
+	job *Job
+}
+
+// submitRing is a bounded multi-producer single-consumer ring buffer: the
+// lock-free publication side of a shard's batch ingest path. Producers
+// (Batch.Submit on any goroutine) claim slots by CAS on tail without ever
+// taking the shard lock; the single consumer — whoever holds the shard's
+// mutex, a draining worker or a help-draining publisher — pops in FIFO
+// order. The shard lock is what makes the consumer single.
+//
+// The seal protocol composes the ring with live resize and shutdown:
+// producers hold mu.RLock across the whole claim-and-store so no partial
+// publish can be in flight while seal holds mu exclusively, and seal
+// (called only after the shard's retired/closed flag is set under the
+// shard lock, which fences any in-progress locked drain) marks the ring
+// closed to producers and drains every published frame for re-homing.
+type submitRing struct {
+	// mu is the seal gate only — it is never contended between
+	// producers, which all hold the read side.
+	mu     sync.RWMutex
+	sealed bool
+	mask   uint64
+	slots  []ringSlot
+	head   atomic.Uint64 // consumer position
+	tail   atomic.Uint64 // producer claim position
+}
+
+// newSubmitRing builds a ring with capacity rounded up to a power of two.
+func newSubmitRing(capacity int) *submitRing {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	r := &submitRing{mask: uint64(n - 1), slots: make([]ringSlot, n)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// publish offers one frame to the ring. Lock-free against other
+// producers and the consumer; only seal excludes it.
+func (r *submitRing) publish(job *Job) ringStatus {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.sealed {
+		return ringSealed
+	}
+	for {
+		t := r.tail.Load()
+		slot := &r.slots[t&r.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == t:
+			if r.tail.CompareAndSwap(t, t+1) {
+				slot.job = job
+				slot.seq.Store(t + 1)
+				return ringOK
+			}
+		case seq < t:
+			// The slot still holds last lap's frame: full.
+			return ringFull
+		default:
+			// seq > t: tail moved under us; reload.
+		}
+	}
+}
+
+// pop removes the oldest published frame, or nil when none is visible.
+// Single consumer: the caller holds the owning shard's mutex (with the
+// shard neither retired nor closed), or is seal itself.
+func (r *submitRing) pop() *Job {
+	h := r.head.Load()
+	slot := &r.slots[h&r.mask]
+	if slot.seq.Load() != h+1 {
+		return nil
+	}
+	job := slot.job
+	slot.job = nil
+	slot.seq.Store(h + uint64(len(r.slots)))
+	r.head.Store(h + 1)
+	return job
+}
+
+// empty is the consumer-side fast path: true when no published frame is
+// visible. Safe to call without any lock (it only loads atomics), so the
+// worker loop can skip the shard lock entirely on ring-idle iterations.
+func (r *submitRing) empty() bool {
+	h := r.head.Load()
+	return r.slots[h&r.mask].seq.Load() != h+1
+}
+
+// seal closes the ring to producers and returns every published frame in
+// FIFO order. Callable only after the owning shard's retired or closed
+// flag has been set under the shard lock (so no locked drain is running
+// or can start); the exclusive lock then waits out any in-flight publish,
+// which means the drain below observes a fully consistent ring — no
+// claimed-but-unpublished slot can exist.
+func (r *submitRing) seal() []*Job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sealed = true
+	var jobs []*Job
+	for {
+		j := r.pop()
+		if j == nil {
+			return jobs
+		}
+		jobs = append(jobs, j)
+	}
+}

@@ -1,0 +1,134 @@
+package jobqueue
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestSubmitRingFIFO(t *testing.T) {
+	r := newSubmitRing(8)
+	if !r.empty() {
+		t.Fatal("new ring not empty")
+	}
+	jobs := make([]*Job, 5)
+	for i := range jobs {
+		jobs[i] = &Job{ID: uint64(i + 1)}
+		if st := r.publish(jobs[i]); st != ringOK {
+			t.Fatalf("publish %d: status %v", i, st)
+		}
+	}
+	if r.empty() {
+		t.Fatal("ring with published frames reports empty")
+	}
+	for i := range jobs {
+		j := r.pop()
+		if j == nil || j.ID != uint64(i+1) {
+			t.Fatalf("pop %d: got %v, want ID %d", i, j, i+1)
+		}
+	}
+	if got := r.pop(); got != nil {
+		t.Fatalf("pop on drained ring: got %v", got)
+	}
+	if !r.empty() {
+		t.Fatal("drained ring not empty")
+	}
+}
+
+func TestSubmitRingWrapAround(t *testing.T) {
+	r := newSubmitRing(4)
+	next := uint64(1)
+	for lap := 0; lap < 5; lap++ {
+		for i := 0; i < 3; i++ {
+			if st := r.publish(&Job{ID: next}); st != ringOK {
+				t.Fatalf("lap %d publish: status %v", lap, st)
+			}
+			next++
+		}
+		for i := 0; i < 3; i++ {
+			j := r.pop()
+			want := next - 3 + uint64(i)
+			if j == nil || j.ID != want {
+				t.Fatalf("lap %d pop: got %v, want ID %d", lap, j, want)
+			}
+		}
+	}
+}
+
+func TestSubmitRingFullThenSeal(t *testing.T) {
+	r := newSubmitRing(4)
+	for i := 0; i < 4; i++ {
+		if st := r.publish(&Job{ID: uint64(i + 1)}); st != ringOK {
+			t.Fatalf("publish %d: status %v", i, st)
+		}
+	}
+	if st := r.publish(&Job{ID: 99}); st != ringFull {
+		t.Fatalf("publish on full ring: status %v, want ringFull", st)
+	}
+	backlog := r.seal()
+	if len(backlog) != 4 {
+		t.Fatalf("seal returned %d frames, want 4", len(backlog))
+	}
+	for i, j := range backlog {
+		if j.ID != uint64(i+1) {
+			t.Fatalf("seal backlog[%d] = ID %d, want %d (FIFO)", i, j.ID, i+1)
+		}
+	}
+	if st := r.publish(&Job{ID: 100}); st != ringSealed {
+		t.Fatalf("publish on sealed ring: status %v, want ringSealed", st)
+	}
+	if got := r.seal(); len(got) != 0 {
+		t.Fatalf("second seal returned %d frames, want 0", len(got))
+	}
+}
+
+// TestSubmitRingConcurrentPublish hammers the MPSC contract: many
+// producers against one consumer, no frame lost or duplicated.
+func TestSubmitRingConcurrentPublish(t *testing.T) {
+	const producers = 8
+	const perProducer = 500
+	r := newSubmitRing(64)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				j := &Job{ID: uint64(p*perProducer + i + 1)}
+				for r.publish(j) != ringOK {
+					runtime.Gosched() // full: let the consumer run
+				}
+			}
+		}(p)
+	}
+	seen := make(map[uint64]bool, producers*perProducer)
+	var mu sync.Mutex // consumer exclusivity, normally the shard lock
+	popAll := func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for {
+			j := r.pop()
+			if j == nil {
+				return
+			}
+			if seen[j.ID] {
+				t.Errorf("frame %d consumed twice", j.ID)
+			}
+			seen[j.ID] = true
+		}
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		popAll()
+		select {
+		case <-done:
+			popAll()
+			if len(seen) != producers*perProducer {
+				t.Fatalf("consumed %d frames, want %d", len(seen), producers*perProducer)
+			}
+			return
+		default:
+		}
+	}
+}

@@ -31,6 +31,13 @@ type shard struct {
 	// strict classes first, then the weighted classes round-robin.
 	runq []chan *Job
 
+	// ring is the shard's bounded MPSC submit ring: Batch.Submit
+	// publishes pooled frames here without taking mu, and whoever holds
+	// mu (a worker between dequeues, or a publisher helping out on a
+	// full ring) drains them through the ingest pipeline. Sealed — and
+	// its backlog re-homed — when the shard is retired or closed.
+	ring *submitRing
+
 	// laneDepths is each class lane's admission bound and laneUsed its
 	// current admitted-but-not-started count. Admission is enforced by
 	// the counter, not by channel capacity: a resize sizes the new
@@ -69,6 +76,7 @@ type shard struct {
 func newShard(idx int, depths, caps []int, cacheCap, retain int) *shard {
 	s := &shard{
 		idx:        idx,
+		ring:       newSubmitRing(submitRingCap),
 		runq:       make([]chan *Job, len(depths)),
 		laneDepths: append([]int(nil), depths...),
 		laneUsed:   make([]atomic.Int64, len(depths)),
@@ -242,6 +250,11 @@ func (q *Queue) runEpoch(idx int, p *placement, credits []int, rot *int, timer *
 		if q.place.Load() != p {
 			return false // table superseded: re-home
 		}
+		// Ingest the home shard's ring backlog before each dequeue (a
+		// lock-free emptiness probe when the batch path is idle), so
+		// ring-published frames enter the class lanes in near-arrival
+		// order relative to the locked submit path.
+		q.drainRing(p, home)
 		var owner *shard
 		var job *Job
 		for _, c := range cs.strict {
@@ -296,6 +309,16 @@ func (q *Queue) runEpoch(idx int, p *placement, credits []int, rot *int, timer *
 			// resize closes lanes only after publishing a new table, so
 			// an unchanged table means shutdown.
 			return q.place.Load() == p
+		}
+		// About to park: sweep every shard's ring, not just home's, so a
+		// frame published to a shard whose own workers are all busy still
+		// gets ingested promptly (the ring analogue of work stealing).
+		swept := 0
+		for _, s := range p.shards {
+			swept += q.drainRing(p, s)
+		}
+		if swept > 0 {
+			continue
 		}
 		var homeBlock chan *Job // nil (never ready) once closed
 		if open[blockClass] {
@@ -366,6 +389,12 @@ func (q *Queue) runEpochOrdered(p *placement, idx int, timer *time.Timer) bool {
 	for {
 		if q.place.Load() != p {
 			return false // table superseded: re-home
+		}
+		// Ring-published frames must enter the lanes before the ordered
+		// sweep can rank them; sweep every shard (the pick below spans
+		// the whole table anyway).
+		for _, s := range p.shards {
+			q.drainRing(p, s)
 		}
 		owner, job, homeClosed, valid := q.pickOrdered(p, home)
 		if !valid {
@@ -497,6 +526,14 @@ func (q *Queue) runJob(owner *shard, homeIdx int, job *Job) {
 	if owner.idx != homeIdx {
 		job.stealFrom = owner.idx
 	}
+	if job.pooled {
+		// Two live references from here: this worker and the runner
+		// goroutine below. Each drops its count after its last touch, so
+		// Batch.Release recycles the frame only once neither an abandoned
+		// run nor a racing deadline loser can still write to it.
+		job.touches.Store(2)
+		defer job.touches.Add(-1)
+	}
 	start := time.Now()
 	if !job.markRunning(start) {
 		return
@@ -516,6 +553,9 @@ func (q *Queue) runJob(owner *shard, homeIdx int, job *Job) {
 	go func() {
 		defer q.orphans.Done()
 		defer close(runnerDone)
+		if job.pooled {
+			defer job.touches.Add(-1)
+		}
 		var res Result
 		var err error
 		if job.fn != nil {
@@ -650,6 +690,19 @@ func (q *Queue) settle(job *Job, res Result, err error, start time.Time) {
 		agg.totalWallMS += wallMS
 		home.mu.Unlock()
 		break
+	}
+	// Complete the pooled frames coalesced onto this job while it was in
+	// flight. The inflight entry was just removed under the home lock, so
+	// no further frame can chain on; completing after the cache write
+	// preserves the signalDone ordering contract for the chained waiters
+	// too (their batch sees the outcome already cached).
+	job.mu.Lock()
+	chained := job.chained
+	job.chained = nil
+	job.mu.Unlock()
+	for _, c := range chained {
+		c.markFinished(res, err, time.Now())
+		c.signalDone()
 	}
 	if err == nil && q.cal != nil {
 		// Feed the cost calibrator: predicted units vs measured wall, so

@@ -1,0 +1,131 @@
+package lopramhttp
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"lopram/internal/jobqueue"
+)
+
+// The fuzz targets drive the two new request decoders through the full
+// handler stack: whatever the body, the response must be well-formed
+// JSON (an error envelope or a result set), and the handler must never
+// panic. One long-lived queue serves every iteration — constructing a
+// worker pool per input would drown the fuzzing loop.
+
+var (
+	fuzzOnce sync.Once
+	fuzzMux  *http.ServeMux
+)
+
+func fuzzHandler() *http.ServeMux {
+	fuzzOnce.Do(func() {
+		fuzzMux = NewMux(jobqueue.New(jobqueue.Config{Workers: 2, QueueDepth: 1 << 12}))
+	})
+	return fuzzMux
+}
+
+// FuzzBatchSubmit feeds arbitrary bodies to POST /v1/jobs:batch:
+// malformed JSON, truncated arrays and oversized batches must come back
+// as one {error, code} envelope, valid arrays as a settled result set —
+// never a panic, never a non-JSON body.
+func FuzzBatchSubmit(f *testing.F) {
+	f.Add([]byte(`[{"algorithm":"reduce","n":64,"p":2,"engine":"sim","seed":1}]`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[{"algorithm":"nope","n":-3,"engine":"x"},{"algorithm":"reduce","n":64,"p":2,"engine":"sim","priority":"batch"}]`))
+	f.Add([]byte(`[{"algorithm":"reduce","n":64,"p":2,"engine":"sim"`))
+	f.Add([]byte(`{"algorithm":"reduce","n":64}`))
+	f.Add([]byte(`[null,1,"two",[3]]`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/jobs:batch", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		fuzzHandler().ServeHTTP(w, req)
+		checkBatchResponse(t, w)
+	})
+}
+
+// checkBatchResponse asserts the batch contract on one recorded
+// response: a 200 carries a count+jobs result set, everything else the
+// uniform error envelope.
+func checkBatchResponse(t *testing.T, w *httptest.ResponseRecorder) {
+	t.Helper()
+	switch w.Code {
+	case http.StatusOK:
+		var out struct {
+			Count int               `json:"count"`
+			Jobs  []json.RawMessage `json:"jobs"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+			t.Fatalf("200 with unparsable body %q: %v", w.Body.Bytes(), err)
+		}
+		if out.Count != len(out.Jobs) {
+			t.Fatalf("count %d != %d jobs", out.Count, len(out.Jobs))
+		}
+	case http.StatusBadRequest, http.StatusRequestEntityTooLarge, http.StatusServiceUnavailable:
+		var env struct {
+			Error string `json:"error"`
+			Code  string `json:"code"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+			t.Fatalf("status %d with unparsable envelope %q: %v", w.Code, w.Body.Bytes(), err)
+		}
+		if env.Error == "" || env.Code == "" {
+			t.Fatalf("status %d envelope missing error/code: %q", w.Code, w.Body.Bytes())
+		}
+	default:
+		t.Fatalf("unexpected status %d: %q", w.Code, w.Body.Bytes())
+	}
+}
+
+// FuzzNDJSONStream feeds arbitrary bodies to POST /v1/jobs:stream: the
+// response is always a 200 NDJSON stream whose every line parses as
+// JSON, ending in either the done trailer or one error envelope line —
+// truncated streams and garbage lines must not panic the handler.
+func FuzzNDJSONStream(f *testing.F) {
+	f.Add([]byte("{\"algorithm\":\"reduce\",\"n\":64,\"p\":2,\"engine\":\"sim\",\"seed\":1}\n{\"algorithm\":\"reduce\",\"n\":64,\"p\":2,\"engine\":\"sim\",\"seed\":2}\n"))
+	f.Add([]byte("\n\n  \t\n"))
+	f.Add([]byte("}{ not json\n"))
+	f.Add([]byte("{\"algorithm\":\"reduce\",\"n\":64,\"p\":2,\"engine\":\"sim\"}\nnull\n"))
+	f.Add([]byte("{\"algorithm\":\"re"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/jobs:stream", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		fuzzHandler().ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			t.Fatalf("stream status = %d, want 200 (errors are in-band)", w.Code)
+		}
+		sc := bufio.NewScanner(bytes.NewReader(w.Body.Bytes()))
+		sc.Buffer(make([]byte, 64<<10), maxStreamLine+4096)
+		ended := false
+		for sc.Scan() {
+			if ended {
+				t.Fatalf("line after the stream ended: %q", sc.Bytes())
+			}
+			var line struct {
+				Done   bool   `json:"done"`
+				Error  string `json:"error"`
+				Status string `json:"status"`
+			}
+			if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+				t.Fatalf("unparsable response line %q: %v", sc.Bytes(), err)
+			}
+			// A result line (it has a status) can carry a per-job error;
+			// only the bare envelope or the trailer ends the stream.
+			if line.Done || (line.Error != "" && line.Status == "") {
+				ended = true
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatalf("scanning response: %v", err)
+		}
+		if !ended {
+			t.Fatalf("stream ended without a trailer or error line: %q", w.Body.Bytes())
+		}
+	})
+}

@@ -1,0 +1,276 @@
+// Package lopramhttp is lopramd's HTTP surface: the JSON/NDJSON handler
+// set over one jobqueue.Queue, split out of the daemon binary so the
+// endpoints are testable (and fuzzable) without flag parsing or a
+// listener. NewMux builds the full routing table; cmd/lopramd mounts it
+// verbatim.
+//
+// The surface has three ingest shapes, in increasing throughput order:
+//
+//   - POST /v1/jobs — one spec per request/response round trip
+//     (?wait=1 blocks until the job settles);
+//   - POST /v1/jobs:batch — a JSON array of specs submitted through the
+//     queue's pooled batch path, answered with one result array after
+//     every job settles;
+//   - POST /v1/jobs:stream — a persistent NDJSON connection: one spec
+//     per line in, one indexed result line out, submitted in pooled
+//     micro-batches so a slow producer still pipelines.
+//
+// Every error response is the uniform JSON envelope {"error": <message>,
+// "code": <machine-readable code>} — see docs/API.md for the code table.
+package lopramhttp
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"lopram/internal/core"
+	"lopram/internal/jobqueue"
+	"lopram/internal/scenario"
+)
+
+// waitCap bounds every blocking wait the surface offers (?wait=1, batch
+// and stream settles), so an abandoned connection cannot hold a handler
+// goroutine forever.
+const waitCap = 5 * time.Minute
+
+// NewMux builds the daemon's HTTP surface over one queue.
+func NewMux(q *jobqueue.Queue) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec jobqueue.Spec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			writeErr(w, http.StatusBadRequest, codeBadRequest, fmt.Sprintf("bad request body: %v", err))
+			return
+		}
+		job, err := q.Submit(spec)
+		if err != nil {
+			// Invalid specs — jobqueue.ErrUnknownClass included, whose
+			// message lists the valid class names — are the client's
+			// fault (400); saturation/rate rejections are retryable 429s
+			// and only shutdown is a 503 (queueErr).
+			status, code := queueErr(err)
+			writeErr(w, status, code, err.Error())
+			return
+		}
+		if r.URL.Query().Get("wait") != "" {
+			ctx, cancel := context.WithTimeout(r.Context(), waitCap)
+			defer cancel()
+			// Result/error are reported through the view below.
+			_, _ = job.Wait(ctx)
+		}
+		status := http.StatusAccepted
+		if job.Status() == jobqueue.StatusDone {
+			status = http.StatusOK // cache hit or ?wait=1: complete on reply
+		}
+		writeJSON(w, status, job.View())
+	})
+	mux.HandleFunc("POST /v1/jobs:batch", func(w http.ResponseWriter, r *http.Request) {
+		handleBatch(q, w, r)
+	})
+	mux.HandleFunc("POST /v1/jobs:stream", func(w http.ResponseWriter, r *http.Request) {
+		handleStream(q, w, r)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, codeBadRequest, "bad job id")
+			return
+		}
+		job, ok := q.Get(id)
+		if !ok {
+			writeErr(w, http.StatusNotFound, codeNotFound, "no such job (it may have aged out)")
+			return
+		}
+		if r.URL.Query().Get("wait") != "" {
+			ctx, cancel := context.WithTimeout(r.Context(), waitCap)
+			defer cancel()
+			// Result/error are reported through the view below.
+			_, _ = job.Wait(ctx)
+		}
+		writeJSON(w, http.StatusOK, job.View())
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		limit := 100
+		if s := r.URL.Query().Get("limit"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil {
+				limit = v
+			}
+		}
+		writeJSON(w, http.StatusOK, q.Jobs(limit))
+	})
+	mux.HandleFunc("POST /v1/resize", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Shards int `json:"shards"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, codeBadRequest, fmt.Sprintf("bad request body: %v", err))
+			return
+		}
+		epoch, err := q.Resize(req.Shards)
+		if err != nil {
+			// Out-of-bounds targets are the client's fault (400); only
+			// shutdown is a 503.
+			status, code := queueErr(err)
+			writeErr(w, status, code, err.Error())
+			return
+		}
+		// Report the count this resize produced, not a re-read of the
+		// live queue — under -autoscale the controller may already have
+		// moved the table again, and epoch/shards must pair up.
+		writeJSON(w, http.StatusOK, map[string]any{"epoch": epoch, "shards": req.Shards})
+	})
+	mux.HandleFunc("GET /v1/algorithms", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, catalogueView())
+	})
+	mux.HandleFunc("GET /v1/classes", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, q.Classes())
+	})
+	mux.HandleFunc("GET /v1/scenarios", func(w http.ResponseWriter, _ *http.Request) {
+		// Initialized non-nil so an empty catalogue encodes as [] and
+		// clients can always range over the response.
+		out := []map[string]any{}
+		for _, sp := range scenario.Builtins() {
+			out = append(out, map[string]any{
+				"name":        sp.Name,
+				"description": sp.Description,
+				"jobs":        sp.Jobs,
+				"arrival":     arrivalOf(sp),
+			})
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /v1/scenarios/{name}", func(w http.ResponseWriter, r *http.Request) {
+		sp, ok := scenario.Builtin(r.PathValue("name"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, codeNotFound, "no such scenario (GET /v1/scenarios lists the catalogue)")
+			return
+		}
+		writeJSON(w, http.StatusOK, sp)
+	})
+	mux.HandleFunc("GET /v1/policies", func(w http.ResponseWriter, _ *http.Request) {
+		deq, adm := q.PolicyNames()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"dequeue":             deq,
+			"admission":           adm,
+			"available_dequeue":   jobqueue.DequeuePolicyNames(),
+			"available_admission": jobqueue.AdmissionPolicyNames(),
+		})
+	})
+	// Scenario runs execute against their own sandboxed queue (sized by
+	// scenario.QueueConfig), never the serving queue q, so a load test
+	// cannot evict the daemon's cache or occupy its admission lanes. One
+	// at a time: a second concurrent run gets 409.
+	scenarioSem := make(chan struct{}, 1)
+	mux.HandleFunc("POST /v1/scenarios/{name}/run", func(w http.ResponseWriter, r *http.Request) {
+		sp, ok := scenario.Builtin(r.PathValue("name"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, codeNotFound, "no such scenario (GET /v1/scenarios lists the catalogue)")
+			return
+		}
+		streamScenarioRun(w, r, sp, scenarioSem)
+	})
+	mux.HandleFunc("POST /v1/scenarios/run", func(w http.ResponseWriter, r *http.Request) {
+		var sp scenario.Spec
+		if err := json.NewDecoder(r.Body).Decode(&sp); err != nil {
+			writeErr(w, http.StatusBadRequest, codeBadRequest, fmt.Sprintf("bad request body: %v", err))
+			return
+		}
+		streamScenarioRun(w, r, sp, scenarioSem)
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, q.Snapshot())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func arrivalOf(sp scenario.Spec) string {
+	if sp.Arrival == "" {
+		return scenario.ArrivalClosed
+	}
+	return sp.Arrival
+}
+
+func catalogueView() []map[string]any {
+	// Initialized non-nil so an empty catalogue encodes as [], not null.
+	out := []map[string]any{}
+	for _, name := range core.Algorithms() {
+		engines := core.EnginesFor(name)
+		maxN := make(map[string]int, len(engines))
+		for _, e := range engines {
+			maxN[string(e)] = core.MaxN(name, e)
+		}
+		out = append(out, map[string]any{
+			"algorithm": name,
+			"engines":   engines,
+			"max_n":     maxN,
+		})
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeJSONCompact is writeJSON without indentation, for the bulk
+// ingest envelopes: a 4096-slot batch response is machine-consumed, and
+// pretty-printing it costs more encoder time than the payload itself.
+// The NDJSON stream path is compact by construction (one line per job).
+func writeJSONCompact(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Machine-readable error codes carried in every error envelope, so
+// clients can branch without parsing messages. The human-readable
+// "error" field stays the place for details (valid names, limits).
+const (
+	codeBadRequest         = "bad_request"
+	codeBatchTooLarge      = "batch_too_large"
+	codeUnknownClass       = "unknown_class"
+	codeUnknownPolicy      = "unknown_policy"
+	codeNotFound           = "not_found"
+	codeConflict           = "conflict"
+	codeQueueFull          = "queue_full"
+	codeDeadlineInfeasible = "deadline_infeasible"
+	codeUnavailable        = "unavailable"
+)
+
+// writeErr writes the daemon's uniform JSON error envelope:
+// {"error": <message>, "code": <machine-readable code>}.
+func writeErr(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg, "code": code})
+}
+
+// queueErr maps a queue/scenario error onto the envelope's status and
+// code: saturation and rate limits are retryable 429s, shutdown is a
+// 503, and everything else — unknown classes and policies included — is
+// the client's 400.
+func queueErr(err error) (status int, code string) {
+	switch {
+	case errors.Is(err, jobqueue.ErrDeadlineInfeasible):
+		return http.StatusTooManyRequests, codeDeadlineInfeasible
+	case errors.Is(err, jobqueue.ErrQueueFull):
+		return http.StatusTooManyRequests, codeQueueFull
+	case errors.Is(err, jobqueue.ErrClosed):
+		return http.StatusServiceUnavailable, codeUnavailable
+	case errors.Is(err, jobqueue.ErrUnknownClass):
+		return http.StatusBadRequest, codeUnknownClass
+	case errors.Is(err, jobqueue.ErrUnknownPolicy):
+		return http.StatusBadRequest, codeUnknownPolicy
+	}
+	return http.StatusBadRequest, codeBadRequest
+}

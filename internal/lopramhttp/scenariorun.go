@@ -1,0 +1,124 @@
+package lopramhttp
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"lopram/internal/jobqueue"
+	"lopram/internal/jobtrace"
+	"lopram/internal/scenario"
+)
+
+// Scenarios as a service: POST /v1/scenarios/{name}/run and
+// POST /v1/scenarios/run execute a load scenario against a sandboxed
+// queue and stream NDJSON progress, optional per-job completion
+// records, and the final report.
+
+// scenarioEvent is one NDJSON line of a streamed scenario run: exactly
+// one of the fields is set. Progress lines arrive periodically, record
+// lines (with ?trace=1) as jobs settle, and the stream ends with one
+// report (success) or error line.
+type scenarioEvent struct {
+	Progress *scenario.Progress `json:"progress,omitempty"`
+	Record   *jobtrace.Record   `json:"record,omitempty"`
+	Report   *scenario.Report   `json:"report,omitempty"`
+	Error    string             `json:"error,omitempty"`
+}
+
+// ndjsonStream serializes concurrent event writers (the progress
+// goroutine, the recorder flusher, the handler) onto one connection,
+// flushing after every line so clients see events as they happen.
+type ndjsonStream struct {
+	mu sync.Mutex
+	w  io.Writer
+	fl http.Flusher
+}
+
+func (s *ndjsonStream) send(ev scenarioEvent) {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	data = append(data, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = s.w.Write(data)
+	if s.fl != nil {
+		s.fl.Flush()
+	}
+}
+
+// streamScenarioRun executes sp against a fresh sandboxed queue and
+// streams NDJSON events until the final report. Query parameters:
+// ?jobs=N caps the stream length, ?progress_ms=N sets the progress
+// interval (default 500), ?trace=1 additionally streams every
+// completion record. sem bounds concurrent runs; a run that cannot
+// acquire it is refused with 409.
+func streamScenarioRun(w http.ResponseWriter, r *http.Request, sp scenario.Spec, sem chan struct{}) {
+	if v := r.URL.Query().Get("jobs"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeErr(w, http.StatusBadRequest, codeBadRequest, "jobs must be a positive integer")
+			return
+		}
+		if n < sp.Jobs {
+			sp.Jobs = n
+		}
+	}
+	every := 500 * time.Millisecond
+	if v := r.URL.Query().Get("progress_ms"); v != "" {
+		ms, err := strconv.Atoi(v)
+		if err != nil || ms <= 0 {
+			writeErr(w, http.StatusBadRequest, codeBadRequest, "progress_ms must be a positive integer")
+			return
+		}
+		every = time.Duration(ms) * time.Millisecond
+	}
+	if err := sp.Validate(); err != nil {
+		// queueErr classifies validation failures too: an unknown policy
+		// name in a posted spec gets code "unknown_policy".
+		status, code := queueErr(err)
+		writeErr(w, status, code, err.Error())
+		return
+	}
+	select {
+	case sem <- struct{}{}:
+		defer func() { <-sem }()
+	default:
+		writeErr(w, http.StatusConflict, codeConflict, "a scenario run is already in progress; retry when it finishes")
+		return
+	}
+
+	stream := &ndjsonStream{w: w}
+	if fl, ok := w.(http.Flusher); ok {
+		stream.fl = fl
+	}
+	cfg := scenario.QueueConfig(sp)
+	if r.URL.Query().Get("trace") != "" {
+		cfg.TraceSink = jobtrace.SinkFunc(func(rec jobtrace.Record) {
+			stream.send(scenarioEvent{Record: &rec})
+		})
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+
+	sandbox := jobqueue.New(cfg)
+	rep, err := scenario.RunWith(r.Context(), sandbox, sp, scenario.RunOptions{
+		ProgressEvery: every,
+		Progress: func(p scenario.Progress) {
+			stream.send(scenarioEvent{Progress: &p})
+		},
+	})
+	// Close drains the flight recorder, so with ?trace=1 every record
+	// line lands before the final report line.
+	sandbox.Close()
+	if err != nil {
+		stream.send(scenarioEvent{Error: err.Error()})
+		return
+	}
+	stream.send(scenarioEvent{Report: &rep})
+}

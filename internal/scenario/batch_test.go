@@ -1,0 +1,124 @@
+package scenario
+
+import (
+	"context"
+	"testing"
+
+	"lopram/internal/jobqueue"
+)
+
+// TestBatchIngestReplay: the pooled batch driver replays a scenario —
+// live resizes included — with every submission accounted for: served
+// (executed, hit, or coalesced) or rejected, never lost.
+func TestBatchIngestReplay(t *testing.T) {
+	sp := Spec{
+		Name:        "batch-ingest-replay",
+		Seed:        7,
+		Jobs:        300,
+		Ingest:      IngestBatch,
+		BatchSize:   32,
+		DupFraction: 0.4,
+		Mix:         []MixEntry{{Algorithm: "reduce", Engine: "sim", MaxN: 256}},
+		Workers:     2,
+		Resizes:     []ResizeAt{{AtJob: 100, Shards: 4}, {AtJob: 200, Shards: 2}},
+	}
+	q := jobqueue.New(QueueConfig(sp))
+	defer q.Close()
+	rep, err := Run(context.Background(), q, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs != sp.Jobs {
+		t.Errorf("jobs = %d, want %d", rep.Jobs, sp.Jobs)
+	}
+	if rep.Failures != 0 || rep.Rejected != 0 {
+		t.Errorf("failures=%d rejected=%d, want 0/0", rep.Failures, rep.Rejected)
+	}
+	if rep.Resizes != 2 {
+		t.Errorf("resizes = %d, want 2", rep.Resizes)
+	}
+	if served := rep.Executed + rep.CacheHits + rep.Coalesced; served != int64(sp.Jobs) {
+		t.Errorf("executed %d + hits %d + coalesced %d = %d, want %d",
+			rep.Executed, rep.CacheHits, rep.Coalesced, served, sp.Jobs)
+	}
+	if rep.CacheHits+rep.Coalesced == 0 {
+		t.Error("duplicate-heavy batch replay served nothing from cache or coalescer")
+	}
+}
+
+// TestBatchIngestMatchesSingle: the same spec replayed through both
+// ingest paths serves the identical job stream — total served and the
+// executed count (one per distinct key, given an uncapped cache) agree.
+func TestBatchIngestMatchesSingle(t *testing.T) {
+	base := Spec{
+		Name:        "batch-vs-single",
+		Seed:        11,
+		Jobs:        200,
+		DupFraction: 0.3,
+		SeedSpace:   4,
+		Mix:         []MixEntry{{Algorithm: "reduce", Engine: "sim", MaxN: 128}},
+		Workers:     2,
+	}
+	run := func(sp Spec) Report {
+		t.Helper()
+		q := jobqueue.New(QueueConfig(sp))
+		defer q.Close()
+		rep, err := Run(context.Background(), q, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	single := run(base)
+	batched := base
+	batched.Ingest = IngestBatch
+	batch := run(batched)
+	if single.Jobs != batch.Jobs {
+		t.Fatalf("jobs diverged: single %d, batch %d", single.Jobs, batch.Jobs)
+	}
+	singleServed := single.Executed + single.CacheHits + single.Coalesced
+	batchServed := batch.Executed + batch.CacheHits + batch.Coalesced
+	if singleServed != batchServed {
+		t.Errorf("served diverged: single %d, batch %d", singleServed, batchServed)
+	}
+	// With a never-evicting cache each distinct key executes exactly
+	// once, whatever the ingest path: hit/coalesce split may differ,
+	// executed must not.
+	if single.Executed != batch.Executed {
+		t.Errorf("executed diverged: single %d, batch %d", single.Executed, batch.Executed)
+	}
+}
+
+// TestValidateIngest: the ingest field's validation rules.
+func TestValidateIngest(t *testing.T) {
+	valid := func() Spec { return Spec{Name: "v", Jobs: 10} }
+	sp := valid()
+	sp.Ingest = "carrier-pigeon"
+	if err := sp.Validate(); err == nil {
+		t.Error("unknown ingest accepted")
+	}
+	sp = valid()
+	sp.BatchSize = 8
+	if err := sp.Validate(); err == nil {
+		t.Error("batch_size without batch ingest accepted")
+	}
+	sp = valid()
+	sp.Ingest = IngestBatch
+	sp.BatchSize = -1
+	if err := sp.Validate(); err == nil {
+		t.Error("negative batch_size accepted")
+	}
+	sp = valid()
+	sp.Ingest = IngestBatch
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("batch ingest rejected: %v", err)
+	}
+	if sp.BatchSize != 64 {
+		t.Errorf("batch_size default = %d, want 64", sp.BatchSize)
+	}
+	sp = valid()
+	sp.Ingest = IngestSingle
+	if err := sp.Validate(); err != nil {
+		t.Errorf("explicit single ingest rejected: %v", err)
+	}
+}

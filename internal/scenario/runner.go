@@ -160,6 +160,85 @@ func RunWith(ctx context.Context, q *jobqueue.Queue, s Spec, opts RunOptions) (R
 			<-progDone
 		}()
 	}
+	var failures atomic.Int64
+	if s.Ingest == IngestBatch {
+		// Batch ingest: publish the stream through the pooled batch-first
+		// path in BatchSize groups. Scheduled resizes still fire at their
+		// stream offsets — the pending group settles first, so a resize
+		// never races its own group's outcomes — and admission refusals
+		// are outcomes read from the settled slots, exactly as the
+		// single-submit path counts its Submit errors.
+		b := q.NewBatch()
+		flush := func() error {
+			if b.Len() == 0 {
+				return nil
+			}
+			if err := b.Wait(ctx); err != nil {
+				// Frames are still in flight: by the arena contract the
+				// batch must not be released; leak it to the GC.
+				return err
+			}
+			for i := 0; i < b.Len(); i++ {
+				if _, err := b.Outcome(i); err != nil {
+					switch {
+					case errors.Is(err, jobqueue.ErrQueueFull), errors.Is(err, jobqueue.ErrDeadlineInfeasible):
+						rejected.Add(1)
+						continue // rejected slots never reach a terminal run
+					default:
+						failures.Add(1)
+					}
+				}
+				done.Add(1)
+			}
+			b.Release()
+			b = q.NewBatch()
+			return nil
+		}
+		nextResize := 0
+		for i, spec := range stream {
+			if err := ctx.Err(); err != nil {
+				fill()
+				return report, err
+			}
+			if nextResize < len(s.Resizes) && s.Resizes[nextResize].AtJob == i {
+				if err := flush(); err != nil {
+					fill()
+					return report, err
+				}
+				for nextResize < len(s.Resizes) && s.Resizes[nextResize].AtJob == i {
+					if _, err := q.Resize(s.Resizes[nextResize].Shards); err != nil {
+						fill()
+						return report, fmt.Errorf("scenario %s: resize to %d shards at job %d: %w",
+							s.Name, s.Resizes[nextResize].Shards, i, err)
+					}
+					resizes.Add(1)
+					nextResize++
+				}
+			}
+			if err := b.Submit(spec); err != nil {
+				// Scenario streams are valid by construction, so a Submit
+				// error here is the queue refusing outright (ErrClosed) —
+				// a replay error, like the single path's abort. Settle
+				// what was published before reporting it.
+				submitted.Add(1)
+				_ = flush()
+				fill()
+				return report, fmt.Errorf("scenario %s: submitting %s: %w", s.Name, spec, err)
+			}
+			submitted.Add(1)
+			if b.Len() >= s.BatchSize {
+				if err := flush(); err != nil {
+					fill()
+					return report, err
+				}
+			}
+		}
+		if err := flush(); err != nil {
+			fill()
+			return report, err
+		}
+		return finishReport(q, before, start, &report, fill, &failures)
+	}
 	// sched is the cumulative scheduled arrival time of the open-loop
 	// variants. Rate shaping (ramp, diurnal) evaluates the instantaneous
 	// rate at the *scheduled* clock, not the wall clock, so the arrival
@@ -183,7 +262,6 @@ func RunWith(ctx context.Context, q *jobqueue.Queue, s Spec, opts RunOptions) (R
 	// not the whole window. (Open arrival ignores the window: that is
 	// the point of open-loop load.)
 	window := make(chan struct{}, s.Clients)
-	var failures atomic.Int64
 	var waiters sync.WaitGroup
 	watch := func(job *jobqueue.Job) {
 		defer waiters.Done()
@@ -255,10 +333,18 @@ func RunWith(ctx context.Context, q *jobqueue.Queue, s Spec, opts RunOptions) (R
 		go watch(job)
 	}
 	waiters.Wait()
-	fill()
 	if err := ctx.Err(); err != nil {
+		fill()
 		return report, err
 	}
+	return finishReport(q, before, start, &report, fill, &failures)
+}
+
+// finishReport closes out a completed replay: it copies the live
+// counters into the report (fill), stamps the elapsed time and computes
+// the queue-counter deltas and latency summaries since before.
+func finishReport(q *jobqueue.Queue, before jobqueue.Metrics, start time.Time, report *Report, fill func(), failures *atomic.Int64) (Report, error) {
+	fill()
 	report.Failures = int(failures.Load())
 	report.Elapsed = time.Since(start)
 	if secs := report.Elapsed.Seconds(); secs > 0 {
@@ -280,7 +366,7 @@ func RunWith(ctx context.Context, q *jobqueue.Queue, s Spec, opts RunOptions) (R
 	report.Wall = after.Wall
 	report.Wait = after.Wait
 	report.Epoch = after.Epoch
-	return report, nil
+	return *report, nil
 }
 
 // WriteText renders the report as the human-readable serving summary

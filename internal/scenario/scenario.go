@@ -33,6 +33,19 @@ const (
 	ArrivalDiurnal = "diurnal"
 )
 
+// Ingest paths a Spec can declare.
+const (
+	// IngestSingle submits one job per Queue.Submit call — the default,
+	// and the path the arrival processes shape.
+	IngestSingle = "single"
+	// IngestBatch submits jobs through the queue's pooled batch-first
+	// path (Queue.NewBatch) in BatchSize groups, each group settling
+	// before the next is published. Batch ingest ignores the arrival
+	// process and client window: it measures the submit path's
+	// throughput, so the driver pushes as fast as the queue drains.
+	IngestBatch = "batch"
+)
+
 // Spec declares one load scenario. The zero values of most fields select
 // defaults (see Validate); Seed pins every random choice, so a Spec is a
 // complete, reproducible description of a traffic pattern.
@@ -68,6 +81,13 @@ type Spec struct {
 	// Clients is the closed-loop population size (in-flight window) for
 	// ArrivalClosed. Default 16.
 	Clients int `json:"clients,omitempty"`
+	// Ingest selects the submit path: IngestSingle (default, one Submit
+	// per job, shaped by Arrival) or IngestBatch (the pooled batch-first
+	// path in BatchSize groups; Arrival and Clients do not apply).
+	Ingest string `json:"ingest,omitempty"`
+	// BatchSize is IngestBatch's group size; default 64. Only valid with
+	// batch ingest.
+	BatchSize int `json:"batch_size,omitempty"`
 	// DupFraction is the probability that a submission re-issues an
 	// earlier spec verbatim — the duplicate traffic the result cache and
 	// coalescer exist for.
@@ -202,6 +222,22 @@ func (s *Spec) Validate() error {
 	}
 	if s.Clients <= 0 {
 		s.Clients = 16
+	}
+	switch s.Ingest {
+	case "", IngestSingle:
+		if s.BatchSize != 0 {
+			return fmt.Errorf("scenario %s: batch_size needs ingest %q", s.Name, IngestBatch)
+		}
+	case IngestBatch:
+		if s.BatchSize < 0 {
+			return fmt.Errorf("scenario %s: batch_size must be positive, got %d", s.Name, s.BatchSize)
+		}
+		if s.BatchSize == 0 {
+			s.BatchSize = 64
+		}
+	default:
+		return fmt.Errorf("scenario %s: unknown ingest %q (want %q or %q)",
+			s.Name, s.Ingest, IngestSingle, IngestBatch)
 	}
 	if s.DupFraction < 0 || s.DupFraction >= 1 {
 		return fmt.Errorf("scenario %s: dup_fraction %v outside [0, 1)", s.Name, s.DupFraction)
