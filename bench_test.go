@@ -935,6 +935,130 @@ func BenchmarkJobQueueHTTPJobsPerSec(b *testing.B) {
 	}
 }
 
+// BenchmarkJobQueueCacheHit measures the lock-free cache-hit fast path:
+// four concurrent submitters spray Submit calls over a 64-key hot set
+// that was fully executed during warmup, so every timed submission is
+// served from the shard's atomic read index without taking the shard
+// lock. shards=1 is the pure contention case — before the lock-free
+// index every hit serialized on the one shard mutex — and shards=4
+// shows the path scales past what sharding alone buys; cmd/benchgate
+// gates both via BENCH_BASELINE.json (acceptance: ≥1.5× the locked-path
+// baseline on the same machine).
+func BenchmarkJobQueueCacheHit(b *testing.B) {
+	const hotKeys = 64
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			q := jobqueue.New(jobqueue.Config{
+				Workers: 4, Shards: shards,
+				QueueDepth: 8192, CacheSize: 4096,
+			})
+			defer q.Close()
+			spec := func(seed uint64) jobqueue.Spec {
+				return jobqueue.Spec{
+					Algorithm: "reduce", N: 256, P: 4,
+					Engine: core.EngineSim, Seed: seed,
+				}
+			}
+			// Execute every hot key once; Wait returns only after the
+			// owning flush has published the result to the read index.
+			for k := uint64(0); k < hotKeys; k++ {
+				job, err := q.Submit(spec(k))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := job.Wait(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			const batch = 256
+			const submitters = 4
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for s := 0; s < submitters; s++ {
+					wg.Add(1)
+					go func(s int) {
+						defer wg.Done()
+						rng := uint64(s)*2654435761 + 1
+						for j := 0; j < batch/submitters; j++ {
+							rng = rng*6364136223846793005 + 1442695040888963407
+							job, err := q.Submit(spec(rng % hotKeys))
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							res, err := job.Result()
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							if !res.Cached {
+								b.Error("hot key missed the cache")
+								return
+							}
+						}
+					}(s)
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N*batch)/secs, "jobs/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkJobQueueSettle prices the batched completion path: unique
+// sub-µs PRAM jobs (cache disabled, so every one executes and settles)
+// on one shard, where before batching each completion took the shard
+// lock individually and the settle rate was the shard's lock rate. The
+// per-op job count (256) is a multiple of the flush threshold so full
+// flushes dominate; cmd/benchgate gates it via BENCH_BASELINE.json.
+func BenchmarkJobQueueSettle(b *testing.B) {
+	var seed atomic.Uint64
+	q := jobqueue.New(jobqueue.Config{
+		Workers: 4, Shards: 1,
+		QueueDepth: 8192, CacheSize: -1,
+	})
+	defer q.Close()
+	const batch = 256
+	const submitters = 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for s := 0; s < submitters; s++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				jobs := make([]*jobqueue.Job, 0, batch/submitters)
+				for j := 0; j < batch/submitters; j++ {
+					job, err := q.Submit(jobqueue.Spec{
+						Algorithm: "reduce", N: 8, P: 1,
+						Engine: core.EnginePRAM, Seed: seed.Add(1),
+					})
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					jobs = append(jobs, job)
+				}
+				for _, job := range jobs {
+					if _, err := job.Wait(context.Background()); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N*batch)/secs, "jobs/sec")
+	}
+}
+
 // ---- palrt work-stealing scheduler matrix ----
 //
 // BenchmarkPalrt{Spawn,Steal,DandC,DP} sweep processor count and task grain

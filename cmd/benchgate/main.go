@@ -6,26 +6,30 @@
 //
 // Gate a bench run (fails on >20% ops/sec regression by default; the
 // default -match gates both dispatch matrices, BenchmarkJobQueueThroughput
-// and BenchmarkJobQueueClasses):
+// and BenchmarkJobQueueClasses, plus the CacheHit and Settle completion
+// benchmarks — every BenchmarkJobQueue* family):
 //
-//	go test -run='^$' -bench=BenchmarkJobQueue -count=3 . | \
+//	go test -run='^$' -bench=BenchmarkJobQueue -benchmem -count=3 . | \
 //	    go run ./cmd/benchgate -baseline BENCH_BASELINE.json
 //
 // Refresh the baseline on the machine class that runs the gate:
 //
-//	go test -run='^$' -bench=BenchmarkJobQueue -count=3 . | \
+//	go test -run='^$' -bench=BenchmarkJobQueue -benchmem -count=3 . | \
 //	    go run ./cmd/benchgate -baseline BENCH_BASELINE.json -update
 //
 // Same-machine A/B (immune to machine-class skew — CI uses this for pull
 // requests, benching the merge-base in a worktree and the head in place;
 // benchmarks missing from the baseline run are reported, not gated):
 //
-//	go test -run='^$' -bench=BenchmarkJobQueue -count=3 . > head.txt   # on HEAD
+//	go test -run='^$' -bench=BenchmarkJobQueue -benchmem -count=3 . > head.txt   # on HEAD
 //	go run ./cmd/benchgate -baseline-bench base.txt < head.txt
 //
 // With -count > 1 the gate scores each benchmark by its best run (max
 // ops/sec), which filters scheduler noise the way benchstat's median does
-// for larger sample counts.
+// for larger sample counts. When the run was made with -benchmem, B/op and
+// allocs/op from the best run ride along in the baseline and the report —
+// informational (the pass/fail verdict is ops/sec only), so allocation
+// regressions are visible in the CI artifact without flaking the gate.
 package main
 
 import (
@@ -49,6 +53,18 @@ type Baseline struct {
 	// OpsPerSec maps full benchmark names (including sub-benchmarks, with
 	// the -cpu suffix stripped) to their best observed ops/sec.
 	OpsPerSec map[string]float64 `json:"ops_per_sec"`
+	// BytesPerOp and AllocsPerOp carry the -benchmem numbers from each
+	// benchmark's best run, when the recording run captured them.
+	// Informational: the gate's verdict is ops/sec only.
+	BytesPerOp  map[string]float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp map[string]float64 `json:"allocs_per_op,omitempty"`
+}
+
+// benchStat is one benchmark's best observed run.
+type benchStat struct {
+	ops           float64 // ops/sec, derived from ns/op
+	bytes, allocs float64 // -benchmem B/op and allocs/op of the best run
+	hasMem        bool
 }
 
 // benchLine matches one `go test -bench` result line:
@@ -56,8 +72,13 @@ type Baseline struct {
 //	BenchmarkName/sub=1-8   1234   56789 ns/op   2 MB/s ...
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.eE+]+)\s+ns/op`)
 
-func parse(r io.Reader, echo io.Writer) (map[string]float64, error) {
-	best := make(map[string]float64)
+// memStats matches the -benchmem tail of a result line. go test appends
+// the pair after every custom metric, so anchoring on the unit names is
+// robust against ReportMetric columns in between.
+var memStats = regexp.MustCompile(`([0-9.eE+]+)\s+B/op\s+([0-9.eE+]+)\s+allocs/op`)
+
+func parse(r io.Reader, echo io.Writer) (map[string]*benchStat, error) {
+	best := make(map[string]*benchStat)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -71,19 +92,35 @@ func parse(r io.Reader, echo io.Writer) (map[string]float64, error) {
 		if err != nil || nsPerOp <= 0 {
 			continue
 		}
-		ops := 1e9 / nsPerOp
-		if ops > best[m[1]] {
-			best[m[1]] = ops
+		st := &benchStat{ops: 1e9 / nsPerOp}
+		if mm := memStats.FindStringSubmatch(line); mm != nil {
+			if st.bytes, err = strconv.ParseFloat(mm[1], 64); err == nil {
+				if st.allocs, err = strconv.ParseFloat(mm[2], 64); err == nil {
+					st.hasMem = true
+				}
+			}
+		}
+		if prev, ok := best[m[1]]; !ok || st.ops > prev.ops {
+			best[m[1]] = st
 		}
 	}
 	return best, sc.Err()
+}
+
+// memColumn renders a benchmark's -benchmem numbers for the report, empty
+// when the run did not capture them.
+func memColumn(st *benchStat) string {
+	if !st.hasMem {
+		return ""
+	}
+	return fmt.Sprintf("  [%.0f B/op %.0f allocs/op]", st.bytes, st.allocs)
 }
 
 func main() {
 	var (
 		baselinePath  = flag.String("baseline", "BENCH_BASELINE.json", "baseline file to compare against (or write with -update)")
 		baselineBench = flag.String("baseline-bench", "", "compare against raw `go test -bench` output in this file instead of the JSON baseline — for same-machine A/B runs (e.g. merge-base vs head in one CI job)")
-		match         = flag.String("match", "BenchmarkJobQueue", "only gate benchmarks whose name contains this substring (default covers the Throughput and Classes dispatch matrices); others are reported informationally")
+		match         = flag.String("match", "BenchmarkJobQueue", "only gate benchmarks whose name contains this substring (default covers the dispatch, cache-hit and settle matrices); others are reported informationally")
 		tolerance     = flag.Float64("tolerance", 0.20, "maximum allowed fractional ops/sec regression before failing")
 		update        = flag.Bool("update", false, "write the observed numbers as the new baseline instead of gating")
 	)
@@ -102,7 +139,18 @@ func main() {
 	if *update {
 		b := Baseline{
 			Note:      "best-run ops/sec per benchmark; an absolute floor only (recorded on a 1-core 2.1GHz container) - the sensitive regression signal is CI's same-machine merge-base comparison; refresh with cmd/benchgate -update from the gating machine class",
-			OpsPerSec: got,
+			OpsPerSec: make(map[string]float64, len(got)),
+		}
+		for name, st := range got {
+			b.OpsPerSec[name] = st.ops
+			if st.hasMem {
+				if b.BytesPerOp == nil {
+					b.BytesPerOp = make(map[string]float64)
+					b.AllocsPerOp = make(map[string]float64)
+				}
+				b.BytesPerOp[name] = st.bytes
+				b.AllocsPerOp[name] = st.allocs
+			}
 		}
 		data, err := json.MarshalIndent(b, "", "  ")
 		if err != nil {
@@ -124,11 +172,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 			os.Exit(2)
 		}
-		base.OpsPerSec, err = parse(f, io.Discard)
+		baseStats, err := parse(f, io.Discard)
 		f.Close()
-		if err != nil || len(base.OpsPerSec) == 0 {
+		if err != nil || len(baseStats) == 0 {
 			fmt.Fprintf(os.Stderr, "benchgate: no benchmark results in %s (err=%v)\n", *baselineBench, err)
 			os.Exit(2)
+		}
+		base.OpsPerSec = make(map[string]float64, len(baseStats))
+		for name, st := range baseStats {
+			base.OpsPerSec[name] = st.ops
 		}
 	} else {
 		data, err := os.ReadFile(*baselinePath)
@@ -152,19 +204,20 @@ func main() {
 	for _, name := range names {
 		ref, ok := base.OpsPerSec[name]
 		gated := strings.Contains(name, *match)
+		mem := memColumn(got[name])
 		switch {
 		case !ok:
-			fmt.Printf("benchgate: %-60s %12.1f ops/sec (no baseline)\n", name, got[name])
+			fmt.Printf("benchgate: %-60s %12.1f ops/sec (no baseline)%s\n", name, got[name].ops, mem)
 		case !gated:
-			fmt.Printf("benchgate: %-60s %12.1f ops/sec vs %.1f (info only, %+.1f%%)\n",
-				name, got[name], ref, 100*(got[name]-ref)/ref)
-		case got[name] < ref*(1-*tolerance):
+			fmt.Printf("benchgate: %-60s %12.1f ops/sec vs %.1f (info only, %+.1f%%)%s\n",
+				name, got[name].ops, ref, 100*(got[name].ops-ref)/ref, mem)
+		case got[name].ops < ref*(1-*tolerance):
 			failed++
-			fmt.Printf("benchgate: FAIL %-55s %12.1f ops/sec vs baseline %.1f (%.1f%% below, tolerance %.0f%%)\n",
-				name, got[name], ref, 100*(ref-got[name])/ref, 100**tolerance)
+			fmt.Printf("benchgate: FAIL %-55s %12.1f ops/sec vs baseline %.1f (%.1f%% below, tolerance %.0f%%)%s\n",
+				name, got[name].ops, ref, 100*(ref-got[name].ops)/ref, 100**tolerance, mem)
 		default:
-			fmt.Printf("benchgate: ok   %-55s %12.1f ops/sec vs baseline %.1f (%+.1f%%)\n",
-				name, got[name], ref, 100*(got[name]-ref)/ref)
+			fmt.Printf("benchgate: ok   %-55s %12.1f ops/sec vs baseline %.1f (%+.1f%%)%s\n",
+				name, got[name].ops, ref, 100*(got[name].ops-ref)/ref, mem)
 		}
 	}
 	if failed > 0 {

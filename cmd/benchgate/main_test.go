@@ -9,8 +9,8 @@ import (
 func TestParseBenchOutput(t *testing.T) {
 	out := `goos: linux
 BenchmarkJobQueueThroughput/workers=4-8         	     100	   5000000 ns/op	     12800 jobs/sec
-BenchmarkJobQueueThroughput/workers=4-8         	     120	   4000000 ns/op	     16000 jobs/sec
-BenchmarkPalrtSpawn/p=2/sched=steal             	 4244977	        85.27 ns/op	      16 B/op
+BenchmarkJobQueueThroughput/workers=4-8         	     120	   4000000 ns/op	     16000 jobs/sec	     512 B/op	       8 allocs/op
+BenchmarkPalrtSpawn/p=2/sched=steal             	 4244977	        85.27 ns/op	      16 B/op	       1 allocs/op
 PASS
 `
 	got, err := parse(strings.NewReader(out), io.Discard)
@@ -18,11 +18,21 @@ PASS
 		t.Fatal(err)
 	}
 	// Best of the two runs: 1e9/4e6 = 250 ops/sec, -cpu suffix stripped.
-	if ops := got["BenchmarkJobQueueThroughput/workers=4"]; ops < 249.9 || ops > 250.1 {
-		t.Fatalf("throughput ops/sec = %v, want 250 (best of runs)", ops)
+	tp := got["BenchmarkJobQueueThroughput/workers=4"]
+	if tp == nil || tp.ops < 249.9 || tp.ops > 250.1 {
+		t.Fatalf("throughput = %+v, want 250 ops/sec (best of runs)", tp)
 	}
-	if _, ok := got["BenchmarkPalrtSpawn/p=2/sched=steal"]; !ok {
+	// The -benchmem pair rides along from the best run, past the custom
+	// jobs/sec metric.
+	if !tp.hasMem || tp.bytes != 512 || tp.allocs != 8 {
+		t.Fatalf("throughput mem stats = %+v, want 512 B/op, 8 allocs/op", tp)
+	}
+	sp := got["BenchmarkPalrtSpawn/p=2/sched=steal"]
+	if sp == nil {
 		t.Fatal("spawn benchmark not parsed")
+	}
+	if !sp.hasMem || sp.bytes != 16 || sp.allocs != 1 {
+		t.Fatalf("spawn mem stats = %+v, want 16 B/op, 1 allocs/op", sp)
 	}
 	if len(got) != 2 {
 		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)

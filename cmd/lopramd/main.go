@@ -24,6 +24,16 @@
 //
 //	lopramd -dequeue-policy sjf -admission-policy token-bucket:64:16
 //
+// -pprof starts a second, debug-only HTTP listener serving the standard
+// net/http/pprof surface (profiles stay off the public API port). With
+// -mutex-profile-fraction and -block-profile-rate the runtime samples
+// lock contention and blocking, which is how the queue's completion path
+// is profiled under load; /v1/metrics reports the cumulative
+// runtime_mutex_wait_seconds either way:
+//
+//	lopramd -pprof localhost:6060 -mutex-profile-fraction 100
+//	go tool pprof http://localhost:6060/debug/pprof/mutex
+//
 //	POST /v1/jobs               {"algorithm":"mergesort","n":65536,"engine":"sim","seed":7}
 //	                            ?wait=1 blocks until the job settles
 //	POST /v1/jobs:batch         a JSON array of specs through the pooled
@@ -87,8 +97,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -123,6 +135,9 @@ func main() {
 		scenarioID = flag.String("scenario", "", "scenario mode: replay a built-in scenario by name, or a JSON spec file by path, and exit")
 		listScen   = flag.Bool("list-scenarios", false, "print the built-in scenario catalogue and exit")
 		traceOut   = flag.String("trace-out", "", "attach the flight recorder and write one JSONL completion record per job to this file (serve and scenario modes)")
+		pprofAddr  = flag.String("pprof", "", `debug listen address for net/http/pprof (e.g. "localhost:6060"); empty disables the profiling listener (all modes)`)
+		mutexFrac  = flag.Int("mutex-profile-fraction", 0, "sample 1/N of mutex contention events for /debug/pprof/mutex (runtime.SetMutexProfileFraction; 0 keeps sampling off)")
+		blockRate  = flag.Int("block-profile-rate", 0, "sample blocking events of at least N ns for /debug/pprof/block (runtime.SetBlockProfileRate; 0 keeps sampling off)")
 	)
 	flag.Parse()
 	setFlags := make(map[string]bool)
@@ -163,6 +178,22 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Policies = jobqueue.Policies{Dequeue: *deqPolicy, Admission: *admPolicy}
+	// Profiling rates apply with or without the listener (a later SIGQUIT
+	// dump or an attached debugger still sees the samples).
+	if *mutexFrac > 0 {
+		runtime.SetMutexProfileFraction(*mutexFrac)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("lopramd: pprof debug listener on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, newDebugMux()); err != nil {
+				log.Printf("lopramd: pprof listener: %v", err)
+			}
+		}()
+	}
 	// closeTrace flushes and closes the -trace-out file; called after
 	// the queue is closed (the mode helpers close it on return), which
 	// is when the recorder has drained every record into the writer.
@@ -370,6 +401,21 @@ func serve(cfg jobqueue.Config, addr string) error {
 // set lives in internal/lopramhttp so it is testable (and fuzzable)
 // without the daemon's flag plumbing or a bound listener.
 func newMux(q *jobqueue.Queue) *http.ServeMux { return lopramhttp.NewMux(q) }
+
+// newDebugMux builds the -pprof listener's handler: the standard
+// net/http/pprof surface mounted explicitly on a fresh mux, so the
+// profiling endpoints never leak onto the public API listener (importing
+// net/http/pprof for side effects would register them on
+// http.DefaultServeMux, which nothing here serves).
+func newDebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
 // ---- batch mode ----
 

@@ -385,6 +385,40 @@ func TestPoliciesEndpoint(t *testing.T) {
 	})
 }
 
+// TestDebugMux: the -pprof listener serves the pprof index and the named
+// profiles (mutex/block included, which the -mutex-profile-fraction and
+// -block-profile-rate flags feed), and serves nothing but /debug/pprof —
+// in particular none of the /v1 API, which stays on the public listener.
+func TestDebugMux(t *testing.T) {
+	srv := httptest.NewServer(newDebugMux())
+	defer srv.Close()
+	for _, path := range []string{
+		"/debug/pprof/",
+		"/debug/pprof/goroutine",
+		"/debug/pprof/heap",
+		"/debug/pprof/mutex",
+		"/debug/pprof/block",
+		"/debug/pprof/cmdline",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /v1/metrics on the debug listener = %d, want 404", resp.StatusCode)
+	}
+}
+
 // TestParseAutoscale: the -autoscale flag syntax, defaults and rejects.
 func TestParseAutoscale(t *testing.T) {
 	cfg, err := parseAutoscale("1:8")

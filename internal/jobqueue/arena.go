@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"lopram/internal/core"
+	"lopram/internal/jobtrace"
 )
 
 // The frame arena: pooled Job and Batch frames for the batch-first ingest
@@ -146,9 +147,38 @@ func (b *Batch) Submit(spec Spec) error {
 	if q.cal != nil {
 		j.cost = q.cal.estimate(spec, spec.key().P)
 	}
+	key := spec.key()
+	// Lock-free cache-hit fast path (see Submit): the frame turns
+	// terminal in place without ring publication, a pending count, or —
+	// on an untraced queue — any allocation. The frame never acquires a
+	// notify hook, mirroring the validation-refusal path above, so
+	// Wait/Outcome/Release semantics are unchanged.
+	if p := q.place.Load(); p != nil {
+		s := p.shardFor(key)
+		if idx := s.cacheIdx.Load(); idx != nil {
+			if e, ok := (*idx)[key]; ok {
+				j.ID = q.newID(s.idx)
+				j.submitShard = s.idx
+				j.submitEpoch = p.epoch
+				if j.Name == "" {
+					j.Name = e.name // already rendered at settle; no allocation
+				}
+				q.cacheHits.Add(1)
+				q.submitted.Add(1)
+				q.perClass[class].submitted.Add(1)
+				if q.rec != nil {
+					// Record before completing: the record must be built
+					// before the owner can observe completion and Release
+					// the frame.
+					q.recordServed(q.baseRecord(j), jobtrace.DispositionHit, s.idx, p.epoch)
+				}
+				j.completeCached(e.res, now)
+				return nil
+			}
+		}
+	}
 	j.notify = b
 	b.pending.Add(1)
-	key := spec.key()
 	for {
 		p := q.place.Load()
 		s := p.shardFor(key)

@@ -2,11 +2,18 @@ package jobqueue
 
 import "container/list"
 
-// lru is a fixed-capacity least-recently-used result cache. It memoizes
-// completed job results by Key — the memoization table of §4.5 lifted from
-// DP cells to whole jobs: identical requests hit the table instead of
-// recomputing. Not safe for concurrent use; the Queue serializes access
-// under its own mutex.
+// lru is a fixed-capacity result cache. It memoizes completed job
+// results by Key — the memoization table of §4.5 lifted from DP cells to
+// whole jobs: identical requests hit the table instead of recomputing.
+// Entries carry the job's rendered name alongside the result, so serving
+// a hit never re-renders the spec (the name is a pure function of the
+// key, paid once at settle). Eviction is insertion-ordered (oldest
+// insert/refresh out first), not read-recency-ordered: lookups are also
+// served lock-free from the shard's immutable read index
+// (shard.cacheIdx), which cannot record recency, so promoting on the
+// locked get would make cache contents depend on which path a hit took.
+// Not safe for concurrent use; the Queue serializes mutation under its
+// own mutex and republishes the read index after every insert/eviction.
 type lru struct {
 	cap     int
 	entries map[Key]*list.Element
@@ -14,37 +21,47 @@ type lru struct {
 }
 
 type lruEntry struct {
-	key Key
-	res Result
+	key  Key
+	name string
+	res  Result
+}
+
+// cached is one read-index entry: the memoized result plus the rendered
+// job name, immutable once published.
+type cached struct {
+	name string
+	res  Result
 }
 
 func newLRU(capacity int) *lru {
 	return &lru{cap: capacity, entries: make(map[Key]*list.Element), order: list.New()}
 }
 
-// get returns the cached result for key, promoting it to most recently
-// used.
-func (c *lru) get(key Key) (Result, bool) {
+// get returns the cached result and rendered name for key. It does not
+// promote: reads may also come from the lock-free index, so only writes
+// (put) move entries in the eviction order.
+func (c *lru) get(key Key) (cached, bool) {
 	el, ok := c.entries[key]
 	if !ok {
-		return Result{}, false
+		return cached{}, false
 	}
-	c.order.MoveToFront(el)
-	return el.Value.(*lruEntry).res, true
+	e := el.Value.(*lruEntry)
+	return cached{name: e.name, res: e.res}, true
 }
 
-// put inserts or refreshes key, evicting the least recently used entry when
+// put inserts or refreshes key, evicting the oldest-inserted entry when
 // over capacity. A zero-capacity cache stores nothing.
-func (c *lru) put(key Key, res Result) {
+func (c *lru) put(key Key, name string, res Result) {
 	if c.cap <= 0 {
 		return
 	}
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*lruEntry).res = res
+		e := el.Value.(*lruEntry)
+		e.name, e.res = name, res
 		c.order.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.order.PushFront(&lruEntry{key: key, res: res})
+	c.entries[key] = c.order.PushFront(&lruEntry{key: key, name: name, res: res})
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
@@ -55,13 +72,14 @@ func (c *lru) put(key Key, res Result) {
 // len returns the number of cached results.
 func (c *lru) len() int { return c.order.Len() }
 
-// each visits every cached entry, least recently used first, so copying
-// entries into another cache in visit order preserves the recency order.
-// Resize uses it to re-hash a retiring shard's results onto the new
-// placement table.
-func (c *lru) each(fn func(Key, Result)) {
+// each visits every cached entry, oldest insert first, so copying
+// entries into another cache in visit order preserves the eviction
+// order. Resize uses it to re-hash a retiring shard's results onto the
+// new placement table; republishReadIndex uses it to snapshot the
+// contents into the lock-free read index.
+func (c *lru) each(fn func(Key, string, Result)) {
 	for el := c.order.Back(); el != nil; el = el.Prev() {
 		e := el.Value.(*lruEntry)
-		fn(e.key, e.res)
+		fn(e.key, e.name, e.res)
 	}
 }

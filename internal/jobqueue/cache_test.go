@@ -8,44 +8,61 @@ import (
 
 func k(n int) Key { return Key{Algorithm: "mergesort", N: n, P: 2, Engine: core.EngineSim} }
 
+func put(c *lru, key Key, v int64) {
+	c.put(key, "job", Result{Outcome: core.Outcome{Value: v}})
+}
+
 func TestLRUEviction(t *testing.T) {
 	c := newLRU(2)
-	c.put(k(1), Result{Outcome: core.Outcome{Value: 1}})
-	c.put(k(2), Result{Outcome: core.Outcome{Value: 2}})
+	put(c, k(1), 1)
+	put(c, k(2), 2)
 	if _, ok := c.get(k(1)); !ok {
 		t.Fatal("k1 missing before eviction")
 	}
-	// k1 is now most recent; inserting k3 evicts k2.
-	c.put(k(3), Result{Outcome: core.Outcome{Value: 3}})
-	if _, ok := c.get(k(2)); ok {
-		t.Fatal("k2 survived eviction")
+	// Eviction is insertion-ordered and lookups do not promote (the
+	// lock-free read index cannot record recency, so the locked path
+	// must not either): the get above leaves k1 the oldest insert, and
+	// inserting k3 evicts it, not k2.
+	put(c, k(3), 3)
+	if _, ok := c.get(k(1)); ok {
+		t.Fatal("k1 survived eviction despite being the oldest insert")
 	}
-	if res, ok := c.get(k(1)); !ok || res.Value != 1 {
-		t.Fatalf("k1 lost or corrupted: %v %v", res, ok)
+	if e, ok := c.get(k(2)); !ok || e.res.Value != 2 {
+		t.Fatalf("k2 lost or corrupted: %v %v", e, ok)
 	}
-	if res, ok := c.get(k(3)); !ok || res.Value != 3 {
-		t.Fatalf("k3 lost or corrupted: %v %v", res, ok)
+	if e, ok := c.get(k(3)); !ok || e.res.Value != 3 {
+		t.Fatalf("k3 lost or corrupted: %v %v", e, ok)
 	}
 	if c.len() != 2 {
 		t.Fatalf("len = %d, want 2", c.len())
+	}
+	// A put refresh, by contrast, does promote: re-putting k2 then
+	// inserting k4 evicts k3.
+	put(c, k(2), 22)
+	put(c, k(4), 4)
+	if _, ok := c.get(k(3)); ok {
+		t.Fatal("k3 survived eviction despite k2's refresh")
+	}
+	if e, ok := c.get(k(2)); !ok || e.res.Value != 22 {
+		t.Fatalf("refreshed k2 lost or corrupted: %v %v", e, ok)
 	}
 }
 
 func TestLRURefresh(t *testing.T) {
 	c := newLRU(4)
-	c.put(k(1), Result{Outcome: core.Outcome{Value: 1}})
-	c.put(k(1), Result{Outcome: core.Outcome{Value: 42}})
+	c.put(k(1), "first", Result{Outcome: core.Outcome{Value: 1}})
+	c.put(k(1), "second", Result{Outcome: core.Outcome{Value: 42}})
 	if c.len() != 1 {
 		t.Fatalf("len = %d after double put, want 1", c.len())
 	}
-	if res, _ := c.get(k(1)); res.Value != 42 {
-		t.Fatalf("refresh lost: %d", res.Value)
+	if e, _ := c.get(k(1)); e.res.Value != 42 || e.name != "second" {
+		t.Fatalf("refresh lost: %+v", e)
 	}
 }
 
 func TestLRUZeroCapacity(t *testing.T) {
 	c := newLRU(0)
-	c.put(k(1), Result{})
+	put(c, k(1), 0)
 	if _, ok := c.get(k(1)); ok {
 		t.Fatal("zero-capacity cache stored a result")
 	}

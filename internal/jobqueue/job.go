@@ -123,9 +123,9 @@ type Job struct {
 	// Flight-recorder fields. submitShard/submitEpoch/laneDepth are
 	// written before the job is published to its run queue and
 	// execShard/stealFrom by the executing worker before it spawns the
-	// runner; settle (which runs after the run finishes) is the only
-	// reader, so the channel send and goroutine creation order them
-	// without a lock.
+	// runner; the completion flush (which runs after the run finishes)
+	// is the only reader, so the channel send and goroutine creation
+	// order them without a lock.
 	submitShard int
 	submitEpoch uint64
 	laneDepth   int
@@ -171,7 +171,7 @@ type Job struct {
 	// pooled submit path costs no allocation when nobody selects on the
 	// job; signaled records completion for waiters that arrive later.
 	// chained holds pooled frames coalesced onto this in-flight job;
-	// settle completes them with this job's outcome.
+	// the completion flush completes them with this job's outcome.
 	done     chan struct{}
 	signaled bool
 	chained  []*Job
@@ -251,11 +251,13 @@ func (j *Job) markRunning(now time.Time) bool {
 // markFinished transitions to a terminal state exactly once; late
 // finishers (an abandoned run completing after its deadline already
 // failed the job) return false and their result is dropped. It does not
-// signal Done: the winner settles the queue's caches and counters first
-// and then calls signalDone, so a submitter whose Wait has returned can
-// rely on the result cache already holding the outcome — without the
-// ordering, a duplicate submitted in the finish→settle window would find
-// a stale in-flight entry instead of a cache hit.
+// signal Done: the winning outcome settles the queue's caches and
+// counters first — at the owning worker's completion flush — and only
+// then signalDone fires, so a submitter whose Wait has returned can
+// rely on the result cache already holding the outcome. Without the
+// ordering, a duplicate submitted in the finish→flush window would find
+// a stale in-flight entry instead of a cache hit (it still coalesces
+// onto the terminal winner and is served its outcome at the flush).
 func (j *Job) markFinished(res Result, err error, now time.Time) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -275,8 +277,9 @@ func (j *Job) markFinished(res Result, err error, now time.Time) bool {
 
 // signalDone marks the job's completion visible: it closes the done
 // channel if one exists (later doneChan callers get a pre-closed one)
-// and notifies the owning Batch, if any. Called exactly once, by the
-// winner of markFinished, after the queue has settled the job.
+// and notifies the owning Batch, if any. Called exactly once per job,
+// from the completion flush that published the winning outcome (or
+// directly, for jobs that never enter the run queue).
 func (j *Job) signalDone() {
 	j.mu.Lock()
 	j.signaled = true

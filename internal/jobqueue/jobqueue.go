@@ -188,6 +188,13 @@ type Queue struct {
 	totalWorkers int // guarded by resizeMu after New; snapshot in placement.workers
 	orphans      sync.WaitGroup
 
+	// workerM holds every worker's metric shard, indexed by the worker's
+	// stable pool index. The slice only grows (a resize past the pool
+	// size appends, then stores, before spawning — so a new worker always
+	// finds its slot) and existing entries are never replaced, so workers
+	// cache their own pointer and Snapshot iterates a loaded slice.
+	workerM atomic.Pointer[[]*workerMetrics]
+
 	stopScaler chan struct{}
 	scalerWG   sync.WaitGroup
 
@@ -300,6 +307,11 @@ func New(cfg Config) *Queue {
 		cfg.Workers = cfg.Shards // every shard gets at least one worker
 	}
 	q.totalWorkers = cfg.Workers
+	wms := make([]*workerMetrics, cfg.Workers)
+	for i := range wms {
+		wms[i] = newWorkerMetrics(len(classes.specs))
+	}
+	q.workerM.Store(&wms)
 	q.place.Store(&placement{epoch: 1, workers: cfg.Workers, shards: shards})
 	q.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -345,6 +357,10 @@ func (q *Queue) Close() {
 	for _, s := range p.shards {
 		s.mu.Lock()
 		s.closed = true
+		// Clear the lock-free read index so post-shutdown submissions
+		// miss and fall through to the locked path's ErrClosed; the
+		// closed flag keeps any concurrent flush from republishing it.
+		s.cacheIdx.Store(nil)
 		s.mu.Unlock()
 	}
 	// Seal the submit rings now that every shard refuses ingest: late
@@ -426,6 +442,34 @@ func (q *Queue) Submit(spec Spec) (*Job, error) {
 		return nil, err
 	}
 	key := spec.key()
+	// Lock-free cache-hit fast path: serve the hit from the home shard's
+	// immutable read index without touching its mutex. A hit that races
+	// an insert, eviction, resize migration or shutdown linearizes
+	// before it — the index snapshot was the cache's published contents,
+	// and cached results are immutable. Misses (index nil, caching off,
+	// key absent) fall through to the locked pipeline below.
+	if p := q.place.Load(); p != nil {
+		s := p.shardFor(key)
+		if idx := s.cacheIdx.Load(); idx != nil {
+			if e, ok := (*idx)[key]; ok {
+				now := time.Now()
+				// The entry's rendered name rides along so the hit does
+				// not re-render the spec.
+				job := &Job{ID: q.newID(s.idx), Name: e.name, Spec: spec,
+					submitted: now, class: class, execShard: -1, stealFrom: -1}
+				q.cacheHits.Add(1)
+				q.submitted.Add(1)
+				q.perClass[class].submitted.Add(1)
+				// Cached serves are near-instant and skip the latency
+				// samples; Wall reports the original run's cost.
+				job.completeCached(e.res, now)
+				if q.rec != nil {
+					q.recordServed(q.baseRecord(job), jobtrace.DispositionHit, s.idx, p.epoch)
+				}
+				return job, nil
+			}
+		}
+	}
 	var cost CostEstimate
 	if q.cal != nil {
 		// A policy consumes cost predictions: price the job once, up
@@ -449,17 +493,20 @@ func (q *Queue) Submit(spec Spec) (*Job, error) {
 			q.perClass[class].rejected.Add(1)
 			return nil, ErrClosed
 		}
-		if res, ok := s.cache.get(key); ok {
-			job := newJob(q.newID(s.idx), spec.String(), spec, nil, now)
+		if e, ok := s.cache.get(key); ok {
+			// The locked twin of the fast path above, for hits the read
+			// index has not republished yet. Like the fast path, the hit
+			// job is not retained for Get/Jobs: the caller holds the only
+			// handle, matching the pooled batch hit semantics.
+			job := newJob(q.newID(s.idx), e.name, spec, nil, now)
 			job.class = class
-			s.insertLocked(job)
 			s.mu.Unlock()
 			q.cacheHits.Add(1)
 			q.submitted.Add(1)
 			q.perClass[class].submitted.Add(1)
 			// Cached serves are near-instant and skip the latency samples;
 			// Wall in the result reports the original run's cost.
-			job.completeCached(res, now)
+			job.completeCached(e.res, now)
 			if q.rec != nil {
 				q.recordServed(q.baseRecord(job), jobtrace.DispositionHit, s.idx, p.epoch)
 			}
@@ -620,7 +667,10 @@ func (q *Queue) ingestLocked(s *shard, epoch uint64, j *Job) {
 		// hot path keeps the frame allocation-free.
 		j.Name = j.Spec.String()
 	}
-	if res, ok := s.cache.get(key); ok {
+	if e, ok := s.cache.get(key); ok {
+		if j.Name == "" {
+			j.Name = e.name // already rendered at settle
+		}
 		q.cacheHits.Add(1)
 		q.submitted.Add(1)
 		q.perClass[j.class].submitted.Add(1)
@@ -630,7 +680,7 @@ func (q *Queue) ingestLocked(s *shard, epoch uint64, j *Job) {
 			// later record construction would still be reading it.
 			q.recordServed(q.baseRecord(j), jobtrace.DispositionHit, s.idx, epoch)
 		}
-		j.completeCached(res, now)
+		j.completeCached(e.res, now)
 		return
 	}
 	if dup, ok := s.inflight[key]; ok {

@@ -1,6 +1,8 @@
 package jobqueue
 
 import (
+	runtimemetrics "runtime/metrics"
+
 	"lopram/internal/palrt"
 	"lopram/internal/stats"
 )
@@ -156,6 +158,13 @@ type Metrics struct {
 	TraceRecords int64 `json:"trace_records,omitempty"`
 	TraceDropped int64 `json:"trace_dropped,omitempty"`
 
+	// RuntimeMutexWaitSeconds is the process-wide cumulative time
+	// goroutines have spent blocked on sync.Mutex/RWMutex acquisition
+	// (runtime/metrics "/sync/mutex/wait/total:seconds"): lock
+	// contention made observable from /v1/metrics without attaching a
+	// profiler. Monotonic; diff two snapshots to rate it.
+	RuntimeMutexWaitSeconds float64 `json:"runtime_mutex_wait_seconds"`
+
 	// Scheduler is the palrt work-stealing runtime's process-wide
 	// spawn/steal/inline breakdown: how the goroutine engine behind every
 	// EnginePalrt job scheduled its pal-threads.
@@ -164,14 +173,12 @@ type Metrics struct {
 	PerAlgorithm map[string]AlgoStats `json:"per_algorithm,omitempty"`
 }
 
-// summaryCache memoizes the merged latency summaries by placement epoch
-// and the sum of all ring generations: a /metrics poll of an idle queue
-// reuses the previous sort instead of re-sorting up to
-// Shards×maxLatencySamples samples, and a resize (which re-deals the
-// samples onto a fresh table, resetting the generations) always
-// invalidates.
+// summaryCache memoizes the merged latency summaries by the sum of all
+// worker-ring generations: a /metrics poll of an idle queue reuses the
+// previous sort instead of re-sorting up to Workers×maxLatencySamples
+// samples. The generations are monotonic — worker metric shards survive
+// resizes untouched — so the sum alone detects change.
 type summaryCache struct {
-	epoch     uint64
 	gen       uint64
 	valid     bool
 	wall      stats.Summary
@@ -191,15 +198,19 @@ func copyAutoscale(a *AutoscaleConfig) *AutoscaleConfig {
 	return &c
 }
 
-// Snapshot returns current metrics, merged across shards. HitRate counts
-// both cache hits and in-flight coalesces as served-without-execution.
-// Each shard's lock is held only for O(1) reads and sample copy-out; the
-// percentile sorts run outside all shard locks and are memoized by
-// placement epoch + ring generation, so a metrics poll can never stall
-// workers on an O(n log n) sort held under a queue lock. A snapshot that
-// catches a live resize mid-swap retries against the new table, so it
-// always describes one coherent epoch; Steals folds in the totals of
-// shards retired by earlier resizes.
+// Snapshot returns current metrics, merged across shards and worker
+// metric shards. HitRate counts both cache hits and in-flight coalesces
+// as served-without-execution. Each shard's lock is held only for O(1)
+// reads; samples and per-algorithm aggregates are copied from the
+// workers' own metric shards (one short lock each), and the percentile
+// sorts run outside all of them, memoized by ring generation — so a
+// metrics poll can never stall workers on an O(n log n) sort held under
+// a queue lock. A snapshot that catches a live resize mid-swap retries
+// against the new table, so it always describes one coherent epoch;
+// Steals folds in the totals of shards retired by earlier resizes.
+// Completions still sitting in a worker's flush buffer are not yet
+// visible — they appear once their owning flush lands, which is always
+// before their submitters' Wait returns.
 func (q *Queue) Snapshot() Metrics {
 	for {
 		if m, ok := q.snapshotOnce(); ok {
@@ -249,29 +260,22 @@ func (q *Queue) snapshotOnce() (Metrics, bool) {
 	// the queue totals, so Steals is monotonic across epochs.
 	m.Steals += retiredSteals
 
-	// Pass 1, under each shard's lock in turn: O(1) gauges, the ring
-	// generations, and the per-algorithm aggregates.
-	var gen uint64
-	m.PerAlgorithm = make(map[string]AlgoStats)
+	// The process-wide mutex-wait total: lock contention without a
+	// profiler (the reason this queue grew a lock-light completion path).
+	mutexWait := []runtimemetrics.Sample{{Name: "/sync/mutex/wait/total:seconds"}}
+	runtimemetrics.Read(mutexWait)
+	if mutexWait[0].Value.Kind() == runtimemetrics.KindFloat64 {
+		m.RuntimeMutexWaitSeconds = mutexWait[0].Value.Float64()
+	}
+
+	// Pass 1, under each shard's lock in turn: the O(1) shard gauges.
 	for _, s := range p.shards {
 		s.mu.Lock()
 		if s.retired {
 			s.mu.Unlock()
 			return Metrics{}, false
 		}
-		gen += s.wall.gen + s.wait.gen
-		for c := 0; c < numClasses; c++ {
-			gen += s.classWall[c].gen + s.classWait[c].gen
-		}
 		m.CacheSize += s.cache.len()
-		for name, agg := range s.perAlgo {
-			as := m.PerAlgorithm[name]
-			as.Count += agg.count
-			as.Failed += agg.failed
-			// MeanWallMS is finalized below from the re-aggregated sum.
-			as.MeanWallMS += agg.totalWallMS
-			m.PerAlgorithm[name] = as
-		}
 		st := ShardStats{
 			Shard:     s.idx,
 			Pending:   s.pending.Load(),
@@ -284,6 +288,30 @@ func (q *Queue) snapshotOnce() (Metrics, bool) {
 		m.Steals += st.Stolen
 		m.PerShard = append(m.PerShard, st)
 	}
+
+	// Pass 2, under each worker's metric-shard lock in turn: ring
+	// generations and the per-algorithm aggregates. Worker metric shards
+	// have no retirement — the pool only grows — so this pass never
+	// invalidates the snapshot.
+	wms := *q.workerM.Load()
+	var gen uint64
+	m.PerAlgorithm = make(map[string]AlgoStats)
+	for _, wm := range wms {
+		wm.mu.Lock()
+		gen += wm.wall.gen + wm.wait.gen
+		for c := 0; c < numClasses; c++ {
+			gen += wm.classWall[c].gen + wm.classWait[c].gen
+		}
+		for name, agg := range wm.perAlgo {
+			as := m.PerAlgorithm[name]
+			as.Count += agg.count
+			as.Failed += agg.failed
+			// MeanWallMS is finalized below from the re-aggregated sum.
+			as.MeanWallMS += agg.totalWallMS
+			m.PerAlgorithm[name] = as
+		}
+		wm.mu.Unlock()
+	}
 	for name, as := range m.PerAlgorithm {
 		if as.Count > 0 {
 			as.MeanWallMS /= float64(as.Count)
@@ -291,28 +319,23 @@ func (q *Queue) snapshotOnce() (Metrics, bool) {
 		m.PerAlgorithm[name] = as
 	}
 
-	// Pass 2: the latency summaries, memoized by epoch + ring generation.
-	// Recomputing copies samples under each shard lock but sorts outside
-	// all of them.
+	// Pass 3: the latency summaries, memoized by ring generation.
+	// Recomputing copies samples under each worker's metric-shard lock
+	// but sorts outside all of them.
 	q.sumMu.Lock()
-	if !q.sums.valid || q.sums.gen != gen || q.sums.epoch != p.epoch {
+	if !q.sums.valid || q.sums.gen != gen {
 		var wall, wait []float64
 		classWall := make([][]float64, numClasses)
 		classWait := make([][]float64, numClasses)
-		for _, s := range p.shards {
-			s.mu.Lock()
-			if s.retired {
-				s.mu.Unlock()
-				q.sumMu.Unlock()
-				return Metrics{}, false
-			}
-			wall = s.wall.appendTo(wall)
-			wait = s.wait.appendTo(wait)
+		for _, wm := range wms {
+			wm.mu.Lock()
+			wall = wm.wall.appendTo(wall)
+			wait = wm.wait.appendTo(wait)
 			for c := 0; c < numClasses; c++ {
-				classWall[c] = s.classWall[c].appendTo(classWall[c])
-				classWait[c] = s.classWait[c].appendTo(classWait[c])
+				classWall[c] = wm.classWall[c].appendTo(classWall[c])
+				classWait[c] = wm.classWait[c].appendTo(classWait[c])
 			}
-			s.mu.Unlock()
+			wm.mu.Unlock()
 		}
 		q.sums.wall = stats.Summarize(wall)
 		q.sums.wait = stats.Summarize(wait)
@@ -323,7 +346,6 @@ func (q *Queue) snapshotOnce() (Metrics, bool) {
 			q.sums.classWait[c] = stats.Summarize(classWait[c])
 		}
 		q.sums.gen = gen
-		q.sums.epoch = p.epoch
 		q.sums.valid = true
 	}
 	m.Wall, m.Wait = q.sums.wall, q.sums.wait

@@ -84,11 +84,12 @@ func (q *Queue) NumShards() int { return len(q.place.Load().shards) }
 //     re-enqueued on their new home shards in submission order (the new
 //     lanes are sized base depth + migrated backlog, so migration can
 //     never be refused by admission control).
-//   - Jobs already running finish where they are; their settlement
-//     forwards through the new table (see settle), so the result lands in
-//     the new home's cache and rings.
-//   - Latency samples and per-algorithm aggregates carry over, so merged
-//     Snapshot summaries do not reset; retention entries re-route by ID.
+//   - Jobs already running finish where they are; their completion flush
+//     forwards through the new table (see flushCompletions), so the
+//     result lands in the new home's cache.
+//   - Latency samples and per-algorithm aggregates live on the workers'
+//     metric shards, untouched by a resize, so merged Snapshot summaries
+//     do not reset; retention entries re-route by ID.
 //
 // Concurrent Submit/Get/Wait observe either the old epoch or the new one,
 // never a half-migrated table: old shards are retired first (late writers
@@ -202,14 +203,13 @@ func (q *Queue) Resize(n int) (uint64, error) {
 	}
 
 	// Migrate each old shard's keyed state onto the new table. The new
-	// shards are unpublished, so they need no locking yet.
-	var wallAll, waitAll []float64
-	classWallAll := make([][]float64, numClasses)
-	classWaitAll := make([][]float64, numClasses)
+	// shards are unpublished, so they need no locking yet. Latency
+	// samples and per-algorithm aggregates do not migrate: they live on
+	// the workers' metric shards, which a resize never touches.
 	for _, s := range old.shards {
 		s.mu.Lock()
-		s.cache.each(func(k Key, r Result) {
-			shards[shardIndexFor(k, n)].cache.put(k, r)
+		s.cache.each(func(k Key, name string, r Result) {
+			shards[shardIndexFor(k, n)].cache.put(k, name, r)
 		})
 		for k, job := range s.inflight {
 			shards[shardIndexFor(k, n)].inflight[k] = job
@@ -219,50 +219,16 @@ func (q *Queue) Resize(n int) (uint64, error) {
 			ns.retained = append(ns.retained, id)
 			ns.byID[id] = s.byID[id]
 		}
-		wallAll = s.wall.appendTo(wallAll)
-		waitAll = s.wait.appendTo(waitAll)
-		for c := 0; c < numClasses; c++ {
-			classWallAll[c] = s.classWall[c].appendTo(classWallAll[c])
-			classWaitAll[c] = s.classWait[c].appendTo(classWaitAll[c])
-		}
-		for name, agg := range s.perAlgo {
-			ns := shards[shardIndexForName(name, n)]
-			dst := ns.perAlgo[name]
-			if dst == nil {
-				dst = &algoAggregate{}
-				ns.perAlgo[name] = dst
-			}
-			dst.count += agg.count
-			dst.failed += agg.failed
-			dst.totalWallMS += agg.totalWallMS
-		}
-		// Free the migrated structures, sample rings included (their
-		// samples were just copied out above); only the executed/stolen
+		// Free the migrated structures; only the executed/stolen
 		// counters live on — the shard joins q.retiredShards below so
 		// late increments from a racing dequeue are never lost from the
-		// totals.
-		s.byID, s.inflight, s.perAlgo, s.retained = nil, nil, nil, nil
+		// totals. The read index is cleared so a stale fast-path load
+		// cannot outlive the shard by more than the pointer it already
+		// holds (which still serves immutable, once-valid results).
+		s.byID, s.inflight, s.retained = nil, nil, nil
 		s.cache = newLRU(0)
-		s.wall, s.wait = sampleRing{}, sampleRing{}
-		s.classWall, s.classWait = nil, nil
+		s.cacheIdx.Store(nil)
 		s.mu.Unlock()
-	}
-	// Latency samples deal round-robin across the new shards: the merged
-	// Snapshot summaries (the only consumer) are preserved, modulo ring
-	// capacity at extreme shrink ratios.
-	for i, v := range wallAll {
-		shards[i%n].wall.add(v)
-	}
-	for i, v := range waitAll {
-		shards[i%n].wait.add(v)
-	}
-	for c := 0; c < numClasses; c++ {
-		for i, v := range classWallAll[c] {
-			shards[i%n].classWall[c].add(v)
-		}
-		for i, v := range classWaitAll[c] {
-			shards[i%n].classWait[c].add(v)
-		}
 	}
 	for _, ns := range shards {
 		sort.Slice(ns.retained, func(a, b int) bool { return ns.retained[a] < ns.retained[b] })
@@ -287,6 +253,12 @@ func (q *Queue) Resize(n int) (uint64, error) {
 	for _, j := range ringBacklog {
 		q.ingestLocked(shards[shardIndexFor(j.Spec.key(), n)], old.epoch+1, j)
 	}
+	// Publish each new shard's lock-free read index now that its cache
+	// holds the full migrated (plus re-ingested) contents, so fast-path
+	// hits work from the first instant the table is visible.
+	for _, ns := range shards {
+		ns.republishReadIndex()
+	}
 
 	// A table wider than the worker pool would leave shards with no home
 	// worker; grow the pool to keep the ≥1-worker-per-shard invariant.
@@ -297,6 +269,16 @@ func (q *Queue) Resize(n int) (uint64, error) {
 	spawnFrom := q.totalWorkers
 	if n > q.totalWorkers {
 		q.totalWorkers = n
+	}
+	if q.totalWorkers > spawnFrom {
+		// Grow the metric-shard slice before any new worker can start:
+		// append-only, existing entries untouched, stored before the
+		// spawns below so every worker finds its slot.
+		wms := append([]*workerMetrics(nil), *q.workerM.Load()...)
+		for i := spawnFrom; i < q.totalWorkers; i++ {
+			wms = append(wms, newWorkerMetrics(numClasses))
+		}
+		q.workerM.Store(&wms)
 	}
 
 	// Publish, then close the old run queues: a worker blocked on an old

@@ -20,10 +20,12 @@ import (
 const stealPoll = 10 * time.Millisecond
 
 // shard is one independent slice of the queue: its own run queues (one
-// per priority class), worker pool, coalescing map, result cache, and
-// metric rings. All mutable state is guarded by mu except the atomic
-// gauges; nothing on a shard is touched by another shard's submissions,
-// so contention is confined to the traffic hashed here.
+// per priority class), worker pool, coalescing map, and result cache.
+// All mutable state is guarded by mu except the atomic gauges and the
+// lock-free cache read index; nothing on a shard is touched by another
+// shard's submissions, so contention is confined to the traffic hashed
+// here. (Latency rings and per-algorithm aggregates live on the
+// workers' own metric shards — see workerMetrics — not here.)
 type shard struct {
 	idx int
 	// runq holds the admitted-but-not-started jobs, one bounded FIFO per
@@ -53,17 +55,21 @@ type shard struct {
 	// resize: its keyed state has migrated (or is migrating) to the new
 	// table. Writers and readers that catch the flag reload the table
 	// and retry; only the executed/stolen counters stay meaningful.
-	retired   bool
-	byID      map[uint64]*Job
-	retained  []uint64 // submission order, for retention eviction
-	inflight  map[Key]*Job
-	cache     *lru
-	limit     int          // retention bound for this shard
-	wall      sampleRing   // recent execution latencies (ms)
-	wait      sampleRing   // recent queueing latencies (ms)
-	classWall []sampleRing // same, split by priority class (set order)
-	classWait []sampleRing
-	perAlgo   map[string]*algoAggregate // keyed by algorithm (or func-job name)
+	retired  bool
+	byID     map[uint64]*Job
+	retained []uint64 // submission order, for retention eviction
+	inflight map[Key]*Job
+	cache    *lru
+	limit    int // retention bound for this shard
+
+	// cacheIdx is the lock-free read side of the result cache: an atomic
+	// pointer to an immutable snapshot of the LRU's contents, republished
+	// by whoever mutates the cache under mu (republishReadIndex). Submit
+	// and Batch.Submit serve cache hits from it without touching mu; a
+	// hit races a concurrent insert/eviction/resize only by linearizing
+	// before it, which is sound because cached results are immutable.
+	// Nil when caching is disabled, after Close, and on retired shards.
+	cacheIdx atomic.Pointer[map[Key]cached]
 
 	pending  atomic.Int64 // jobs admitted here, not yet started
 	executed atomic.Int64 // runs of jobs homed here (by any worker)
@@ -84,9 +90,6 @@ func newShard(idx int, depths, caps []int, cacheCap, retain int) *shard {
 		inflight:   make(map[Key]*Job),
 		cache:      newLRU(cacheCap),
 		limit:      retain,
-		classWall:  make([]sampleRing, len(depths)),
-		classWait:  make([]sampleRing, len(depths)),
-		perAlgo:    make(map[string]*algoAggregate),
 	}
 	if caps == nil {
 		caps = depths
@@ -147,6 +150,11 @@ func putUint64LE(buf *[8]byte, v uint64) {
 // so a resize does not reset the dequeue discipline mid-round.
 func (q *Queue) worker(idx int) {
 	defer q.workers.Done()
+	ws := &workerState{wm: (*q.workerM.Load())[idx]}
+	// Flush the completion buffer on the way out — registered after the
+	// WaitGroup Done above so it runs first: Close's workers.Wait cannot
+	// return while any worker still holds unpublished outcomes.
+	defer q.flushCompletions(ws)
 	timer := time.NewTimer(stealPoll)
 	defer timer.Stop()
 	if q.deq != nil {
@@ -155,7 +163,7 @@ func (q *Queue) worker(idx int) {
 		// runs untouched (and channel-blocking) when no policy is set.
 		for {
 			p := q.place.Load()
-			if q.runEpochOrdered(p, idx, timer) {
+			if q.runEpochOrdered(p, idx, timer, ws) {
 				return
 			}
 		}
@@ -164,7 +172,7 @@ func (q *Queue) worker(idx int) {
 	rot := 0
 	for {
 		p := q.place.Load()
-		if q.runEpoch(idx, p, credits, &rot, timer) {
+		if q.runEpoch(idx, p, credits, &rot, timer, ws) {
 			return
 		}
 	}
@@ -207,7 +215,7 @@ func (q *Queue) worker(idx int) {
 // are closed and drained and a final sweep finds nothing: if the table
 // is current that means shutdown; otherwise a resize closed the old
 // lanes and the worker re-homes.
-func (q *Queue) runEpoch(idx int, p *placement, credits []int, rot *int, timer *time.Timer) bool {
+func (q *Queue) runEpoch(idx int, p *placement, credits []int, rot *int, timer *time.Timer, ws *workerState) bool {
 	cs := &q.classes
 	home := p.shards[workerHome(idx, len(p.shards), p.workers)]
 	open := make([]bool, len(cs.specs)) // home lanes not yet closed
@@ -301,7 +309,7 @@ func (q *Queue) runEpoch(idx int, p *placement, credits []int, rot *int, timer *
 			// the only kick token while another shard's job (its own
 			// kick dropped at capacity 1) waits for a sweep.
 			q.kickWorkers()
-			q.runJob(owner, home.idx, job)
+			q.runJob(owner, home.idx, job, ws)
 			continue
 		}
 		if homeOpen == 0 {
@@ -320,6 +328,9 @@ func (q *Queue) runEpoch(idx int, p *placement, credits []int, rot *int, timer *
 		if swept > 0 {
 			continue
 		}
+		// Parking with buffered completions would strand their waiters
+		// until the next dequeue round; publish them first.
+		q.flushCompletions(ws)
 		var homeBlock chan *Job // nil (never ready) once closed
 		if open[blockClass] {
 			homeBlock = home.runq[blockClass]
@@ -339,7 +350,7 @@ func (q *Queue) runEpoch(idx int, p *placement, credits []int, rot *int, timer *
 				continue
 			}
 			q.kickWorkers()
-			q.runJob(home, home.idx, job)
+			q.runJob(home, home.idx, job, ws)
 		case <-q.kick:
 		case <-timer.C:
 		}
@@ -384,7 +395,7 @@ func (q *Queue) trySteal(p *placement, thief *shard, class int) (*shard, *Job) {
 // the shards' closed flags and a kick cascade (Close does not close the
 // channels in this mode, so a sweep's putback can never hit a closed
 // channel).
-func (q *Queue) runEpochOrdered(p *placement, idx int, timer *time.Timer) bool {
+func (q *Queue) runEpochOrdered(p *placement, idx int, timer *time.Timer, ws *workerState) bool {
 	home := p.shards[workerHome(idx, len(p.shards), p.workers)]
 	for {
 		if q.place.Load() != p {
@@ -405,7 +416,7 @@ func (q *Queue) runEpochOrdered(p *placement, idx int, timer *time.Timer) bool {
 		}
 		if job != nil {
 			q.kickWorkers()
-			q.runJob(owner, home.idx, job)
+			q.runJob(owner, home.idx, job, ws)
 			continue
 		}
 		if homeClosed {
@@ -416,6 +427,8 @@ func (q *Queue) runEpochOrdered(p *placement, idx int, timer *time.Timer) bool {
 			q.kickWorkers()
 			return q.place.Load() == p
 		}
+		// About to park: publish buffered completions first (see runEpoch).
+		q.flushCompletions(ws)
 		if !timer.Stop() {
 			select {
 			case <-timer.C:
@@ -506,6 +519,19 @@ func (q *Queue) pickOrdered(p *placement, home *shard) (owner *shard, job *Job, 
 
 // ---- job execution ----
 
+// runState carries one run's outcome from the runner goroutine back to
+// the dequeuing worker: the runner computes res/err, records whether it
+// won the job's terminal transition, and closes done — the writes
+// happen-before the close, so the worker reads them race-free after
+// receiving. The winner's outcome is then buffered on the worker's
+// completion buffer rather than settled inline.
+type runState struct {
+	done chan struct{}
+	res  Result
+	err  error
+	won  bool
+}
+
 // runJob executes one job under its deadline; owner is the shard the job
 // was dequeued from and homeIdx the running worker's home shard (they
 // differ when the job was stolen). The engine run itself is not
@@ -513,15 +539,24 @@ func (q *Queue) pickOrdered(p *placement, home *shard) (owner *shard, job *Job, 
 // thread"), so a blown deadline fails the job immediately; the worker
 // then either abandons the run to finish in the background (its result
 // dropped) if the orphan budget allows, or waits it out to bound total
-// concurrency.
-func (q *Queue) runJob(owner *shard, homeIdx int, job *Job) {
+// concurrency. The finished job's settle work is deferred to the
+// worker's completion buffer (bufferCompletion/flushCompletions).
+func (q *Queue) runJob(owner *shard, homeIdx int, job *Job, ws *workerState) {
+	if job.fn != nil {
+		// Publish buffered completions before running arbitrary code: a
+		// func job may Submit a key whose unflushed winner sits in this
+		// very buffer and Wait on it, which would deadlock — the terminal
+		// job only signals at its owning flush.
+		q.flushCompletions(ws)
+	}
 	q.pending.Add(-1)
 	owner.pending.Add(-1)
 	owner.laneUsed[job.class].Add(-1)
 	owner.executed.Add(1)
-	// Written before the runner goroutine exists and before any settle
-	// can run; read only at settle. A steal is a run by a worker homed
-	// elsewhere: the origin is the shard the job was dequeued from.
+	// Written before the runner goroutine exists and before any flush
+	// can run; read only at the completion flush. A steal is a run by a
+	// worker homed elsewhere: the origin is the shard it was dequeued
+	// from.
 	job.execShard = homeIdx
 	if owner.idx != homeIdx {
 		job.stealFrom = owner.idx
@@ -548,11 +583,11 @@ func (q *Queue) runJob(owner *shard, homeIdx int, job *Job) {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 
-	runnerDone := make(chan struct{})
+	rs := &runState{done: make(chan struct{})}
 	q.orphans.Add(1)
 	go func() {
 		defer q.orphans.Done()
-		defer close(runnerDone)
+		defer close(rs.done)
 		if job.pooled {
 			defer job.touches.Add(-1)
 		}
@@ -566,25 +601,30 @@ func (q *Queue) runJob(owner *shard, homeIdx int, job *Job) {
 			res = Result{Outcome: o}
 		}
 		res.Wall = time.Since(start)
+		rs.res, rs.err = res, err
 		// Loses against the worker's deadline finish when the job was
 		// abandoned; the computed result is dropped.
-		if job.markFinished(res, err, time.Now()) {
-			q.settle(job, res, err, start)
-			job.signalDone()
-		}
+		rs.won = job.markFinished(res, err, time.Now())
 	}()
 
 	select {
-	case <-runnerDone:
+	case <-rs.done:
+		if rs.won {
+			q.bufferCompletion(ws, job, rs.res, rs.err, rs.res.Wall, start)
+		}
 	case <-ctx.Done():
 		err := fmt.Errorf("jobqueue: job %s exceeded its %v deadline: %w", job.Name, timeout, context.DeadlineExceeded)
 		if !job.markFinished(Result{}, err, time.Now()) {
-			// The runner finished in the same instant and won.
+			// The runner finished in the same instant and won; adopt its
+			// outcome once rs.done publishes the fields.
+			<-rs.done
+			if rs.won {
+				q.bufferCompletion(ws, job, rs.res, rs.err, rs.res.Wall, start)
+			}
 			return
 		}
 		q.timeouts.Add(1)
-		q.settle(job, Result{}, err, start)
-		job.signalDone()
+		q.bufferCompletion(ws, job, Result{}, err, time.Since(start), start)
 		// The orphan budget: a worker may abandon a deadline-blown run
 		// (leaving it to finish in the background) only while fewer than
 		// 2× the current pool's runs are already abandoned, so hostile
@@ -611,112 +651,17 @@ func (q *Queue) runJob(owner *shard, homeIdx int, job *Job) {
 			q.orphans.Add(1)
 			go func() {
 				defer q.orphans.Done()
-				<-runnerDone
+				<-rs.done
 				q.abandonedG.Add(-1)
 			}()
 		} else {
 			// Orphan budget exhausted: hold this worker until the run
 			// completes so deadline abuse cannot stack up unbounded
-			// concurrent runs.
-			<-runnerDone
+			// concurrent runs. The wait can span the whole run; publish
+			// the buffered completions (this timeout included) first so
+			// their waiters are not held hostage to the abandoned run.
+			q.flushCompletions(ws)
+			<-rs.done
 		}
-	}
-}
-
-// settle updates cache, inflight tracking, latency rings and aggregates
-// on the job's home shard after it reaches a terminal state. The home is
-// resolved against the *current* placement table, not the shard the job
-// was dequeued from: a live resize may have migrated the key's cache and
-// coalescing entry while the job ran, and this lookup is the forwarding
-// entry that makes the result land where duplicates will look for it. A
-// shard caught mid-retirement is retried until the new table is
-// published, so a settle can never write into a shard whose state has
-// already been carried off.
-func (q *Queue) settle(job *Job, res Result, err error, start time.Time) {
-	wall := time.Since(start)
-	name := job.Spec.Algorithm
-	if name == "" {
-		name = job.Name
-	}
-	wallMS := float64(wall) / float64(time.Millisecond)
-	waitMS := 0.0
-	job.mu.Lock()
-	if !job.started.IsZero() {
-		waitMS = float64(job.started.Sub(job.submitted)) / float64(time.Millisecond)
-	}
-	job.mu.Unlock()
-
-	var key Key
-	if job.fn == nil {
-		key = job.Spec.key()
-	}
-	var settleEpoch uint64
-	for {
-		p := q.place.Load()
-		var home *shard
-		if job.fn == nil {
-			home = p.shardFor(key)
-		} else {
-			home = p.shardForName(job.Name)
-		}
-		settleEpoch = p.epoch
-		home.mu.Lock()
-		if home.retired {
-			home.mu.Unlock()
-			retryPlacement()
-			continue
-		}
-		if job.fn == nil {
-			if home.inflight[key] == job {
-				delete(home.inflight, key)
-			}
-			if err == nil {
-				home.cache.put(key, res)
-			}
-		}
-		home.wall.add(wallMS)
-		home.wait.add(waitMS)
-		home.classWall[job.class].add(wallMS)
-		home.classWait[job.class].add(waitMS)
-		agg := home.perAlgo[name]
-		if agg == nil {
-			agg = &algoAggregate{}
-			home.perAlgo[name] = agg
-		}
-		agg.count++
-		if err != nil {
-			agg.failed++
-		}
-		agg.totalWallMS += wallMS
-		home.mu.Unlock()
-		break
-	}
-	// Complete the pooled frames coalesced onto this job while it was in
-	// flight. The inflight entry was just removed under the home lock, so
-	// no further frame can chain on; completing after the cache write
-	// preserves the signalDone ordering contract for the chained waiters
-	// too (their batch sees the outcome already cached).
-	job.mu.Lock()
-	chained := job.chained
-	job.chained = nil
-	job.mu.Unlock()
-	for _, c := range chained {
-		c.markFinished(res, err, time.Now())
-		c.signalDone()
-	}
-	if err == nil && q.cal != nil {
-		// Feed the cost calibrator: predicted units vs measured wall, so
-		// later estimates (and deadline sheds) track this host.
-		q.cal.observe(job, wall)
-	}
-	if err != nil {
-		q.failed.Add(1)
-		q.perClass[job.class].failed.Add(1)
-	} else {
-		q.completed.Add(1)
-		q.perClass[job.class].completed.Add(1)
-	}
-	if q.rec != nil {
-		q.recordExecuted(job, res, err, settleEpoch)
 	}
 }
