@@ -31,6 +31,7 @@ import (
 	"lopram/internal/palrt"
 	"lopram/internal/pram"
 	"lopram/internal/sim"
+	"lopram/internal/wire"
 	"lopram/internal/workload"
 )
 
@@ -845,11 +846,13 @@ func BenchmarkJobQueuePolicies(b *testing.B) {
 // real httptest server, 256 cheap executing jobs per op (sub-µs pram
 // reduce, cache disabled), so the serving overhead the batch path
 // amortizes (request framing, handler dispatch, per-job response
-// encoding) dominates the numbers. This is the acceptance benchmark for
-// the batch-first ingest path: mode=batch must sustain at least 3×
-// mode=single jobs/sec — measured at ~8.5× (and stream ~6.5×) on the
-// CI-sized single-core runner — and cmd/benchgate gates all three
-// modes via BENCH_BASELINE.json.
+// encoding) dominates the numbers. mode=binary is the same one
+// connection per submitter speaking the length-prefixed binary wire
+// protocol through wire.Client instead of NDJSON. This is the
+// acceptance benchmark for the ingest fast paths: mode=batch must
+// sustain at least 3× mode=single jobs/sec, and mode=binary at least
+// 2× mode=stream — and cmd/benchgate gates all four modes via
+// BENCH_BASELINE.json plus -min-ratio checks on both ratios.
 func BenchmarkJobQueueHTTPJobsPerSec(b *testing.B) {
 	const jobs = 256
 	const submitters = 4
@@ -905,6 +908,28 @@ func BenchmarkJobQueueHTTPJobsPerSec(b *testing.B) {
 			}
 			do(b, client, base+"/v1/jobs:stream", "application/x-ndjson", &buf)
 		}},
+		{"binary", func(b *testing.B, client *http.Client, base string) {
+			cl, err := wire.NewClient(client, base, wire.ProtoBinary, nil)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			specs := make([]jobqueue.Spec, perSub)
+			for j := range specs {
+				specs[j] = jobqueue.Spec{
+					Algorithm: "reduce", N: 8, P: 1,
+					Engine: core.EnginePRAM, Seed: seed.Add(1),
+				}
+			}
+			results, err := cl.Stream(specs)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if len(results) != perSub {
+				b.Errorf("binary stream settled %d of %d jobs", len(results), perSub)
+			}
+		}},
 	}
 	for _, mode := range modes {
 		b.Run(fmt.Sprintf("mode=%s", mode.name), func(b *testing.B) {
@@ -915,6 +940,12 @@ func BenchmarkJobQueueHTTPJobsPerSec(b *testing.B) {
 			srv := httptest.NewServer(lopramhttp.NewMux(q))
 			defer srv.Close()
 			client := srv.Client()
+			// Keep every submitter's connection in the idle pool (the
+			// default caps at 2 per host), so the steady state measures
+			// the wire protocols rather than TCP dials.
+			if tr, ok := client.Transport.(*http.Transport); ok {
+				tr.MaxIdleConnsPerHost = submitters
+			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				var wg sync.WaitGroup

@@ -30,6 +30,17 @@
 // allocs/op from the best run ride along in the baseline and the report —
 // informational (the pass/fail verdict is ops/sec only), so allocation
 // regressions are visible in the CI artifact without flaking the gate.
+//
+// -min-ratio "num,den,min" (repeatable) gates a relationship within the
+// head run itself: benchmark num's ops/sec must be at least min times
+// benchmark den's. Both sides come from the same process on the same
+// machine in the same run, so the gate is immune to machine-class skew —
+// it pins speedup claims ("binary wire must stay 2x the NDJSON stream,
+// batch ingest 3x single-shot") rather than absolute numbers:
+//
+//	go run ./cmd/benchgate -baseline BENCH_BASELINE.json \
+//	    -min-ratio 'BenchmarkJobQueueHTTPJobsPerSec/mode=binary,BenchmarkJobQueueHTTPJobsPerSec/mode=stream,2.0' \
+//	    -min-ratio 'BenchmarkJobQueueHTTPJobsPerSec/mode=batch,BenchmarkJobQueueHTTPJobsPerSec/mode=single,3.0' < head.txt
 package main
 
 import (
@@ -107,6 +118,57 @@ func parse(r io.Reader, echo io.Writer) (map[string]*benchStat, error) {
 	return best, sc.Err()
 }
 
+// ratioGate is one -min-ratio constraint: the num benchmark's ops/sec must
+// be at least min times the den benchmark's, both taken from the head run.
+type ratioGate struct {
+	num, den string
+	min      float64
+}
+
+// parseRatio parses one -min-ratio value, "num,den,min". Benchmark names
+// never contain commas (slashes and = only), so a plain split is exact.
+func parseRatio(s string) (ratioGate, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return ratioGate{}, fmt.Errorf(`want "numBench,denBench,minRatio", got %q`, s)
+	}
+	g := ratioGate{num: strings.TrimSpace(parts[0]), den: strings.TrimSpace(parts[1])}
+	min, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+	if err != nil || min <= 0 {
+		return ratioGate{}, fmt.Errorf("min ratio must be a positive number, got %q", parts[2])
+	}
+	if g.num == "" || g.den == "" || g.num == g.den {
+		return ratioGate{}, fmt.Errorf("need two distinct benchmark names, got %q", s)
+	}
+	g.min = min
+	return g, nil
+}
+
+// checkRatios evaluates every -min-ratio gate against the head run and
+// returns one report line per gate; failures are the lines prefixed FAIL.
+func checkRatios(got map[string]*benchStat, gates []ratioGate) (lines []string, failed int) {
+	for _, g := range gates {
+		num, den := got[g.num], got[g.den]
+		switch {
+		case num == nil || den == nil:
+			missing := g.num
+			if num != nil {
+				missing = g.den
+			}
+			failed++
+			lines = append(lines, fmt.Sprintf("FAIL ratio %s / %s: benchmark %s missing from the run", g.num, g.den, missing))
+		case num.ops < g.min*den.ops:
+			failed++
+			lines = append(lines, fmt.Sprintf("FAIL ratio %s / %s = %.2fx, want >= %.2fx (%.1f vs %.1f ops/sec)",
+				g.num, g.den, num.ops/den.ops, g.min, num.ops, den.ops))
+		default:
+			lines = append(lines, fmt.Sprintf("ok   ratio %s / %s = %.2fx (>= %.2fx)",
+				g.num, g.den, num.ops/den.ops, g.min))
+		}
+	}
+	return lines, failed
+}
+
 // memColumn renders a benchmark's -benchmem numbers for the report, empty
 // when the run did not capture them.
 func memColumn(st *benchStat) string {
@@ -124,6 +186,15 @@ func main() {
 		tolerance     = flag.Float64("tolerance", 0.20, "maximum allowed fractional ops/sec regression before failing")
 		update        = flag.Bool("update", false, "write the observed numbers as the new baseline instead of gating")
 	)
+	var ratios []ratioGate
+	flag.Func("min-ratio", `gate benchmark "num,den,min": num's ops/sec must be at least min times den's within this run (repeatable)`, func(s string) error {
+		g, err := parseRatio(s)
+		if err != nil {
+			return err
+		}
+		ratios = append(ratios, g)
+		return nil
+	})
 	flag.Parse()
 
 	got, err := parse(os.Stdin, os.Stdout)
@@ -135,6 +206,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate: no benchmark results on stdin")
 		os.Exit(2)
 	}
+	// Ratio gates compare within the observed run, independent of any
+	// baseline — they hold in -update mode too, so a baseline that breaks
+	// a pinned speedup claim can never be recorded.
+	ratioLines, ratioFailed := checkRatios(got, ratios)
 
 	if *update {
 		b := Baseline{
@@ -162,6 +237,13 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Printf("benchgate: wrote %d benchmarks to %s\n", len(got), *baselinePath)
+		for _, line := range ratioLines {
+			fmt.Printf("benchgate: %s\n", line)
+		}
+		if ratioFailed > 0 {
+			fmt.Fprintf(os.Stderr, "benchgate: %d ratio gate(s) failed on the recording run\n", ratioFailed)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -220,8 +302,16 @@ func main() {
 				name, got[name].ops, ref, 100*(got[name].ops-ref)/ref, mem)
 		}
 	}
-	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) regressed more than %.0f%%\n", failed, 100**tolerance)
+	for _, line := range ratioLines {
+		fmt.Printf("benchgate: %s\n", line)
+	}
+	if failed > 0 || ratioFailed > 0 {
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) regressed more than %.0f%%\n", failed, 100**tolerance)
+		}
+		if ratioFailed > 0 {
+			fmt.Fprintf(os.Stderr, "benchgate: %d ratio gate(s) failed\n", ratioFailed)
+		}
 		os.Exit(1)
 	}
 }

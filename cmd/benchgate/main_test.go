@@ -38,3 +38,48 @@ PASS
 		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
 	}
 }
+
+func TestParseRatio(t *testing.T) {
+	g, err := parseRatio("Bench/mode=binary, Bench/mode=stream, 2.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.num != "Bench/mode=binary" || g.den != "Bench/mode=stream" || g.min != 2 {
+		t.Fatalf("parsed %+v", g)
+	}
+	for _, bad := range []string{"", "a,b", "a,b,c,d", "a,b,zero", "a,b,0", "a,b,-1", "a,a,2", ",b,2", "a,,2"} {
+		if _, err := parseRatio(bad); err == nil {
+			t.Errorf("parseRatio(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestCheckRatios(t *testing.T) {
+	got := map[string]*benchStat{
+		"B/mode=binary": {ops: 300000},
+		"B/mode=stream": {ops: 140000},
+		"B/mode=single": {ops: 17000},
+	}
+	// 300k/140k = 2.14x: a 2.0x gate passes, a 2.5x gate fails, and a
+	// gate naming an absent benchmark fails rather than passing silently.
+	lines, failed := checkRatios(got, []ratioGate{
+		{num: "B/mode=binary", den: "B/mode=stream", min: 2.0},
+		{num: "B/mode=binary", den: "B/mode=stream", min: 2.5},
+		{num: "B/mode=batch", den: "B/mode=single", min: 3.0},
+	})
+	if failed != 2 || len(lines) != 3 {
+		t.Fatalf("failed = %d (want 2), lines:\n%s", failed, strings.Join(lines, "\n"))
+	}
+	if !strings.HasPrefix(lines[0], "ok   ratio") {
+		t.Errorf("passing gate line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "FAIL") || !strings.Contains(lines[1], "2.14x") {
+		t.Errorf("failing gate line = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "missing") {
+		t.Errorf("absent benchmark line = %q", lines[2])
+	}
+	if lines, failed := checkRatios(got, nil); failed != 0 || len(lines) != 0 {
+		t.Fatalf("no gates must produce no lines, got %d/%v", failed, lines)
+	}
+}

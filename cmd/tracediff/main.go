@@ -18,6 +18,14 @@
 // fails; rate and latency deltas fail only past their thresholds, and a
 // latency gate also requires the regression to exceed an absolute
 // millisecond floor so microsecond-scale noise cannot flake CI.
+//
+// -max-fairness-delta gates scheduling fairness: each class's share of
+// the total executed queue wait is computed per trace, and any class
+// whose share moves more than the given percentage points between base
+// and head fails the diff — the DWRR weight configuration's
+// steady-state fingerprint, guarded without fixing absolute wait
+// numbers. -weights "interactive:4,batch:1" adds the configured
+// weight-share column to the per-class table for eyeballing.
 package main
 
 import (
@@ -25,6 +33,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"lopram/internal/jobtrace"
 )
@@ -52,6 +62,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"fail when |steal-rate delta| exceeds this many percentage points (0 disables)")
 	fs.Float64Var(&th.PlacementFrac, "max-placement-moved", 0,
 		"fail when more than this fraction of matched jobs changed submit shard (0 disables)")
+	fs.Float64Var(&th.FairnessDeltaPoints, "max-fairness-delta", 0,
+		"fail when any class's executed-wait share moves more than this many percentage points between the traces (0 disables)")
+	weights := fs.String("weights", "",
+		`configured DWRR class weights as "name:w,name:w" — adds the weight-share column to the per-class report (informational)`)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: tracediff [flags] base.jsonl head.jsonl\n")
 		fs.PrintDefaults()
@@ -62,6 +76,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if fs.NArg() != 2 {
 		fs.Usage()
 		return 2
+	}
+	if *weights != "" {
+		var err error
+		if th.Weights, err = parseWeights(*weights); err != nil {
+			fmt.Fprintf(stderr, "tracediff: %v\n", err)
+			return 2
+		}
 	}
 	base, err := jobtrace.ReadFile(fs.Arg(0))
 	if err != nil {
@@ -79,4 +100,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// parseWeights parses the -weights value: comma-separated name:weight
+// pairs, weights positive.
+func parseWeights(s string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), ":")
+		if !ok || name == "" {
+			return nil, fmt.Errorf(`-weights: %q is not a name:weight pair (want e.g. "interactive:4,batch:1")`, pair)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("-weights: class %s needs a positive weight, got %q", name, val)
+		}
+		out[name] = w
+	}
+	return out, nil
 }

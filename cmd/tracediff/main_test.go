@@ -95,6 +95,48 @@ func TestUnmatchedSubmissionFails(t *testing.T) {
 	}
 }
 
+// TestFairnessGateOnWeightedScenario replays the weighted-class
+// builtin twice and runs the full CLI with the fairness gate plus the
+// configured DWRR weights: one build at one seed must keep each
+// class's executed-wait share put, and the weight column must render.
+func TestFairnessGateOnWeightedScenario(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.jsonl")
+	head := filepath.Join(dir, "head.jsonl")
+	traceTo(t, "priority-inversion-probe", base)
+	traceTo(t, "priority-inversion-probe", head)
+
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-wait-floor-ms", "1000", "-run-floor-ms", "1000",
+		"-max-fairness-delta", "15", "-weights", "interactive:4,batch:1",
+		base, head,
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	for _, want := range []string{"PASS", "wait-share% A/B", "weight%"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestParseWeights(t *testing.T) {
+	w, err := parseWeights("interactive:4, batch:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 2 || w["interactive"] != 4 || w["batch"] != 1 {
+		t.Fatalf("parsed %v, want interactive:4 batch:1", w)
+	}
+	for _, bad := range []string{"interactive", ":4", "interactive:0", "interactive:-1", "interactive:x", "a:1,,b:2"} {
+		if _, err := parseWeights(bad); err == nil {
+			t.Errorf("parseWeights(%q) accepted, want error", bad)
+		}
+	}
+}
+
 // TestBadUsage: flag errors and missing files exit 2, distinct from a
 // threshold failure.
 func TestBadUsage(t *testing.T) {

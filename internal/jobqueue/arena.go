@@ -129,12 +129,20 @@ func (b *Batch) Len() int { return len(b.jobs) }
 // Outcome reports. Note admission-control refusals normally surface
 // through Outcome, not this return value: the frame is published first
 // and admission happens at drain.
-func (b *Batch) Submit(spec Spec) error {
+func (b *Batch) Submit(spec Spec) error { return b.SubmitSpec(&spec) }
+
+// SubmitSpec is Submit for specs decoded in place: the binary wire
+// ingest loop parses every frame into one reused Spec and hands a
+// pointer here, so the spec is stamped straight into the pooled job
+// frame without an intermediate copy per call. Defaults (P, Priority,
+// Timeout) are resolved into *spec as a side effect; the caller may
+// overwrite and reuse it as soon as the call returns.
+func (b *Batch) SubmitSpec(spec *Spec) error {
 	q := b.q
 	now := time.Now()
 	j := newFrame(now)
-	class, err := q.prepare(&spec)
-	j.Spec = spec
+	class, err := q.prepare(spec)
+	j.Spec = *spec
 	j.class = class
 	b.jobs = append(b.jobs, j)
 	if err != nil {
@@ -145,7 +153,7 @@ func (b *Batch) Submit(spec Spec) error {
 		return err
 	}
 	if q.cal != nil {
-		j.cost = q.cal.estimate(spec, spec.key().P)
+		j.cost = q.cal.estimate(*spec, spec.key().P)
 	}
 	key := spec.key()
 	// Lock-free cache-hit fast path (see Submit): the frame turns

@@ -35,6 +35,21 @@ type Thresholds struct {
 	// PlacementFrac is the allowed fraction of matched pairs whose
 	// submit shard differs between the traces.
 	PlacementFrac float64
+	// FairnessDeltaPoints is the allowed |executed-wait-share delta| per
+	// class, in percentage points (0 disables). A class's wait share is
+	// its summed executed queue wait over the side's total — the
+	// fraction of all queueing the class absorbed. Under DWRR the share
+	// vector is the steady-state fingerprint of the weight
+	// configuration, so a share moving between two replays of one
+	// scenario means the scheduler's fairness changed even when the
+	// aggregate percentiles did not.
+	FairnessDeltaPoints float64
+	// Weights optionally names each class's configured DWRR weight.
+	// When set, the per-class report carries the weight-share column
+	// the wait shares can be read against. Informational only: the
+	// fairness gate compares trace A to trace B, never either trace to
+	// the configuration.
+	Weights map[string]float64
 }
 
 // Side aggregates one trace (or one class's slice of it).
@@ -56,6 +71,9 @@ type Side struct {
 	WaitP99 float64 `json:"wait_p99"`
 	RunP50  float64 `json:"run_p50"`
 	RunP99  float64 `json:"run_p99"`
+	// WaitTotalMS sums the executed records' queue waits — the raw
+	// material of the per-class wait shares.
+	WaitTotalMS float64 `json:"wait_total_ms"`
 }
 
 func sideOf(recs []Record) Side {
@@ -68,6 +86,7 @@ func sideOf(recs []Record) Side {
 			s.Executed++
 			waits = append(waits, r.WaitMS)
 			runs = append(runs, r.RunMS)
+			s.WaitTotalMS += r.WaitMS
 			if r.StealOrigin >= 0 {
 				s.Stolen++
 			}
@@ -98,11 +117,18 @@ func sideOf(recs []Record) Side {
 	return s
 }
 
-// ClassDelta is one priority class's pair of aggregates.
+// ClassDelta is one priority class's pair of aggregates, plus the
+// class's executed-wait share of each side (its summed executed wait
+// over the side's total). WeightShare is the class's share of the
+// configured DWRR weights when Thresholds.Weights named them, else 0.
 type ClassDelta struct {
 	Class string `json:"class"`
 	A     Side   `json:"a"`
 	B     Side   `json:"b"`
+
+	WaitShareA  float64 `json:"wait_share_a"`
+	WaitShareB  float64 `json:"wait_share_b"`
+	WeightShare float64 `json:"weight_share,omitempty"`
 }
 
 // ShardDelta compares one submit-shard's share of the placement.
@@ -184,9 +210,34 @@ func Diff(a, b []Record, th Thresholds) DiffReport {
 	}
 
 	d.Classes = classDeltas(a, b)
+	fairnessShares(&d, th.Weights)
 	d.Shards = shardDeltas(a, b)
 	d.Violations = violations(&d, th)
 	return d
+}
+
+// fairnessShares fills each class's executed-wait share per side, and
+// its configured weight share when weights were given. Shares divide by
+// the side's total executed wait; a side with no executed wait leaves
+// every share 0, so a diff against an all-cached replay cannot divide
+// by zero (or manufacture a fairness move out of nothing).
+func fairnessShares(d *DiffReport, weights map[string]float64) {
+	var weightSum float64
+	for _, w := range weights {
+		weightSum += w
+	}
+	for i := range d.Classes {
+		c := &d.Classes[i]
+		if d.A.WaitTotalMS > 0 {
+			c.WaitShareA = c.A.WaitTotalMS / d.A.WaitTotalMS
+		}
+		if d.B.WaitTotalMS > 0 {
+			c.WaitShareB = c.B.WaitTotalMS / d.B.WaitTotalMS
+		}
+		if weightSum > 0 {
+			c.WeightShare = weights[c.Class] / weightSum
+		}
+	}
 }
 
 func groupByKey(recs []Record) map[string][]Record {
@@ -292,6 +343,14 @@ func violations(d *DiffReport, th Thresholds) []string {
 				100*frac, 100*th.PlacementFrac, d.PlacementMoved, d.MatchedPairs))
 		}
 	}
+	if th.FairnessDeltaPoints > 0 {
+		for _, c := range d.Classes {
+			if delta := math.Abs(c.WaitShareB-c.WaitShareA) * 100; delta > th.FairnessDeltaPoints {
+				v = append(v, fmt.Sprintf("class %s executed-wait share moved %.2f points, exceeds %.2f (A %.1f%% → B %.1f%%)",
+					c.Class, delta, th.FairnessDeltaPoints, 100*c.WaitShareA, 100*c.WaitShareB))
+			}
+		}
+	}
 	return v
 }
 
@@ -322,16 +381,34 @@ func (d *DiffReport) WriteText(w io.Writer) {
 		100*d.A.HitRate, 100*d.B.HitRate, 100*d.A.StealRate, 100*d.B.StealRate,
 		d.A.WaitP99, d.B.WaitP99, d.A.RunP99, d.B.RunP99)
 	if len(d.Classes) > 0 {
-		tb := trace.NewTable("class", "jobs A/B", "hit% A/B", "steal% A/B",
-			"wait p50 A/B", "wait p99 A/B", "run p99 A/B")
+		// The weight-share column only appears when weights were given
+		// on the diff (any class carries a non-zero share).
+		weighted := false
 		for _, c := range d.Classes {
-			tb.AddRow(c.Class,
+			if c.WeightShare > 0 {
+				weighted = true
+				break
+			}
+		}
+		cols := []string{"class", "jobs A/B", "hit% A/B", "steal% A/B",
+			"wait p50 A/B", "wait p99 A/B", "run p99 A/B", "wait-share% A/B"}
+		if weighted {
+			cols = append(cols, "weight%")
+		}
+		tb := trace.NewTable(cols...)
+		for _, c := range d.Classes {
+			row := []any{c.Class,
 				fmt.Sprintf("%d/%d", c.A.Jobs, c.B.Jobs),
 				fmt.Sprintf("%.1f/%.1f", 100*c.A.HitRate, 100*c.B.HitRate),
 				fmt.Sprintf("%.1f/%.1f", 100*c.A.StealRate, 100*c.B.StealRate),
 				fmt.Sprintf("%.2f/%.2f", c.A.WaitP50, c.B.WaitP50),
 				fmt.Sprintf("%.2f/%.2f", c.A.WaitP99, c.B.WaitP99),
-				fmt.Sprintf("%.2f/%.2f", c.A.RunP99, c.B.RunP99))
+				fmt.Sprintf("%.2f/%.2f", c.A.RunP99, c.B.RunP99),
+				fmt.Sprintf("%.1f/%.1f", 100*c.WaitShareA, 100*c.WaitShareB)}
+			if weighted {
+				row = append(row, fmt.Sprintf("%.1f", 100*c.WeightShare))
+			}
+			tb.AddRow(row...)
 		}
 		fmt.Fprint(w, tb.String())
 	}

@@ -131,6 +131,105 @@ func TestDiffPlacementGate(t *testing.T) {
 	}
 }
 
+// crec builds an executed record in a named class for fairness tests.
+func crec(class, key string, occurrence int64, waitMS float64) Record {
+	r := rec(key, occurrence, DispositionExecuted, 0, waitMS)
+	r.Class = class
+	return r
+}
+
+func TestFairnessDeltaGate(t *testing.T) {
+	// A: interactive carries 30% of the executed wait, batch 70%.
+	// B: an even 50/50 split — each class's share moves 20 points.
+	a := []Record{
+		crec("interactive", "ki", 1, 30),
+		crec("batch", "kb", 1, 70),
+	}
+	b := []Record{
+		crec("interactive", "ki", 1, 50),
+		crec("batch", "kb", 1, 50),
+	}
+	d := Diff(a, b, Thresholds{FairnessDeltaPoints: 10})
+	shares := map[string][2]float64{}
+	for _, c := range d.Classes {
+		shares[c.Class] = [2]float64{c.WaitShareA, c.WaitShareB}
+	}
+	if got := shares["interactive"]; got != [2]float64{0.3, 0.5} {
+		t.Fatalf("interactive wait shares = %v, want [0.3 0.5]", got)
+	}
+	if got := shares["batch"]; got != [2]float64{0.7, 0.5} {
+		t.Fatalf("batch wait shares = %v, want [0.7 0.5]", got)
+	}
+	if !d.Failed() {
+		t.Fatal("a 20-point share move must violate a 10-point threshold")
+	}
+	if !strings.Contains(strings.Join(d.Violations, "\n"), "executed-wait share") {
+		t.Fatalf("violations lack the fairness message: %v", d.Violations)
+	}
+	if wide := Diff(a, b, Thresholds{FairnessDeltaPoints: 25}); wide.Failed() {
+		t.Fatalf("a 25-point allowance must absorb a 20-point move: %v", wide.Violations)
+	}
+	if self := Diff(a, a, Thresholds{FairnessDeltaPoints: 0.01}); self.Failed() {
+		t.Fatalf("self-diff must hold every class's share exactly: %v", self.Violations)
+	}
+}
+
+func TestFairnessGateSurvivesZeroWaitSide(t *testing.T) {
+	// A side whose executed records all waited zero has no share
+	// denominator; shares stay zero rather than going NaN, and the
+	// gate compares against B's real shares without crashing.
+	a := []Record{
+		crec("interactive", "ki", 1, 0),
+		crec("batch", "kb", 1, 0),
+	}
+	b := []Record{
+		crec("interactive", "ki", 1, 10),
+		crec("batch", "kb", 1, 90),
+	}
+	d := Diff(a, b, Thresholds{FairnessDeltaPoints: 50})
+	for _, c := range d.Classes {
+		if c.WaitShareA != 0 {
+			t.Fatalf("class %s WaitShareA = %v on a zero-wait side, want 0", c.Class, c.WaitShareA)
+		}
+	}
+	// batch moved 0 -> 90%: past the 50-point gate.
+	if !d.Failed() {
+		t.Fatal("a 90-point move must still violate a 50-point threshold")
+	}
+}
+
+func TestFairnessWeightColumn(t *testing.T) {
+	a := []Record{
+		crec("interactive", "ki", 1, 40),
+		crec("batch", "kb", 1, 60),
+	}
+	th := Thresholds{Weights: map[string]float64{"interactive": 4, "batch": 1}}
+	d := Diff(a, a, th)
+	for _, c := range d.Classes {
+		want := 0.8
+		if c.Class == "batch" {
+			want = 0.2
+		}
+		if c.WeightShare != want {
+			t.Fatalf("class %s WeightShare = %v, want %v", c.Class, c.WeightShare, want)
+		}
+	}
+	var buf bytes.Buffer
+	d.WriteText(&buf)
+	for _, want := range []string{"wait-share% A/B", "weight%", "80.0", "20.0"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("weighted report lacks %q:\n%s", want, buf.String())
+		}
+	}
+	// Without weights the informational column stays out of the table.
+	buf.Reset()
+	unweighted := Diff(a, a, Thresholds{})
+	unweighted.WriteText(&buf)
+	if strings.Contains(buf.String(), "weight%") {
+		t.Fatalf("unweighted report must not render the weight column:\n%s", buf.String())
+	}
+}
+
 func TestWriterReaderRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewWriter(&buf)

@@ -2,6 +2,7 @@ package lopramhttp
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -10,6 +11,7 @@ import (
 	"net/http"
 
 	"lopram/internal/jobqueue"
+	"lopram/internal/wire"
 )
 
 // Batch-first ingest: the two high-throughput submit shapes. Both ride
@@ -160,12 +162,26 @@ func handleStream(q *jobqueue.Queue, w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	fl, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	emit := func(v any) {
-		_ = enc.Encode(v)
+	// Result lines accumulate in a pooled buffer (shared with the
+	// binary flavor) and each settled micro-batch flushes as a single
+	// vectored Write, instead of one Write+Flush per line.
+	lines := bytes.NewBuffer(wire.GetBuf())
+	defer func() { wire.PutBuf(lines.Bytes()[:0]) }()
+	enc := json.NewEncoder(lines)
+	// emit writes the buffered lines (plus v, if non-nil) in one Write.
+	emit := func(v any) bool {
+		if v != nil {
+			_ = enc.Encode(v)
+		}
+		if lines.Len() == 0 {
+			return true
+		}
+		_, err := w.Write(lines.Bytes())
+		lines.Reset()
 		if fl != nil {
 			fl.Flush()
 		}
+		return err == nil
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), waitCap)
 	defer cancel()
@@ -188,12 +204,12 @@ func handleStream(q *jobqueue.Queue, w http.ResponseWriter, r *http.Request) {
 			return false
 		}
 		for i := 0; i < b.Len(); i++ {
-			emit(settledResult(b, i, base+i))
+			_ = enc.Encode(settledResult(b, i, base+i))
 		}
 		base += b.Len()
 		b.Release()
 		b = q.NewBatch()
-		return true
+		return emit(nil)
 	}
 
 	line := 0

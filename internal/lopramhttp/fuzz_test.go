@@ -4,12 +4,14 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
 
 	"lopram/internal/jobqueue"
+	"lopram/internal/wire"
 )
 
 // The fuzz targets drive the two new request decoders through the full
@@ -101,31 +103,160 @@ func FuzzNDJSONStream(f *testing.F) {
 			t.Fatalf("stream status = %d, want 200 (errors are in-band)", w.Code)
 		}
 		sc := bufio.NewScanner(bytes.NewReader(w.Body.Bytes()))
-		sc.Buffer(make([]byte, 64<<10), maxStreamLine+4096)
-		ended := false
-		for sc.Scan() {
-			if ended {
-				t.Fatalf("line after the stream ended: %q", sc.Bytes())
-			}
-			var line struct {
-				Done   bool   `json:"done"`
-				Error  string `json:"error"`
-				Status string `json:"status"`
-			}
-			if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
-				t.Fatalf("unparsable response line %q: %v", sc.Bytes(), err)
-			}
-			// A result line (it has a status) can carry a per-job error;
-			// only the bare envelope or the trailer ends the stream.
-			if line.Done || (line.Error != "" && line.Status == "") {
-				ended = true
-			}
+		checkNDJSONStream(t, sc)
+	})
+}
+
+// checkNDJSONStream asserts the NDJSON response contract on a scanned
+// body: every line parses as JSON, and the stream ends in exactly one
+// trailer or error envelope line.
+func checkNDJSONStream(t *testing.T, sc *bufio.Scanner) {
+	t.Helper()
+	sc.Buffer(make([]byte, 64<<10), maxStreamLine+4096)
+	ended := false
+	for sc.Scan() {
+		if ended {
+			t.Fatalf("line after the stream ended: %q", sc.Bytes())
 		}
-		if err := sc.Err(); err != nil {
-			t.Fatalf("scanning response: %v", err)
+		var line struct {
+			Done   bool   `json:"done"`
+			Error  string `json:"error"`
+			Status string `json:"status"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("unparsable response line %q: %v", sc.Bytes(), err)
+		}
+		// A result line (it has a status) can carry a per-job error;
+		// only the bare envelope or the trailer ends the stream.
+		if line.Done || (line.Error != "" && line.Status == "") {
+			ended = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scanning response: %v", err)
+	}
+	if !ended {
+		t.Fatal("stream ended without a trailer or error line")
+	}
+}
+
+// wireSeed builds a valid binary request: hello + the given specs.
+func wireSeed(specs ...jobqueue.Spec) []byte {
+	codec := wire.NewCodec(jobqueue.DefaultClasses(0))
+	body := wire.AppendHello(nil, wire.Version)
+	for i := range specs {
+		var err error
+		if body, err = codec.AppendSpec(body, &specs[i]); err != nil {
+			panic(err)
+		}
+	}
+	return body
+}
+
+// FuzzWireStream feeds arbitrary bodies to the binary flavor of
+// POST /v1/jobs:stream: whatever the bytes, the handler must not
+// panic, must answer 200 (errors are in-band), and the response must
+// be a well-formed frame sequence — a lone error frame for a refused
+// opening, or hello + one result frame per accepted spec, terminated
+// by a done trailer whose count matches or by one error frame.
+// Truncated frames, oversized length prefixes and bad versions are all
+// rejected through that same shape.
+func FuzzWireStream(f *testing.F) {
+	valid := wireSeed(
+		jobqueue.Spec{Algorithm: "reduce", N: 64, P: 2, Engine: "sim", Seed: 1},
+		jobqueue.Spec{Algorithm: "mergesort", N: 128, P: 2, Engine: "sim", Seed: 2, Priority: "batch"},
+	)
+	f.Add(valid)
+	f.Add(wireSeed()) // hello, no specs
+	f.Add([]byte{})
+	f.Add(valid[:len(valid)-3])                       // truncated mid-frame
+	f.Add(wire.AppendHello(nil, 99))                  // future version
+	f.Add([]byte(`{"algorithm":"reduce","n":64}`))    // JSON under the wrong content type
+	f.Add(append(wire.AppendHello(nil, wire.Version), // oversized length prefix
+		0xff, 0xff, 0xff, 0x7f))
+	f.Add(append(wire.AppendHello(nil, wire.Version), // unknown frame type
+		0x02, 0x7f, 0x00))
+	f.Add(append(wire.AppendHello(nil, wire.Version), // out-of-range algorithm id
+		0x08, wire.TypeSpec, 0xc8, 0x01, 0x01, 0x08, 0x01, 0x01, 0x00))
+	f.Add(wireSeed(jobqueue.Spec{Algorithm: "reduce", N: 64, P: 65, Engine: "sim"})) // refused at admission
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/jobs:stream", bytes.NewReader(body))
+		req.Header.Set("Content-Type", wire.ContentType)
+		w := httptest.NewRecorder()
+		fuzzHandler().ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			t.Fatalf("stream status = %d, want 200 (errors are in-band)", w.Code)
+		}
+		br := wire.NewReader(bytes.NewReader(w.Body.Bytes()))
+		sawHello, results, ended := false, 0, false
+		for i := 0; ; i++ {
+			typ, payload, err := wire.ReadFrame(br)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("response frame %d is malformed: %v (body %x)", i, err, w.Body.Bytes())
+			}
+			if ended {
+				t.Fatalf("frame type %#x after the stream ended", typ)
+			}
+			switch typ {
+			case wire.TypeHello:
+				if i != 0 {
+					t.Fatalf("hello at frame %d", i)
+				}
+				ver, err := wire.DecodeHello(payload)
+				if err != nil || ver != wire.Version {
+					t.Fatalf("bad server hello: %d, %v", ver, err)
+				}
+				sawHello = true
+			case wire.TypeResult:
+				if !sawHello {
+					t.Fatal("result frame before hello")
+				}
+				var r wire.Result
+				if err := wireFuzzCodec().DecodeResult(payload, &r); err != nil {
+					t.Fatalf("bad result frame: %v", err)
+				}
+				if r.Index != results {
+					t.Fatalf("result index %d at position %d", r.Index, results)
+				}
+				results++
+			case wire.TypeDone:
+				if !sawHello {
+					t.Fatal("done trailer before hello")
+				}
+				jobs, err := wire.DecodeDone(payload)
+				if err != nil {
+					t.Fatalf("bad trailer: %v", err)
+				}
+				if jobs != results {
+					t.Fatalf("trailer reports %d jobs, stream carried %d results", jobs, results)
+				}
+				ended = true
+			case wire.TypeError:
+				if _, _, _, err := wire.DecodeError(payload); err != nil {
+					t.Fatalf("bad error frame: %v", err)
+				}
+				ended = true
+			default:
+				t.Fatalf("unknown response frame type %#x", typ)
+			}
 		}
 		if !ended {
-			t.Fatalf("stream ended without a trailer or error line: %q", w.Body.Bytes())
+			t.Fatalf("stream ended without a trailer or error frame: %x", w.Body.Bytes())
 		}
 	})
+}
+
+var (
+	wireFuzzOnce sync.Once
+	wireFuzzCdc  *wire.Codec
+)
+
+// wireFuzzCodec is the response-side codec for the fuzz checks (the
+// fuzz queue serves the default class set).
+func wireFuzzCodec() *wire.Codec {
+	wireFuzzOnce.Do(func() { wireFuzzCdc = wire.NewCodec(jobqueue.DefaultClasses(0)) })
+	return wireFuzzCdc
 }

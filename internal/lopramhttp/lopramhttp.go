@@ -11,9 +11,13 @@
 //   - POST /v1/jobs:batch — a JSON array of specs submitted through the
 //     queue's pooled batch path, answered with one result array after
 //     every job settles;
-//   - POST /v1/jobs:stream — a persistent NDJSON connection: one spec
-//     per line in, one indexed result line out, submitted in pooled
-//     micro-batches so a slow producer still pipelines.
+//   - POST /v1/jobs:stream — a persistent streaming connection: one
+//     spec in, one indexed result out, submitted in pooled
+//     micro-batches so a slow producer still pipelines. The default
+//     wire is NDJSON; a request with Content-Type
+//     application/x-lopram-frame opts the connection into the
+//     length-prefixed binary framing (internal/wire) on the same
+//     route and semantics.
 //
 // Every error response is the uniform JSON envelope {"error": <message>,
 // "code": <machine-readable code>} — see docs/API.md for the code table.
@@ -73,6 +77,12 @@ func NewMux(q *jobqueue.Queue) *http.ServeMux {
 		handleBatch(q, w, r)
 	})
 	mux.HandleFunc("POST /v1/jobs:stream", func(w http.ResponseWriter, r *http.Request) {
+		// One route, two wire flavors: the binary framing is opt-in per
+		// connection via Content-Type; everything else gets NDJSON.
+		if isWireRequest(r) {
+			handleWireStream(q, w, r)
+			return
+		}
 		handleStream(q, w, r)
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {

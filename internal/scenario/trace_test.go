@@ -157,6 +157,56 @@ func TestTraceGoldenCacheFriendlyRepeat(t *testing.T) {
 	}
 }
 
+// TestTraceFairnessSharesPriorityInversionProbe replays the
+// weighted-class builtin (a 4:1 batch flood with interactive probes on
+// top) and checks the trace tells the scheduling story the class
+// configuration promises: interactive jobs, drained strictly first,
+// wait less per executed job than batch; the per-class executed-wait
+// shares a self-diff computes cover the whole trace and are identical
+// on both sides, so the tracediff fairness gate passes at its
+// tightest setting on a same-build same-seed replay.
+func TestTraceFairnessSharesPriorityInversionProbe(t *testing.T) {
+	_, recs, _, dropped := traceScenario(t, "priority-inversion-probe")
+	if dropped != 0 {
+		t.Fatalf("%d records dropped", dropped)
+	}
+	waitSum := map[string]float64{}
+	execs := map[string]int{}
+	for _, r := range recs {
+		if r.Disposition != jobtrace.DispositionExecuted {
+			continue
+		}
+		waitSum[r.Class] += r.WaitMS
+		execs[r.Class]++
+	}
+	if execs["interactive"] == 0 || execs["batch"] == 0 {
+		t.Fatalf("trace must execute both classes, got %v", execs)
+	}
+	meanI := waitSum["interactive"] / float64(execs["interactive"])
+	meanB := waitSum["batch"] / float64(execs["batch"])
+	if meanI >= meanB {
+		t.Errorf("interactive mean executed wait %.3fms is not below batch %.3fms — strict-priority dequeue not visible in the trace", meanI, meanB)
+	}
+
+	d := jobtrace.Diff(recs, recs, jobtrace.Thresholds{FairnessDeltaPoints: 0.01})
+	if d.Failed() {
+		t.Fatalf("self-diff must pass the tightest fairness gate: %v", d.Violations)
+	}
+	var shareSumA, shareSumB float64
+	for _, c := range d.Classes {
+		if c.WaitShareA != c.WaitShareB {
+			t.Errorf("class %s shares differ on a self-diff: %v vs %v", c.Class, c.WaitShareA, c.WaitShareB)
+		}
+		shareSumA += c.WaitShareA
+		shareSumB += c.WaitShareB
+	}
+	for side, sum := range map[string]float64{"A": shareSumA, "B": shareSumB} {
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("side %s class shares sum to %v, want 1 (every executed wait attributed to a class)", side, sum)
+		}
+	}
+}
+
 // TestTraceMidRunResizeEpochs replays the mid-run-resize builtin
 // (1 -> 4 -> 2 shards) with the recorder attached and asserts every
 // record's placement story is coherent across the live swaps: settle

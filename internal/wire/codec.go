@@ -1,0 +1,324 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"lopram/internal/core"
+	"lopram/internal/jobqueue"
+)
+
+// Spec frame flag bits.
+const (
+	specHasClass    = 1 << 0 // a class id field follows the fixed fields
+	specHasDeadline = 1 << 1 // a deadline field follows the class id
+)
+
+// Result frame flag bits.
+const (
+	resultCached = 1 << 0 // the outcome was served from the result cache
+)
+
+// Engine ids are protocol constants (not derived from catalogue order),
+// so old captures stay decodable if the engine set grows.
+const (
+	engineSim   = 0
+	enginePalrt = 1
+	enginePRAM  = 2
+)
+
+// engineID maps an engine name to its wire id.
+func engineID(e core.Engine) (byte, bool) {
+	switch e {
+	case core.EngineSim:
+		return engineSim, true
+	case core.EnginePalrt:
+		return enginePalrt, true
+	case core.EnginePRAM:
+		return enginePRAM, true
+	}
+	return 0, false
+}
+
+// engineByID maps a wire id back to the interned engine constant.
+func engineByID(id byte) (core.Engine, bool) {
+	switch id {
+	case engineSim:
+		return core.EngineSim, true
+	case enginePalrt:
+		return core.EnginePalrt, true
+	case enginePRAM:
+		return core.EnginePRAM, true
+	}
+	return "", false
+}
+
+// Codec translates between wire ids and the catalogue's names. The
+// algorithm table is the sorted catalogue (core.Algorithms()), shared
+// by every codec; the class table is the serving queue's class set in
+// set order — the same order /v1/classes reports — so both sides of a
+// connection agree on ids by construction. Decoded specs carry the
+// codec's interned strings: decoding a spec frame allocates nothing.
+//
+// A Codec is immutable after NewCodec and safe for concurrent use.
+type Codec struct {
+	algs    []string
+	algID   map[string]uint64
+	classes []jobqueue.Class
+	classID map[jobqueue.Class]uint64
+}
+
+// NewCodec builds a codec over the algorithm catalogue and the given
+// class set (the serving queue's — pass q.Classes() server-side, the
+// scenario's configured set client-side; nil means specs never carry a
+// class id and decode rejects any).
+func NewCodec(classes jobqueue.ClassSet) *Codec {
+	c := &Codec{
+		algs:    core.Algorithms(),
+		classID: make(map[jobqueue.Class]uint64, len(classes)),
+	}
+	c.algID = make(map[string]uint64, len(c.algs))
+	for i, name := range c.algs {
+		c.algID[name] = uint64(i)
+	}
+	for i, cs := range classes {
+		c.classes = append(c.classes, cs.Name)
+		c.classID[cs.Name] = uint64(i)
+	}
+	return c
+}
+
+// AppendSpec appends a spec frame. The spec's algorithm (and class, if
+// set) must exist in the codec's tables; the error reports which name
+// is missing and b is returned ungrown. Zero P, Priority and Timeout
+// are defaults and travel as absent fields, so a spec round-trips
+// byte-identically: encode(decode(f)) == f and decode(encode(s)) == s.
+func (c *Codec) AppendSpec(b []byte, s *jobqueue.Spec) ([]byte, error) {
+	algID, ok := c.algID[s.Algorithm]
+	if !ok {
+		return b, fmt.Errorf("wire: algorithm %q is not in the catalogue", s.Algorithm)
+	}
+	engID, ok := engineID(s.Engine)
+	if !ok {
+		return b, fmt.Errorf("wire: unknown engine %q", s.Engine)
+	}
+	var flags byte
+	var classID uint64
+	if s.Priority != "" {
+		classID, ok = c.classID[s.Priority]
+		if !ok {
+			return b, fmt.Errorf("wire: class %q is not in the codec's class set", s.Priority)
+		}
+		flags |= specHasClass
+	}
+	if s.Timeout != 0 {
+		flags |= specHasDeadline
+	}
+	start := len(b)
+	b = append(b, TypeSpec)
+	b = binary.AppendUvarint(b, algID)
+	b = append(b, engID)
+	b = binary.AppendUvarint(b, uint64(s.N))
+	b = binary.AppendUvarint(b, uint64(s.P))
+	b = binary.AppendUvarint(b, s.Seed)
+	b = append(b, flags)
+	if flags&specHasClass != 0 {
+		b = binary.AppendUvarint(b, classID)
+	}
+	if flags&specHasDeadline != 0 {
+		b = binary.AppendUvarint(b, uint64(s.Timeout))
+	}
+	return finishFrame(b, start), nil
+}
+
+// DecodeSpec parses a spec payload into *s, overwriting every field.
+// All strings are interned (codec tables, engine constants): the call
+// allocates nothing, so the ingest loop can decode into one reused
+// Spec per stream. Unknown ids, unknown flag bits and trailing bytes
+// are errors — the strictness is what makes version skew loud.
+func (c *Codec) DecodeSpec(payload []byte, s *jobqueue.Spec) error {
+	r := reader{b: payload}
+	algID, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if algID >= uint64(len(c.algs)) {
+		return fmt.Errorf("wire: algorithm id %d out of range (catalogue has %d)", algID, len(c.algs))
+	}
+	engID, err := r.byte()
+	if err != nil {
+		return err
+	}
+	engine, ok := engineByID(engID)
+	if !ok {
+		return fmt.Errorf("wire: unknown engine id %d", engID)
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	p, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	seed, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	flags, err := r.byte()
+	if err != nil {
+		return err
+	}
+	if flags&^(specHasClass|specHasDeadline) != 0 {
+		return fmt.Errorf("wire: unknown spec flag bits %#x", flags)
+	}
+	*s = jobqueue.Spec{
+		Algorithm: c.algs[algID],
+		N:         int(n),
+		P:         int(p),
+		Engine:    engine,
+		Seed:      seed,
+	}
+	if flags&specHasClass != 0 {
+		classID, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if classID >= uint64(len(c.classes)) {
+			return fmt.Errorf("wire: class id %d out of range (class set has %d)", classID, len(c.classes))
+		}
+		s.Priority = c.classes[classID]
+	}
+	if flags&specHasDeadline != 0 {
+		d, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		s.Timeout = time.Duration(d)
+	}
+	return r.done()
+}
+
+// AppendResult appends a settled-job result frame: slot index, queue
+// id, and the outcome's scalar fields (value, check, steps, work,
+// threads, wall time, cached bit). The palrt scheduler breakdown
+// (Outcome.Sched) does not travel — it is diagnostic detail the JSON
+// protocol carries for humans; binary clients wanting it can re-query
+// /v1/jobs. res is taken by value so the batch's outcome never escapes
+// to the heap on this path.
+func AppendResult(b []byte, index int, id uint64, res jobqueue.Result) []byte {
+	start := len(b)
+	b = append(b, TypeResult)
+	b = binary.AppendUvarint(b, uint64(index))
+	b = binary.AppendUvarint(b, id)
+	b = append(b, statusDone)
+	var flags byte
+	if res.Cached {
+		flags |= resultCached
+	}
+	b = append(b, flags)
+	b = binary.AppendVarint(b, res.Value)
+	b = binary.AppendUvarint(b, res.Check)
+	b = binary.AppendVarint(b, res.Steps)
+	b = binary.AppendVarint(b, res.Work)
+	b = binary.AppendUvarint(b, uint64(res.Threads))
+	b = binary.AppendUvarint(b, uint64(res.Wall))
+	return finishFrame(b, start)
+}
+
+// AppendResultError appends a failed-job result frame: slot index,
+// queue id (0 if the job was refused before ingest), the error code
+// from the HTTP error taxonomy and the error message.
+func AppendResultError(b []byte, index int, id uint64, code, msg string) []byte {
+	start := len(b)
+	b = append(b, TypeResult)
+	b = binary.AppendUvarint(b, uint64(index))
+	b = binary.AppendUvarint(b, id)
+	b = append(b, statusFailed)
+	b = appendString(b, code)
+	b = appendString(b, msg)
+	return finishFrame(b, start)
+}
+
+// Result is a decoded result frame: one settled job as the client sees
+// it. Done distinguishes the two layouts — outcome fields for settled
+// successes, code/message for failures.
+type Result struct {
+	// Index is the job's slot in submission order.
+	Index int
+	// ID is the queue-assigned job id (0 for jobs refused at ingest).
+	ID uint64
+	// Done reports success; Res is valid only when it is true.
+	Done bool
+	// Res is the job's outcome (success only).
+	Res jobqueue.Result
+	// Code is the machine-readable error code (failure only).
+	Code string
+	// Err is the human-readable error message (failure only).
+	Err string
+}
+
+// DecodeResult parses a result payload into *r, overwriting every
+// field. Failed results carry strings and therefore allocate; the
+// success path does not.
+func (c *Codec) DecodeResult(payload []byte, out *Result) error {
+	r := reader{b: payload}
+	idx, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	id, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	status, err := r.byte()
+	if err != nil {
+		return err
+	}
+	*out = Result{Index: int(idx), ID: id}
+	switch status {
+	case statusDone:
+		out.Done = true
+		flags, err := r.byte()
+		if err != nil {
+			return err
+		}
+		if flags&^resultCached != 0 {
+			return fmt.Errorf("wire: unknown result flag bits %#x", flags)
+		}
+		out.Res.Cached = flags&resultCached != 0
+		if out.Res.Value, err = r.varint(); err != nil {
+			return err
+		}
+		if out.Res.Check, err = r.uvarint(); err != nil {
+			return err
+		}
+		if out.Res.Steps, err = r.varint(); err != nil {
+			return err
+		}
+		if out.Res.Work, err = r.varint(); err != nil {
+			return err
+		}
+		threads, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		out.Res.Threads = int(threads)
+		wall, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		out.Res.Wall = time.Duration(wall)
+	case statusFailed:
+		if out.Code, err = r.str(); err != nil {
+			return err
+		}
+		if out.Err, err = r.str(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("wire: unknown result status %d", status)
+	}
+	return r.done()
+}

@@ -1,0 +1,334 @@
+// Package wire implements the length-prefixed binary framing for the
+// job stream: a versioned codec that carries job specs and results as
+// compact frames instead of JSON lines. A frame is a uvarint payload
+// length followed by the payload; the payload's first byte is the frame
+// type and the rest is the type's fixed field sequence (uvarints,
+// zigzag varints and length-prefixed strings — see docs/API.md for the
+// byte-level layout). Algorithms, engines and priority classes travel
+// as small integer ids resolved against the catalogue and the serving
+// queue's class set by a Codec, so a spec frame is ~15 bytes and
+// decoding one allocates nothing: every decoded string is interned.
+//
+// The package provides append-style encoders (AppendHello, AppendSpec,
+// AppendResult, ...) that write into caller-supplied buffers — use
+// GetBuf/PutBuf for pooled ones — and a zero-copy frame reader
+// (ReadFrame) whose payloads alias the bufio buffer. Client is the
+// caller side: it speaks the binary protocol or its NDJSON sibling
+// over POST /v1/jobs:stream. JSON remains the default on the wire;
+// the binary protocol is opt-in per connection via Content-Type.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"io"
+	"sync"
+)
+
+// Version is the protocol version this package speaks. A client opens
+// its stream with a hello frame carrying the version; the server echoes
+// its own hello when it accepts and answers with an error frame when it
+// does not. Version changes renumber frame layouts, never silently
+// reinterpret them.
+const Version = 1
+
+// ContentType is the MIME type that selects the binary protocol on
+// POST /v1/jobs:stream. Requests without it get the NDJSON stream.
+const ContentType = "application/x-lopram-frame"
+
+// MaxFramePayload bounds a single frame's payload (type byte included).
+// Every legitimate frame is tens of bytes; the bound exists so a
+// corrupt or hostile length prefix cannot make the reader buffer
+// unbounded input.
+const MaxFramePayload = 1 << 16
+
+// Frame types. The type byte is the first byte of every payload.
+const (
+	// TypeHello opens a stream in each direction: magic "LW" plus the
+	// speaker's protocol version.
+	TypeHello = 0x01
+	// TypeSpec is one job spec (client → server).
+	TypeSpec = 0x02
+	// TypeResult is one settled job outcome (server → client).
+	TypeResult = 0x03
+	// TypeError is an in-band terminal error (server → client): the
+	// stream ends after it, mirroring the NDJSON error line.
+	TypeError = 0x04
+	// TypeDone is the stream trailer (server → client): total jobs
+	// settled, confirming the stream ended cleanly.
+	TypeDone = 0x05
+)
+
+// Result status bytes inside a TypeResult payload.
+const (
+	statusDone   = 0
+	statusFailed = 1
+)
+
+// helloMagic guards against a JSON body (or any other stray bytes)
+// being misread as a binary stream: "LW" is not valid leading JSON.
+var helloMagic = [2]byte{'L', 'W'}
+
+// Framing errors. ReadFrame and the decoders return these (sometimes
+// wrapped with detail); they are sentinels so the hot path never
+// formats error strings.
+var (
+	// ErrFrameTooLarge reports a length prefix above MaxFramePayload.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds the payload bound")
+	// ErrEmptyFrame reports a zero-length payload (no type byte).
+	ErrEmptyFrame = errors.New("wire: empty frame")
+	// ErrTruncated reports a payload shorter than its field sequence.
+	ErrTruncated = errors.New("wire: truncated frame payload")
+	// ErrTrailingBytes reports payload bytes after the last field —
+	// a framing bug or version skew, never tolerated silently.
+	ErrTrailingBytes = errors.New("wire: trailing bytes after the last field")
+	// ErrBadMagic reports a hello frame that does not open with "LW".
+	ErrBadMagic = errors.New("wire: bad hello magic")
+	// ErrUnknownType reports a frame type byte the decoder has no
+	// layout for.
+	ErrUnknownType = errors.New("wire: unknown frame type")
+)
+
+// ReadFrame reads one frame and returns its type byte and payload. The
+// payload aliases br's internal buffer: it is valid only until the next
+// read on br, which is exactly the decode-then-advance discipline the
+// ingest loop follows — nothing is copied per frame. br must have a
+// buffer of at least MaxFramePayload bytes (NewReader sizes one). A
+// clean end of input returns io.EOF; input ending mid-frame returns
+// io.ErrUnexpectedEOF.
+func ReadFrame(br *bufio.Reader) (typ byte, payload []byte, err error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return 0, nil, io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	if n == 0 {
+		return 0, nil, ErrEmptyFrame
+	}
+	if n > MaxFramePayload {
+		return 0, nil, ErrFrameTooLarge
+	}
+	p, err := br.Peek(int(n))
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	if _, err := br.Discard(int(n)); err != nil {
+		return 0, nil, err
+	}
+	return p[0], p[1:], nil
+}
+
+// NewReader wraps r in a bufio.Reader sized for ReadFrame's zero-copy
+// Peek: the buffer holds a maximal frame plus its length prefix.
+func NewReader(r io.Reader) *bufio.Reader {
+	return bufio.NewReaderSize(r, MaxFramePayload+binary.MaxVarintLen64)
+}
+
+// readerPool recycles the (large, MaxFramePayload-sized) bufio readers
+// across stream requests.
+var readerPool = sync.Pool{
+	New: func() any { return NewReader(nil) },
+}
+
+// GetReader borrows a frame-sized bufio.Reader reset to r.
+func GetReader(r io.Reader) *bufio.Reader {
+	br := readerPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	return br
+}
+
+// PutReader returns a reader borrowed with GetReader. The caller must
+// not touch it (or any payload aliasing its buffer) afterwards.
+func PutReader(br *bufio.Reader) {
+	br.Reset(nil)
+	readerPool.Put(br)
+}
+
+// bufPool recycles encode buffers. Stored as *[]byte so Put does not
+// allocate a slice-header box per call.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// GetBuf borrows an empty encode buffer from the shared pool. Both
+// stream flavors flush through these: the binary path appends frames,
+// the NDJSON path appends encoded lines.
+func GetBuf() []byte {
+	return (*bufPool.Get().(*[]byte))[:0]
+}
+
+// PutBuf returns a buffer borrowed with GetBuf. Buffers that grew past
+// a megabyte are dropped instead, so one oversized response does not
+// pin its high-water mark in the pool forever.
+func PutBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > 1<<20 {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}
+
+// finishFrame converts b[start:] — a payload appended in place — into a
+// complete frame by inserting the uvarint length prefix at start. The
+// payload shifts right by the prefix width (a memmove of tens of
+// bytes); nothing allocates.
+func finishFrame(b []byte, start int) []byte {
+	payload := len(b) - start
+	var pfx [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(pfx[:], uint64(payload))
+	b = append(b, pfx[:n]...)
+	copy(b[start+n:], b[start:start+payload])
+	copy(b[start:], pfx[:n])
+	return b
+}
+
+// appendString appends a length-prefixed string: uvarint byte count,
+// then the bytes.
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// reader is a payload cursor: sequential field reads with a single
+// error check at each step. All reads are bounds-checked against the
+// payload; none allocate.
+type reader struct {
+	b   []byte
+	off int
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *reader) varint() (int64, error) {
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *reader) byte() (byte, error) {
+	if r.off >= len(r.b) {
+		return 0, ErrTruncated
+	}
+	c := r.b[r.off]
+	r.off++
+	return c, nil
+}
+
+// str reads a length-prefixed string. It copies (strings are immutable;
+// the payload buffer is not) — callers on the zero-alloc path never
+// carry string fields.
+func (r *reader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(r.b)-r.off) {
+		return "", ErrTruncated
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+// done checks that the cursor consumed the payload exactly.
+func (r *reader) done() error {
+	if r.off != len(r.b) {
+		return ErrTrailingBytes
+	}
+	return nil
+}
+
+// AppendHello appends a hello frame for the given protocol version.
+func AppendHello(b []byte, version uint64) []byte {
+	start := len(b)
+	b = append(b, TypeHello, helloMagic[0], helloMagic[1])
+	b = binary.AppendUvarint(b, version)
+	return finishFrame(b, start)
+}
+
+// DecodeHello parses a hello payload and returns the peer's version.
+func DecodeHello(payload []byte) (uint64, error) {
+	r := reader{b: payload}
+	m0, err := r.byte()
+	if err != nil {
+		return 0, err
+	}
+	m1, err := r.byte()
+	if err != nil {
+		return 0, err
+	}
+	if m0 != helloMagic[0] || m1 != helloMagic[1] {
+		return 0, ErrBadMagic
+	}
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	return v, r.done()
+}
+
+// AppendError appends an in-band error frame: the index of the spec
+// that triggered it (the count of specs accepted before it, mirroring
+// the NDJSON error line's index), a machine-readable code and a
+// human-readable message.
+func AppendError(b []byte, index int, code, msg string) []byte {
+	start := len(b)
+	b = append(b, TypeError)
+	b = binary.AppendUvarint(b, uint64(index))
+	b = appendString(b, code)
+	b = appendString(b, msg)
+	return finishFrame(b, start)
+}
+
+// DecodeError parses an error payload.
+func DecodeError(payload []byte) (index int, code, msg string, err error) {
+	r := reader{b: payload}
+	idx, err := r.uvarint()
+	if err != nil {
+		return 0, "", "", err
+	}
+	if code, err = r.str(); err != nil {
+		return 0, "", "", err
+	}
+	if msg, err = r.str(); err != nil {
+		return 0, "", "", err
+	}
+	return int(idx), code, msg, r.done()
+}
+
+// AppendDone appends the stream trailer with the settled job count.
+func AppendDone(b []byte, jobs int) []byte {
+	start := len(b)
+	b = append(b, TypeDone)
+	b = binary.AppendUvarint(b, uint64(jobs))
+	return finishFrame(b, start)
+}
+
+// DecodeDone parses a trailer payload and returns the job count.
+func DecodeDone(payload []byte) (int, error) {
+	r := reader{b: payload}
+	jobs, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	return int(jobs), r.done()
+}

@@ -1,0 +1,382 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"lopram/internal/core"
+	"lopram/internal/jobqueue"
+)
+
+// testClasses is a three-class weighted set exercising class ids 0..2.
+var testClasses = jobqueue.ClassSet{
+	{Name: "gold", Weight: 4},
+	{Name: "silver", Weight: 2},
+	{Name: "bronze", Weight: 1},
+}
+
+// readOne frames the encoded bytes through ReadFrame, checking exactly
+// one frame is present.
+func readOne(t *testing.T, frame []byte) (byte, []byte) {
+	t.Helper()
+	br := NewReader(bytes.NewReader(frame))
+	typ, payload, err := ReadFrame(br)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if _, _, err := ReadFrame(br); err != io.EOF {
+		t.Fatalf("trailing frame: got err %v, want io.EOF", err)
+	}
+	return typ, payload
+}
+
+// TestSpecRoundTripCatalogue is the codec property test: every
+// catalogue (algorithm, engine) pair, crossed with every class id
+// (and no class) and with/without a deadline, must survive
+// encode → decode exactly, and re-encoding the decoded spec must
+// reproduce the original frame byte for byte.
+func TestSpecRoundTripCatalogue(t *testing.T) {
+	c := NewCodec(testClasses)
+	classes := []jobqueue.Class{""}
+	for _, cs := range testClasses {
+		classes = append(classes, cs.Name)
+	}
+	for _, alg := range core.Algorithms() {
+		for _, eng := range core.EnginesFor(alg) {
+			for _, class := range classes {
+				for _, deadline := range []time.Duration{0, 250 * time.Millisecond} {
+					spec := jobqueue.Spec{
+						Algorithm: alg,
+						N:         1 << 10,
+						P:         3,
+						Engine:    eng,
+						Seed:      0xdecafbad,
+						Priority:  class,
+						Timeout:   deadline,
+					}
+					frame, err := c.AppendSpec(nil, &spec)
+					if err != nil {
+						t.Fatalf("AppendSpec(%v): %v", spec, err)
+					}
+					typ, payload := readOne(t, frame)
+					if typ != TypeSpec {
+						t.Fatalf("frame type %#x, want spec", typ)
+					}
+					var got jobqueue.Spec
+					if err := c.DecodeSpec(payload, &got); err != nil {
+						t.Fatalf("DecodeSpec(%v): %v", spec, err)
+					}
+					if got != spec {
+						t.Fatalf("round trip changed the spec:\n in  %+v\n out %+v", spec, got)
+					}
+					again, err := c.AppendSpec(nil, &got)
+					if err != nil {
+						t.Fatalf("re-encode: %v", err)
+					}
+					if !bytes.Equal(frame, again) {
+						t.Fatalf("re-encode not byte-identical:\n in  %x\n out %x", frame, again)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	typ, payload := readOne(t, AppendHello(nil, Version))
+	if typ != TypeHello {
+		t.Fatalf("type %#x, want hello", typ)
+	}
+	ver, err := DecodeHello(payload)
+	if err != nil || ver != Version {
+		t.Fatalf("DecodeHello = %d, %v; want %d, nil", ver, err, Version)
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	c := NewCodec(nil)
+	res := jobqueue.Result{
+		Outcome: core.Outcome{Steps: 123, Work: -7, Threads: 5, Value: -99, Check: 0xfeedface},
+		Wall:    42 * time.Millisecond,
+		Cached:  true,
+	}
+	typ, payload := readOne(t, AppendResult(nil, 17, 901, res))
+	if typ != TypeResult {
+		t.Fatalf("type %#x, want result", typ)
+	}
+	var got Result
+	if err := c.DecodeResult(payload, &got); err != nil {
+		t.Fatalf("DecodeResult: %v", err)
+	}
+	want := Result{Index: 17, ID: 901, Done: true, Res: res}
+	if got != want {
+		t.Fatalf("result round trip:\n got  %+v\n want %+v", got, want)
+	}
+
+	typ, payload = readOne(t, AppendResultError(nil, 3, 0, "queue_full", "no room"))
+	if typ != TypeResult {
+		t.Fatalf("type %#x, want result", typ)
+	}
+	if err := c.DecodeResult(payload, &got); err != nil {
+		t.Fatalf("DecodeResult(failed): %v", err)
+	}
+	want = Result{Index: 3, Done: false, Code: "queue_full", Err: "no room"}
+	if got != want {
+		t.Fatalf("failed result round trip:\n got  %+v\n want %+v", got, want)
+	}
+}
+
+func TestErrorAndDoneRoundTrip(t *testing.T) {
+	typ, payload := readOne(t, AppendError(nil, 9, "bad_request", "boom"))
+	if typ != TypeError {
+		t.Fatalf("type %#x, want error", typ)
+	}
+	idx, code, msg, err := DecodeError(payload)
+	if err != nil || idx != 9 || code != "bad_request" || msg != "boom" {
+		t.Fatalf("DecodeError = %d %q %q %v", idx, code, msg, err)
+	}
+
+	typ, payload = readOne(t, AppendDone(nil, 256))
+	if typ != TypeDone {
+		t.Fatalf("type %#x, want done", typ)
+	}
+	jobs, err := DecodeDone(payload)
+	if err != nil || jobs != 256 {
+		t.Fatalf("DecodeDone = %d, %v", jobs, err)
+	}
+}
+
+// TestReadFrameRejects covers the framing guards: empty frames,
+// oversized length prefixes, and input ending mid-frame.
+func TestReadFrameRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []byte
+		want error
+	}{
+		{"empty frame", []byte{0x00}, ErrEmptyFrame},
+		{"oversized length", append([]byte{0xff, 0xff, 0xff, 0x7f}, make([]byte, 16)...), ErrFrameTooLarge},
+		{"truncated payload", []byte{0x05, TypeSpec, 0x01}, io.ErrUnexpectedEOF},
+		{"truncated length", []byte{0x80}, io.ErrUnexpectedEOF},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			br := NewReader(bytes.NewReader(tc.in))
+			_, _, err := ReadFrame(br)
+			if err != tc.want {
+				t.Fatalf("ReadFrame(%x) err = %v, want %v", tc.in, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestDecodeSpecRejects covers the decoder guards: out-of-range ids,
+// unknown flag bits, truncation and trailing garbage.
+func TestDecodeSpecRejects(t *testing.T) {
+	c := NewCodec(testClasses)
+	spec := jobqueue.Spec{Algorithm: "reduce", N: 8, P: 1, Engine: core.EnginePRAM, Seed: 1}
+	frame, err := c.AppendSpec(nil, &spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, good := readOne(t, frame)
+
+	mutate := func(f func(p []byte) []byte) error {
+		p := f(append([]byte(nil), good...))
+		var s jobqueue.Spec
+		return c.DecodeSpec(p, &s)
+	}
+	if err := mutate(func(p []byte) []byte { p[0] = 200; return p }); err == nil ||
+		!strings.Contains(err.Error(), "algorithm id") {
+		t.Errorf("bad algorithm id: err = %v", err)
+	}
+	if err := mutate(func(p []byte) []byte { p[1] = 9; return p }); err == nil ||
+		!strings.Contains(err.Error(), "engine id") {
+		t.Errorf("bad engine id: err = %v", err)
+	}
+	if err := mutate(func(p []byte) []byte { p[len(p)-1] = 0xf0; return p }); err == nil ||
+		!strings.Contains(err.Error(), "flag bits") {
+		t.Errorf("bad flags: err = %v", err)
+	}
+	if err := mutate(func(p []byte) []byte { return p[:len(p)-2] }); err != ErrTruncated {
+		t.Errorf("truncated: err = %v, want ErrTruncated", err)
+	}
+	if err := mutate(func(p []byte) []byte { return append(p, 0x00) }); err != ErrTrailingBytes {
+		t.Errorf("trailing: err = %v, want ErrTrailingBytes", err)
+	}
+
+	// A class id beyond the codec's class set.
+	spec.Priority = "bronze"
+	frame, err = c.AppendSpec(nil, &spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, withClass := readOne(t, frame)
+	p := append([]byte(nil), withClass...)
+	p[len(p)-1] = 7 // class id field is last
+	var s jobqueue.Spec
+	if err := c.DecodeSpec(p, &s); err == nil || !strings.Contains(err.Error(), "class id") {
+		t.Errorf("bad class id: err = %v", err)
+	}
+}
+
+// TestAppendSpecRejects covers the encode-side name checks.
+func TestAppendSpecRejects(t *testing.T) {
+	c := NewCodec(nil)
+	for _, spec := range []jobqueue.Spec{
+		{Algorithm: "nope", Engine: core.EngineSim},
+		{Algorithm: "reduce", Engine: "warp"},
+		{Algorithm: "reduce", Engine: core.EngineSim, Priority: "gold"},
+	} {
+		b, err := c.AppendSpec(nil, &spec)
+		if err == nil {
+			t.Errorf("AppendSpec(%+v): want error", spec)
+		}
+		if len(b) != 0 {
+			t.Errorf("AppendSpec(%+v): buffer grew on error", spec)
+		}
+	}
+}
+
+func TestDecodeHelloRejects(t *testing.T) {
+	if _, err := DecodeHello([]byte{'X', 'W', 0x01}); err != ErrBadMagic {
+		t.Errorf("bad magic: err = %v", err)
+	}
+	if _, err := DecodeHello([]byte{'L'}); err != ErrTruncated {
+		t.Errorf("short hello: err = %v", err)
+	}
+}
+
+func TestNewClientRejectsUnknownProto(t *testing.T) {
+	if _, err := NewClient(nil, "http://x", "msgpack", nil); err == nil {
+		t.Fatal("want error for unknown protocol")
+	}
+}
+
+// TestDecodeSubmitZeroAllocs pins the tentpole's steady-state property:
+// decoding a spec frame and submitting it through the pooled batch path
+// allocates nothing per job once the arena and result cache are warm.
+// The spec is primed into the result cache first, so the whole
+// decode → SubmitSpec → Wait → Outcome → Release cycle is exercised
+// without touching worker timing.
+func TestDecodeSubmitZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counting is meaningless under -race")
+	}
+	q := jobqueue.New(jobqueue.Config{Workers: 1, QueueDepth: 64, CacheSize: 64})
+	defer q.Close()
+
+	spec := jobqueue.Spec{Algorithm: "reduce", N: 8, P: 1, Engine: core.EnginePRAM, Seed: 42}
+	j, err := q.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	codec := NewCodec(q.Classes())
+	frame, err := codec.AppendSpec(nil, &spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := NewReader(nil)
+	ctx := context.Background()
+	var decoded jobqueue.Spec
+	cycle := func() {
+		br.Reset(bytes.NewReader(frame))
+		typ, payload, err := ReadFrame(br)
+		if err != nil || typ != TypeSpec {
+			t.Fatalf("ReadFrame = %#x, %v", typ, err)
+		}
+		if err := codec.DecodeSpec(payload, &decoded); err != nil {
+			t.Fatal(err)
+		}
+		b := q.NewBatch()
+		if err := b.SubmitSpec(&decoded); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+		res, err := b.Outcome(0)
+		if err != nil || !res.Cached {
+			t.Fatalf("Outcome = %+v, %v; want a cache hit", res, err)
+		}
+		b.Release()
+	}
+	cycle() // warm the frame and batch pools
+	// bytes.NewReader escapes into br; hoist it out of the measured
+	// loop the way a real ingest loop holds one reader per connection.
+	rd := bytes.NewReader(frame)
+	cycleWarm := func() {
+		rd.Reset(frame)
+		br.Reset(rd)
+		typ, payload, err := ReadFrame(br)
+		if err != nil || typ != TypeSpec {
+			t.Fatalf("ReadFrame = %#x, %v", typ, err)
+		}
+		if err := codec.DecodeSpec(payload, &decoded); err != nil {
+			t.Fatal(err)
+		}
+		b := q.NewBatch()
+		if err := b.SubmitSpec(&decoded); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Outcome(0); err != nil {
+			t.Fatal(err)
+		}
+		b.Release()
+	}
+	cycleWarm()
+	if allocs := testing.AllocsPerRun(200, cycleWarm); allocs != 0 {
+		t.Fatalf("decode→submit cycle allocates %.1f per job, want 0", allocs)
+	}
+}
+
+// TestEncodeResultZeroAllocs pins the server's result-side symmetry:
+// appending result frames into a warm buffer allocates nothing.
+func TestEncodeResultZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counting is meaningless under -race")
+	}
+	res := jobqueue.Result{
+		Outcome: core.Outcome{Steps: 9, Work: 100, Value: -5, Check: 77},
+		Wall:    time.Millisecond,
+	}
+	buf := make([]byte, 0, 4096)
+	if allocs := testing.AllocsPerRun(200, func() {
+		buf = buf[:0]
+		for i := 0; i < 64; i++ {
+			buf = AppendResult(buf, i, uint64(i+1), res)
+		}
+	}); allocs != 0 {
+		t.Fatalf("AppendResult allocates %.1f per micro-batch, want 0", allocs)
+	}
+}
+
+// TestReadFrameZeroCopy confirms the documented aliasing: the payload
+// ReadFrame returns points into the bufio buffer, not a copy.
+func TestReadFrameZeroCopy(t *testing.T) {
+	frame := AppendDone(nil, 7)
+	br := bufio.NewReaderSize(bytes.NewReader(frame), MaxFramePayload+16)
+	if _, err := br.Peek(len(frame)); err != nil {
+		t.Fatal(err)
+	}
+	inner, _ := br.Peek(len(frame))
+	_, payload, err := ReadFrame(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &payload[0] != &inner[2] { // skip length prefix + type byte
+		t.Fatal("payload does not alias the bufio buffer")
+	}
+}
